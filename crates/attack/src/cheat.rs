@@ -1,0 +1,90 @@
+//! Report-cheating strategies (§3.4).
+
+use ddp_sim::ReportBehavior;
+
+/// What a compromised peer does when a Buddy Group asks it for a
+/// `Neighbor_Traffic` report. Mirrors the three choices §3.4 enumerates for
+/// the attacker, plus honesty.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CheatStrategy {
+    /// Report true counts. §3.4 argues this is actually the attacker's best
+    /// option ("cheating or not reporting ... could only degrade the effects
+    /// of its attacks"), so it is the default in all experiments.
+    Honest,
+    /// Case 1: "peer j reports a larger number than the number of queries it
+    /// really sent to peer m" — makes the innocent forwarder m look *better*
+    /// (its outgoing volume is explained away), "not a meaningful cheating".
+    InflateSent,
+    /// Case 2: report a smaller number, trying to get the innocent forwarder
+    /// m disconnected by m's other neighbors — which only isolates the
+    /// attacker's own traffic.
+    DeflateSent,
+    /// Choice 3: "refuse to report"; the protocol then assumes 0, which is
+    /// the same as Case 2.
+    Silent,
+}
+
+impl CheatStrategy {
+    /// Default distortion factors from the paper's example (§3.4 Case 2
+    /// reports 100 instead of 5,000 — a 50× deflation; we use symmetric
+    /// factors).
+    pub fn to_behavior(self) -> ReportBehavior {
+        match self {
+            CheatStrategy::Honest => ReportBehavior::Honest,
+            CheatStrategy::InflateSent => ReportBehavior::Inflate(50.0),
+            CheatStrategy::DeflateSent => ReportBehavior::Deflate(0.02),
+            CheatStrategy::Silent => ReportBehavior::Silent,
+        }
+    }
+
+    /// All strategies, for sweep experiments.
+    pub fn all() -> [CheatStrategy; 4] {
+        [
+            CheatStrategy::Honest,
+            CheatStrategy::InflateSent,
+            CheatStrategy::DeflateSent,
+            CheatStrategy::Silent,
+        ]
+    }
+
+    /// Short label for experiment tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            CheatStrategy::Honest => "honest",
+            CheatStrategy::InflateSent => "inflate",
+            CheatStrategy::DeflateSent => "deflate",
+            CheatStrategy::Silent => "silent",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn honest_maps_to_honest() {
+        assert_eq!(CheatStrategy::Honest.to_behavior(), ReportBehavior::Honest);
+    }
+
+    #[test]
+    fn inflate_scales_up_and_deflate_down() {
+        match CheatStrategy::InflateSent.to_behavior() {
+            ReportBehavior::Inflate(f) => assert!(f > 1.0),
+            other => panic!("expected inflate, got {other:?}"),
+        }
+        match CheatStrategy::DeflateSent.to_behavior() {
+            ReportBehavior::Deflate(f) => assert!(f < 1.0),
+            other => panic!("expected deflate, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn all_strategies_have_distinct_labels() {
+        let labels: Vec<_> = CheatStrategy::all().iter().map(|s| s.label()).collect();
+        let mut dedup = labels.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), labels.len());
+    }
+}

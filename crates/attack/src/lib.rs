@@ -1,0 +1,21 @@
+//! Overlay DDoS agent models.
+//!
+//! §2.1/§2.3 of the paper characterize the attacker: a compromised peer that
+//! "does everything else as a good peer except that it generates and issues a
+//! large number of queries during every time unit" — measured at up to
+//! 20,000 distinct queries/minute by the modified-LimeWire prototype, and
+//! link-capped in the simulation as `Q_d = min{20000, capacity of the link}`.
+//! Critically (Figure 1), agents flood *different* queries to each neighbor,
+//! making the per-link volumes at one hop's remove look like legitimate
+//! forwarding — which is why naive local rate-limiting cuts the wrong peers
+//! and DD-POLICE needs Buddy-Group cooperation.
+//!
+//! §3.4 analyzes the agent's options when asked for `Neighbor_Traffic`
+//! reports: answer honestly, inflate, deflate, or stay silent; this crate
+//! exposes each as a [`CheatStrategy`].
+
+pub mod cheat;
+pub mod plan;
+
+pub use cheat::CheatStrategy;
+pub use plan::AttackPlan;

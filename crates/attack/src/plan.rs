@@ -1,0 +1,111 @@
+//! Attack orchestration: which peers are compromised, and how they behave.
+
+use crate::cheat::CheatStrategy;
+use ddp_sim::{Defense, Simulation};
+use ddp_topology::NodeId;
+use rand::seq::index::sample;
+use rand::Rng;
+
+/// One attack scenario: `k` random peers become DDoS agents (§3.6: "k random
+/// peers, where k is ranging from 1 to 200, are selected as DDoS compromised
+/// peers and each of them keeps sending out attack queries at the maximum
+/// rate they are capable of").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AttackPlan {
+    /// Number of compromised peers.
+    pub agents: usize,
+    /// How agents answer Neighbor_Traffic requests.
+    pub cheat: CheatStrategy,
+}
+
+impl AttackPlan {
+    /// A plan with `agents` honest-reporting agents (the paper's default:
+    /// §3.4 concludes "we assume that peer j will not cheat").
+    pub fn new(agents: usize) -> Self {
+        AttackPlan { agents, cheat: CheatStrategy::Honest }
+    }
+
+    /// Same plan with a different cheating strategy.
+    pub fn with_cheat(self, cheat: CheatStrategy) -> Self {
+        AttackPlan { cheat, ..self }
+    }
+
+    /// Pick the compromised peers uniformly at random.
+    pub fn select_agents<R: Rng + ?Sized>(&self, population: usize, rng: &mut R) -> Vec<NodeId> {
+        let k = self.agents.min(population);
+        sample(rng, population, k).into_iter().map(NodeId::from_index).collect()
+    }
+
+    /// Apply the plan to a simulation: selects agents and compromises them.
+    /// Returns the agent ids (ground truth, for error accounting).
+    pub fn apply<D: Defense, R: Rng + ?Sized>(
+        &self,
+        sim: &mut Simulation<D>,
+        rng: &mut R,
+    ) -> Vec<NodeId> {
+        let agents = self.select_agents(sim.config().peers(), rng);
+        let behavior = self.cheat.to_behavior();
+        for &a in &agents {
+            sim.make_attacker(a, behavior);
+        }
+        agents
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddp_sim::{NoDefense, SimConfig};
+    use ddp_topology::{TopologyConfig, TopologyModel};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn selection_is_distinct_and_in_range() {
+        let plan = AttackPlan::new(50);
+        let mut rng = StdRng::seed_from_u64(1);
+        let agents = plan.select_agents(200, &mut rng);
+        assert_eq!(agents.len(), 50);
+        let mut ids: Vec<_> = agents.iter().map(|a| a.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 50, "agents must be distinct");
+        assert!(ids.iter().all(|&i| i < 200));
+    }
+
+    #[test]
+    fn selection_caps_at_population() {
+        let plan = AttackPlan::new(500);
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(plan.select_agents(10, &mut rng).len(), 10);
+    }
+
+    #[test]
+    fn apply_compromises_the_selected_peers() {
+        let cfg = SimConfig {
+            topology: TopologyConfig { n: 100, model: TopologyModel::BarabasiAlbert { m: 3 } },
+            ..SimConfig::default()
+        };
+        let mut sim = Simulation::new(cfg, NoDefense, 3);
+        let mut rng = StdRng::seed_from_u64(3);
+        let agents = AttackPlan::new(10).apply(&mut sim, &mut rng);
+        assert_eq!(agents.len(), 10);
+        for a in &agents {
+            assert!(sim.role(*a).is_attacker());
+        }
+        assert_eq!(sim.attackers().len(), 10);
+    }
+
+    #[test]
+    fn zero_agent_plan_is_a_noop() {
+        let cfg = SimConfig {
+            topology: TopologyConfig { n: 50, model: TopologyModel::BarabasiAlbert { m: 3 } },
+            ..SimConfig::default()
+        };
+        let mut sim = Simulation::new(cfg, NoDefense, 4);
+        let mut rng = StdRng::seed_from_u64(4);
+        let agents = AttackPlan::new(0).apply(&mut sim, &mut rng);
+        assert!(agents.is_empty());
+        assert!(sim.attackers().is_empty());
+    }
+}

@@ -1,0 +1,75 @@
+//! One bench per paper table/figure: each measures the cost of regenerating
+//! that artifact at reduced scale (the regenerated *values* are checked by
+//! the test suite; here we keep the pipelines warm and track their cost).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ddp_experiments::runners;
+use ddp_experiments::ExpOptions;
+use std::hint::black_box;
+
+fn tiny() -> ExpOptions {
+    ExpOptions { peers: 240, ticks: 5, seed: 13, agents: 10, ..ExpOptions::default() }
+}
+
+fn bench_static_figures(c: &mut Criterion) {
+    c.bench_function("table1_layout", |b| b.iter(|| black_box(runners::table1())));
+    c.bench_function("fig2_indicator_example", |b| b.iter(|| black_box(runners::fig2())));
+    c.bench_function("fig5_sent_vs_processed", |b| b.iter(|| black_box(runners::fig5())));
+    c.bench_function("fig6_drop_rate", |b| b.iter(|| black_box(runners::fig6())));
+}
+
+fn bench_consequence_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("consequences");
+    g.sample_size(10);
+    g.bench_function("fig9_10_11_sweep_240", |b| {
+        b.iter(|| black_box(runners::consequences(&tiny())))
+    });
+    g.finish();
+}
+
+fn bench_ct_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ct_figures");
+    g.sample_size(10);
+    g.bench_function("fig12_damage_over_time_240", |b| {
+        b.iter(|| black_box(runners::fig12(&tiny())))
+    });
+    g.bench_function("fig13_14_ct_sweep_240", |b| {
+        b.iter(|| {
+            let rows = runners::ct_sweep(&tiny(), &[3.0, 5.0, 7.0]);
+            black_box((runners::fig13(&rows), runners::fig14(&rows)))
+        })
+    });
+    g.finish();
+}
+
+fn bench_policy_studies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("policy_studies");
+    g.sample_size(10);
+    g.bench_function("exchange_policy_240", |b| b.iter(|| black_box(runners::exchange(&tiny()))));
+    g.bench_function("cheating_strategies_240", |b| {
+        b.iter(|| black_box(runners::cheating(&tiny())))
+    });
+    g.finish();
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    g.bench_function("warning_threshold_240", |b| {
+        b.iter(|| black_box(runners::ablate_warning(&tiny())))
+    });
+    g.bench_function("forwarding_policy_240", |b| {
+        b.iter(|| black_box(runners::ablate_forwarding(&tiny())))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_static_figures,
+    bench_consequence_sweep,
+    bench_ct_figures,
+    bench_policy_studies,
+    bench_ablations
+);
+criterion_main!(benches);

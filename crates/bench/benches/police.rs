@@ -1,0 +1,83 @@
+//! DD-POLICE component benches: indicator math and the full per-tick
+//! detection pass.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ddp_bench::bench_sim_config;
+use ddp_police::indicator::{general_indicator, is_bad, single_indicator};
+use ddp_police::{DdPolice, DdPoliceConfig, ExchangePolicy, NaiveRateLimit};
+use ddp_sim::{ReportBehavior, Simulation};
+use ddp_topology::NodeId;
+use std::hint::black_box;
+
+fn bench_indicator_math(c: &mut Criterion) {
+    c.bench_function("indicators_1m_evaluations", |b| {
+        b.iter(|| {
+            let mut flagged = 0u64;
+            for i in 0..1_000_000u64 {
+                let out = (i % 30_000) as f64;
+                let inn = ((i * 7) % 10_000) as f64;
+                let g = general_indicator(out, inn, 6, 100);
+                let s = single_indicator(out / 6.0, inn * 0.8, 100);
+                flagged += is_bad(g, s, 5.0) as u64;
+            }
+            black_box(flagged)
+        })
+    });
+}
+
+/// Cost of one detection pass over a 2,000-peer overlay under attack — the
+/// defense must stay negligible next to the flooding itself.
+fn bench_detection_pass(c: &mut Criterion) {
+    let mut g = c.benchmark_group("detection_pass_2000");
+    g.sample_size(20);
+    for (name, exchange) in [
+        ("periodic_s2", ExchangePolicy::Periodic { minutes: 2 }),
+        ("event_driven", ExchangePolicy::EventDriven),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    let cfg = DdPoliceConfig { exchange, ..DdPoliceConfig::default() };
+                    let police = DdPolice::new(cfg, 2_000);
+                    let mut sim = Simulation::new(bench_sim_config(2_000), police, 1);
+                    for i in 0..50u32 {
+                        sim.make_attacker(NodeId(i * 31 % 2_000), ReportBehavior::Honest);
+                    }
+                    sim
+                },
+                |mut sim| {
+                    // One full tick includes flooding + the detection pass;
+                    // compared against the NoDefense tick bench, the delta is
+                    // the defense cost.
+                    sim.step();
+                    black_box(sim.tick())
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_naive_baseline_pass(c: &mut Criterion) {
+    c.bench_function("naive_rate_limit_tick_2000", |b| {
+        b.iter_batched(
+            || {
+                let mut sim =
+                    Simulation::new(bench_sim_config(2_000), NaiveRateLimit::default(), 1);
+                for i in 0..50u32 {
+                    sim.make_attacker(NodeId(i * 31 % 2_000), ReportBehavior::Honest);
+                }
+                sim
+            },
+            |mut sim| {
+                sim.step();
+                black_box(sim.tick())
+            },
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_indicator_math, bench_detection_pass, bench_naive_baseline_pass);
+criterion_main!(benches);

@@ -1,0 +1,130 @@
+//! Wire-protocol microbenches: encode/decode throughput for the message
+//! types DD-POLICE puts on the wire, including the Table 1 Neighbor_Traffic
+//! body.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use ddp_protocol::*;
+use std::hint::black_box;
+use std::net::Ipv4Addr;
+
+fn sample_messages() -> Vec<Message> {
+    vec![
+        Message::new(Guid::derived(1, 1), 7, Payload::Ping(Ping)),
+        Message::new(
+            Guid::derived(1, 2),
+            7,
+            Payload::Query(Query { min_speed: 0, criteria: "popular song title".into() }),
+        ),
+        Message::new(
+            Guid::derived(1, 3),
+            1,
+            Payload::NeighborTraffic(NeighborTraffic {
+                source_ip: Ipv4Addr::new(10, 0, 0, 1),
+                suspect_ip: Ipv4Addr::new(10, 0, 0, 2),
+                timestamp: 1_185_000_000,
+                outgoing_queries: 412,
+                incoming_queries: 5_204,
+            }),
+        ),
+        Message::new(
+            Guid::derived(1, 4),
+            1,
+            Payload::NeighborList(NeighborList {
+                neighbors: (0..6).map(PeerAddr::from_node_index).collect(),
+            }),
+        ),
+        Message::new(
+            Guid::derived(1, 5),
+            7,
+            Payload::QueryHit(QueryHit {
+                addr: PeerAddr::from_node_index(9),
+                speed_kbps: 1000,
+                results: vec![QueryHitResult {
+                    file_index: 1,
+                    file_size: 3_000_000,
+                    file_name: "file.mp3".into(),
+                }],
+                servent_id: [7; 16],
+            }),
+        ),
+    ]
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let msgs = sample_messages();
+    let total: usize = msgs.iter().map(|m| m.wire_len()).sum();
+    let mut g = c.benchmark_group("proto_encode");
+    g.throughput(Throughput::Bytes(total as u64));
+    g.bench_function("encode_mixed_batch", |b| {
+        b.iter(|| {
+            for m in &msgs {
+                black_box(encode_message(black_box(m)));
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let wires: Vec<_> = sample_messages().iter().map(encode_message).collect();
+    let total: usize = wires.iter().map(|w| w.len()).sum();
+    let mut g = c.benchmark_group("proto_decode");
+    g.throughput(Throughput::Bytes(total as u64));
+    g.bench_function("decode_mixed_batch", |b| {
+        b.iter_batched(
+            || wires.clone(),
+            |mut ws| {
+                for w in &mut ws {
+                    black_box(decode_message(w).unwrap());
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_neighbor_traffic_roundtrip(c: &mut Criterion) {
+    // The Table 1 message is the defense's hot control path.
+    let msg = Message::new(
+        Guid::derived(2, 2),
+        1,
+        Payload::NeighborTraffic(NeighborTraffic {
+            source_ip: Ipv4Addr::new(10, 1, 2, 3),
+            suspect_ip: Ipv4Addr::new(10, 3, 2, 1),
+            timestamp: 60,
+            outgoing_queries: 500,
+            incoming_queries: 20_000,
+        }),
+    );
+    c.bench_function("table1_neighbor_traffic_roundtrip", |b| {
+        b.iter(|| {
+            let mut wire = encode_message(black_box(&msg));
+            black_box(decode_message(&mut wire).unwrap())
+        })
+    });
+}
+
+fn bench_seen_table(c: &mut Criterion) {
+    c.bench_function("seen_table_offer_10k", |b| {
+        b.iter_batched(
+            || SeenTable::new(600),
+            |mut t| {
+                for i in 0..10_000u64 {
+                    black_box(t.offer(Guid::derived(3, i), (i % 6) as u32, i));
+                }
+                t
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_encode,
+    bench_decode,
+    bench_neighbor_traffic_roundtrip,
+    bench_seen_table
+);
+criterion_main!(benches);

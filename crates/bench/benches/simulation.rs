@@ -1,0 +1,75 @@
+//! Whole-engine benches: cost of one simulated minute under each regime.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ddp_bench::bench_sim_config;
+use ddp_police::{DdPolice, DdPoliceConfig};
+use ddp_sim::{NoDefense, ReportBehavior, Simulation};
+use ddp_topology::NodeId;
+use std::hint::black_box;
+
+fn bench_tick_baseline(c: &mut Criterion) {
+    c.bench_function("tick_baseline_2000", |b| {
+        b.iter_batched(
+            || Simulation::new(bench_sim_config(2_000), NoDefense, 1),
+            |mut sim| {
+                sim.step();
+                black_box(sim.tick())
+            },
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+fn bench_tick_under_attack(c: &mut Criterion) {
+    c.bench_function("tick_100_attackers_2000", |b| {
+        b.iter_batched(
+            || {
+                let mut sim = Simulation::new(bench_sim_config(2_000), NoDefense, 1);
+                for i in 0..100u32 {
+                    sim.make_attacker(NodeId(i * 17 % 2_000), ReportBehavior::Honest);
+                }
+                sim
+            },
+            |mut sim| {
+                sim.step();
+                black_box(sim.tick())
+            },
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+fn bench_tick_with_dd_police(c: &mut Criterion) {
+    c.bench_function("tick_100_attackers_dd_police_2000", |b| {
+        b.iter_batched(
+            || {
+                let police = DdPolice::new(DdPoliceConfig::default(), 2_000);
+                let mut sim = Simulation::new(bench_sim_config(2_000), police, 1);
+                for i in 0..100u32 {
+                    sim.make_attacker(NodeId(i * 17 % 2_000), ReportBehavior::Honest);
+                }
+                sim
+            },
+            |mut sim| {
+                sim.step();
+                black_box(sim.tick())
+            },
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+fn bench_construction(c: &mut Criterion) {
+    c.bench_function("simulation_construction_2000", |b| {
+        b.iter(|| black_box(Simulation::new(bench_sim_config(2_000), NoDefense, 1)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_tick_baseline,
+    bench_tick_under_attack,
+    bench_tick_with_dd_police,
+    bench_construction
+);
+criterion_main!(benches);

@@ -1,0 +1,121 @@
+//! Benches for the two extension substrates: the Chord-like DHT (§5 future
+//! work) and the protocol-level servent layer.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use ddp_dht::{DhtAttack, DhtConfig, DhtPolice, DhtSimulation, Key, Ring, Router};
+use ddp_servent::{Harness, HarnessConfig, ServentRole};
+use ddp_topology::{NodeId, TopologyConfig, TopologyModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_ring_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dht_ring_build");
+    for &n in &[1_000usize, 10_000] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let nodes: Vec<NodeId> = (0..n as u32).map(NodeId).collect();
+            b.iter(|| black_box(Ring::build(&nodes, n)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_lookup_throughput(c: &mut Criterion) {
+    let n = 10_000usize;
+    let nodes: Vec<NodeId> = (0..n as u32).map(NodeId).collect();
+    let ring = Ring::build(&nodes, n);
+    let capacity = vec![u32::MAX; n];
+    c.bench_function("dht_route_1k_lookups_10k_ring", |b| {
+        b.iter_batched(
+            || (vec![0u32; n], vec![0u64; n], vec![0u64; n]),
+            |(mut used, mut sent, mut recv)| {
+                let mut router = Router {
+                    ring: &ring,
+                    node_used: &mut used,
+                    capacity: &capacity,
+                    sent: &mut sent,
+                    received: &mut recv,
+                    hop_latency_secs: 0.05,
+                    max_hops: 64,
+                };
+                let mut resolved = 0u32;
+                for i in 0..1_000u64 {
+                    let out = router.route(
+                        NodeId((i as u32 * 37) % n as u32),
+                        Key::from_object(i * 2_654_435_761),
+                        1,
+                    );
+                    resolved += out.resolved as u32;
+                }
+                black_box(resolved)
+            },
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+fn bench_dht_tick(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dht_tick_2000");
+    g.sample_size(20);
+    for (name, defense) in [("undefended", None), ("detector", Some(DhtPolice::default()))] {
+        g.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    let mut sim = DhtSimulation::new(
+                        DhtConfig {
+                            peers: 2_000,
+                            attack: DhtAttack::Uniform,
+                            defense: defense.clone(),
+                            ..DhtConfig::default()
+                        },
+                        5,
+                    );
+                    sim.compromise(100);
+                    sim
+                },
+                |mut sim| {
+                    sim.step();
+                    black_box(())
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_servent_minute(c: &mut Criterion) {
+    // One protocol-level minute (3,600 handler invocations + frames) on a
+    // 30-servent overlay with one active agent.
+    let graph = TopologyConfig { n: 30, model: TopologyModel::BarabasiAlbert { m: 3 } }
+        .generate(&mut StdRng::seed_from_u64(2));
+    let mut g = c.benchmark_group("servent_protocol_minute");
+    g.sample_size(10);
+    g.bench_function("30_peers_one_agent", |b| {
+        b.iter_batched(
+            || {
+                Harness::new(
+                    &graph,
+                    &[(NodeId(4), ServentRole::FloodingAgent { rate_qpm: 600, respond_reports: true })],
+                    HarnessConfig::default(),
+                    9,
+                )
+            },
+            |mut h| {
+                h.run_minutes(1);
+                black_box(h.report().frames)
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_ring_build,
+    bench_lookup_throughput,
+    bench_dht_tick,
+    bench_servent_minute
+);
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! Topology substrate benches: generator throughput and dynamic-graph churn
+//! operations (the per-tick mutation load of the simulator).
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use ddp_topology::{generate, DynamicGraph, NodeId, TopologyConfig, TopologyModel};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn bench_generators(c: &mut Criterion) {
+    let mut g = c.benchmark_group("topology_generate");
+    for &n in &[2_000usize, 20_000] {
+        g.bench_with_input(BenchmarkId::new("barabasi_albert_m3", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(7);
+                black_box(generate::barabasi_albert(n, 3, &mut rng))
+            })
+        });
+    }
+    g.bench_function("erdos_renyi_2000", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(7);
+            black_box(generate::erdos_renyi(2_000, 6.0, &mut rng))
+        })
+    });
+    g.bench_function("waxman_500", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(7);
+            black_box(generate::waxman(500, 0.15, 0.15, &mut rng))
+        })
+    });
+    g.finish();
+}
+
+fn bench_churn_ops(c: &mut Criterion) {
+    // A tick's worth of churn on a 2,000-peer overlay: ~200 departures
+    // (isolate) + rejoins (add_edge x3).
+    let base = TopologyConfig::default().generate(&mut StdRng::seed_from_u64(3));
+    c.bench_function("churn_200_departures_and_rejoins", |b| {
+        b.iter_batched(
+            || (base.clone(), StdRng::seed_from_u64(11)),
+            |(mut g, mut rng)| {
+                for _ in 0..200 {
+                    let u = NodeId(rng.gen_range(0..2_000u32));
+                    g.isolate(u);
+                    for _ in 0..3 {
+                        let v = NodeId(rng.gen_range(0..2_000u32));
+                        g.add_edge(u, v);
+                    }
+                }
+                g
+            },
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+fn bench_snapshot(c: &mut Criterion) {
+    let g = TopologyConfig::default().generate(&mut StdRng::seed_from_u64(3));
+    c.bench_function("csr_snapshot_2000", |b| b.iter(|| black_box(g.to_graph())));
+}
+
+fn bench_edge_lookup(c: &mut Criterion) {
+    let mut g = DynamicGraph::new(1_000);
+    let mut rng = StdRng::seed_from_u64(5);
+    for _ in 0..3_000 {
+        g.add_edge(NodeId(rng.gen_range(0..1_000)), NodeId(rng.gen_range(0..1_000)));
+    }
+    c.bench_function("contains_edge_10k_lookups", |b| {
+        b.iter(|| {
+            let mut hits = 0u32;
+            let mut rng = StdRng::seed_from_u64(6);
+            for _ in 0..10_000 {
+                let u = NodeId(rng.gen_range(0..1_000));
+                let v = NodeId(rng.gen_range(0..1_000));
+                hits += g.contains_edge(u, v) as u32;
+            }
+            black_box(hits)
+        })
+    });
+}
+
+fn bench_model_comparison(c: &mut Criterion) {
+    // Ablation: generator model choice at fixed size.
+    let mut grp = c.benchmark_group("topology_models_2000");
+    for (name, model) in [
+        ("ba", TopologyModel::BarabasiAlbert { m: 3 }),
+        ("er", TopologyModel::ErdosRenyi { mean_degree: 6.0 }),
+    ] {
+        grp.bench_function(name, |b| {
+            let cfg = TopologyConfig { n: 2_000, model };
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(1);
+                black_box(cfg.generate(&mut rng))
+            })
+        });
+    }
+    grp.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_generators,
+    bench_churn_ops,
+    bench_snapshot,
+    bench_edge_lookup,
+    bench_model_comparison
+);
+criterion_main!(benches);

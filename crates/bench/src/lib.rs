@@ -1,0 +1,22 @@
+//! Shared helpers for the benchmark suite.
+//!
+//! The benches live in `benches/`; each paper figure has a regenerator bench
+//! (reduced scale — the shapes, not the wall-clock, are the figure's point)
+//! and each hot component has a microbench.
+
+use ddp_sim::{NoDefense, SimConfig, Simulation};
+use ddp_topology::{TopologyConfig, TopologyModel};
+
+/// A small but non-trivial engine configuration for benches.
+pub fn bench_sim_config(peers: usize) -> SimConfig {
+    SimConfig {
+        topology: TopologyConfig { n: peers, model: TopologyModel::BarabasiAlbert { m: 3 } },
+        churn: false,
+        ..SimConfig::default()
+    }
+}
+
+/// A ready-to-step undefended simulation.
+pub fn bench_simulation(peers: usize, seed: u64) -> Simulation<NoDefense> {
+    Simulation::new(bench_sim_config(peers), NoDefense, seed)
+}

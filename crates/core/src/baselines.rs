@@ -1,0 +1,124 @@
+//! Baseline defenses DD-POLICE is compared against.
+//!
+//! * [`ddp_sim::NoDefense`] — plain Gnutella (re-exported by the engine).
+//! * [`NaiveRateLimit`] — cut any neighbor whose per-link volume exceeds a
+//!   threshold, with no Buddy-Group corroboration. This is the strawman §2.1
+//!   warns about: "Disconnecting all the peers who send out a large number of
+//!   queries is dangerous in that a large number of good peers could be
+//!   forwarding queries for bad peers" (Figure 1).
+//! * The application-layer fair-sharing baseline (Daswani & Garcia-Molina,
+//!   the paper's \[21\]) is a *forwarding* policy, not a detector — it lives in
+//!   the engine as `ddp_sim::ForwardingPolicy::FairShare`.
+
+use ddp_sim::{Actions, Defense, TickObservation};
+use ddp_topology::NodeId;
+
+/// Local-only rate limiting: no cooperation, no indicators — just cut heavy
+/// senders.
+#[derive(Debug, Clone, Copy)]
+pub struct NaiveRateLimit {
+    /// Per-link queries/min above which the sender is cut.
+    pub threshold_qpm: u32,
+}
+
+impl NaiveRateLimit {
+    /// Baseline with the same 500 q/min threshold DD-POLICE uses for mere
+    /// *suspicion* — highlighting that DD-POLICE investigates where this
+    /// baseline executes.
+    pub fn new(threshold_qpm: u32) -> Self {
+        NaiveRateLimit { threshold_qpm }
+    }
+}
+
+impl Default for NaiveRateLimit {
+    fn default() -> Self {
+        NaiveRateLimit::new(500)
+    }
+}
+
+impl Defense for NaiveRateLimit {
+    fn name(&self) -> &'static str {
+        "naive-rate-limit"
+    }
+
+    fn on_tick(&mut self, obs: &TickObservation<'_>, actions: &mut Actions) {
+        let n = obs.overlay.node_count();
+        for i in 0..n {
+            if !obs.runs_defense[i] {
+                continue;
+            }
+            let observer = NodeId::from_index(i);
+            for slot in 0..obs.overlay.degree(observer) {
+                let half = obs.overlay.neighbors(observer)[slot];
+                let q_in = obs.overlay.accepted_via(half.peer, half.ridx as usize);
+                if q_in > self.threshold_qpm {
+                    actions.cut(observer, half.peer);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddp_sim::{ReportBehavior, SimConfig, Simulation};
+    use ddp_topology::{TopologyConfig, TopologyModel};
+
+    fn cfg(n: usize) -> SimConfig {
+        SimConfig {
+            topology: TopologyConfig { n, model: TopologyModel::BarabasiAlbert { m: 3 } },
+            churn: false,
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn naive_limiter_cuts_attackers_but_also_innocent_forwarders() {
+        let mut sim = Simulation::new(cfg(300), NaiveRateLimit::default(), 17);
+        for a in [5u32, 50, 100] {
+            sim.make_attacker(NodeId(a), ReportBehavior::Honest);
+        }
+        let res = sim.run(8);
+        assert!(res.summary.attackers_cut > 0, "heavy senders include the attackers");
+        assert!(
+            res.summary.errors.false_negative > 0,
+            "Figure 1's point: the naive policy also cuts good forwarders ({:?})",
+            res.summary.errors
+        );
+    }
+
+    #[test]
+    fn naive_limiter_cuts_far_more_good_peers_than_dd_police() {
+        let seed = 23;
+        let naive = {
+            let mut sim = Simulation::new(cfg(300), NaiveRateLimit::default(), seed);
+            for a in [5u32, 50, 100] {
+                sim.make_attacker(NodeId(a), ReportBehavior::Honest);
+            }
+            sim.run(8)
+        };
+        let police = {
+            let d = crate::DdPolice::new(crate::DdPoliceConfig::default(), 300);
+            let mut sim = Simulation::new(cfg(300), d, seed);
+            for a in [5u32, 50, 100] {
+                sim.make_attacker(NodeId(a), ReportBehavior::Honest);
+            }
+            sim.run(8)
+        };
+        assert!(
+            naive.summary.errors.false_negative > police.summary.errors.false_negative,
+            "naive {} vs dd-police {}",
+            naive.summary.errors.false_negative,
+            police.summary.errors.false_negative
+        );
+    }
+
+    #[test]
+    fn quiet_network_triggers_nothing() {
+        let sim = Simulation::new(cfg(200), NaiveRateLimit::default(), 3);
+        let res = sim.run(5);
+        assert_eq!(res.summary.good_peers_cut, 0);
+        assert_eq!(res.summary.errors.false_negative, 0);
+    }
+}

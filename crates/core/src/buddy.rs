@@ -1,0 +1,213 @@
+//! Buddy Groups (§3.1).
+//!
+//! "We define peer j's r-hop Buddy Group (BGr-j) as the set of peer j's
+//! neighbors. ... Depending on how many logical neighbors each peer has, a
+//! peer could belong to multiple different BGs."
+//!
+//! The membership an observer acts on comes from the *exchanged snapshot* of
+//! the suspect's list — possibly stale — not from ground truth. With radius
+//! `r >= 2` the observer additionally cross-verifies membership with the
+//! suspect's current neighbors (the members themselves confirm the list,
+//! §3.1's consistency check), which removes staleness at extra message cost.
+
+use crate::exchange::ExchangeState;
+use ddp_sim::TickObservation;
+use ddp_topology::NodeId;
+
+/// The Buddy Group an observer assembled for one suspect.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BuddyGroup {
+    /// The suspect whose behavior is being policed.
+    pub suspect: NodeId,
+    /// Members (the suspect's believed neighbors), observer included.
+    pub members: Vec<NodeId>,
+}
+
+impl BuddyGroup {
+    /// Number of members `k` (the indicator denominator).
+    pub fn k(&self) -> usize {
+        self.members.len()
+    }
+}
+
+/// Assemble `BGr-suspect` as seen by `observer`.
+///
+/// Returns `None` when the observer holds no snapshot of the suspect's list
+/// (it has not completed a neighbor-list exchange with it yet — "a joining
+/// peer creates its BG membership after its first neighbor list exchanging
+/// operation").
+pub fn assemble(
+    observer: NodeId,
+    suspect: NodeId,
+    exchange: &ExchangeState,
+    obs: &TickObservation<'_>,
+    radius: u8,
+    verify: bool,
+) -> Option<BuddyGroup> {
+    let snap = exchange.snapshot(observer, suspect)?;
+    let mut members = snap.members.clone();
+    if verify {
+        // §3.1: "when peers exchange their neighbor lists, they will confirm
+        // the correctness of the lists with the corresponding peers." A
+        // member that does not confirm the claimed adjacency is dropped —
+        // which dismantles phantom padding (unless the phantom itself is a
+        // colluding agent that vouches back).
+        members.retain(|&m| m == observer || obs.confirm_membership(m, suspect));
+    }
+    if radius >= 2 {
+        // Cross-verification with the suspect's r-hop neighborhood: members
+        // confirm who is actually connected, removing stale entries and
+        // adding joiners the snapshot missed.
+        let current: Vec<NodeId> = obs.overlay.neighbors(suspect).iter().map(|h| h.peer).collect();
+        for m in current {
+            if !members.contains(&m) {
+                members.push(m);
+            }
+        }
+        members.retain(|&m| obs.overlay.contains_edge(m, suspect) || m == observer);
+    }
+    if !members.contains(&observer) {
+        // The observer polices the suspect because they share a link; it is a
+        // member by construction even if the announced list omitted it.
+        members.push(observer);
+    }
+    Some(BuddyGroup { suspect, members })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exchange::ExchangePolicy;
+    use ddp_sim::{Overlay, ReportBehavior, TickObservation};
+    use ddp_topology::DynamicGraph;
+    use ddp_workload::BandwidthClass;
+
+    fn make_overlay(n: usize, edges: &[(u32, u32)]) -> Overlay {
+        let mut g = DynamicGraph::new(n);
+        for &(u, v) in edges {
+            g.add_edge(NodeId(u), NodeId(v));
+        }
+        Overlay::new(g, &vec![BandwidthClass::Ethernet; n])
+    }
+
+    struct Fixture {
+        overlay: Overlay,
+        online: Vec<bool>,
+        runs: Vec<bool>,
+        behavior: Vec<ReportBehavior>,
+        lists: Vec<ddp_sim::ListBehavior>,
+    }
+
+    impl Fixture {
+        fn new(n: usize, edges: &[(u32, u32)]) -> Self {
+            Fixture {
+                overlay: make_overlay(n, edges),
+                online: vec![true; n],
+                runs: vec![true; n],
+                behavior: vec![ReportBehavior::Honest; n],
+                lists: vec![ddp_sim::ListBehavior::Truthful; n],
+            }
+        }
+
+        fn obs(&self, tick: u32) -> TickObservation<'_> {
+            TickObservation {
+                tick,
+                overlay: &self.overlay,
+                online: &self.online,
+                runs_defense: &self.runs,
+                report_behavior: &self.behavior,
+                list_behavior: &self.lists,
+            }
+        }
+    }
+
+    #[test]
+    fn bg1_is_the_suspects_neighbors() {
+        // Figure 7: BG1-j = {A, B, C, D}, j's four neighbors.
+        let f = Fixture::new(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]); // j = 0
+        let mut ex = ExchangeState::new(5);
+        ex.on_tick(ExchangePolicy::Periodic { minutes: 1 }, &f.obs(1));
+        let bg = assemble(NodeId(1), NodeId(0), &ex, &f.obs(1), 1, true).unwrap();
+        assert_eq!(bg.k(), 4);
+        let mut ids: Vec<u32> = bg.members.iter().map(|m| m.0).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn no_snapshot_means_no_group() {
+        let f = Fixture::new(3, &[(0, 1), (0, 2)]);
+        let ex = ExchangeState::new(3);
+        assert!(assemble(NodeId(1), NodeId(0), &ex, &f.obs(1), 1, true).is_none());
+    }
+
+    #[test]
+    fn radius_two_removes_stale_and_adds_fresh_members() {
+        let mut f = Fixture::new(5, &[(0, 1), (0, 2)]);
+        let mut ex = ExchangeState::new(5);
+        ex.on_tick(ExchangePolicy::Periodic { minutes: 10 }, &f.obs(1));
+        // After the exchange, suspect 0 drops 2 and gains 3.
+        f.overlay.remove_edge(NodeId(0), NodeId(2));
+        f.overlay.add_edge(NodeId(0), NodeId(3));
+
+        // Without verification, r=1 works from the stale snapshot alone.
+        let bg1 = assemble(NodeId(1), NodeId(0), &ex, &f.obs(2), 1, false).unwrap();
+        let ids1: Vec<u32> = bg1.members.iter().map(|m| m.0).collect();
+        assert!(ids1.contains(&2), "r=1 keeps the stale member");
+        assert!(!ids1.contains(&3), "r=1 misses the joiner");
+
+        let bg2 = assemble(NodeId(1), NodeId(0), &ex, &f.obs(2), 2, false).unwrap();
+        let ids2: Vec<u32> = bg2.members.iter().map(|m| m.0).collect();
+        assert!(!ids2.contains(&2), "r=2 cross-verification drops the stale member");
+        assert!(ids2.contains(&3), "r=2 discovers the joiner");
+    }
+
+    #[test]
+    fn verification_drops_unconfirmed_members() {
+        // Suspect 0 announces {1, 2}; then loses the edge to 2. With the
+        // §3.1 consistency check on, member 2 fails to confirm and is
+        // dropped even at r=1.
+        let mut f = Fixture::new(4, &[(0, 1), (0, 2)]);
+        let mut ex = ExchangeState::new(4);
+        ex.on_tick(ExchangePolicy::Periodic { minutes: 10 }, &f.obs(1));
+        f.overlay.remove_edge(NodeId(0), NodeId(2));
+        let bg = assemble(NodeId(1), NodeId(0), &ex, &f.obs(2), 1, true).unwrap();
+        let ids: Vec<u32> = bg.members.iter().map(|m| m.0).collect();
+        assert!(!ids.contains(&2), "unconfirmed member must be dropped: {ids:?}");
+        assert!(ids.contains(&1));
+    }
+
+    #[test]
+    fn padded_phantom_members_are_filtered_by_verification() {
+        // Suspect 0 pads its announced list with phantoms; honest phantoms
+        // refuse to confirm, so verification restores the true group.
+        let mut f = Fixture::new(8, &[(0, 1), (0, 2)]);
+        f.lists[0] = ddp_sim::ListBehavior::PadFake { extra: 4 };
+        let mut ex = ExchangeState::new(8);
+        ex.on_tick(ExchangePolicy::Periodic { minutes: 1 }, &f.obs(1));
+        let unverified = assemble(NodeId(1), NodeId(0), &ex, &f.obs(1), 1, false).unwrap();
+        let verified = assemble(NodeId(1), NodeId(0), &ex, &f.obs(1), 1, true).unwrap();
+        assert!(
+            unverified.k() > verified.k(),
+            "padding must inflate the unverified group: {} vs {}",
+            unverified.k(),
+            verified.k()
+        );
+        let ids: Vec<u32> = verified.members.iter().map(|m| m.0).collect();
+        for id in &ids {
+            assert!(
+                [1u32, 2].contains(id),
+                "verified group may only contain real neighbors: {ids:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn observer_is_always_a_member() {
+        let f = Fixture::new(3, &[(0, 1), (0, 2)]);
+        let mut ex = ExchangeState::new(3);
+        ex.on_tick(ExchangePolicy::Periodic { minutes: 1 }, &f.obs(1));
+        let bg = assemble(NodeId(2), NodeId(0), &ex, &f.obs(1), 1, true).unwrap();
+        assert!(bg.members.contains(&NodeId(2)));
+    }
+}

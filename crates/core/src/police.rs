@@ -1,0 +1,356 @@
+//! The DD-POLICE detection protocol as a pluggable [`Defense`].
+//!
+//! Per tick (= minute), every compliant peer `i`:
+//!
+//! 1. refreshes neighbor-list snapshots per the exchange policy (§3.1),
+//! 2. scans its per-neighbor `In_query` counters; a neighbor `j` above the
+//!    warning threshold becomes a *suspect* (§3.3),
+//! 3. assembles `BGr-j` from its snapshot of `j`'s list, exchanges
+//!    `Neighbor_Traffic` messages with the members (charged once per suspect
+//!    per tick — the paper's 50-second re-send suppression), treating
+//!    missing reports as zeroes,
+//! 4. computes the General and Single indicators and disconnects `j` if
+//!    either exceeds the cut threshold `CT` (§3.7.2).
+//!
+//! A suspect that never produces a neighbor list (a Silent attacker refusing
+//! the exchange step) is judged after a grace period from the observer's own
+//! counters alone — refusing to participate cannot be a shield.
+
+use crate::buddy::{assemble, BuddyGroup};
+use crate::config::DdPoliceConfig;
+use crate::exchange::ExchangeState;
+use crate::indicator::{general_indicator, is_bad, single_indicator};
+use ddp_sim::{Actions, Defense, TickObservation};
+use ddp_topology::NodeId;
+use std::collections::{HashMap, HashSet};
+
+/// Estimated fan-out of one event-driven list announcement (mean overlay
+/// degree); used only for overhead accounting of the event-driven policy.
+const EVENT_FANOUT_ESTIMATE: usize = 6;
+
+/// The DD-POLICE defense.
+#[derive(Debug)]
+pub struct DdPolice {
+    cfg: DdPoliceConfig,
+    exchange: ExchangeState,
+    /// Per-observer: suspect id -> consecutive suspicious ticks without a
+    /// usable neighbor-list snapshot.
+    streaks: Vec<HashMap<u32, u8>>,
+    /// Suspects whose Buddy Group already exchanged Neighbor_Traffic this
+    /// tick (the 50-second suppression: "check whether it has sent a
+    /// Neighbor_Traffic message to other members in this BG in past 50
+    /// seconds").
+    exchanged_this_tick: HashSet<u32>,
+}
+
+impl DdPolice {
+    /// DD-POLICE over `n` peer slots.
+    pub fn new(cfg: DdPoliceConfig, n: usize) -> Self {
+        DdPolice {
+            cfg,
+            exchange: ExchangeState::new(n),
+            streaks: (0..n).map(|_| HashMap::new()).collect(),
+            exchanged_this_tick: HashSet::new(),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &DdPoliceConfig {
+        &self.cfg
+    }
+
+    /// Judge one suspect from one observer's position. Returns the pair of
+    /// indicators actually computed (for diagnostics/tests).
+    fn judge(
+        &self,
+        observer: NodeId,
+        group: &BuddyGroup,
+        q_suspect_to_observer: u32,
+        obs: &TickObservation<'_>,
+    ) -> (f64, f64) {
+        let suspect = group.suspect;
+        let own = obs.own_counters(observer, suspect);
+        let mut sum_out_of_suspect = 0.0; // Σ_m Q_{j→m}
+        let mut sum_into_suspect = 0.0; // Σ_m Q_{m→j}
+        for &m in &group.members {
+            if m == observer {
+                sum_out_of_suspect += own.received_from_suspect as f64;
+                sum_into_suspect += own.sent_to_suspect as f64;
+            } else if let Some(r) = obs.request_report(m, suspect) {
+                let mut claimed_sent = r.sent_to_suspect;
+                if self.cfg.clamp_reports_to_link {
+                    // No member can have pushed more into the suspect than
+                    // the physical link allows; impossible claims are capped
+                    // (the collusive-inflation hardening).
+                    claimed_sent = claimed_sent.min(obs.overlay.link_capacity(m, suspect));
+                }
+                sum_out_of_suspect += r.received_from_suspect as f64;
+                sum_into_suspect += claimed_sent as f64;
+            }
+            // Missing report => assume zero (§3.4).
+        }
+        let g = general_indicator(sum_out_of_suspect, sum_into_suspect, group.k(), self.cfg.q_qpm);
+        let s = single_indicator(
+            q_suspect_to_observer as f64,
+            sum_into_suspect - own.sent_to_suspect as f64,
+            self.cfg.q_qpm,
+        );
+        (g, s)
+    }
+}
+
+impl Defense for DdPolice {
+    fn name(&self) -> &'static str {
+        "dd-police"
+    }
+
+    fn on_tick(&mut self, obs: &TickObservation<'_>, actions: &mut Actions) {
+        actions.control_msgs += self.exchange.on_tick(self.cfg.exchange, obs);
+        self.exchanged_this_tick.clear();
+
+        let n = obs.overlay.node_count();
+        for i in 0..n {
+            if !obs.runs_defense[i] {
+                continue;
+            }
+            let observer = NodeId::from_index(i);
+            let degree = obs.overlay.degree(observer);
+            for slot in 0..degree {
+                let half = obs.overlay.neighbors(observer)[slot];
+                let suspect = half.peer;
+                // In_query(suspect) read through the reciprocal index
+                // (receiver-side, duplicate-filtered).
+                let q_ji = obs.overlay.accepted_via(suspect, half.ridx as usize);
+                if q_ji <= self.cfg.warning_threshold_qpm {
+                    if !self.streaks[i].is_empty() {
+                        self.streaks[i].remove(&suspect.0);
+                    }
+                    continue;
+                }
+                // Suspicious: assemble the Buddy Group.
+                let group = match assemble(
+                    observer,
+                    suspect,
+                    &self.exchange,
+                    obs,
+                    self.cfg.radius,
+                    self.cfg.verify_lists,
+                ) {
+                    Some(bg) => {
+                        self.streaks[i].remove(&suspect.0);
+                        bg
+                    }
+                    None => {
+                        let streak = self.streaks[i].entry(suspect.0).or_insert(0);
+                        *streak = streak.saturating_add(1);
+                        if *streak < self.cfg.missing_list_grace {
+                            continue; // wait for the first exchange
+                        }
+                        // The suspect never announced a list: judge it from
+                        // the observer's own counters alone.
+                        BuddyGroup { suspect, members: vec![observer] }
+                    }
+                };
+                // Neighbor_Traffic exchange: k(k-1) messages, once per
+                // suspect per tick across all its observers (suppression).
+                if self.exchanged_this_tick.insert(suspect.0) {
+                    let k = group.k() as u64;
+                    actions.control_msgs += k * k.saturating_sub(1);
+                }
+                let (g, s) = self.judge(observer, &group, q_ji, obs);
+                if is_bad(g, s, self.cfg.cut_threshold) {
+                    actions.cut(observer, suspect);
+                }
+            }
+        }
+    }
+
+    fn on_peer_reset(&mut self, node: NodeId) {
+        self.exchange.reset_peer(node);
+        self.streaks[node.index()].clear();
+    }
+
+    fn on_edge_added(&mut self, _u: NodeId, _v: NodeId) {
+        self.exchange.on_adjacency_event(
+            self.cfg.exchange,
+            EVENT_FANOUT_ESTIMATE,
+            EVENT_FANOUT_ESTIMATE,
+        );
+    }
+
+    fn on_edge_removed(&mut self, u: NodeId, v: NodeId) {
+        self.exchange.on_adjacency_event(
+            self.cfg.exchange,
+            EVENT_FANOUT_ESTIMATE,
+            EVENT_FANOUT_ESTIMATE,
+        );
+        self.exchange.forget_edge(u, v);
+        self.streaks[u.index()].remove(&v.0);
+        self.streaks[v.index()].remove(&u.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddp_sim::{ReportBehavior, SimConfig, Simulation};
+    use ddp_topology::{TopologyConfig, TopologyModel};
+
+    fn cfg(n: usize) -> SimConfig {
+        SimConfig {
+            topology: TopologyConfig { n, model: TopologyModel::BarabasiAlbert { m: 3 } },
+            churn: false,
+            ..SimConfig::default()
+        }
+    }
+
+    fn run_with_attackers(
+        n: usize,
+        attackers: &[u32],
+        behavior: ReportBehavior,
+        police_cfg: DdPoliceConfig,
+        ticks: usize,
+        seed: u64,
+    ) -> ddp_sim::RunResult {
+        let police = DdPolice::new(police_cfg, n);
+        let mut sim = Simulation::new(cfg(n), police, seed);
+        for &a in attackers {
+            sim.make_attacker(NodeId(a), behavior);
+        }
+        sim.run(ticks)
+    }
+
+    #[test]
+    fn attackers_are_cut_quickly() {
+        let res = run_with_attackers(
+            300,
+            &[5, 77, 123],
+            ReportBehavior::Honest,
+            DdPoliceConfig::default(),
+            8,
+            42,
+        );
+        assert!(res.summary.attackers_cut > 0, "attackers must be disconnected");
+        // All three were caught before the run ended.
+        assert_eq!(
+            res.summary.errors.false_positive, 0,
+            "no attacker should survive: {:?}",
+            res.summary.errors
+        );
+    }
+
+    #[test]
+    fn innocent_forwarders_are_mostly_spared() {
+        let res = run_with_attackers(
+            300,
+            &[5, 77, 123],
+            ReportBehavior::Honest,
+            DdPoliceConfig::default(),
+            8,
+            42,
+        );
+        // Good peers forward enormous attack volumes; the Buddy Group
+        // reports must exonerate (nearly) all of them.
+        assert!(
+            res.summary.errors.false_negative <= 3,
+            "too many good peers cut: {:?}",
+            res.summary.errors
+        );
+    }
+
+    #[test]
+    fn defense_restores_success_rate() {
+        let no_def = {
+            let mut sim = Simulation::new(cfg(300), ddp_sim::NoDefense, 9);
+            for a in [5u32, 50, 100, 150, 200] {
+                sim.make_attacker(NodeId(a), ReportBehavior::Honest);
+            }
+            sim.run(12)
+        };
+        let defended = run_with_attackers(
+            300,
+            &[5, 50, 100, 150, 200],
+            ReportBehavior::Honest,
+            DdPoliceConfig::default(),
+            12,
+            9,
+        );
+        assert!(
+            defended.summary.success_rate_stable > no_def.summary.success_rate_stable + 0.1,
+            "DD-POLICE should restore success: defended {} vs undefended {}",
+            defended.summary.success_rate_stable,
+            no_def.summary.success_rate_stable
+        );
+    }
+
+    #[test]
+    fn silent_attackers_are_still_caught() {
+        let res = run_with_attackers(
+            300,
+            &[5, 77],
+            ReportBehavior::Silent,
+            DdPoliceConfig::default(),
+            10,
+            7,
+        );
+        assert!(res.summary.attackers_cut > 0, "silence must not shield the attacker");
+        assert_eq!(res.summary.errors.false_positive, 0);
+    }
+
+    #[test]
+    fn deflating_attackers_are_still_caught() {
+        let res = run_with_attackers(
+            300,
+            &[5, 77],
+            ReportBehavior::Deflate(0.02),
+            DdPoliceConfig::default(),
+            10,
+            7,
+        );
+        assert!(res.summary.attackers_cut > 0);
+        assert_eq!(res.summary.errors.false_positive, 0);
+    }
+
+    #[test]
+    fn huge_cut_threshold_misses_attackers_slower() {
+        let strict = run_with_attackers(
+            200,
+            &[5],
+            ReportBehavior::Honest,
+            DdPoliceConfig::with_cut_threshold(3.0),
+            6,
+            13,
+        );
+        let lax = run_with_attackers(
+            200,
+            &[5],
+            ReportBehavior::Honest,
+            DdPoliceConfig::with_cut_threshold(100_000.0),
+            6,
+            13,
+        );
+        assert!(strict.summary.attackers_cut >= lax.summary.attackers_cut);
+    }
+
+    #[test]
+    fn control_overhead_is_accounted() {
+        let res = run_with_attackers(
+            200,
+            &[5],
+            ReportBehavior::Honest,
+            DdPoliceConfig::default(),
+            6,
+            21,
+        );
+        assert!(
+            res.summary.control_per_tick > 0.0,
+            "list exchange + Neighbor_Traffic must appear as control traffic"
+        );
+    }
+
+    #[test]
+    fn defense_name_is_stable() {
+        let p = DdPolice::new(DdPoliceConfig::default(), 10);
+        assert_eq!(p.name(), "dd-police");
+    }
+}

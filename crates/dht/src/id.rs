@@ -1,0 +1,92 @@
+//! The identifier ring.
+
+/// A position on the 64-bit identifier ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Key(pub u64);
+
+impl Key {
+    /// Hash a node index onto the ring (SplitMix64 — uniform and stable).
+    pub fn from_node_index(i: u32) -> Self {
+        Key(mix(0x6e0d_e5ee_u64 ^ (i as u64)))
+    }
+
+    /// Hash an object id onto the ring.
+    pub fn from_object(o: u64) -> Self {
+        Key(mix(0x000b_1ec7 ^ o))
+    }
+
+    /// Clockwise distance from `self` to `other` (0 when equal).
+    #[inline]
+    pub fn distance_to(self, other: Key) -> u64 {
+        other.0.wrapping_sub(self.0)
+    }
+
+    /// Whether `self` lies in the half-open clockwise arc `(from, to]`.
+    #[inline]
+    pub fn in_arc(self, from: Key, to: Key) -> bool {
+        let arc = from.distance_to(to);
+        let pos = from.distance_to(self);
+        pos != 0 && pos <= arc || (arc == 0 && pos == 0)
+    }
+
+    /// The point `2^bit` clockwise from `self` (finger targets).
+    #[inline]
+    pub fn finger_target(self, bit: u32) -> Key {
+        Key(self.0.wrapping_add(1u64 << bit))
+    }
+}
+
+#[inline]
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_clockwise_and_wraps() {
+        let a = Key(10);
+        let b = Key(4);
+        assert_eq!(a.distance_to(b), u64::MAX - 5); // wraps the ring
+        assert_eq!(b.distance_to(a), 6);
+        assert_eq!(a.distance_to(a), 0);
+    }
+
+    #[test]
+    fn arc_membership() {
+        let from = Key(100);
+        let to = Key(200);
+        assert!(Key(150).in_arc(from, to));
+        assert!(Key(200).in_arc(from, to), "arc is closed at `to`");
+        assert!(!Key(100).in_arc(from, to), "arc is open at `from`");
+        assert!(!Key(250).in_arc(from, to));
+        // Wrapping arc.
+        let from = Key(u64::MAX - 10);
+        let to = Key(10);
+        assert!(Key(5).in_arc(from, to));
+        assert!(Key(u64::MAX).in_arc(from, to));
+        assert!(!Key(20).in_arc(from, to));
+    }
+
+    #[test]
+    fn node_hashing_spreads() {
+        let a = Key::from_node_index(1);
+        let b = Key::from_node_index(2);
+        assert_ne!(a, b);
+        // Consecutive indices should not be adjacent on the ring.
+        assert!(a.distance_to(b).min(b.distance_to(a)) > 1 << 32);
+    }
+
+    #[test]
+    fn finger_targets_double() {
+        let k = Key(0);
+        assert_eq!(k.finger_target(0), Key(1));
+        assert_eq!(k.finger_target(10), Key(1024));
+        assert_eq!(Key(u64::MAX).finger_target(0), Key(0), "wraps");
+    }
+}

@@ -1,0 +1,29 @@
+//! Structured-overlay (Chord-like DHT) substrate.
+//!
+//! The paper closes with: "Other future work includes ... studying overlay
+//! DDoS in structured P2P systems \[40\]." This crate carries out that study:
+//! a Chord-style ring with finger-table greedy routing, a lookup-flooding
+//! attack model (including the keyspace *hotspot* variant \[40\] describes),
+//! and a DD-POLICE-style origination detector adapted to unicast routing.
+//!
+//! The headline structural difference from the flooding overlay: a lookup
+//! visits **O(log n)** nodes instead of fanning out to thousands, so the
+//! per-query amplification that makes flooding overlays so fragile simply
+//! is not there. The attack surface that remains is *concentration*: all
+//! lookups for one key funnel through the key's successor and its
+//! predecessor fingers, so a hotspot attack saturates a narrow column of
+//! the ring. Detection is correspondingly easier — on unicast links the
+//! "issued vs forwarded" ambiguity is resolved by in/out differencing on a
+//! single node, no Buddy Group required ([`police::DhtPolice`]).
+
+pub mod id;
+pub mod lookup;
+pub mod police;
+pub mod ring;
+pub mod sim;
+
+pub use id::Key;
+pub use lookup::{LookupOutcome, Router};
+pub use police::DhtPolice;
+pub use ring::Ring;
+pub use sim::{DhtAttack, DhtConfig, DhtRunResult, DhtSimulation};

@@ -1,0 +1,81 @@
+//! Origination detection on the structured overlay.
+//!
+//! On a unicast DHT the DD-POLICE ambiguity largely disappears: every lookup
+//! a node forwards was first *received* by it, so the per-node difference
+//! `sent − received` measures origination directly — no Buddy Group needed.
+//! (On the flooding overlay the same difference is useless because one
+//! received query becomes `degree − 1` sent copies.)
+
+use ddp_topology::NodeId;
+
+/// Per-tick origination detector for the DHT.
+#[derive(Debug, Clone)]
+pub struct DhtPolice {
+    /// Origination threshold, lookups/min (analogous to `CT × q`).
+    pub origination_threshold: u64,
+}
+
+impl Default for DhtPolice {
+    fn default() -> Self {
+        // CT(5) x q(100) — same operating point as the flooding defense.
+        DhtPolice { origination_threshold: 500 }
+    }
+}
+
+impl DhtPolice {
+    /// Inspect one tick's counters and return the peers judged to be
+    /// flooding originators.
+    pub fn detect(&self, sent: &[u64], received: &[u64], online: &[bool]) -> Vec<NodeId> {
+        let mut bad = Vec::new();
+        for i in 0..sent.len() {
+            if !online[i] {
+                continue;
+            }
+            let originated = sent[i].saturating_sub(received[i]);
+            if originated > self.origination_threshold {
+                bad.push(NodeId::from_index(i));
+            }
+        }
+        bad
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forwarders_are_never_flagged() {
+        // A pure forwarder has sent == received.
+        let sent = vec![50_000u64, 10, 0];
+        let received = vec![50_000u64, 10, 0];
+        let online = vec![true; 3];
+        assert!(DhtPolice::default().detect(&sent, &received, &online).is_empty());
+    }
+
+    #[test]
+    fn originators_are_flagged() {
+        let sent = vec![20_000u64, 700, 40];
+        let received = vec![100u64, 650, 35];
+        let online = vec![true; 3];
+        let bad = DhtPolice::default().detect(&sent, &received, &online);
+        assert_eq!(bad, vec![NodeId(0)]); // 19,900 > 500; 50 and 5 are not
+    }
+
+    #[test]
+    fn offline_nodes_are_skipped() {
+        let sent = vec![20_000u64];
+        let received = vec![0u64];
+        let online = vec![false];
+        assert!(DhtPolice::default().detect(&sent, &received, &online).is_empty());
+    }
+
+    #[test]
+    fn normal_issue_rates_stay_under_threshold() {
+        // A good peer issues <= 10 lookups/min: far below 500.
+        let sent = vec![400u64 + 10];
+        let received = vec![400u64];
+        let online = vec![true];
+        assert!(DhtPolice::default().detect(&sent, &received, &online).is_empty());
+    }
+}

@@ -1,0 +1,186 @@
+//! The ring membership and finger tables.
+
+use crate::id::Key;
+use ddp_topology::NodeId;
+
+/// One member's routing state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Member {
+    pub node: NodeId,
+    pub key: Key,
+    /// `fingers[b]` = first live member at or after `key + 2^b`.
+    pub fingers: Vec<NodeId>,
+    /// Immediate clockwise successor.
+    pub successor: NodeId,
+}
+
+/// The assembled ring: sorted members plus per-member finger tables.
+///
+/// Rebuilt from the live membership set (O(n log n)); the simulator rebuilds
+/// after churn, which at the evaluated scales is far cheaper than the lookup
+/// traffic itself.
+#[derive(Debug, Clone, Default)]
+pub struct Ring {
+    /// Sorted by key.
+    members: Vec<Member>,
+    /// `slot_of[node.index()]` = index into `members`, or `usize::MAX`.
+    slot_of: Vec<usize>,
+}
+
+/// Number of finger bits maintained (64-bit ring).
+pub const FINGER_BITS: u32 = 64;
+
+impl Ring {
+    /// Build the ring over the live nodes.
+    pub fn build(nodes: &[NodeId], capacity_hint: usize) -> Ring {
+        let mut keyed: Vec<(Key, NodeId)> =
+            nodes.iter().map(|&n| (Key::from_node_index(n.0), n)).collect();
+        keyed.sort_unstable();
+        let n = keyed.len();
+        let mut members: Vec<Member> = keyed
+            .iter()
+            .map(|&(key, node)| Member {
+                node,
+                key,
+                fingers: Vec::new(),
+                successor: node,
+            })
+            .collect();
+
+        // Fingers: for each member and bit, the first member at or after
+        // key + 2^b (binary search over the sorted keys).
+        let keys: Vec<Key> = keyed.iter().map(|&(k, _)| k).collect();
+        let successor_of = |target: Key| -> usize {
+            match keys.binary_search(&target) {
+                Ok(i) => i,
+                Err(i) => i % n.max(1),
+            }
+        };
+        for i in 0..n {
+            members[i].successor = members[(i + 1) % n].node;
+            let mut fingers = Vec::with_capacity(24);
+            let mut last = usize::MAX;
+            for b in 0..FINGER_BITS {
+                let idx = successor_of(keys[i].finger_target(b));
+                if idx != last && idx != i {
+                    fingers.push(members[idx].node);
+                    last = idx;
+                }
+            }
+            members[i].fingers = fingers;
+        }
+
+        let mut slot_of = vec![usize::MAX; capacity_hint];
+        for (slot, m) in members.iter().enumerate() {
+            let idx = m.node.index();
+            if idx >= slot_of.len() {
+                slot_of.resize(idx + 1, usize::MAX);
+            }
+            slot_of[idx] = slot;
+        }
+        Ring { members, slot_of }
+    }
+
+    /// Number of live members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Member state for `node`, if live.
+    pub fn member(&self, node: NodeId) -> Option<&Member> {
+        let slot = *self.slot_of.get(node.index())?;
+        self.members.get(slot)
+    }
+
+    /// The node responsible for `key` (its clockwise successor).
+    pub fn responsible_for(&self, key: Key) -> Option<NodeId> {
+        if self.members.is_empty() {
+            return None;
+        }
+        let idx = self
+            .members
+            .binary_search_by_key(&key, |m| m.key)
+            .unwrap_or_else(|i| i % self.members.len());
+        Some(self.members[idx].node)
+    }
+
+    /// All live members in ring order.
+    pub fn members(&self) -> &[Member] {
+        &self.members
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring(n: u32) -> Ring {
+        let nodes: Vec<NodeId> = (0..n).map(NodeId).collect();
+        Ring::build(&nodes, n as usize)
+    }
+
+    #[test]
+    fn members_are_sorted_and_linked() {
+        let r = ring(50);
+        assert_eq!(r.len(), 50);
+        let ms = r.members();
+        for w in ms.windows(2) {
+            assert!(w[0].key < w[1].key);
+        }
+        // Successor chain visits everyone exactly once.
+        let mut seen = std::collections::HashSet::new();
+        let mut cur = ms[0].node;
+        for _ in 0..50 {
+            assert!(seen.insert(cur));
+            cur = r.member(cur).unwrap().successor;
+        }
+        assert_eq!(cur, ms[0].node, "successors form a single cycle");
+    }
+
+    #[test]
+    fn responsibility_is_the_clockwise_successor() {
+        let r = ring(20);
+        let ms = r.members();
+        // A key just past member i belongs to member i+1.
+        for i in 0..ms.len() {
+            let probe = Key(ms[i].key.0.wrapping_add(1));
+            let owner = r.responsible_for(probe).unwrap();
+            assert_eq!(owner, ms[(i + 1) % ms.len()].node);
+        }
+        // A member's own key belongs to itself.
+        assert_eq!(r.responsible_for(ms[3].key), Some(ms[3].node));
+    }
+
+    #[test]
+    fn finger_counts_are_logarithmic() {
+        let r = ring(512);
+        for m in r.members() {
+            assert!(
+                (4..=24).contains(&m.fingers.len()),
+                "node {} has {} fingers",
+                m.node,
+                m.fingers.len()
+            );
+        }
+    }
+
+    #[test]
+    fn missing_member_is_none() {
+        let nodes: Vec<NodeId> = (0..10).map(NodeId).collect();
+        let r = Ring::build(&nodes, 20);
+        assert!(r.member(NodeId(15)).is_none());
+        assert!(r.member(NodeId(3)).is_some());
+    }
+
+    #[test]
+    fn empty_ring() {
+        let r = Ring::build(&[], 0);
+        assert!(r.is_empty());
+        assert_eq!(r.responsible_for(Key(5)), None);
+    }
+}

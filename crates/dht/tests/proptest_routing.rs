@@ -1,0 +1,111 @@
+//! Property-based tests of the DHT ring and greedy routing.
+
+use ddp_dht::{Key, Ring, Router};
+use ddp_topology::NodeId;
+use proptest::prelude::*;
+
+fn distinct_nodes() -> impl Strategy<Value = Vec<u32>> {
+    proptest::collection::btree_set(0u32..500, 2..64)
+        .prop_map(|s| s.into_iter().collect::<Vec<_>>())
+}
+
+fn route_env(ids: &[u32], cap: u32) -> (Ring, Vec<u32>, Vec<u32>, Vec<u64>, Vec<u64>) {
+    let nodes: Vec<NodeId> = ids.iter().map(|&i| NodeId(i)).collect();
+    let max = ids.iter().copied().max().unwrap_or(0) as usize + 1;
+    let ring = Ring::build(&nodes, max);
+    (ring, vec![0; max], vec![cap; max], vec![0; max], vec![0; max])
+}
+
+proptest! {
+    /// Every lookup from every live origin resolves when capacity is ample,
+    /// within a logarithmic hop bound.
+    #[test]
+    fn lookups_always_resolve_with_ample_capacity(
+        ids in distinct_nodes(),
+        key_seed in any::<u64>(),
+        origin_pick in any::<prop::sample::Index>(),
+    ) {
+        let (ring, mut used, cap, mut sent, mut recv) = route_env(&ids, u32::MAX);
+        let origin = NodeId(ids[origin_pick.index(ids.len())]);
+        let key = Key::from_object(key_seed);
+        let mut router = Router {
+            ring: &ring,
+            node_used: &mut used,
+            capacity: &cap,
+            sent: &mut sent,
+            received: &mut recv,
+            hop_latency_secs: 0.05,
+            max_hops: 128,
+        };
+        let out = router.route(origin, key, 1);
+        prop_assert!(out.resolved, "lookup failed on a healthy ring");
+        // Greedy finger routing: generous log bound.
+        let bound = 4 * (64 - (ids.len() as u64).leading_zeros()) + 4;
+        prop_assert!(out.hops <= bound, "hops {} > bound {bound}", out.hops);
+    }
+
+    /// The resolved owner is exactly the key's clockwise successor.
+    #[test]
+    fn responsibility_matches_sorted_order(
+        ids in distinct_nodes(),
+        key_seed in any::<u64>(),
+    ) {
+        let (ring, ..) = route_env(&ids, 1);
+        let key = Key::from_object(key_seed);
+        let owner = ring.responsible_for(key).unwrap();
+        // Check against a brute-force scan.
+        let brute = ids
+            .iter()
+            .map(|&i| (Key::from_node_index(i), NodeId(i)))
+            .min_by_key(|&(k, _)| key.distance_to(k))
+            .unwrap()
+            .1;
+        prop_assert_eq!(owner, brute);
+    }
+
+    /// Ring invariants: sorted member keys, full successor cycle, every
+    /// finger points at a live member.
+    #[test]
+    fn ring_structural_invariants(ids in distinct_nodes()) {
+        let (ring, ..) = route_env(&ids, 1);
+        let ms = ring.members();
+        prop_assert_eq!(ms.len(), ids.len());
+        for w in ms.windows(2) {
+            prop_assert!(w[0].key < w[1].key);
+        }
+        let live: std::collections::HashSet<u32> = ids.iter().copied().collect();
+        for m in ms {
+            prop_assert!(live.contains(&m.successor.0));
+            for f in &m.fingers {
+                prop_assert!(live.contains(&f.0), "finger {} not live", f);
+            }
+        }
+    }
+
+    /// Counters: each hop moves the surviving copies once — total sent
+    /// equals total received, and both equal hops when capacity is ample.
+    #[test]
+    fn counter_conservation(
+        ids in distinct_nodes(),
+        key_seed in any::<u64>(),
+        count in 1u32..1_000,
+    ) {
+        let (ring, mut used, cap, mut sent, mut recv) = route_env(&ids, u32::MAX);
+        let origin = NodeId(ids[0]);
+        let key = Key::from_object(key_seed);
+        let mut router = Router {
+            ring: &ring,
+            node_used: &mut used,
+            capacity: &cap,
+            sent: &mut sent,
+            received: &mut recv,
+            hop_latency_secs: 0.05,
+            max_hops: 128,
+        };
+        let out = router.route(origin, key, count);
+        let total_sent: u64 = sent.iter().sum();
+        let total_recv: u64 = recv.iter().sum();
+        prop_assert_eq!(total_sent, total_recv);
+        prop_assert_eq!(total_sent, out.hops as u64 * count as u64);
+    }
+}

@@ -1,0 +1,160 @@
+//! `ddp-experiments` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! ddp-experiments <command> [--peers N] [--ticks N] [--seed N] [--agents N]
+//!                           [--replicates N] [--csv DIR] [--paper-scale]
+//!
+//! commands:
+//!   table1      Neighbor_Traffic wire layout (Table 1)
+//!   fig2        indicator worked example (Figure 2)
+//!   fig5 fig6   single-peer capacity testbed (§2.3)
+//!   fig9 fig10 fig11   attack-impact sweeps (§3.6)
+//!   consequences       figures 9-11 from one sweep
+//!   fig12       damage rate over time per cut threshold
+//!   fig13 fig14 errors / recovery time vs cut threshold
+//!   exchange    neighbor-list exchange policy study (§3.7.1)
+//!   cheating    report-cheating strategies (§3.4)
+//!   ablations   design-choice ablations
+//!   all         everything above
+//! ```
+
+use ddp_experiments::runners::{self, emit};
+use ddp_experiments::ExpOptions;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first().cloned() else {
+        eprintln!("usage: ddp-experiments <command> [options]; see --help");
+        return ExitCode::FAILURE;
+    };
+    if command == "--help" || command == "-h" || command == "help" {
+        println!("{}", HELP);
+        return ExitCode::SUCCESS;
+    }
+    let opts = match parse_options(&args[1..]) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    match command.as_str() {
+        "table1" => emit(&runners::table1(), &opts),
+        "fig2" => emit(&runners::fig2(), &opts),
+        "fig5" => emit(&runners::fig5(), &opts),
+        "fig6" => emit(&runners::fig6(), &opts),
+        "fig9" => emit(&runners::fig9(&runners::agent_sweep(&opts)), &opts),
+        "fig10" => emit(&runners::fig10(&runners::agent_sweep(&opts)), &opts),
+        "fig11" => emit(&runners::fig11(&runners::agent_sweep(&opts)), &opts),
+        "consequences" => {
+            for t in runners::consequences(&opts) {
+                emit(&t, &opts);
+            }
+        }
+        "fig12" => emit(&runners::fig12(&opts), &opts),
+        "fig13" => emit(&runners::fig13(&runners::ct_sweep(&opts, &runners::CT_GRID)), &opts),
+        "fig14" => emit(&runners::fig14(&runners::ct_sweep(&opts, &runners::CT_GRID)), &opts),
+        "ct" => {
+            let rows = runners::ct_sweep(&opts, &runners::CT_GRID);
+            emit(&runners::fig13(&rows), &opts);
+            emit(&runners::fig14(&rows), &opts);
+        }
+        "exchange" => emit(&runners::exchange(&opts), &opts),
+        "structured" => emit(&runners::structured(&opts), &opts),
+        "cheating" => emit(&runners::cheating(&opts), &opts),
+        "ablations" => {
+            emit(&runners::ablate_warning(&opts), &opts);
+            emit(&runners::ablate_radius(&opts), &opts);
+            emit(&runners::ablate_forwarding(&opts), &opts);
+            emit(&runners::ablate_rejoin(&opts), &opts);
+            emit(&runners::ablate_clamp(&opts), &opts);
+            emit(&runners::ablate_lists(&opts), &opts);
+            emit(&runners::ablate_topology(&opts), &opts);
+        }
+        "all" => {
+            emit(&runners::table1(), &opts);
+            emit(&runners::fig2(), &opts);
+            emit(&runners::fig5(), &opts);
+            emit(&runners::fig6(), &opts);
+            for t in runners::consequences(&opts) {
+                emit(&t, &opts);
+            }
+            emit(&runners::fig12(&opts), &opts);
+            let rows = runners::ct_sweep(&opts, &runners::CT_GRID);
+            emit(&runners::fig13(&rows), &opts);
+            emit(&runners::fig14(&rows), &opts);
+            emit(&runners::exchange(&opts), &opts);
+            emit(&runners::cheating(&opts), &opts);
+            emit(&runners::ablate_warning(&opts), &opts);
+            emit(&runners::ablate_radius(&opts), &opts);
+            emit(&runners::ablate_forwarding(&opts), &opts);
+            emit(&runners::ablate_rejoin(&opts), &opts);
+            emit(&runners::ablate_clamp(&opts), &opts);
+            emit(&runners::ablate_lists(&opts), &opts);
+            emit(&runners::ablate_topology(&opts), &opts);
+            emit(&runners::structured(&opts), &opts);
+        }
+        other => {
+            eprintln!("unknown command `{other}`; see --help");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+const HELP: &str = "\
+ddp-experiments — regenerate every table and figure of
+\"Defending P2Ps from Overlay Flooding-based DDoS\" (ICPP 2007).
+
+usage: ddp-experiments <command> [options]
+
+commands:
+  table1 fig2 fig5 fig6 fig9 fig10 fig11 consequences
+  fig12 fig13 fig14 ct exchange cheating structured ablations all
+
+options:
+  --peers N        overlay size (default 2000)
+  --ticks N        simulated minutes per run (default 30)
+  --seed N         base seed (default 42)
+  --agents N       DDoS agents for fixed-attack experiments (default 100)
+  --replicates N   averaged seeds per configuration (default 1)
+  --csv DIR        also write each table as DIR/<name>.csv
+  --paper-scale    shorthand for --peers 20000 (the paper's §3.5 setting)
+";
+
+fn parse_options(args: &[String]) -> Result<ExpOptions, String> {
+    let mut opts = ExpOptions::default();
+    let mut i = 0;
+    while i < args.len() {
+        let take = |i: &mut usize| -> Result<&String, String> {
+            *i += 1;
+            args.get(*i).ok_or_else(|| format!("{} needs a value", args[*i - 1]))
+        };
+        match args[i].as_str() {
+            "--peers" => opts.peers = take(&mut i)?.parse().map_err(|e| format!("--peers: {e}"))?,
+            "--ticks" => opts.ticks = take(&mut i)?.parse().map_err(|e| format!("--ticks: {e}"))?,
+            "--seed" => opts.seed = take(&mut i)?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--agents" => {
+                opts.agents = take(&mut i)?.parse().map_err(|e| format!("--agents: {e}"))?
+            }
+            "--replicates" => {
+                opts.replicates =
+                    take(&mut i)?.parse().map_err(|e| format!("--replicates: {e}"))?
+            }
+            "--csv" => opts.csv_dir = Some(PathBuf::from(take(&mut i)?)),
+            "--paper-scale" => opts.peers = 20_000,
+            other => return Err(format!("unknown option `{other}`")),
+        }
+        i += 1;
+    }
+    if opts.agents * 2 > opts.peers {
+        return Err(format!(
+            "--agents {} is more than half of --peers {}; the paper's agents are a small minority",
+            opts.agents, opts.peers
+        ));
+    }
+    Ok(opts)
+}

@@ -1,0 +1,161 @@
+//! Tabular output: aligned stdout rendering and CSV export.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A named table of string cells.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    /// Identifier, e.g. `fig9_traffic_cost` (also the CSV file stem).
+    pub name: String,
+    /// Human title, e.g. "Figure 9: average traffic cost".
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New empty table.
+    pub fn new(
+        name: impl Into<String>,
+        title: impl Into<String>,
+        headers: &[&str],
+    ) -> Self {
+        Table {
+            name: name.into(),
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header arity).
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.headers.len(), "row arity mismatch in {}", self.name);
+        self.rows.push(row);
+    }
+
+    /// Render to an aligned text block.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            let mut s = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                let _ = write!(s, "{:>w$}  ", c, w = widths[i]);
+            }
+            s.trim_end().to_string()
+        };
+        let _ = writeln!(out, "{}", line(&self.headers, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+        let _ = writeln!(out, "{}", "-".repeat(total.min(120)));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        out
+    }
+
+    /// CSV encoding (quotes cells containing separators).
+    pub fn to_csv(&self) -> String {
+        let esc = |s: &str| -> String {
+            if s.contains([',', '"', '\n']) {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+        }
+        out
+    }
+
+    /// Write `<dir>/<name>.csv`.
+    pub fn write_csv(&self, dir: &Path) -> std::io::Result<std::path::PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.csv", self.name));
+        std::fs::write(&path, self.to_csv())?;
+        Ok(path)
+    }
+}
+
+/// Format a float with `d` decimals.
+pub fn f(v: f64, d: usize) -> String {
+    format!("{v:.d$}")
+}
+
+/// Format a percentage with one decimal.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("t", "Test table", &["a", "long_header", "c"]);
+        t.push_row(vec!["1".into(), "2".into(), "3".into()]);
+        t.push_row(vec!["10".into(), "x".into(), "hello".into()]);
+        t
+    }
+
+    #[test]
+    fn render_aligns_columns() {
+        let r = sample().render();
+        assert!(r.contains("Test table"));
+        assert!(r.contains("long_header"));
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 5); // title, header, rule, 2 rows
+    }
+
+    #[test]
+    fn csv_roundtrip_simple() {
+        let csv = sample().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "a,long_header,c");
+        assert_eq!(lines[1], "1,2,3");
+    }
+
+    #[test]
+    fn csv_escapes_commas_and_quotes() {
+        let mut t = Table::new("q", "Q", &["x"]);
+        t.push_row(vec!["a,b".into()]);
+        t.push_row(vec!["say \"hi\"".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"a,b\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new("t", "T", &["a", "b"]);
+        t.push_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn write_csv_creates_file() {
+        let dir = std::env::temp_dir().join("ddp_test_csv");
+        let path = sample().write_csv(&dir).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.starts_with("a,long_header,c"));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn float_helpers() {
+        assert_eq!(f(1.23456, 2), "1.23");
+        assert_eq!(pct(0.4567), "45.7%");
+    }
+}

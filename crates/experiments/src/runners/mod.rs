@@ -1,0 +1,30 @@
+//! One runner per paper table/figure, plus ablations.
+
+mod ablations;
+mod ct;
+mod policy;
+mod static_figs;
+mod structured;
+mod sweep;
+
+pub use ablations::{ablate_clamp, ablate_forwarding, ablate_lists, ablate_radius, ablate_rejoin, ablate_topology, ablate_warning};
+pub use ct::{ct_sweep, fig12, fig13, fig14, CtRow, CT_GRID};
+pub use policy::{cheating, exchange};
+pub use static_figs::{fig2, fig5, fig6, table1};
+pub use structured::structured;
+pub use sweep::{agent_sweep, consequences, fig10, fig11, fig9, SweepRow};
+
+use crate::output::Table;
+use crate::scenario::ExpOptions;
+
+/// Print a table and, if requested, persist it as CSV.
+pub fn emit(table: &Table, opts: &ExpOptions) {
+    print!("{}", table.render());
+    if let Some(dir) = &opts.csv_dir {
+        match table.write_csv(dir) {
+            Ok(path) => println!("[csv] {}", path.display()),
+            Err(e) => eprintln!("[csv] failed to write {}: {e}", table.name),
+        }
+    }
+    println!();
+}

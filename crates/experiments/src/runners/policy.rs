@@ -1,0 +1,191 @@
+//! Protocol-policy studies: §3.7.1 neighbor-list exchange frequency and the
+//! §3.4 report-cheating strategies.
+
+use crate::output::{f, pct, Table};
+use crate::scenario::{DefenseKind, ExpOptions, Scenario};
+use ddp_attack::CheatStrategy;
+use ddp_police::{DdPoliceConfig, ExchangePolicy};
+use rayon::prelude::*;
+
+/// §3.7.1: periodic exchange every s ∈ {1, 2, 4, 5, 10} minutes vs the
+/// event-driven policy, under churn, with `opts.agents` attackers.
+pub fn exchange(opts: &ExpOptions) -> Table {
+    let policies: Vec<(String, ExchangePolicy)> = [1u32, 2, 4, 5, 10]
+        .iter()
+        .map(|&m| (format!("periodic s={m}"), ExchangePolicy::Periodic { minutes: m }))
+        .chain(std::iter::once(("event-driven".to_string(), ExchangePolicy::EventDriven)))
+        .collect();
+
+    // Paired seeds: every policy sees the same churn and attack.
+    let rows: Vec<Vec<String>> = policies
+        .par_iter()
+        .map(|(label, policy)| {
+            let mut control = 0.0;
+            let mut fneg = 0.0;
+            let mut fpos = 0.0;
+            let mut damage = 0.0;
+            for r in 0..opts.replicates {
+                let cfg = DdPoliceConfig { exchange: *policy, ..DdPoliceConfig::default() };
+                let dr = Scenario::builder()
+                    .peers(opts.peers)
+                    .ticks(opts.ticks)
+                    .attackers(opts.agents)
+                    .defense(DefenseKind::DdPoliceFull(cfg))
+                    .seed(opts.seed_for(0, r))
+                    .build()
+                    .run_with_damage();
+                control += dr.attacked.summary.control_per_tick;
+                fneg += dr.attacked.summary.errors.false_negative as f64;
+                fpos += dr.attacked.summary.errors.false_positive as f64;
+                damage += dr.stable_damage();
+            }
+            let n = opts.replicates.max(1) as f64;
+            vec![
+                label.clone(),
+                f(control / n, 0),
+                f(fneg / n, 1),
+                f(fpos / n, 1),
+                pct(damage / n),
+            ]
+        })
+        .collect();
+
+    let mut t = Table::new(
+        "exchange_policy",
+        format!(
+            "Section 3.7.1: neighbor-list exchange policy ({} agents, churn on)",
+            opts.agents
+        ),
+        &["policy", "control msgs/tick", "false negative", "false positive", "stable damage"],
+    );
+    for row in rows {
+        t.push_row(row);
+    }
+    t
+}
+
+/// §3.4: the attacker's report-cheating options. The paper argues none of
+/// them helps; this experiment quantifies each.
+pub fn cheating(opts: &ExpOptions) -> Table {
+    // Paired seeds across strategies.
+    let rows: Vec<Vec<String>> = CheatStrategy::all()
+        .par_iter()
+        .map(|&strategy| {
+            let mut cut = 0.0;
+            let mut never = 0.0;
+            let mut fneg = 0.0;
+            let mut damage = 0.0;
+            let mut recoveries = Vec::new();
+            for r in 0..opts.replicates {
+                let dr = Scenario::builder()
+                    .peers(opts.peers)
+                    .ticks(opts.ticks)
+                    .attackers(opts.agents)
+                    .cheat(strategy)
+                    .defense(DefenseKind::DdPolice { cut_threshold: 5.0 })
+                    .seed(opts.seed_for(0, r))
+                    .build()
+                    .run_with_damage();
+                cut += dr.attacked.summary.attackers_cut as f64;
+                never += dr.attacked.summary.attackers_never_cut as f64;
+                fneg += dr.attacked.summary.errors.false_negative as f64;
+                damage += dr.stable_damage();
+                if let Some(t) = dr.recovery_ticks {
+                    recoveries.push(t as f64);
+                }
+            }
+            let n = opts.replicates.max(1) as f64;
+            vec![
+                strategy.label().to_string(),
+                f(cut / n, 1),
+                f(never / n, 1),
+                f(fneg / n, 1),
+                pct(damage / n),
+                if recoveries.is_empty() {
+                    "not recovered".to_string()
+                } else {
+                    f(recoveries.iter().sum::<f64>() / recoveries.len() as f64, 1)
+                },
+            ]
+        })
+        .collect();
+
+    let mut t = Table::new(
+        "cheating_strategies",
+        format!("Section 3.4: attacker report-cheating strategies ({} agents)", opts.agents),
+        &[
+            "strategy",
+            "attacker cut events",
+            "attackers never cut",
+            "good peers cut",
+            "stable damage",
+            "recovery ticks",
+        ],
+    );
+    for row in rows {
+        t.push_row(row);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_opts() -> ExpOptions {
+        ExpOptions { peers: 240, ticks: 8, seed: 11, agents: 10, ..ExpOptions::default() }
+    }
+
+    #[test]
+    fn exchange_table_covers_all_policies() {
+        let t = exchange(&tiny_opts());
+        assert_eq!(t.rows.len(), 6);
+        assert!(t.rows[5][0].contains("event-driven"));
+    }
+
+    #[test]
+    fn cheating_table_covers_all_strategies() {
+        let t = cheating(&tiny_opts());
+        assert_eq!(t.rows.len(), 4);
+        let labels: Vec<&str> = t.rows.iter().map(|r| r[0].as_str()).collect();
+        assert!(labels.contains(&"honest") && labels.contains(&"silent"));
+    }
+
+    #[test]
+    fn honest_deflate_and_silence_do_not_rescue_the_attack() {
+        // §3.4's per-agent analysis holds for honesty, deflation, and
+        // silence: the agents end up cut and stable damage is low.
+        let t = cheating(&tiny_opts());
+        for row in &t.rows {
+            if row[0] == "inflate" {
+                continue; // see the collusion test below
+            }
+            let damage: f64 = row[4].trim_end_matches('%').parse().unwrap();
+            assert!(
+                damage < 50.0,
+                "strategy {} left stable damage {damage}%",
+                row[0]
+            );
+        }
+    }
+
+    /// Reproduction finding beyond the paper: §3.4's Case 1 ("reporting a
+    /// larger number ... is not a meaningful cheating") assumes a *lone*
+    /// agent. When several agents are deployed, an agent adjacent to a
+    /// fellow agent can inflate its claimed traffic *into* that suspect,
+    /// inflating `Σ Q_{m→j}` and driving both indicators negative —
+    /// collusive vouching that shields the suspect. See EXPERIMENTS.md.
+    #[test]
+    fn inflation_enables_collusive_vouching() {
+        let t = cheating(&tiny_opts());
+        let row = t.rows.iter().find(|r| r[0] == "inflate").unwrap();
+        let honest = t.rows.iter().find(|r| r[0] == "honest").unwrap();
+        let parse = |s: &str| s.trim_end_matches('%').parse::<f64>().unwrap();
+        assert!(
+            parse(&row[4]) >= parse(&honest[4]),
+            "inflation should never help the defense: inflate {} vs honest {}",
+            row[4],
+            honest[4]
+        );
+    }
+}

@@ -1,0 +1,208 @@
+//! The §3.6 attack-impact sweeps: Figures 9 (traffic cost), 10 (response
+//! time), 11 (success rate) — three views of one sweep over the number of
+//! DDoS agents, in three regimes: no attack, attack without defense, attack
+//! with DD-POLICE.
+
+use crate::output::{f, pct, Table};
+use crate::scenario::{DefenseKind, ExpOptions, Scenario};
+use rayon::prelude::*;
+
+/// One sweep configuration's averaged results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepRow {
+    /// Number of DDoS agents.
+    pub agents: usize,
+    /// No-attack baseline (flat reference curve).
+    pub baseline: RegimeStats,
+    /// Attack, no defense.
+    pub undefended: RegimeStats,
+    /// Attack, DD-POLICE (CT = 5).
+    pub defended: RegimeStats,
+}
+
+/// The per-regime quantities the three figures plot.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RegimeStats {
+    /// Mean message transmissions per tick.
+    pub traffic_per_tick: f64,
+    /// Mean response time of successful queries, seconds.
+    pub response_secs: f64,
+    /// 95th-percentile response time, seconds (streaming P² estimate).
+    pub response_p95_secs: f64,
+    /// Stabilized success rate (last quarter of the run).
+    pub success: f64,
+}
+
+fn stats_of(report: &crate::scenario::ScenarioReport) -> RegimeStats {
+    RegimeStats {
+        traffic_per_tick: report.summary.traffic_per_tick,
+        response_secs: report.summary.response_time_mean_secs,
+        response_p95_secs: report.summary.response_p95_secs,
+        success: report.summary.success_rate_stable,
+    }
+}
+
+fn mean(stats: &[RegimeStats]) -> RegimeStats {
+    let n = stats.len().max(1) as f64;
+    RegimeStats {
+        traffic_per_tick: stats.iter().map(|s| s.traffic_per_tick).sum::<f64>() / n,
+        response_secs: stats.iter().map(|s| s.response_secs).sum::<f64>() / n,
+        response_p95_secs: stats.iter().map(|s| s.response_p95_secs).sum::<f64>() / n,
+        success: stats.iter().map(|s| s.success).sum::<f64>() / n,
+    }
+}
+
+/// Agent counts swept (§3.6: "k random peers, where k is ranging from 1 to
+/// 200"), capped at 5% of the overlay so reduced-scale runs stay within the
+/// paper's attack-density regime (200 agents on 20,000 peers = 1%).
+pub fn agent_counts(peers: usize) -> Vec<usize> {
+    [1usize, 5, 10, 20, 50, 100, 200].iter().copied().filter(|&k| k * 20 <= peers).collect()
+}
+
+/// Run the three-regime sweep. Runs execute in parallel (rayon) with
+/// deterministic per-run seeds.
+pub fn agent_sweep(opts: &ExpOptions) -> Vec<SweepRow> {
+    let ks = agent_counts(opts.peers);
+
+    let scenario = |agents: usize, defense: DefenseKind, seed: u64| {
+        Scenario::builder()
+            .peers(opts.peers)
+            .ticks(opts.ticks)
+            .attackers(agents)
+            .defense(defense)
+            .seed(seed)
+            .build()
+    };
+
+    // Replicated baseline (agents = 0), shared across rows.
+    let baseline_stats: Vec<RegimeStats> = (0..opts.replicates)
+        .into_par_iter()
+        .map(|r| stats_of(&scenario(0, DefenseKind::None, opts.seed_for(0, r)).run()))
+        .collect();
+    let baseline = mean(&baseline_stats);
+
+    ks.par_iter()
+        .enumerate()
+        .map(|(ci, &k)| {
+            let per_regime = |defense: DefenseKind| {
+                let stats: Vec<RegimeStats> = (0..opts.replicates)
+                    .map(|r| {
+                        stats_of(&scenario(k, defense.clone(), opts.seed_for(ci + 1, r)).run())
+                    })
+                    .collect();
+                mean(&stats)
+            };
+            SweepRow {
+                agents: k,
+                baseline,
+                undefended: per_regime(DefenseKind::None),
+                defended: per_regime(DefenseKind::DdPolice { cut_threshold: 5.0 }),
+            }
+        })
+        .collect()
+}
+
+/// Figure 9: average traffic cost vs number of agents.
+pub fn fig9(rows: &[SweepRow]) -> Table {
+    let mut t = Table::new(
+        "fig9_traffic_cost",
+        "Figure 9: average traffic cost (msgs/tick, x1000) vs number of DDoS agents",
+        &["agents", "no attack", "attack, no defense", "attack, DD-POLICE", "amplification"],
+    );
+    for r in rows {
+        t.push_row(vec![
+            r.agents.to_string(),
+            f(r.baseline.traffic_per_tick / 1e3, 1),
+            f(r.undefended.traffic_per_tick / 1e3, 1),
+            f(r.defended.traffic_per_tick / 1e3, 1),
+            format!("{:.1}x", r.undefended.traffic_per_tick / r.baseline.traffic_per_tick.max(1.0)),
+        ]);
+    }
+    t
+}
+
+/// Figure 10: average query response time vs number of agents.
+pub fn fig10(rows: &[SweepRow]) -> Table {
+    let mut t = Table::new(
+        "fig10_response_time",
+        "Figure 10: average query response time (s) vs number of DDoS agents",
+        &["agents", "no attack", "attack, no defense", "attack, DD-POLICE", "slowdown", "undef. p95"],
+    );
+    for r in rows {
+        t.push_row(vec![
+            r.agents.to_string(),
+            f(r.baseline.response_secs, 2),
+            f(r.undefended.response_secs, 2),
+            f(r.defended.response_secs, 2),
+            format!("{:.1}x", r.undefended.response_secs / r.baseline.response_secs.max(1e-9)),
+            f(r.undefended.response_p95_secs, 2),
+        ]);
+    }
+    t
+}
+
+/// Figure 11: average query success rate vs number of agents.
+pub fn fig11(rows: &[SweepRow]) -> Table {
+    let mut t = Table::new(
+        "fig11_success_rate",
+        "Figure 11: average success rate vs number of DDoS agents",
+        &["agents", "no attack", "attack, no defense", "attack, DD-POLICE"],
+    );
+    for r in rows {
+        t.push_row(vec![
+            r.agents.to_string(),
+            pct(r.baseline.success),
+            pct(r.undefended.success),
+            pct(r.defended.success),
+        ]);
+    }
+    t
+}
+
+/// All three §3.6 figures from a single sweep.
+pub fn consequences(opts: &ExpOptions) -> Vec<Table> {
+    let rows = agent_sweep(opts);
+    vec![fig9(&rows), fig10(&rows), fig11(&rows)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_opts() -> ExpOptions {
+        ExpOptions { peers: 240, ticks: 6, seed: 5, ..ExpOptions::default() }
+    }
+
+    #[test]
+    fn agent_counts_scale_with_population() {
+        assert_eq!(agent_counts(20_000), vec![1, 5, 10, 20, 50, 100, 200]);
+        assert_eq!(agent_counts(2_000), vec![1, 5, 10, 20, 50, 100]);
+        assert_eq!(agent_counts(240), vec![1, 5, 10]);
+        assert_eq!(agent_counts(20), vec![1]);
+    }
+
+    #[test]
+    fn sweep_shapes_match_the_paper() {
+        let rows = agent_sweep(&tiny_opts());
+        assert_eq!(rows.len(), 3);
+        // Traffic grows with agents (undefended).
+        let first = &rows[0];
+        let last = rows.last().unwrap();
+        assert!(last.undefended.traffic_per_tick > first.undefended.traffic_per_tick);
+        // Attack hurts success; DD-POLICE restores most of it at 10 agents.
+        let big = last;
+        assert!(big.undefended.success < big.baseline.success);
+        assert!(big.defended.success > big.undefended.success);
+    }
+
+    #[test]
+    fn figures_render_from_one_sweep() {
+        let rows = agent_sweep(&tiny_opts());
+        let t9 = fig9(&rows);
+        let t10 = fig10(&rows);
+        let t11 = fig11(&rows);
+        assert_eq!(t9.rows.len(), rows.len());
+        assert_eq!(t10.rows.len(), rows.len());
+        assert_eq!(t11.rows.len(), rows.len());
+    }
+}

@@ -1,0 +1,381 @@
+//! High-level scenario builder: topology + workload + attack + defense in
+//! one declarative value, runnable with one call.
+
+use ddp_attack::{AttackPlan, CheatStrategy};
+use ddp_metrics::recovery::{recovery_time, RecoveryThresholds};
+use ddp_metrics::summary::{RunSeries, RunSummary};
+use ddp_metrics::{damage_rate, TimeSeries};
+use ddp_police::{DdPolice, DdPoliceConfig, NaiveRateLimit};
+use ddp_sim::{Defense, ForwardingPolicy, ListBehavior, NoDefense, SimConfig, Simulation};
+use ddp_topology::{TopologyConfig, TopologyModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+
+/// Which defense a scenario deploys.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DefenseKind {
+    /// Plain Gnutella, no protection.
+    None,
+    /// Local-only rate limiting (the Figure 1 strawman).
+    NaiveRateLimit { threshold_qpm: u32 },
+    /// DD-POLICE with the paper's defaults and the given cut threshold.
+    DdPolice { cut_threshold: f64 },
+    /// DD-POLICE with a fully custom configuration.
+    DdPoliceFull(DdPoliceConfig),
+    /// No detector, but fair per-link capacity sharing at saturated peers
+    /// (the Daswani & Garcia-Molina-style survival baseline, paper's \[21\]).
+    FairShare,
+}
+
+impl DefenseKind {
+    /// Short label for tables.
+    pub fn label(&self) -> String {
+        match self {
+            DefenseKind::None => "none".into(),
+            DefenseKind::NaiveRateLimit { .. } => "naive-limit".into(),
+            DefenseKind::DdPolice { cut_threshold } => format!("dd-police(CT={cut_threshold})"),
+            DefenseKind::DdPoliceFull(c) => format!("dd-police(CT={})", c.cut_threshold),
+            DefenseKind::FairShare => "fair-share".into(),
+        }
+    }
+}
+
+/// A fully specified experiment run.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Engine configuration.
+    pub sim: SimConfig,
+    /// Deployed defense.
+    pub defense: DefenseKind,
+    /// Number of DDoS agents.
+    pub agents: usize,
+    /// How agents answer report requests (§3.4).
+    pub cheat: CheatStrategy,
+    /// How agents answer the neighbor-list exchange (§3.1).
+    pub lists: ListBehavior,
+    /// Simulated minutes.
+    pub ticks: usize,
+    /// Master seed (all randomness derives from it).
+    pub seed: u64,
+}
+
+impl Scenario {
+    /// Start building a scenario from the paper's defaults.
+    pub fn builder() -> ScenarioBuilder {
+        ScenarioBuilder::default()
+    }
+
+    /// Run the scenario.
+    pub fn run(&self) -> ScenarioReport {
+        let mut sim_cfg = self.sim.clone();
+        if matches!(self.defense, DefenseKind::FairShare) {
+            sim_cfg.forwarding = ForwardingPolicy::FairShare;
+        }
+        let n = sim_cfg.peers();
+        let defense: Box<dyn Defense> = match &self.defense {
+            DefenseKind::None | DefenseKind::FairShare => Box::new(NoDefense),
+            DefenseKind::NaiveRateLimit { threshold_qpm } => {
+                Box::new(NaiveRateLimit::new(*threshold_qpm))
+            }
+            DefenseKind::DdPolice { cut_threshold } => {
+                Box::new(DdPolice::new(DdPoliceConfig::with_cut_threshold(*cut_threshold), n))
+            }
+            DefenseKind::DdPoliceFull(cfg) => Box::new(DdPolice::new(*cfg, n)),
+        };
+        let mut sim = Simulation::new(sim_cfg, defense, self.seed);
+        if self.agents > 0 {
+            let mut rng = StdRng::seed_from_u64(self.seed ^ 0xdd05_ee1f);
+            let agents =
+                AttackPlan::new(self.agents).with_cheat(self.cheat).apply(&mut sim, &mut rng);
+            for a in agents {
+                sim.set_list_behavior(a, self.lists);
+            }
+        }
+        let result = sim.run(self.ticks);
+        ScenarioReport {
+            defense: self.defense.label(),
+            summary: result.summary,
+            series: result.series,
+        }
+    }
+
+    /// Run the scenario *and* its paired no-attack baseline (same seed, same
+    /// topology, no agents, no defense), yielding the damage-rate series
+    /// `D(t) = (S(t) − S'(t)) / S(t)` of §3.7.2.
+    pub fn run_with_damage(&self) -> DamageReport {
+        let baseline_scenario = Scenario {
+            defense: DefenseKind::None,
+            agents: 0,
+            ..self.clone()
+        };
+        let baseline = baseline_scenario.run();
+        let attacked = self.run();
+        let mut damage = TimeSeries::new("damage_rate");
+        for t in 0..attacked.series.success_rate.len() {
+            let s0 = baseline.series.success_rate.values.get(t).copied().unwrap_or(1.0);
+            let s1 = attacked.series.success_rate.values[t];
+            damage.push(damage_rate(s0, s1));
+        }
+        let recovery = recovery_time(&damage, RecoveryThresholds::default());
+        DamageReport { attacked, baseline, damage, recovery_ticks: recovery }
+    }
+}
+
+/// Builder for [`Scenario`].
+#[derive(Debug, Clone)]
+pub struct ScenarioBuilder {
+    sim: SimConfig,
+    defense: DefenseKind,
+    agents: usize,
+    cheat: CheatStrategy,
+    lists: ListBehavior,
+    ticks: usize,
+    seed: u64,
+}
+
+impl Default for ScenarioBuilder {
+    fn default() -> Self {
+        ScenarioBuilder {
+            sim: SimConfig::default(),
+            defense: DefenseKind::None,
+            agents: 0,
+            cheat: CheatStrategy::Honest,
+            lists: ListBehavior::Truthful,
+            ticks: 30,
+            seed: 42,
+        }
+    }
+}
+
+impl ScenarioBuilder {
+    /// Overlay size.
+    pub fn peers(mut self, n: usize) -> Self {
+        self.sim.topology =
+            TopologyConfig { n, model: TopologyModel::BarabasiAlbert { m: 3 } };
+        self
+    }
+
+    /// Simulated minutes.
+    pub fn ticks(mut self, t: usize) -> Self {
+        self.ticks = t;
+        self
+    }
+
+    /// Number of DDoS agents.
+    pub fn attackers(mut self, k: usize) -> Self {
+        self.agents = k;
+        self
+    }
+
+    /// Agents' report-cheating strategy.
+    pub fn cheat(mut self, c: CheatStrategy) -> Self {
+        self.cheat = c;
+        self
+    }
+
+    /// Agents' neighbor-list lying strategy.
+    pub fn lists(mut self, l: ListBehavior) -> Self {
+        self.lists = l;
+        self
+    }
+
+    /// Deployed defense.
+    pub fn defense(mut self, d: DefenseKind) -> Self {
+        self.defense = d;
+        self
+    }
+
+    /// Master seed.
+    pub fn seed(mut self, s: u64) -> Self {
+        self.seed = s;
+        self
+    }
+
+    /// Enable/disable churn.
+    pub fn churn(mut self, on: bool) -> Self {
+        self.sim.churn = on;
+        self
+    }
+
+    /// Replace the whole engine config (advanced).
+    pub fn sim_config(mut self, cfg: SimConfig) -> Self {
+        self.sim = cfg;
+        self
+    }
+
+    /// Finalize.
+    pub fn build(self) -> Scenario {
+        Scenario {
+            sim: self.sim,
+            defense: self.defense,
+            agents: self.agents,
+            cheat: self.cheat,
+            lists: self.lists,
+            ticks: self.ticks,
+            seed: self.seed,
+        }
+    }
+}
+
+/// Result of one scenario run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioReport {
+    /// Defense label.
+    pub defense: String,
+    /// Whole-run aggregates.
+    pub summary: RunSummary,
+    /// Per-tick series.
+    pub series: RunSeries,
+}
+
+/// An attacked run paired with its no-attack baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DamageReport {
+    pub attacked: ScenarioReport,
+    pub baseline: ScenarioReport,
+    /// `D(t)` per tick.
+    pub damage: TimeSeries,
+    /// §3.7.2 damage recovery time (ticks), if an episode occurred and
+    /// completed.
+    pub recovery_ticks: Option<usize>,
+}
+
+impl DamageReport {
+    /// Mean damage over the stabilized last quarter of the run.
+    pub fn stable_damage(&self) -> f64 {
+        self.damage.tail_mean((self.damage.len() / 4).max(1))
+    }
+}
+
+/// Common options every experiment runner takes.
+#[derive(Debug, Clone)]
+pub struct ExpOptions {
+    /// Overlay size (default 2,000; `--paper-scale` selects 20,000).
+    pub peers: usize,
+    /// Simulated minutes per run.
+    pub ticks: usize,
+    /// Base seed; replicate seeds derive from it.
+    pub seed: u64,
+    /// Number of agents for fixed-attack experiments (paper: 100).
+    pub agents: usize,
+    /// Replicates averaged per configuration.
+    pub replicates: usize,
+    /// Where to write CSVs (none = stdout only).
+    pub csv_dir: Option<PathBuf>,
+}
+
+impl Default for ExpOptions {
+    fn default() -> Self {
+        ExpOptions {
+            peers: 2_000,
+            ticks: 30,
+            seed: 42,
+            agents: 100,
+            replicates: 1,
+            csv_dir: None,
+        }
+    }
+}
+
+impl ExpOptions {
+    /// Seed for replicate `r` of configuration index `c`.
+    pub fn seed_for(&self, c: usize, r: usize) -> u64 {
+        self.seed
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add((c as u64) << 32)
+            .wrapping_add(r as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_produces_requested_scenario() {
+        let s = Scenario::builder()
+            .peers(500)
+            .ticks(10)
+            .attackers(7)
+            .defense(DefenseKind::DdPolice { cut_threshold: 5.0 })
+            .seed(1)
+            .build();
+        assert_eq!(s.sim.peers(), 500);
+        assert_eq!(s.agents, 7);
+        assert_eq!(s.ticks, 10);
+        assert_eq!(s.defense.label(), "dd-police(CT=5)");
+    }
+
+    #[test]
+    fn small_scenario_runs_end_to_end() {
+        let report = Scenario::builder()
+            .peers(200)
+            .ticks(5)
+            .attackers(3)
+            .defense(DefenseKind::DdPolice { cut_threshold: 5.0 })
+            .churn(false)
+            .build()
+            .run();
+        assert_eq!(report.summary.ticks, 5);
+        assert!(report.summary.attackers_cut > 0);
+    }
+
+    #[test]
+    fn damage_report_pairs_baseline_and_attack() {
+        let dr = Scenario::builder()
+            .peers(200)
+            .ticks(6)
+            .attackers(10)
+            .defense(DefenseKind::None)
+            .churn(false)
+            .build()
+            .run_with_damage();
+        assert_eq!(dr.damage.len(), 6);
+        assert!(
+            dr.stable_damage() > 0.3,
+            "10 undefended agents on 200 peers must hurt: {}",
+            dr.stable_damage()
+        );
+        assert!(dr.baseline.summary.success_rate_mean > dr.attacked.summary.success_rate_mean);
+    }
+
+    #[test]
+    fn fair_share_scenario_uses_fair_forwarding() {
+        // Smoke: runs and labels correctly.
+        let report = Scenario::builder()
+            .peers(200)
+            .ticks(3)
+            .attackers(5)
+            .defense(DefenseKind::FairShare)
+            .churn(false)
+            .build()
+            .run();
+        assert_eq!(report.defense, "fair-share");
+    }
+
+    #[test]
+    fn scenario_runs_are_deterministic() {
+        let mk = || {
+            Scenario::builder()
+                .peers(200)
+                .ticks(4)
+                .attackers(5)
+                .defense(DefenseKind::DdPolice { cut_threshold: 5.0 })
+                .seed(77)
+                .build()
+                .run()
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a.series.success_rate, b.series.success_rate);
+        assert_eq!(a.summary, b.summary);
+    }
+
+    #[test]
+    fn replicate_seeds_differ() {
+        let o = ExpOptions::default();
+        assert_ne!(o.seed_for(0, 0), o.seed_for(0, 1));
+        assert_ne!(o.seed_for(0, 0), o.seed_for(1, 0));
+    }
+}

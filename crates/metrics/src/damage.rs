@@ -1,0 +1,49 @@
+//! Damage rate.
+//!
+//! §3.7.2: "Damage rate, D(t), is given by D(t) = (S(t) − S'(t)) / S(t) ·
+//! 100%, where S(t) denotes query success rate of the P2P system when there
+//! does not exist any DDoS compromised peers, and S'(t) denotes the query
+//! success rate when the system is under DDoS attack."
+
+/// `D(t)` in [0, 1], clamped: an attacked system that somehow outperforms the
+/// baseline (sampling noise) reports zero damage, and a zero-baseline tick
+/// reports zero (no service to damage).
+pub fn damage_rate(baseline_success: f64, attacked_success: f64) -> f64 {
+    if baseline_success <= 0.0 {
+        return 0.0;
+    }
+    ((baseline_success - attacked_success) / baseline_success).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_attack_no_damage() {
+        assert_eq!(damage_rate(0.9, 0.9), 0.0);
+    }
+
+    #[test]
+    fn total_outage_is_full_damage() {
+        assert_eq!(damage_rate(0.9, 0.0), 1.0);
+    }
+
+    #[test]
+    fn paper_example_89_7_percent_failures() {
+        // §3.6: "up to 89.7% of queries could fail" — if baseline is ~1.0 and
+        // attacked success is 10.3%, damage ≈ 0.897.
+        let d = damage_rate(1.0, 0.103);
+        assert!((d - 0.897).abs() < 1e-9);
+    }
+
+    #[test]
+    fn better_than_baseline_clamps_to_zero() {
+        assert_eq!(damage_rate(0.5, 0.6), 0.0);
+    }
+
+    #[test]
+    fn zero_baseline_reports_zero() {
+        assert_eq!(damage_rate(0.0, 0.0), 0.0);
+    }
+}

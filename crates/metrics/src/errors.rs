@@ -1,0 +1,72 @@
+//! Detection-error accounting.
+//!
+//! §3.7.2 defines three error kinds — note the paper's naming is inverted
+//! relative to common usage, and we preserve the paper's definitions:
+//!
+//! * **false negative** — "the number of good peers that are wrongly
+//!   disconnected",
+//! * **false positive** — "the number of bad peers that are not identified
+//!   and not disconnected",
+//! * **false judgment** — the sum of the two.
+
+use serde::{Deserialize, Serialize};
+
+/// Error counters for one run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct DetectionErrors {
+    /// Good peers wrongly disconnected (paper's "false negative").
+    pub false_negative: u64,
+    /// Bad peers never identified/disconnected (paper's "false positive").
+    pub false_positive: u64,
+}
+
+impl DetectionErrors {
+    /// The paper's "false judgment": sum of both error kinds.
+    pub fn false_judgment(&self) -> u64 {
+        self.false_negative + self.false_positive
+    }
+
+    /// Record a wrongly cut good peer.
+    pub fn record_good_peer_cut(&mut self) {
+        self.false_negative += 1;
+    }
+
+    /// Record a bad peer that survived to the end of the run.
+    pub fn record_bad_peer_missed(&mut self) {
+        self.false_positive += 1;
+    }
+
+    /// Merge counters (e.g. across replicate runs).
+    pub fn merge(&mut self, other: DetectionErrors) {
+        self.false_negative += other.false_negative;
+        self.false_positive += other.false_positive;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn false_judgment_is_sum() {
+        let e = DetectionErrors { false_negative: 3, false_positive: 4 };
+        assert_eq!(e.false_judgment(), 7);
+    }
+
+    #[test]
+    fn recording_increments_the_right_counter() {
+        let mut e = DetectionErrors::default();
+        e.record_good_peer_cut();
+        e.record_good_peer_cut();
+        e.record_bad_peer_missed();
+        assert_eq!(e.false_negative, 2);
+        assert_eq!(e.false_positive, 1);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = DetectionErrors { false_negative: 1, false_positive: 2 };
+        a.merge(DetectionErrors { false_negative: 10, false_positive: 20 });
+        assert_eq!(a, DetectionErrors { false_negative: 11, false_positive: 22 });
+    }
+}

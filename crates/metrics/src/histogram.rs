@@ -1,0 +1,107 @@
+//! Fixed-width bucket histogram for diagnostics (degree distributions,
+//! indicator values, response-time spreads).
+
+use serde::{Deserialize, Serialize};
+
+/// A histogram over `[0, bucket_width * buckets)` with an overflow bucket.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    bucket_width: f64,
+    counts: Vec<u64>,
+    overflow: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// Create with `buckets` buckets of width `bucket_width`.
+    pub fn new(bucket_width: f64, buckets: usize) -> Self {
+        assert!(bucket_width > 0.0 && buckets > 0);
+        Histogram { bucket_width, counts: vec![0; buckets], overflow: 0, total: 0 }
+    }
+
+    /// Record a value (negative values clamp into the first bucket).
+    pub fn record(&mut self, v: f64) {
+        self.total += 1;
+        let idx = (v.max(0.0) / self.bucket_width) as usize;
+        if idx < self.counts.len() {
+            self.counts[idx] += 1;
+        } else {
+            self.overflow += 1;
+        }
+    }
+
+    /// Count in bucket `i`.
+    pub fn bucket(&self, i: usize) -> u64 {
+        self.counts[i]
+    }
+
+    /// Count of values beyond the last bucket.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total recorded values.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Smallest value `x` such that at least `q` (0..=1) of the mass lies at
+    /// or below `x`'s bucket upper edge. Returns the overflow edge when the
+    /// quantile lands there.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q));
+        if self.total == 0 {
+            return 0.0;
+        }
+        let want = (q * self.total as f64).ceil() as u64;
+        let mut acc = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            acc += c;
+            if acc >= want {
+                return (i as f64 + 1.0) * self.bucket_width;
+            }
+        }
+        self.counts.len() as f64 * self.bucket_width
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_land_in_buckets() {
+        let mut h = Histogram::new(1.0, 4);
+        for v in [0.5, 1.5, 1.7, 3.9, 10.0] {
+            h.record(v);
+        }
+        assert_eq!(h.bucket(0), 1);
+        assert_eq!(h.bucket(1), 2);
+        assert_eq!(h.bucket(3), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn negative_values_clamp_to_first_bucket() {
+        let mut h = Histogram::new(1.0, 2);
+        h.record(-5.0);
+        assert_eq!(h.bucket(0), 1);
+    }
+
+    #[test]
+    fn quantiles() {
+        let mut h = Histogram::new(1.0, 10);
+        for i in 0..100 {
+            h.record(i as f64 / 10.0); // uniform over [0, 10)
+        }
+        assert!((h.quantile(0.5) - 5.0).abs() <= 1.0);
+        assert!((h.quantile(1.0) - 10.0).abs() <= 1.0);
+    }
+
+    #[test]
+    fn empty_quantile_is_zero() {
+        let h = Histogram::new(1.0, 4);
+        assert_eq!(h.quantile(0.9), 0.0);
+    }
+}

@@ -1,0 +1,204 @@
+//! Streaming quantile estimation (the P² algorithm).
+//!
+//! Jain & Chlamtac's P² estimator tracks a single quantile with five markers
+//! in O(1) memory and O(1) per observation — the right tool for per-run
+//! response-time percentiles, where storing every sample would dwarf the
+//! simulation state. Exact for the first five observations, asymptotically
+//! consistent afterwards.
+
+use serde::{Deserialize, Serialize};
+
+/// P² estimator for one quantile `q`.
+///
+/// ```
+/// use ddp_metrics::P2Quantile;
+///
+/// let mut p95 = P2Quantile::new(0.95);
+/// for i in 0..1_000 {
+///     p95.record((i % 100) as f64);
+/// }
+/// let est = p95.estimate();
+/// assert!((90.0..=99.0).contains(&est), "p95 of 0..100 cycle: {est}");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct P2Quantile {
+    q: f64,
+    /// Marker heights (estimates of the order statistics).
+    heights: [f64; 5],
+    /// Marker positions (1-based ranks).
+    positions: [f64; 5],
+    /// Desired marker positions.
+    desired: [f64; 5],
+    /// Desired position increments per observation.
+    increments: [f64; 5],
+    count: u64,
+}
+
+impl P2Quantile {
+    /// Estimator for quantile `q` in (0, 1).
+    pub fn new(q: f64) -> Self {
+        assert!(q > 0.0 && q < 1.0, "quantile must be in (0, 1)");
+        P2Quantile {
+            q,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0],
+            increments: [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0],
+            count: 0,
+        }
+    }
+
+    /// Observations seen so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Feed one observation.
+    pub fn record(&mut self, x: f64) {
+        if self.count < 5 {
+            self.heights[self.count as usize] = x;
+            self.count += 1;
+            if self.count == 5 {
+                self.heights.sort_by(f64::total_cmp);
+            }
+            return;
+        }
+        self.count += 1;
+
+        // Find the cell k with heights[k] <= x < heights[k+1]; clamp ends.
+        let k = if x < self.heights[0] {
+            self.heights[0] = x;
+            0
+        } else if x >= self.heights[4] {
+            self.heights[4] = x;
+            3
+        } else {
+            (0..4).find(|&i| x < self.heights[i + 1]).unwrap_or(3)
+        };
+        for i in (k + 1)..5 {
+            self.positions[i] += 1.0;
+        }
+        for i in 0..5 {
+            self.desired[i] += self.increments[i];
+        }
+
+        // Adjust interior markers toward their desired positions.
+        for i in 1..4 {
+            let d = self.desired[i] - self.positions[i];
+            let right = self.positions[i + 1] - self.positions[i];
+            let left = self.positions[i - 1] - self.positions[i];
+            if (d >= 1.0 && right > 1.0) || (d <= -1.0 && left < -1.0) {
+                let d = d.signum();
+                let candidate = self.parabolic(i, d);
+                self.heights[i] = if self.heights[i - 1] < candidate
+                    && candidate < self.heights[i + 1]
+                {
+                    candidate
+                } else {
+                    self.linear(i, d)
+                };
+                self.positions[i] += d;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let p = &self.positions;
+        let h = &self.heights;
+        h[i] + d / (p[i + 1] - p[i - 1])
+            * ((p[i] - p[i - 1] + d) * (h[i + 1] - h[i]) / (p[i + 1] - p[i])
+                + (p[i + 1] - p[i] - d) * (h[i] - h[i - 1]) / (p[i] - p[i - 1]))
+    }
+
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let j = (i as f64 + d) as usize;
+        self.heights[i]
+            + d * (self.heights[j] - self.heights[i])
+                / (self.positions[j] - self.positions[i])
+    }
+
+    /// Current estimate (exact for <= 5 observations; 0 when empty).
+    pub fn estimate(&self) -> f64 {
+        match self.count {
+            0 => 0.0,
+            n if n < 5 => {
+                let mut sorted = self.heights;
+                let k = n as usize;
+                sorted[..k].sort_by(f64::total_cmp);
+                let rank = (self.q * (k - 1) as f64).round() as usize;
+                sorted[rank.min(k - 1)]
+            }
+            _ => self.heights[2],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed(q: f64, data: impl Iterator<Item = f64>) -> f64 {
+        let mut est = P2Quantile::new(q);
+        for x in data {
+            est.record(x);
+        }
+        est.estimate()
+    }
+
+    #[test]
+    fn median_of_uniform_stream() {
+        // 0..10000 scaled to [0, 1): true median 0.5.
+        let est = feed(0.5, (0..10_000).map(|i| (i as f64 * 7919.0) % 10_000.0 / 10_000.0));
+        assert!((est - 0.5).abs() < 0.02, "median estimate {est}");
+    }
+
+    #[test]
+    fn p95_of_uniform_stream() {
+        let est = feed(0.95, (0..10_000).map(|i| (i as f64 * 7919.0) % 10_000.0 / 10_000.0));
+        assert!((est - 0.95).abs() < 0.02, "p95 estimate {est}");
+    }
+
+    #[test]
+    fn exact_for_small_counts() {
+        let mut est = P2Quantile::new(0.5);
+        for x in [5.0, 1.0, 3.0] {
+            est.record(x);
+        }
+        assert_eq!(est.estimate(), 3.0);
+        assert_eq!(est.count(), 3);
+    }
+
+    #[test]
+    fn empty_estimator_reports_zero() {
+        assert_eq!(P2Quantile::new(0.9).estimate(), 0.0);
+    }
+
+    #[test]
+    fn skewed_distribution() {
+        // Exponential-ish: p50 of exp(1) is ln 2 ≈ 0.693.
+        let est = feed(
+            0.5,
+            (1..20_000).map(|i| {
+                let u = i as f64 / 20_000.0;
+                -(1.0 - u).ln()
+            }),
+        );
+        assert!((est - 0.693).abs() < 0.05, "exp median {est}");
+    }
+
+    #[test]
+    fn monotone_in_quantile() {
+        let data: Vec<f64> =
+            (0..5_000).map(|i| ((i as f64 * 104_729.0) % 5_000.0) / 50.0).collect();
+        let p25 = feed(0.25, data.iter().copied());
+        let p50 = feed(0.5, data.iter().copied());
+        let p95 = feed(0.95, data.iter().copied());
+        assert!(p25 < p50 && p50 < p95, "{p25} < {p50} < {p95}");
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in")]
+    fn invalid_quantile_panics() {
+        let _ = P2Quantile::new(1.0);
+    }
+}

@@ -1,0 +1,75 @@
+//! Damage recovery time.
+//!
+//! §3.7.2: "Damage recovery time is defined as the time period from when the
+//! system damage rate D(t) is equal or greater than 20% until when the damage
+//! is equal or less than 15%."
+
+use crate::timeseries::TimeSeries;
+
+/// Thresholds defining a recovery episode.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryThresholds {
+    /// Damage level that starts the clock.
+    pub trigger: f64,
+    /// Damage level that stops it.
+    pub target: f64,
+}
+
+impl Default for RecoveryThresholds {
+    fn default() -> Self {
+        RecoveryThresholds { trigger: 0.20, target: 0.15 }
+    }
+}
+
+/// Ticks from the first `D(t) >= trigger` until the first subsequent
+/// `D(t) <= target`. `None` if damage never triggers, or never recovers
+/// within the series.
+pub fn recovery_time(damage: &TimeSeries, th: RecoveryThresholds) -> Option<usize> {
+    let start = damage.first_index_where(|d| d >= th.trigger)?;
+    let rel_end = damage.values[start..].iter().position(|&d| d <= th.target)?;
+    Some(rel_end)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(vals: &[f64]) -> TimeSeries {
+        TimeSeries { name: "damage".into(), values: vals.to_vec() }
+    }
+
+    #[test]
+    fn simple_recovery_episode() {
+        // triggers at index 1 (0.5), recovers at index 4 (0.10) -> 3 ticks.
+        let d = ts(&[0.05, 0.5, 0.4, 0.3, 0.10, 0.05]);
+        assert_eq!(recovery_time(&d, RecoveryThresholds::default()), Some(3));
+    }
+
+    #[test]
+    fn never_triggered_is_none() {
+        let d = ts(&[0.05, 0.1, 0.12]);
+        assert_eq!(recovery_time(&d, RecoveryThresholds::default()), None);
+    }
+
+    #[test]
+    fn never_recovered_is_none() {
+        let d = ts(&[0.5, 0.45, 0.4]);
+        assert_eq!(recovery_time(&d, RecoveryThresholds::default()), None);
+    }
+
+    #[test]
+    fn instant_recovery_is_zero() {
+        // A single tick at the trigger that is also below target is
+        // impossible with default thresholds; use custom ones.
+        let d = ts(&[0.2, 0.1]);
+        let th = RecoveryThresholds { trigger: 0.2, target: 0.25 };
+        assert_eq!(recovery_time(&d, th), Some(0));
+    }
+
+    #[test]
+    fn uses_first_trigger_episode() {
+        let d = ts(&[0.3, 0.1, 0.4, 0.35, 0.1]);
+        // Clock starts at index 0; first value <= 0.15 is index 1 -> 1 tick.
+        assert_eq!(recovery_time(&d, RecoveryThresholds::default()), Some(1));
+    }
+}

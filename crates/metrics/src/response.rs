@@ -1,0 +1,75 @@
+//! Response-time accounting.
+//!
+//! §3.6: "Response time is defined as the time period from when the query is
+//! issued until when the source peer received a response result from the
+//! first responder." Only successful queries have a response time.
+
+use serde::{Deserialize, Serialize};
+
+/// Streaming response-time statistics (seconds).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ResponseStats {
+    pub count: u64,
+    pub sum_secs: f64,
+    pub max_secs: f64,
+}
+
+impl ResponseStats {
+    /// Record one successful query's response time.
+    pub fn record(&mut self, secs: f64) {
+        debug_assert!(secs >= 0.0);
+        self.count += 1;
+        self.sum_secs += secs;
+        if secs > self.max_secs {
+            self.max_secs = secs;
+        }
+    }
+
+    /// Mean response time; 0 if nothing succeeded.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_secs / self.count as f64
+        }
+    }
+
+    /// Merge another accumulator in.
+    pub fn merge(&mut self, o: ResponseStats) {
+        self.count += o.count;
+        self.sum_secs += o.sum_secs;
+        self.max_secs = self.max_secs.max(o.max_secs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_records() {
+        let mut r = ResponseStats::default();
+        r.record(1.0);
+        r.record(3.0);
+        assert_eq!(r.mean(), 2.0);
+        assert_eq!(r.max_secs, 3.0);
+    }
+
+    #[test]
+    fn empty_mean_is_zero() {
+        assert_eq!(ResponseStats::default().mean(), 0.0);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = ResponseStats::default();
+        a.record(2.0);
+        let mut b = ResponseStats::default();
+        b.record(4.0);
+        b.record(6.0);
+        a.merge(b);
+        assert_eq!(a.count, 3);
+        assert_eq!(a.mean(), 4.0);
+        assert_eq!(a.max_secs, 6.0);
+    }
+}

@@ -1,0 +1,78 @@
+//! Query success-rate accounting.
+//!
+//! §3.6: "If we use qw(t) to denote the total number of queries issued by all
+//! the peers during the period from (t−1)th to t-th time unit, and use qs(t)
+//! to denote the total number of queries for which one or more locations of
+//! the desired data are found, the query success rate at any given time t is
+//! S(t) = qs(t) / qw(t) · 100%."
+
+use serde::{Deserialize, Serialize};
+
+/// Per-tick success counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SuccessStats {
+    /// `qw(t)`: queries issued by (good) peers this tick.
+    pub issued: u64,
+    /// `qs(t)`: queries that found at least one object location.
+    pub succeeded: u64,
+}
+
+impl SuccessStats {
+    /// Record one issued query.
+    pub fn record_issued(&mut self, n: u64) {
+        self.issued += n;
+    }
+
+    /// Record one successful query.
+    pub fn record_success(&mut self) {
+        self.succeeded += 1;
+    }
+
+    /// `S(t)` in [0, 1]; 1.0 when no queries were issued (no evidence of
+    /// failure — keeps damage-rate division well-defined on idle ticks).
+    pub fn rate(&self) -> f64 {
+        if self.issued == 0 {
+            1.0
+        } else {
+            self.succeeded as f64 / self.issued as f64
+        }
+    }
+
+    /// Merge another tick's counters in.
+    pub fn merge(&mut self, other: SuccessStats) {
+        self.issued += other.issued;
+        self.succeeded += other.succeeded;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_is_fraction() {
+        let s = SuccessStats { issued: 10, succeeded: 7 };
+        assert!((s.rate() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_tick_counts_as_full_success() {
+        assert_eq!(SuccessStats::default().rate(), 1.0);
+    }
+
+    #[test]
+    fn merge_adds_counters() {
+        let mut a = SuccessStats { issued: 5, succeeded: 2 };
+        a.merge(SuccessStats { issued: 5, succeeded: 3 });
+        assert_eq!(a, SuccessStats { issued: 10, succeeded: 5 });
+    }
+
+    #[test]
+    fn recording_increments() {
+        let mut s = SuccessStats::default();
+        s.record_issued(3);
+        s.record_success();
+        assert_eq!(s.issued, 3);
+        assert_eq!(s.succeeded, 1);
+    }
+}

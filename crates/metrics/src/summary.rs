@@ -1,0 +1,164 @@
+//! Whole-run summary, the unit the experiment harness tabulates.
+
+use crate::{DetectionErrors, TimeSeries};
+use serde::{Deserialize, Serialize};
+
+/// Aggregated results of one simulation run.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct RunSummary {
+    /// Mean `S(t)` over the run (fraction, 0..=1).
+    pub success_rate_mean: f64,
+    /// `S(t)` over the last quarter of the run (stabilized value).
+    pub success_rate_stable: f64,
+    /// Mean response time of successful queries, seconds.
+    pub response_time_mean_secs: f64,
+    /// 95th-percentile response time of successful queries, seconds
+    /// (streaming P² estimate; 0 when the producer does not track it).
+    pub response_p95_secs: f64,
+    /// Mean total message transmissions per tick.
+    pub traffic_per_tick: f64,
+    /// Mean defense control messages per tick.
+    pub control_per_tick: f64,
+    /// Mean drop fraction.
+    pub drop_rate_mean: f64,
+    /// Detection errors accumulated over the run.
+    pub errors: DetectionErrors,
+    /// Number of attacker disconnection events.
+    pub attackers_cut: u64,
+    /// Attackers that were never disconnected even once during the run.
+    pub attackers_never_cut: u64,
+    /// Number of good-peer disconnection events (defense mistakes).
+    pub good_peers_cut: u64,
+    /// Ticks simulated.
+    pub ticks: usize,
+}
+
+/// The per-tick series of one run, for time-resolved figures (Figure 12).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct RunSeries {
+    pub success_rate: TimeSeries,
+    pub response_time: TimeSeries,
+    pub traffic: TimeSeries,
+    pub control_traffic: TimeSeries,
+    pub drop_rate: TimeSeries,
+}
+
+impl RunSeries {
+    /// Create empty, named series.
+    pub fn new() -> Self {
+        RunSeries {
+            success_rate: TimeSeries::new("success_rate"),
+            response_time: TimeSeries::new("response_time_secs"),
+            traffic: TimeSeries::new("traffic_msgs"),
+            control_traffic: TimeSeries::new("control_msgs"),
+            drop_rate: TimeSeries::new("drop_rate"),
+        }
+    }
+
+    /// Ticks recorded.
+    pub fn len(&self) -> usize {
+        self.success_rate.len()
+    }
+
+    /// Whether nothing is recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.success_rate.is_empty()
+    }
+
+    /// Summarize the series (errors and cut counts supplied by the engine).
+    pub fn summarize(
+        &self,
+        errors: DetectionErrors,
+        attackers_cut: u64,
+        good_peers_cut: u64,
+    ) -> RunSummary {
+        let ticks = self.len();
+        let stable_window = (ticks / 4).max(1);
+        RunSummary {
+            success_rate_mean: self.success_rate.mean(),
+            success_rate_stable: self.success_rate.tail_mean(stable_window),
+            response_time_mean_secs: self.response_time.mean(),
+            response_p95_secs: 0.0,
+            traffic_per_tick: self.traffic.mean(),
+            control_per_tick: self.control_traffic.mean(),
+            drop_rate_mean: self.drop_rate.mean(),
+            errors,
+            attackers_cut,
+            attackers_never_cut: 0,
+            good_peers_cut,
+            ticks,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summarize_uses_tail_for_stable_rate() {
+        let mut s = RunSeries::new();
+        for v in [0.2, 0.2, 0.9, 0.9, 0.9, 0.9, 0.9, 0.9] {
+            s.success_rate.push(v);
+            s.response_time.push(1.0);
+            s.traffic.push(100.0);
+            s.control_traffic.push(5.0);
+            s.drop_rate.push(0.0);
+        }
+        let sum = s.summarize(DetectionErrors::default(), 2, 1);
+        assert!(sum.success_rate_stable > sum.success_rate_mean);
+        assert_eq!(sum.attackers_cut, 2);
+        assert_eq!(sum.good_peers_cut, 1);
+        assert_eq!(sum.ticks, 8);
+    }
+
+    #[test]
+    fn empty_series_summary_is_default_like() {
+        let s = RunSeries::new();
+        let sum = s.summarize(DetectionErrors::default(), 0, 0);
+        assert_eq!(sum.ticks, 0);
+        assert_eq!(sum.success_rate_mean, 0.0);
+    }
+}
+
+/// Mean and a 95% confidence half-width over replicate samples (normal
+/// approximation; for the small replicate counts experiments use, treat the
+/// interval as indicative, not exact).
+pub fn mean_ci95(samples: &[f64]) -> (f64, f64) {
+    let n = samples.len();
+    if n == 0 {
+        return (0.0, 0.0);
+    }
+    let mean = samples.iter().sum::<f64>() / n as f64;
+    if n == 1 {
+        return (mean, 0.0);
+    }
+    let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n as f64 - 1.0);
+    let half = 1.96 * (var / n as f64).sqrt();
+    (mean, half)
+}
+
+#[cfg(test)]
+mod ci_tests {
+    use super::mean_ci95;
+
+    #[test]
+    fn empty_and_singleton() {
+        assert_eq!(mean_ci95(&[]), (0.0, 0.0));
+        assert_eq!(mean_ci95(&[3.5]), (3.5, 0.0));
+    }
+
+    #[test]
+    fn constant_samples_have_zero_width() {
+        let (m, h) = mean_ci95(&[2.0, 2.0, 2.0, 2.0]);
+        assert_eq!(m, 2.0);
+        assert_eq!(h, 0.0);
+    }
+
+    #[test]
+    fn spread_widens_the_interval() {
+        let (_, tight) = mean_ci95(&[10.0, 10.1, 9.9, 10.0]);
+        let (_, wide) = mean_ci95(&[5.0, 15.0, 2.0, 18.0]);
+        assert!(wide > tight);
+    }
+}

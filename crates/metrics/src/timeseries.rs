@@ -1,0 +1,112 @@
+//! Per-tick time series.
+
+use serde::{Deserialize, Serialize};
+
+/// A named series of per-tick values.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct TimeSeries {
+    pub name: String,
+    pub values: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// New empty series.
+    pub fn new(name: impl Into<String>) -> Self {
+        TimeSeries { name: name.into(), values: Vec::new() }
+    }
+
+    /// Append one tick's value.
+    pub fn push(&mut self, v: f64) {
+        self.values.push(v);
+    }
+
+    /// Number of ticks recorded.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether no ticks are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Arithmetic mean (0 for an empty series).
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.values.iter().sum::<f64>() / self.values.len() as f64
+        }
+    }
+
+    /// Mean over the last `n` ticks (the "stabilized" value).
+    pub fn tail_mean(&self, n: usize) -> f64 {
+        let start = self.values.len().saturating_sub(n);
+        let tail = &self.values[start..];
+        if tail.is_empty() {
+            0.0
+        } else {
+            tail.iter().sum::<f64>() / tail.len() as f64
+        }
+    }
+
+    /// Maximum value (NaN-free input assumed; 0 for empty).
+    pub fn max(&self) -> f64 {
+        self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max).max(0.0)
+    }
+
+    /// Minimum value (0 for empty).
+    pub fn min(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.values.iter().copied().fold(f64::INFINITY, f64::min)
+        }
+    }
+
+    /// First tick index where the predicate holds.
+    pub fn first_index_where(&self, mut pred: impl FnMut(f64) -> bool) -> Option<usize> {
+        self.values.iter().position(|&v| pred(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(vals: &[f64]) -> TimeSeries {
+        TimeSeries { name: "t".into(), values: vals.to_vec() }
+    }
+
+    #[test]
+    fn mean_and_extremes() {
+        let s = ts(&[1.0, 2.0, 3.0, 6.0]);
+        assert_eq!(s.mean(), 3.0);
+        assert_eq!(s.max(), 6.0);
+        assert_eq!(s.min(), 1.0);
+    }
+
+    #[test]
+    fn empty_series_is_zeroish() {
+        let s = TimeSeries::new("empty");
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.max(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn tail_mean_uses_last_n() {
+        let s = ts(&[10.0, 10.0, 1.0, 3.0]);
+        assert_eq!(s.tail_mean(2), 2.0);
+        assert_eq!(s.tail_mean(100), 6.0);
+        assert_eq!(s.tail_mean(0), 0.0);
+    }
+
+    #[test]
+    fn first_index_where_finds_crossing() {
+        let s = ts(&[0.1, 0.15, 0.25, 0.2]);
+        assert_eq!(s.first_index_where(|v| v >= 0.2), Some(2));
+        assert_eq!(s.first_index_where(|v| v >= 0.9), None);
+    }
+}

@@ -1,0 +1,79 @@
+//! Traffic-cost accounting.
+//!
+//! §3.6: "traffic cost is a function of consumed network bandwidth and other
+//! related expenses". We count message transmissions (message-hops) per tick,
+//! split into search traffic, defense control traffic, and drops — enough to
+//! reproduce the relative shapes of Figure 9 (attack multiplies traffic;
+//! DD-POLICE restores it at a small control-overhead premium).
+
+use serde::{Deserialize, Serialize};
+
+/// Message-hop counters for one tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct TrafficAccumulator {
+    /// Query transmissions over overlay links.
+    pub query_hops: u64,
+    /// Query-hit transmissions (reverse-path routing).
+    pub hit_hops: u64,
+    /// Defense control messages (neighbor lists, Neighbor_Traffic, pings).
+    pub control_msgs: u64,
+    /// Queries dropped at saturated peers or links.
+    pub dropped: u64,
+}
+
+impl TrafficAccumulator {
+    /// Total transmissions this tick (the Figure 9 quantity).
+    pub fn total(&self) -> u64 {
+        self.query_hops + self.hit_hops + self.control_msgs
+    }
+
+    /// Drop fraction relative to attempted query transmissions.
+    pub fn drop_rate(&self) -> f64 {
+        let attempted = self.query_hops + self.dropped;
+        if attempted == 0 {
+            0.0
+        } else {
+            self.dropped as f64 / attempted as f64
+        }
+    }
+
+    /// Merge another accumulator in.
+    pub fn merge(&mut self, o: TrafficAccumulator) {
+        self.query_hops += o.query_hops;
+        self.hit_hops += o.hit_hops;
+        self.control_msgs += o.control_msgs;
+        self.dropped += o.dropped;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_excludes_drops() {
+        let t = TrafficAccumulator { query_hops: 10, hit_hops: 5, control_msgs: 2, dropped: 100 };
+        assert_eq!(t.total(), 17);
+    }
+
+    #[test]
+    fn drop_rate_is_fraction_of_attempts() {
+        let t = TrafficAccumulator { query_hops: 53, dropped: 47, ..Default::default() };
+        assert!((t.drop_rate() - 0.47).abs() < 1e-12);
+    }
+
+    #[test]
+    fn drop_rate_idle_is_zero() {
+        assert_eq!(TrafficAccumulator::default().drop_rate(), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates_all_fields() {
+        let mut a = TrafficAccumulator { query_hops: 1, hit_hops: 2, control_msgs: 3, dropped: 4 };
+        a.merge(TrafficAccumulator { query_hops: 10, hit_hops: 20, control_msgs: 30, dropped: 40 });
+        assert_eq!(a.query_hops, 11);
+        assert_eq!(a.hit_hops, 22);
+        assert_eq!(a.control_msgs, 33);
+        assert_eq!(a.dropped, 44);
+    }
+}

@@ -1,0 +1,199 @@
+//! Whole-message encode/decode.
+
+use crate::error::ProtocolError;
+use crate::header::Header;
+use crate::message::{Message, Payload};
+use bytes::{Bytes, BytesMut};
+
+/// Encode a full message (header + payload) to bytes.
+///
+/// The header's `payload_len` is recomputed from the actual payload, so a
+/// stale length cannot produce a corrupt frame.
+pub fn encode_message(msg: &Message) -> Bytes {
+    let mut body = BytesMut::with_capacity(64);
+    msg.payload.encode(&mut body);
+    let mut out = BytesMut::with_capacity(crate::header::HEADER_LEN + body.len());
+    let header = Header { payload_len: body.len() as u32, ..msg.header };
+    header.encode(&mut out);
+    out.extend_from_slice(&body);
+    out.freeze()
+}
+
+/// Decode one full message from the front of `buf`, advancing it.
+pub fn decode_message(buf: &mut Bytes) -> Result<Message, ProtocolError> {
+    let header = Header::decode(buf)?;
+    let want = header.payload_len as usize;
+    if buf.len() < want {
+        return Err(ProtocolError::TruncatedPayload { want, have: buf.len() });
+    }
+    let mut body = buf.split_to(want);
+    let payload = Payload::decode(header.kind, &mut body)?;
+    if body.has_remaining_bytes() {
+        return Err(ProtocolError::MalformedPayload("trailing bytes in payload"));
+    }
+    Ok(Message { header, payload })
+}
+
+trait HasRemaining {
+    fn has_remaining_bytes(&self) -> bool;
+}
+
+impl HasRemaining for Bytes {
+    fn has_remaining_bytes(&self) -> bool {
+        !self.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::guid::Guid;
+    use crate::message::*;
+    use std::net::Ipv4Addr;
+
+    fn roundtrip(payload: Payload) -> Message {
+        let msg = Message::new(Guid::derived(9, 9), 7, payload);
+        let mut wire = encode_message(&msg);
+        let back = decode_message(&mut wire).expect("decode");
+        assert!(wire.is_empty(), "no trailing bytes");
+        assert_eq!(msg, back);
+        back
+    }
+
+    #[test]
+    fn ping_roundtrip() {
+        let m = roundtrip(Payload::Ping(Ping));
+        assert_eq!(m.header.payload_len, 0);
+    }
+
+    #[test]
+    fn pong_roundtrip() {
+        roundtrip(Payload::Pong(Pong {
+            addr: PeerAddr::from_node_index(77),
+            shared_files: 10,
+            shared_kb: 2048,
+        }));
+    }
+
+    #[test]
+    fn bye_roundtrip() {
+        roundtrip(Payload::Bye(Bye {
+            code: Bye::CODE_DDOS_SUSPECT,
+            reason: "general indicator exceeded cut threshold".into(),
+        }));
+    }
+
+    #[test]
+    fn query_roundtrip() {
+        roundtrip(Payload::Query(Query { min_speed: 0, criteria: "object-4242".into() }));
+    }
+
+    #[test]
+    fn query_hit_roundtrip() {
+        roundtrip(Payload::QueryHit(QueryHit {
+            addr: PeerAddr::from_node_index(3),
+            speed_kbps: 1000,
+            results: vec![
+                QueryHitResult { file_index: 1, file_size: 100, file_name: "a.mp3".into() },
+                QueryHitResult { file_index: 2, file_size: 200, file_name: "b.mp3".into() },
+            ],
+            servent_id: [7u8; 16],
+        }));
+    }
+
+    #[test]
+    fn neighbor_traffic_roundtrip() {
+        roundtrip(Payload::NeighborTraffic(NeighborTraffic {
+            source_ip: Ipv4Addr::new(10, 0, 0, 1),
+            suspect_ip: Ipv4Addr::new(10, 0, 0, 2),
+            timestamp: 123_456,
+            outgoing_queries: 400,
+            incoming_queries: 5_000,
+        }));
+    }
+
+    #[test]
+    fn neighbor_list_roundtrip() {
+        roundtrip(Payload::NeighborList(NeighborList {
+            neighbors: (0..6).map(PeerAddr::from_node_index).collect(),
+        }));
+    }
+
+    /// Table 1 of the paper fixes the Neighbor_Traffic body layout: byte
+    /// offsets 0, 4, 8, 12, 16 for the five 4-byte fields.
+    #[test]
+    fn neighbor_traffic_table1_byte_layout() {
+        let nt = NeighborTraffic {
+            source_ip: Ipv4Addr::new(1, 2, 3, 4),
+            suspect_ip: Ipv4Addr::new(5, 6, 7, 8),
+            timestamp: 0x11223344,
+            outgoing_queries: 0xAABBCCDD,
+            incoming_queries: 0x01020304,
+        };
+        let msg = Message::new(Guid::ZERO, 1, Payload::NeighborTraffic(nt));
+        let wire = encode_message(&msg);
+        let body = &wire[crate::header::HEADER_LEN..];
+        assert_eq!(body.len(), NEIGHBOR_TRAFFIC_LEN);
+        assert_eq!(&body[0..4], &[1, 2, 3, 4], "source ip at offset 0");
+        assert_eq!(&body[4..8], &[5, 6, 7, 8], "suspect ip at offset 4");
+        assert_eq!(&body[8..12], &0x11223344u32.to_le_bytes(), "timestamp at offset 8");
+        assert_eq!(&body[12..16], &0xAABBCCDDu32.to_le_bytes(), "#outgoing at offset 12");
+        assert_eq!(&body[16..20], &0x01020304u32.to_le_bytes(), "#incoming at offset 16");
+    }
+
+    #[test]
+    fn truncated_payload_rejected() {
+        let msg = Message::new(
+            Guid::derived(1, 1),
+            5,
+            Payload::Query(Query { min_speed: 0, criteria: "x".into() }),
+        );
+        let wire = encode_message(&msg);
+        let mut cut = wire.slice(..wire.len() - 2);
+        assert!(matches!(
+            decode_message(&mut cut),
+            Err(ProtocolError::TruncatedPayload { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        // Claim a payload longer than the actual Ping body (0) and pad it.
+        let msg = Message::new(Guid::derived(2, 2), 5, Payload::Ping(Ping));
+        let mut wire = BytesMut::from(&encode_message(&msg)[..]);
+        wire[19] = 3; // payload_len = 3 (little-endian at offset 19)
+        wire.extend_from_slice(&[0, 0, 0]);
+        let mut bytes = wire.freeze();
+        assert_eq!(
+            decode_message(&mut bytes),
+            Err(ProtocolError::MalformedPayload("trailing bytes in payload"))
+        );
+    }
+
+    #[test]
+    fn wire_len_matches_encoding() {
+        let msg = Message::new(
+            Guid::derived(4, 4),
+            7,
+            Payload::Query(Query { min_speed: 0, criteria: "hello".into() }),
+        );
+        assert_eq!(msg.wire_len(), encode_message(&msg).len());
+    }
+
+    #[test]
+    fn back_to_back_messages_decode_in_sequence() {
+        let a = Message::new(Guid::derived(1, 0), 7, Payload::Ping(Ping));
+        let b = Message::new(
+            Guid::derived(1, 1),
+            7,
+            Payload::Query(Query { min_speed: 0, criteria: "q".into() }),
+        );
+        let mut stream = BytesMut::new();
+        stream.extend_from_slice(&encode_message(&a));
+        stream.extend_from_slice(&encode_message(&b));
+        let mut bytes = stream.freeze();
+        assert_eq!(decode_message(&mut bytes).unwrap(), a);
+        assert_eq!(decode_message(&mut bytes).unwrap(), b);
+        assert!(bytes.is_empty());
+    }
+}

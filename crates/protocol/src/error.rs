@@ -1,0 +1,38 @@
+//! Protocol decode errors.
+
+use std::fmt;
+
+/// Errors produced while decoding wire bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// Fewer bytes available than the fixed 23-byte header.
+    TruncatedHeader { have: usize },
+    /// Payload length field exceeds the bytes actually available.
+    TruncatedPayload { want: usize, have: usize },
+    /// Unknown payload descriptor byte.
+    UnknownPayloadKind(u8),
+    /// A payload field was malformed (bad count, missing terminator, ...).
+    MalformedPayload(&'static str),
+    /// The payload length field exceeds the protocol's sanity cap.
+    OversizedPayload { len: usize, cap: usize },
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::TruncatedHeader { have } => {
+                write!(f, "truncated header: have {have} bytes, need 23")
+            }
+            ProtocolError::TruncatedPayload { want, have } => {
+                write!(f, "truncated payload: header claims {want} bytes, have {have}")
+            }
+            ProtocolError::UnknownPayloadKind(b) => write!(f, "unknown payload kind 0x{b:02x}"),
+            ProtocolError::MalformedPayload(what) => write!(f, "malformed payload: {what}"),
+            ProtocolError::OversizedPayload { len, cap } => {
+                write!(f, "payload length {len} exceeds cap {cap}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}

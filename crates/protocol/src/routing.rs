@@ -1,0 +1,142 @@
+//! Duplicate suppression and reverse-path routing.
+//!
+//! Gnutella's forwarding rule (cited in §2.2 of the paper): "a query message
+//! will be dropped if the query message has visited the peer before", and
+//! query hits are "only delivered to the neighbor along the inverse path of
+//! the search path". Both behaviours hang off a per-peer table of recently
+//! seen GUIDs.
+
+use crate::guid::Guid;
+use std::collections::HashMap;
+
+/// Per-peer table of recently seen message GUIDs.
+///
+/// Each entry remembers which neighbor the message first arrived from (for
+/// reverse-path routing) and when it was seen (for expiry). Entries older
+/// than `horizon` time units are evicted lazily by [`SeenTable::sweep`].
+///
+/// ```
+/// use ddp_protocol::{Guid, SeenTable};
+/// use ddp_protocol::routing::Offer;
+///
+/// let mut seen = SeenTable::new(600);
+/// let guid = Guid::derived(7, 1);
+/// assert_eq!(seen.offer(guid, 3, 0), Offer::Fresh);     // process & forward
+/// assert_eq!(seen.offer(guid, 9, 1), Offer::Duplicate); // "visited before"
+/// assert_eq!(seen.reverse_route(&guid), Some(3));       // hits go back via 3
+/// ```
+#[derive(Debug, Clone)]
+pub struct SeenTable {
+    entries: HashMap<Guid, SeenEntry>,
+    horizon: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct SeenEntry {
+    from: u32,
+    seen_at: u64,
+}
+
+/// Outcome of offering a message to the seen table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Offer {
+    /// First sighting: the message should be processed and forwarded.
+    Fresh,
+    /// Already seen: the message must be dropped (duplicate suppression).
+    Duplicate,
+}
+
+impl SeenTable {
+    /// Create a table that remembers GUIDs for `horizon` time units.
+    pub fn new(horizon: u64) -> Self {
+        SeenTable { entries: HashMap::new(), horizon }
+    }
+
+    /// Offer a message GUID arriving from neighbor `from` at time `now`.
+    pub fn offer(&mut self, guid: Guid, from: u32, now: u64) -> Offer {
+        use std::collections::hash_map::Entry;
+        match self.entries.entry(guid) {
+            Entry::Occupied(_) => Offer::Duplicate,
+            Entry::Vacant(v) => {
+                v.insert(SeenEntry { from, seen_at: now });
+                Offer::Fresh
+            }
+        }
+    }
+
+    /// The neighbor a hit for `guid` must be routed back to, if the query
+    /// was seen and has not expired.
+    pub fn reverse_route(&self, guid: &Guid) -> Option<u32> {
+        self.entries.get(guid).map(|e| e.from)
+    }
+
+    /// Drop entries older than the horizon.
+    pub fn sweep(&mut self, now: u64) {
+        let horizon = self.horizon;
+        self.entries.retain(|_, e| now.saturating_sub(e.seen_at) <= horizon);
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_offer_is_fresh_then_duplicate() {
+        let mut t = SeenTable::new(10);
+        let g = Guid::derived(1, 1);
+        assert_eq!(t.offer(g, 5, 0), Offer::Fresh);
+        assert_eq!(t.offer(g, 6, 1), Offer::Duplicate);
+        assert_eq!(t.offer(g, 5, 2), Offer::Duplicate);
+    }
+
+    #[test]
+    fn reverse_route_points_to_first_sender() {
+        let mut t = SeenTable::new(10);
+        let g = Guid::derived(2, 2);
+        t.offer(g, 7, 0);
+        t.offer(g, 9, 0); // duplicate via another neighbor: route unchanged
+        assert_eq!(t.reverse_route(&g), Some(7));
+        assert_eq!(t.reverse_route(&Guid::derived(3, 3)), None);
+    }
+
+    #[test]
+    fn sweep_expires_old_entries() {
+        let mut t = SeenTable::new(5);
+        let old = Guid::derived(1, 0);
+        let new = Guid::derived(1, 1);
+        t.offer(old, 1, 0);
+        t.offer(new, 2, 4);
+        t.sweep(7);
+        assert_eq!(t.reverse_route(&old), None, "entry from t=0 expired at t=7");
+        assert_eq!(t.reverse_route(&new), Some(2));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn swept_guid_can_be_offered_fresh_again() {
+        let mut t = SeenTable::new(1);
+        let g = Guid::derived(4, 4);
+        t.offer(g, 1, 0);
+        t.sweep(10);
+        assert_eq!(t.offer(g, 2, 10), Offer::Fresh);
+        assert_eq!(t.reverse_route(&g), Some(2));
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = SeenTable::new(3);
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+    }
+}

@@ -1,0 +1,564 @@
+//! The peer state machine.
+
+use bytes::Bytes;
+use ddp_police::indicator::{general_indicator, is_bad, single_indicator};
+use ddp_police::DdPoliceConfig;
+use ddp_protocol::routing::Offer;
+use ddp_protocol::{
+    decode_message, encode_message, Bye, Guid, Message, NeighborList, NeighborTraffic, Payload,
+    PeerAddr, Pong, Query, QueryHit, QueryHitResult, Receipt, SeenTable,
+};
+use ddp_topology::NodeId;
+use std::collections::{BTreeMap, HashMap};
+
+/// What kind of peer this servent is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServentRole {
+    /// A regular peer: searches, forwards, polices.
+    Good,
+    /// A DDoS agent: floods `rate_qpm` distinct queries per minute per
+    /// neighbor; does not police. When `respond_reports` is false it also
+    /// refuses `Neighbor_Traffic` and list exchanges (§3.4's choice 3).
+    FloodingAgent { rate_qpm: u32, respond_reports: bool },
+}
+
+/// Servent configuration.
+#[derive(Debug, Clone)]
+pub struct ServentConfig {
+    /// DD-POLICE parameters (thresholds, exchange period, q, CT).
+    pub police: DdPoliceConfig,
+    /// Query TTL.
+    pub ttl: u8,
+    /// Seconds an investigation waits for reports ("waiting for another 50
+    /// seconds", §3.3).
+    pub report_deadline_secs: u64,
+    /// Strings this servent shares (query criteria it answers).
+    pub library: Vec<String>,
+}
+
+impl Default for ServentConfig {
+    fn default() -> Self {
+        ServentConfig {
+            police: DdPoliceConfig::default(),
+            ttl: 5,
+            report_deadline_secs: 50,
+            library: Vec::new(),
+        }
+    }
+}
+
+/// Per-neighbor link state.
+#[derive(Debug, Clone, Default)]
+struct LinkState {
+    /// Queries sent to this neighbor in the current minute (wire count).
+    out_cur: u32,
+    /// *Fresh* (non-duplicate) queries received from this neighbor in the
+    /// current minute — the receiver-side `In_query` the indicators need.
+    in_cur: u32,
+    /// Finalized previous-minute counters (the reporting window).
+    out_prev: u32,
+    in_prev: u32,
+    /// The neighbor's latest receipt: how many fresh queries *it* accepted
+    /// from us last minute (the trustworthy-when-honest `Q_{me→them}`).
+    receipt_prev: u32,
+    /// Last neighbor list announced by this neighbor.
+    announced: Option<Vec<NodeId>>,
+}
+
+/// An open Buddy-Group investigation of one suspect.
+#[derive(Debug, Clone)]
+struct Investigation {
+    deadline: u64,
+    members: Vec<NodeId>,
+    /// member -> (Q_{m→suspect}, Q_{suspect→m}) as reported.
+    reports: HashMap<u32, (u32, u32)>,
+}
+
+/// Outbound frames produced by one handler call.
+pub type Outbox = Vec<(NodeId, Bytes)>;
+
+/// A complete DD-POLICE servent.
+#[derive(Debug)]
+pub struct Servent {
+    pub id: NodeId,
+    addr: PeerAddr,
+    role: ServentRole,
+    cfg: ServentConfig,
+    links: BTreeMap<u32, LinkState>,
+    seen: SeenTable,
+    guid_seq: u64,
+    /// GUIDs of queries this servent issued, with issue time.
+    issued: HashMap<Guid, u64>,
+    /// Resolved queries: issue time -> first-hit latency (secs).
+    pub hits: Vec<(u64, u64)>,
+    investigations: BTreeMap<u32, Investigation>,
+    /// suspect -> last time we broadcast a Neighbor_Traffic about it.
+    last_nt: HashMap<u32, u64>,
+    /// Peers this servent defensively disconnected, with time.
+    pub cut_log: Vec<(u64, NodeId)>,
+    /// Missing-list grace bookkeeping per suspect.
+    missing_list_strikes: HashMap<u32, u8>,
+    /// Every concluded investigation: (second, suspect, g, s, cut).
+    pub verdict_log: Vec<(u64, NodeId, f64, f64, bool)>,
+    /// Scheduled Neighbor_Traffic broadcasts: (due, suspect, members).
+    /// Deferred a couple of seconds so the current minute's receipts land
+    /// before the reports that quote them.
+    pending_nt: Vec<(u64, NodeId, Vec<NodeId>)>,
+    /// Buddy-Group liveness (§3.1: "A peer ping members within the same BG
+    /// periodically to make sure that other members are online"): last time
+    /// we heard anything from each known member.
+    member_last_seen: HashMap<u32, u64>,
+}
+
+impl Servent {
+    /// New servent with the given role and config.
+    pub fn new(id: NodeId, role: ServentRole, cfg: ServentConfig) -> Self {
+        Servent {
+            id,
+            addr: PeerAddr::from_node_index(id.0),
+            role,
+            cfg,
+            links: BTreeMap::new(),
+            seen: SeenTable::new(600),
+            guid_seq: 0,
+            issued: HashMap::new(),
+            hits: Vec::new(),
+            investigations: BTreeMap::new(),
+            last_nt: HashMap::new(),
+            cut_log: Vec::new(),
+            missing_list_strikes: HashMap::new(),
+            verdict_log: Vec::new(),
+            pending_nt: Vec::new(),
+            member_last_seen: HashMap::new(),
+        }
+    }
+
+    /// The servent's role.
+    pub fn role(&self) -> ServentRole {
+        self.role
+    }
+
+    /// Current neighbors.
+    pub fn neighbors(&self) -> Vec<NodeId> {
+        self.links.keys().map(|&k| NodeId(k)).collect()
+    }
+
+    /// Whether `peer` is a neighbor.
+    pub fn is_neighbor(&self, peer: NodeId) -> bool {
+        self.links.contains_key(&peer.0)
+    }
+
+    /// Attach a neighbor (handshake done out of band).
+    pub fn connect(&mut self, peer: NodeId) {
+        self.links.entry(peer.0).or_default();
+    }
+
+    /// Detach a neighbor locally (the far side is told via Bye elsewhere).
+    pub fn disconnect(&mut self, peer: NodeId) {
+        self.links.remove(&peer.0);
+        self.investigations.remove(&peer.0);
+        self.missing_list_strikes.remove(&peer.0);
+    }
+
+    fn next_guid(&mut self) -> Guid {
+        self.guid_seq += 1;
+        Guid::derived(self.id.0, self.guid_seq)
+    }
+
+    fn frame(&self, msg: &Message) -> Bytes {
+        encode_message(msg)
+    }
+
+    fn send_query_to(&mut self, to: NodeId, msg: &Message, out: &mut Outbox) {
+        if let Some(link) = self.links.get_mut(&to.0) {
+            link.out_cur += 1;
+            out.push((to, encode_message(msg)));
+        }
+    }
+
+    /// Issue one search for `criteria`, flooding all neighbors.
+    pub fn issue_query(&mut self, criteria: &str, now: u64, out: &mut Outbox) {
+        let guid = self.next_guid();
+        self.issued.insert(guid, now);
+        // Mark our own query as seen so echoes die here.
+        self.seen.offer(guid, self.id.0, now);
+        let msg = Message::new(
+            guid,
+            self.cfg.ttl,
+            Payload::Query(Query { min_speed: 0, criteria: criteria.into() }),
+        );
+        for peer in self.neighbors() {
+            self.send_query_to(peer, &msg, out);
+        }
+    }
+
+    /// One wall-clock second: attackers emit their flood share; everyone
+    /// concludes investigations whose deadline passed.
+    pub fn on_second(&mut self, now: u64, out: &mut Outbox) {
+        if let ServentRole::FloodingAgent { rate_qpm, .. } = self.role {
+            let per_second = (rate_qpm / 60).max(1);
+            for peer in self.neighbors() {
+                for _ in 0..per_second {
+                    let guid = self.next_guid();
+                    self.seen.offer(guid, self.id.0, now);
+                    let msg = Message::new(
+                        guid,
+                        self.cfg.ttl,
+                        Payload::Query(Query {
+                            min_speed: 0,
+                            criteria: format!("bogus-{}", self.guid_seq),
+                        }),
+                    );
+                    self.send_query_to(peer, &msg, out);
+                }
+            }
+        }
+        // Drain deferred Neighbor_Traffic broadcasts.
+        let due: Vec<(u64, NodeId, Vec<NodeId>)> = {
+            let (ready, later): (Vec<_>, Vec<_>) =
+                std::mem::take(&mut self.pending_nt).into_iter().partition(|&(t, ..)| now >= t);
+            self.pending_nt = later;
+            ready
+        };
+        for (_, suspect, members) in due {
+            self.broadcast_nt(suspect, &members, now, out);
+        }
+        self.conclude_due_investigations(now, out);
+        self.seen.sweep(now);
+    }
+
+    /// Minute boundary: finalize counters, run the DD-POLICE steps.
+    pub fn on_minute(&mut self, now: u64, minute: u64, out: &mut Outbox) {
+        for link in self.links.values_mut() {
+            link.out_prev = link.out_cur;
+            link.in_prev = link.in_cur;
+            link.out_cur = 0;
+            link.in_cur = 0;
+        }
+        let polices = matches!(self.role, ServentRole::Good);
+        let announces = match self.role {
+            ServentRole::Good => true,
+            ServentRole::FloodingAgent { respond_reports, .. } => respond_reports,
+        };
+        // Neighbor-list exchange (§3.1) on the periodic schedule.
+        let period = match self.cfg.police.exchange {
+            ddp_police::ExchangePolicy::Periodic { minutes } => minutes.max(1) as u64,
+            ddp_police::ExchangePolicy::EventDriven => 1,
+        };
+        if announces && minute.is_multiple_of(period) {
+            let list = NeighborList {
+                neighbors: self.neighbors().iter().map(|p| PeerAddr::from_node_index(p.0)).collect(),
+            };
+            let msg = Message::new(self.next_guid(), 1, Payload::NeighborList(list));
+            let frame = self.frame(&msg);
+            for peer in self.neighbors() {
+                out.push((peer, frame.clone()));
+            }
+        }
+        // Per-link receipts (every minute): tell each neighbor how many
+        // fresh queries we accepted from it. Receiver-side counting is what
+        // lets Buddy Groups discount an attacker's own echoes.
+        if announces {
+            for peer in self.neighbors() {
+                let fresh = self.links.get(&peer.0).map_or(0, |l| l.in_prev);
+                let r = Receipt {
+                    subject_ip: PeerAddr::from_node_index(peer.0).ip,
+                    fresh_queries: fresh,
+                };
+                let msg = Message::new(self.next_guid(), 1, Payload::Receipt(r));
+                out.push((peer, self.frame(&msg)));
+            }
+        }
+        if !polices {
+            return;
+        }
+        // BG liveness pings (§3.1): probe Buddy-Group members we have not
+        // heard from this minute. Their Pong (or any other frame) refreshes
+        // `member_last_seen`; members silent past the staleness horizon are
+        // excluded from report collection (they count as assume-zero anyway,
+        // but we stop spending messages on them).
+        let mut to_ping: Vec<NodeId> = Vec::new();
+        for link in self.links.values() {
+            if let Some(members) = &link.announced {
+                for &m in members {
+                    if m == self.id {
+                        continue;
+                    }
+                    let stale = self
+                        .member_last_seen
+                        .get(&m.0)
+                        .is_none_or(|&t| now.saturating_sub(t) >= 60);
+                    if stale && !to_ping.contains(&m) {
+                        to_ping.push(m);
+                    }
+                }
+            }
+        }
+        for m in to_ping {
+            let ping = Message::new(self.next_guid(), 1, Payload::Ping(ddp_protocol::Ping));
+            out.push((m, self.frame(&ping)));
+        }
+        // Suspicion scan (§3.3) over the finalized minute.
+        let suspects: Vec<NodeId> = self
+            .links
+            .iter()
+            .filter(|(_, l)| l.in_prev > self.cfg.police.warning_threshold_qpm)
+            .map(|(&k, _)| NodeId(k))
+            .collect();
+        for suspect in suspects {
+            self.open_investigation(suspect, now, out);
+        }
+    }
+
+    fn open_investigation(&mut self, suspect: NodeId, now: u64, _out: &mut Outbox) {
+        if self.investigations.contains_key(&suspect.0) {
+            return;
+        }
+        let members: Vec<NodeId> = match self.links.get(&suspect.0).and_then(|l| l.announced.clone())
+        {
+            Some(list) => {
+                self.missing_list_strikes.remove(&suspect.0);
+                list
+            }
+            None => {
+                // No list yet: wait out the grace period, then judge solo.
+                let strikes = self.missing_list_strikes.entry(suspect.0).or_insert(0);
+                *strikes = strikes.saturating_add(1);
+                if *strikes < self.cfg.police.missing_list_grace {
+                    return;
+                }
+                vec![self.id]
+            }
+        };
+        self.investigations.insert(
+            suspect.0,
+            Investigation {
+                deadline: now + self.cfg.report_deadline_secs,
+                members: members.clone(),
+                reports: HashMap::new(),
+            },
+        );
+        // Deferred so this minute's receipts arrive before the reports.
+        self.pending_nt.push((now + 2, suspect, members));
+    }
+
+    /// Send our Neighbor_Traffic report about `suspect` to the other Buddy
+    /// Group members (50-second suppression).
+    fn broadcast_nt(&mut self, suspect: NodeId, members: &[NodeId], now: u64, out: &mut Outbox) {
+        if let Some(&last) = self.last_nt.get(&suspect.0) {
+            if now.saturating_sub(last) < 50 {
+                return;
+            }
+        }
+        self.last_nt.insert(suspect.0, now);
+        let Some(link) = self.links.get(&suspect.0) else { return };
+        // Members not heard from in over three minutes are treated as
+        // offline (BG ping failures) and skipped.
+        let horizon = 180u64;
+        let nt = NeighborTraffic {
+            source_ip: self.addr.ip,
+            suspect_ip: PeerAddr::from_node_index(suspect.0).ip,
+            timestamp: now as u32,
+            // Out_query(suspect): the suspect's receipt for our traffic —
+            // receiver-measured, duplicate-filtered (0 if it never receipts).
+            outgoing_queries: link.receipt_prev,
+            // In_query(suspect): our own fresh count from the suspect.
+            incoming_queries: link.in_prev,
+        };
+        let msg = Message::new(self.next_guid(), 1, Payload::NeighborTraffic(nt));
+        let frame = self.frame(&msg);
+        for &m in members {
+            if m == self.id {
+                continue;
+            }
+            let dead = self
+                .member_last_seen
+                .get(&m.0)
+                .is_some_and(|&t| now.saturating_sub(t) > horizon)
+                && now > horizon;
+            if !dead {
+                out.push((m, frame.clone()));
+            }
+        }
+    }
+
+    fn conclude_due_investigations(&mut self, now: u64, out: &mut Outbox) {
+        let due: Vec<u32> = self
+            .investigations
+            .iter()
+            .filter(|(_, inv)| now >= inv.deadline)
+            .map(|(&k, _)| k)
+            .collect();
+        for suspect_key in due {
+            let inv = self.investigations.remove(&suspect_key).expect("just listed");
+            let suspect = NodeId(suspect_key);
+            let Some(link) = self.links.get(&suspect_key) else { continue };
+            // Assemble the sums: own counters plus reports; missing => 0.
+            // Q_{me→j} uses the suspect's receipt (its fresh-In from us);
+            // a suspect that issues no receipts forfeits the discount.
+            let mut sum_out_of_suspect = link.in_prev as f64; // Q_{j→me}
+            let mut sum_into_suspect = link.receipt_prev as f64; // Q_{me→j}
+            let mut k = 1usize;
+            for &m in &inv.members {
+                if m == self.id {
+                    continue;
+                }
+                k += 1;
+                if let Some(&(m_to_j, j_to_m)) = inv.reports.get(&m.0) {
+                    sum_into_suspect += m_to_j as f64;
+                    sum_out_of_suspect += j_to_m as f64;
+                }
+            }
+            let q = self.cfg.police.q_qpm;
+            let g = general_indicator(sum_out_of_suspect, sum_into_suspect, k, q);
+            let s = single_indicator(
+                link.in_prev as f64,
+                sum_into_suspect - link.receipt_prev as f64,
+                q,
+            );
+            let bad = is_bad(g, s, self.cfg.police.cut_threshold);
+            self.verdict_log.push((now, suspect, g, s, bad));
+            if bad {
+                let bye = Message::new(
+                    self.next_guid(),
+                    1,
+                    Payload::Bye(Bye {
+                        code: Bye::CODE_DDOS_SUSPECT,
+                        reason: format!("g={g:.1} s={s:.1} exceeded CT"),
+                    }),
+                );
+                out.push((suspect, self.frame(&bye)));
+                self.disconnect(suspect);
+                self.cut_log.push((now, suspect));
+            }
+        }
+    }
+
+    /// Handle one inbound frame. Unknown/undecodable frames are dropped (a
+    /// real servent closes the connection; the harness has no byte errors).
+    pub fn handle_frame(&mut self, from: NodeId, frame: Bytes, now: u64, out: &mut Outbox) {
+        let mut cursor = frame;
+        let Ok(msg) = decode_message(&mut cursor) else { return };
+        self.member_last_seen.insert(from.0, now);
+        self.handle_message(from, msg, now, out);
+    }
+
+    fn handle_message(&mut self, from: NodeId, msg: Message, now: u64, out: &mut Outbox) {
+        match msg.payload {
+            Payload::Query(ref q) => self.handle_query(from, &msg, q.clone(), now, out),
+            Payload::QueryHit(ref qh) => self.handle_hit(&msg, qh.clone(), now, out),
+            Payload::Ping(_) => {
+                let pong = Message::new(
+                    msg.header.guid,
+                    1,
+                    Payload::Pong(Pong {
+                        addr: self.addr,
+                        shared_files: self.cfg.library.len() as u32,
+                        shared_kb: 0,
+                    }),
+                );
+                out.push((from, self.frame(&pong)));
+            }
+            Payload::Pong(_) => {}
+            Payload::NeighborList(nl) => {
+                if let Some(link) = self.links.get_mut(&from.0) {
+                    link.announced =
+                        Some(nl.neighbors.iter().map(|a| NodeId(a.node_index())).collect());
+                }
+            }
+            Payload::NeighborTraffic(nt) => self.handle_nt(from, nt, now, out),
+            Payload::Receipt(r) => {
+                if let Some(link) = self.links.get_mut(&from.0) {
+                    link.receipt_prev = r.fresh_queries;
+                }
+            }
+            Payload::Bye(_) => self.disconnect(from),
+        }
+    }
+
+    fn handle_query(&mut self, from: NodeId, msg: &Message, q: Query, now: u64, out: &mut Outbox) {
+        if !self.links.contains_key(&from.0) {
+            return;
+        }
+        if self.seen.offer(msg.header.guid, from.0, now) == Offer::Duplicate {
+            return; // duplicates are dropped *and excluded from In_query*
+        }
+        if let Some(link) = self.links.get_mut(&from.0) {
+            link.in_cur += 1;
+        }
+        // Local lookup: answer with a QueryHit routed back to `from`.
+        if self.cfg.library.iter().any(|item| item == &q.criteria) {
+            let hit = Message::new(
+                msg.header.guid,
+                msg.header.hops.saturating_add(2),
+                Payload::QueryHit(QueryHit {
+                    addr: self.addr,
+                    speed_kbps: 1_000,
+                    results: vec![QueryHitResult {
+                        file_index: 0,
+                        file_size: 1,
+                        file_name: q.criteria.clone(),
+                    }],
+                    servent_id: *Guid::derived(self.id.0, 0).as_bytes(),
+                }),
+            );
+            out.push((from, self.frame(&hit)));
+        }
+        // Forward with decremented TTL to all other neighbors.
+        if let Some(header) = msg.header.forwarded() {
+            let fwd = Message { header, payload: Payload::Query(q) };
+            for peer in self.neighbors() {
+                if peer != from {
+                    self.send_query_to(peer, &fwd, out);
+                }
+            }
+        }
+    }
+
+    fn handle_hit(&mut self, msg: &Message, qh: QueryHit, now: u64, out: &mut Outbox) {
+        if let Some(&issued_at) = self.issued.get(&msg.header.guid) {
+            self.hits.push((issued_at, now - issued_at));
+            self.issued.remove(&msg.header.guid);
+            return;
+        }
+        // Route back along the inverse path.
+        if let Some(back) = self.seen.reverse_route(&msg.header.guid) {
+            let to = NodeId(back);
+            if self.is_neighbor(to) {
+                let fwd = Message { header: msg.header, payload: Payload::QueryHit(qh) };
+                out.push((to, self.frame(&fwd)));
+            }
+        }
+    }
+
+    fn handle_nt(&mut self, from: NodeId, nt: NeighborTraffic, now: u64, _out: &mut Outbox) {
+        let suspect = NodeId(PeerAddr { ip: nt.suspect_ip, port: 0 }.node_index());
+        // Record the report if we are investigating this suspect.
+        if let Some(inv) = self.investigations.get_mut(&suspect.0) {
+            if inv.members.contains(&from) {
+                inv.reports.insert(from.0, (nt.outgoing_queries, nt.incoming_queries));
+            }
+        }
+        // §3.3: "On receiving a Neighbor_Traffic message, a peer in the BG
+        // will check whether it has sent a Neighbor_Traffic message to other
+        // members in this BG in past 50 seconds. If not, it will send such a
+        // message to other members."
+        let responds = match self.role {
+            ServentRole::Good => true,
+            ServentRole::FloodingAgent { respond_reports, .. } => respond_reports,
+        };
+        if responds && self.is_neighbor(suspect) {
+            let members = self
+                .links
+                .get(&suspect.0)
+                .and_then(|l| l.announced.clone())
+                .unwrap_or_else(|| vec![from]);
+            self.pending_nt.push((now + 2, suspect, members));
+        }
+    }
+
+    /// Previous-minute (Out, In) counters for a neighbor — test telemetry.
+    pub fn prev_minute_counters(&self, peer: NodeId) -> Option<(u32, u32)> {
+        self.links.get(&peer.0).map(|l| (l.out_prev, l.in_prev))
+    }
+}

@@ -1,0 +1,310 @@
+//! The defense plug-in interface.
+//!
+//! A defense is a *distributed detection protocol simulated centrally*: after
+//! each tick it may inspect any peer's local view (its own per-neighbor
+//! counters) and request reports from other peers — which go through the
+//! suspect peers' [`ReportBehavior`], so lying attackers (§3.4) distort
+//! exactly what they could distort in a real deployment — and then requests
+//! disconnections. The engine applies them and keeps ground-truth error
+//! statistics.
+
+use crate::node::{ListBehavior, ReportBehavior};
+use crate::overlay::Overlay;
+use crate::Tick;
+use ddp_topology::NodeId;
+
+/// What one peer claims about its traffic with a suspect, in queries/min.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrafficReport {
+    /// Claimed `Out_query(suspect)`: queries the reporter sent to the suspect.
+    pub sent_to_suspect: u32,
+    /// Claimed `In_query(suspect)`: queries the reporter got from the suspect.
+    pub received_from_suspect: u32,
+}
+
+/// Read-only view of one finished tick.
+pub struct TickObservation<'a> {
+    /// The tick that just completed.
+    pub tick: Tick,
+    /// The overlay with this tick's per-directed-edge counters.
+    pub overlay: &'a Overlay,
+    /// Per-node online flags.
+    pub online: &'a [bool],
+    /// Per-node "runs the detection protocol" flags (attackers do not).
+    pub runs_defense: &'a [bool],
+    /// Per-node report behavior (honest for good peers).
+    pub report_behavior: &'a [ReportBehavior],
+    /// Per-node neighbor-list exchange behavior (truthful for good peers).
+    pub list_behavior: &'a [ListBehavior],
+}
+
+impl TickObservation<'_> {
+    /// Ask `reporter` for a `Neighbor_Traffic` report about `suspect`
+    /// (§3.3). Returns `None` when the reporter refuses ("if a peer has not
+    /// received a Neighbor_Traffic message ... within a predefined time
+    /// period, it just assumes that peer j sent 0 query") or is offline /
+    /// not connected to the suspect.
+    ///
+    /// A lying reporter distorts the count of queries *it sent to the
+    /// suspect* — that is the field whose misreporting §3.4 analyzes (it
+    /// shifts blame between the suspect and the suspect's neighbors).
+    pub fn request_report(&self, reporter: NodeId, suspect: NodeId) -> Option<TrafficReport> {
+        if !self.online[reporter.index()] || !self.overlay.contains_edge(reporter, suspect) {
+            return None;
+        }
+        let true_sent = self.overlay.accepted_between(reporter, suspect);
+        let true_recv = self.overlay.accepted_between(suspect, reporter);
+        match self.report_behavior[reporter.index()] {
+            ReportBehavior::Honest => Some(TrafficReport {
+                sent_to_suspect: true_sent,
+                received_from_suspect: true_recv,
+            }),
+            ReportBehavior::Inflate(f) => Some(TrafficReport {
+                sent_to_suspect: scale(true_sent, f),
+                received_from_suspect: true_recv,
+            }),
+            ReportBehavior::Deflate(f) => Some(TrafficReport {
+                sent_to_suspect: scale(true_sent, f),
+                received_from_suspect: true_recv,
+            }),
+            ReportBehavior::Silent => None,
+        }
+    }
+
+    /// The neighbor list `announcer` sends during the exchange step (§3.1),
+    /// or `None` if it refuses. Good peers announce the truth; a lying peer
+    /// pads, hides, or withholds. Phantom entries for `PadFake` are drawn
+    /// deterministically from the node-id space (plausible peer addresses
+    /// that simply are not the announcer's neighbors).
+    pub fn announced_list(&self, announcer: NodeId) -> Option<Vec<NodeId>> {
+        if !self.online[announcer.index()] {
+            return None;
+        }
+        let truth =
+            || -> Vec<NodeId> { self.overlay.neighbors(announcer).iter().map(|h| h.peer).collect() };
+        match self.list_behavior[announcer.index()] {
+            ListBehavior::Truthful => Some(truth()),
+            ListBehavior::Omit => Some(Vec::new()),
+            ListBehavior::Refuse => None,
+            ListBehavior::PadFake { extra } => {
+                let mut list = truth();
+                let n = self.overlay.node_count() as u64;
+                let mut x = ((announcer.0 as u64) << 32) ^ (self.tick as u64) ^ 0x5eed;
+                for _ in 0..extra {
+                    // SplitMix-style stream of plausible phantom members.
+                    x = x.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+                    let mut z = x;
+                    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                    z ^= z >> 27;
+                    let candidate = NodeId((z % n) as u32);
+                    if candidate != announcer && !list.contains(&candidate) {
+                        list.push(candidate);
+                    }
+                }
+                Some(list)
+            }
+        }
+    }
+
+    /// §3.1's consistency check: ask `member` whether it really is a
+    /// neighbor of `suspect`. Good peers answer truthfully; a compromised
+    /// member vouches for a fellow attacker's claim (colluding puppets), and
+    /// otherwise tells the truth (lying here about a good peer would expose
+    /// the attacker to the paired-disconnect rule for no gain).
+    pub fn confirm_membership(&self, member: NodeId, suspect: NodeId) -> bool {
+        if !self.online[member.index()] {
+            return false;
+        }
+        let truth = self.overlay.contains_edge(member, suspect);
+        let member_lies = !matches!(self.report_behavior[member.index()], ReportBehavior::Honest);
+        let suspect_lies =
+            !matches!(self.list_behavior[suspect.index()], ListBehavior::Truthful);
+        if member_lies && suspect_lies {
+            return true; // collusion: the puppet confirms the padded claim
+        }
+        truth
+    }
+
+    /// A peer's own ground-truth view of one of its links: what `observer`
+    /// itself measured about `neighbor` (no trust needed, §3.2's
+    /// `Out_query` / `In_query` lists).
+    pub fn own_counters(&self, observer: NodeId, neighbor: NodeId) -> TrafficReport {
+        TrafficReport {
+            sent_to_suspect: self.overlay.accepted_between(observer, neighbor),
+            received_from_suspect: self.overlay.accepted_between(neighbor, observer),
+        }
+    }
+}
+
+fn scale(v: u32, f: f64) -> u32 {
+    (v as f64 * f).round().clamp(0.0, u32::MAX as f64) as u32
+}
+
+/// Disconnection requests and control-message accounting for one tick.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Actions {
+    /// `(observer, suspect)` pairs: observer cuts its link to suspect.
+    pub cuts: Vec<(NodeId, NodeId)>,
+    /// Control messages the defense exchanged this tick (neighbor lists,
+    /// Neighbor_Traffic, BG pings) — feeds traffic-cost accounting.
+    pub control_msgs: u64,
+}
+
+impl Actions {
+    /// Request that `observer` disconnect from `suspect`.
+    pub fn cut(&mut self, observer: NodeId, suspect: NodeId) {
+        self.cuts.push((observer, suspect));
+    }
+}
+
+/// A pluggable detection/defense protocol.
+pub trait Defense {
+    /// Human-readable name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Inspect the finished tick and request actions.
+    fn on_tick(&mut self, obs: &TickObservation<'_>, actions: &mut Actions);
+
+    /// A slot left and rejoined as a brand-new peer: drop remembered state.
+    fn on_peer_reset(&mut self, _node: NodeId) {}
+
+    /// The engine added an overlay connection (join or attacker rejoin).
+    fn on_edge_added(&mut self, _u: NodeId, _v: NodeId) {}
+
+    /// The engine removed an overlay connection (departure or cut).
+    fn on_edge_removed(&mut self, _u: NodeId, _v: NodeId) {}
+}
+
+impl<D: Defense + ?Sized> Defense for Box<D> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn on_tick(&mut self, obs: &TickObservation<'_>, actions: &mut Actions) {
+        (**self).on_tick(obs, actions)
+    }
+    fn on_peer_reset(&mut self, node: NodeId) {
+        (**self).on_peer_reset(node)
+    }
+    fn on_edge_added(&mut self, u: NodeId, v: NodeId) {
+        (**self).on_edge_added(u, v)
+    }
+    fn on_edge_removed(&mut self, u: NodeId, v: NodeId) {
+        (**self).on_edge_removed(u, v)
+    }
+}
+
+/// The undefended baseline: observes nothing, cuts nothing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoDefense;
+
+impl Defense for NoDefense {
+    fn name(&self) -> &'static str {
+        "none"
+    }
+
+    fn on_tick(&mut self, _obs: &TickObservation<'_>, _actions: &mut Actions) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddp_topology::DynamicGraph;
+    use ddp_workload::BandwidthClass;
+
+    fn setup() -> (Overlay, Vec<bool>, Vec<bool>) {
+        let mut g = DynamicGraph::new(3);
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(1), NodeId(2));
+        let mut o = Overlay::new(g, &[BandwidthClass::Ethernet; 3]);
+        let s01 = o.graph().slot_of(NodeId(0), NodeId(1)).unwrap();
+        o.record_send(NodeId(0), s01, 100);
+        o.record_accept(NodeId(0), s01, 100);
+        let s10 = o.graph().slot_of(NodeId(1), NodeId(0)).unwrap();
+        o.record_send(NodeId(1), s10, 7);
+        o.record_accept(NodeId(1), s10, 7);
+        (o, vec![true; 3], vec![true; 3])
+    }
+
+    const TRUTHFUL: &[ListBehavior] = &[ListBehavior::Truthful; 8];
+
+    fn obs<'a>(
+        overlay: &'a Overlay,
+        online: &'a [bool],
+        runs: &'a [bool],
+        behavior: &'a [ReportBehavior],
+    ) -> TickObservation<'a> {
+        TickObservation {
+            tick: 1,
+            overlay,
+            online,
+            runs_defense: runs,
+            report_behavior: behavior,
+            list_behavior: &TRUTHFUL[..overlay.node_count()],
+        }
+    }
+
+    #[test]
+    fn honest_report_matches_counters() {
+        let (o, online, runs) = setup();
+        let behavior = vec![ReportBehavior::Honest; 3];
+        let ob = obs(&o, &online, &runs, &behavior);
+        let r = ob.request_report(NodeId(0), NodeId(1)).unwrap();
+        assert_eq!(r.sent_to_suspect, 100);
+        assert_eq!(r.received_from_suspect, 7);
+    }
+
+    #[test]
+    fn silent_reporter_returns_none() {
+        let (o, online, runs) = setup();
+        let behavior =
+            vec![ReportBehavior::Silent, ReportBehavior::Honest, ReportBehavior::Honest];
+        let ob = obs(&o, &online, &runs, &behavior);
+        assert!(ob.request_report(NodeId(0), NodeId(1)).is_none());
+    }
+
+    #[test]
+    fn inflate_and_deflate_scale_sent_count() {
+        let (o, online, runs) = setup();
+        let behavior =
+            vec![ReportBehavior::Inflate(2.0), ReportBehavior::Honest, ReportBehavior::Honest];
+        let ob = obs(&o, &online, &runs, &behavior);
+        assert_eq!(ob.request_report(NodeId(0), NodeId(1)).unwrap().sent_to_suspect, 200);
+
+        let behavior =
+            vec![ReportBehavior::Deflate(0.1), ReportBehavior::Honest, ReportBehavior::Honest];
+        let ob = obs(&o, &online, &runs, &behavior);
+        assert_eq!(ob.request_report(NodeId(0), NodeId(1)).unwrap().sent_to_suspect, 10);
+    }
+
+    #[test]
+    fn unconnected_or_offline_reporters_refuse() {
+        let (o, mut online, runs) = setup();
+        let behavior = vec![ReportBehavior::Honest; 3];
+        {
+            let ob = obs(&o, &online, &runs, &behavior);
+            assert!(ob.request_report(NodeId(0), NodeId(2)).is_none(), "not neighbors");
+        }
+        online[0] = false;
+        let ob = obs(&o, &online, &runs, &behavior);
+        assert!(ob.request_report(NodeId(0), NodeId(1)).is_none(), "offline");
+    }
+
+    #[test]
+    fn own_counters_are_ground_truth() {
+        let (o, online, runs) = setup();
+        let behavior = vec![ReportBehavior::Silent; 3]; // lying doesn't matter
+        let ob = obs(&o, &online, &runs, &behavior);
+        let r = ob.own_counters(NodeId(1), NodeId(0));
+        assert_eq!(r.sent_to_suspect, 7);
+        assert_eq!(r.received_from_suspect, 100);
+    }
+
+    #[test]
+    fn actions_collects_cuts() {
+        let mut a = Actions::default();
+        a.cut(NodeId(1), NodeId(2));
+        a.control_msgs += 5;
+        assert_eq!(a.cuts, vec![(NodeId(1), NodeId(2))]);
+        assert_eq!(a.control_msgs, 5);
+    }
+}

@@ -1,0 +1,148 @@
+//! Per-peer simulation state.
+
+use ddp_workload::BandwidthClass;
+
+/// How a peer answers `Neighbor_Traffic` report requests (§3.4's cheating
+/// analysis). Good peers are honest; a compromised peer may lie.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ReportBehavior {
+    /// Report true counters.
+    Honest,
+    /// Case 1 of §3.4: report `factor ×` the true count of queries it sent
+    /// (factor > 1).
+    Inflate(f64),
+    /// Case 2 of §3.4: report `factor ×` the true count (factor < 1),
+    /// trying to get an innocent forwarder blamed.
+    Deflate(f64),
+    /// Choice 3 of §3.4: "refuse to report" — peers then "just assume that
+    /// peer j sent 0 query to peer m".
+    Silent,
+}
+
+/// How a peer answers the neighbor-list exchange (§3.1). The paper notes "a
+/// malicious peer could lie about who are its neighbors" and prescribes a
+/// consistency check; these are the lies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ListBehavior {
+    /// Announce the true neighbor list.
+    Truthful,
+    /// Pad the announced list with `extra` peers that are *not* neighbors.
+    /// Each phantom member contributes nothing to the Buddy-Group sums while
+    /// raising `k`, which deflates the General Indicator — an evasion trick
+    /// the §3.1 consistency check exists to stop.
+    PadFake { extra: u8 },
+    /// Hide all real neighbors (announce an empty list).
+    Omit,
+    /// Refuse the exchange entirely.
+    Refuse,
+}
+
+/// Ground-truth role of a peer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Role {
+    /// Issues queries at the human rate, forwards what it can.
+    Good,
+    /// DDoS agent: floods `rate_qpm` bogus queries per minute per link
+    /// (capped by link capacity, §3.5's `Q_d = min{20000, link}`), and
+    /// responds to report requests per `report`.
+    Attacker { rate_qpm: u32, report: ReportBehavior },
+}
+
+impl Role {
+    /// Whether this peer is a DDoS agent.
+    #[inline]
+    pub fn is_attacker(&self) -> bool {
+        matches!(self, Role::Attacker { .. })
+    }
+
+    /// The report behavior of this peer (good peers are honest).
+    #[inline]
+    pub fn report_behavior(&self) -> ReportBehavior {
+        match *self {
+            Role::Good => ReportBehavior::Honest,
+            Role::Attacker { report, .. } => report,
+        }
+    }
+}
+
+/// Mutable per-peer state.
+#[derive(Debug, Clone)]
+pub struct NodeState {
+    /// Whether the peer is currently in the overlay.
+    pub online: bool,
+    /// Ground-truth role.
+    pub role: Role,
+    /// Bottleneck bandwidth class.
+    pub bandwidth: BandwidthClass,
+    /// Query processing capacity, queries/minute.
+    pub capacity_qpm: u32,
+    /// Remaining session lifetime, minutes.
+    pub lifetime_left: u32,
+    /// Tick at which an offline slot rejoins (u32::MAX = not scheduled).
+    pub rejoin_at: u32,
+    /// Utilization (processed/capacity) in the previous tick, feeding the
+    /// congestion-delay model.
+    pub prev_utilization: f32,
+    /// Whether this peer runs the detection protocol (attackers do not
+    /// police others).
+    pub runs_defense: bool,
+    /// Whether a defense drove this peer's degree to zero (attackers so
+    /// isolated may only return per the rejoin policy; natural churn losses
+    /// are re-dialed immediately).
+    pub defensively_isolated: bool,
+    /// How this peer answers the neighbor-list exchange.
+    pub list_behavior: ListBehavior,
+}
+
+impl NodeState {
+    /// Fresh good-peer state.
+    pub fn good(bandwidth: BandwidthClass, capacity_qpm: u32, lifetime: u32) -> Self {
+        NodeState {
+            online: true,
+            role: Role::Good,
+            bandwidth,
+            capacity_qpm,
+            lifetime_left: lifetime,
+            rejoin_at: u32::MAX,
+            prev_utilization: 0.0,
+            runs_defense: true,
+            defensively_isolated: false,
+            list_behavior: ListBehavior::Truthful,
+        }
+    }
+
+    /// Turn this slot into a DDoS agent.
+    pub fn make_attacker(&mut self, rate_qpm: u32, report: ReportBehavior) {
+        self.role = Role::Attacker { rate_qpm, report };
+        // A dedicated attack machine processes at its generation rate and
+        // does not leave voluntarily.
+        self.capacity_qpm = self.capacity_qpm.max(rate_qpm);
+        self.lifetime_left = u32::MAX;
+        self.runs_defense = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn good_peer_defaults() {
+        let n = NodeState::good(BandwidthClass::Cable, 1000, 10);
+        assert!(n.online);
+        assert!(!n.role.is_attacker());
+        assert_eq!(n.role.report_behavior(), ReportBehavior::Honest);
+        assert!(n.runs_defense);
+    }
+
+    #[test]
+    fn make_attacker_upgrades_capacity_and_pins_lifetime() {
+        let mut n = NodeState::good(BandwidthClass::Dialup, 1000, 5);
+        n.make_attacker(20_000, ReportBehavior::Silent);
+        assert!(n.role.is_attacker());
+        assert_eq!(n.capacity_qpm, 20_000);
+        assert_eq!(n.lifetime_left, u32::MAX);
+        assert!(!n.runs_defense);
+        assert_eq!(n.role.report_behavior(), ReportBehavior::Silent);
+    }
+}

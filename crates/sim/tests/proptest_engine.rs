@@ -1,0 +1,106 @@
+//! Property-based tests of whole-engine invariants on tiny random
+//! configurations.
+
+use ddp_sim::{NoDefense, ReportBehavior, SimConfig, Simulation};
+use ddp_topology::{NodeId, TopologyConfig, TopologyModel};
+use ddp_workload::LifetimeModel;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Setup {
+    n: usize,
+    seed: u64,
+    ticks: usize,
+    attackers: Vec<u32>,
+    churn: bool,
+    short_lives: bool,
+}
+
+fn setup() -> impl Strategy<Value = Setup> {
+    (20usize..70, any::<u64>(), 1usize..5, any::<bool>(), any::<bool>()).prop_flat_map(
+        |(n, seed, ticks, churn, short_lives)| {
+            proptest::collection::vec(0..n as u32, 0..4).prop_map(move |attackers| Setup {
+                n,
+                seed,
+                ticks,
+                attackers,
+                churn,
+                short_lives,
+            })
+        },
+    )
+}
+
+fn build(s: &Setup) -> Simulation<NoDefense> {
+    let mut cfg = SimConfig {
+        topology: TopologyConfig { n: s.n, model: TopologyModel::BarabasiAlbert { m: 3 } },
+        churn: s.churn,
+        ..SimConfig::default()
+    };
+    if s.short_lives {
+        cfg.lifetime = LifetimeModel::Exponential { mean_min: 2.0 };
+    }
+    let mut sim = Simulation::new(cfg, NoDefense, s.seed);
+    for &a in &s.attackers {
+        sim.make_attacker(NodeId(a), ReportBehavior::Honest);
+    }
+    sim
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The overlay's structural invariants survive any run (churn, attacks,
+    /// rewiring, counter mirrors).
+    #[test]
+    fn overlay_invariants_survive_runs(s in setup()) {
+        let mut sim = build(&s);
+        for _ in 0..s.ticks {
+            sim.step();
+            prop_assert!(sim.overlay().check_invariants().is_ok(),
+                "{:?}", sim.overlay().check_invariants());
+        }
+    }
+
+    /// Offline peers hold no edges; online good peers keep the minimum
+    /// degree the maintenance loop promises (when anyone is reachable).
+    #[test]
+    fn connectivity_contract(s in setup()) {
+        let mut sim = build(&s);
+        for _ in 0..s.ticks {
+            sim.step();
+        }
+        for i in 0..s.n {
+            let node = NodeId(i as u32);
+            if !sim.is_online(node) {
+                prop_assert_eq!(sim.overlay().degree(node), 0,
+                    "offline node {} still has edges", node);
+            }
+        }
+    }
+
+    /// Series lengths equal the number of ticks, and summaries are finite.
+    #[test]
+    fn reporting_shape(s in setup()) {
+        let sim = build(&s);
+        let res = sim.run(s.ticks);
+        prop_assert_eq!(res.series.success_rate.len(), s.ticks);
+        prop_assert_eq!(res.series.traffic.len(), s.ticks);
+        prop_assert!(res.summary.success_rate_mean.is_finite());
+        prop_assert!((0.0..=1.0).contains(&res.summary.success_rate_mean));
+        prop_assert!(res.summary.traffic_per_tick >= 0.0);
+        // No defense -> no cuts, and the log agrees.
+        prop_assert!(res.cut_log.is_empty());
+        prop_assert_eq!(res.summary.good_peers_cut, 0);
+    }
+
+    /// Bit-for-bit determinism of the full engine.
+    #[test]
+    fn engine_is_deterministic(s in setup()) {
+        let a = build(&s).run(s.ticks);
+        let b = build(&s).run(s.ticks);
+        prop_assert_eq!(a.series.success_rate, b.series.success_rate);
+        prop_assert_eq!(a.series.traffic, b.series.traffic);
+        prop_assert_eq!(a.summary, b.summary);
+    }
+}

@@ -1,0 +1,158 @@
+//! Property-based tests of the flooding engine's conservation and budget
+//! invariants on random overlays.
+
+use ddp_metrics::TrafficAccumulator;
+use ddp_sim::flood::{FirstHop, FloodEnv};
+use ddp_sim::{FloodEngine, ForwardingPolicy, Overlay};
+use ddp_topology::{DynamicGraph, NodeId};
+use ddp_workload::BandwidthClass;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct World {
+    n: usize,
+    edges: Vec<(u32, u32)>,
+    capacities: Vec<u32>,
+    origin: u32,
+    count: u32,
+    ttl: u8,
+}
+
+fn world() -> impl Strategy<Value = World> {
+    (4usize..24).prop_flat_map(|n| {
+        let max = n as u32;
+        (
+            proptest::collection::vec((0..max, 0..max), 3..40),
+            proptest::collection::vec(0u32..3_000, n),
+            0..max,
+            1u32..30_000,
+            1u8..8,
+        )
+            .prop_map(move |(edges, capacities, origin, count, ttl)| World {
+                n,
+                edges,
+                capacities,
+                origin,
+                count,
+                ttl,
+            })
+    })
+}
+
+struct Built {
+    overlay: Overlay,
+    node_used: Vec<u32>,
+    capacity: Vec<u32>,
+    online: Vec<bool>,
+    prev_util: Vec<f32>,
+    traffic: TrafficAccumulator,
+}
+
+fn build(w: &World) -> Built {
+    let mut g = DynamicGraph::new(w.n);
+    for &(a, b) in &w.edges {
+        g.add_edge(NodeId(a), NodeId(b));
+    }
+    // Ethernet class everywhere: node capacity is the binding constraint so
+    // the conservation algebra below is exact.
+    let overlay = Overlay::new(g, &vec![BandwidthClass::Ethernet; w.n]);
+    Built {
+        overlay,
+        node_used: vec![0; w.n],
+        capacity: w.capacities.clone(),
+        online: vec![true; w.n],
+        prev_util: vec![0.0; w.n],
+        traffic: TrafficAccumulator::default(),
+    }
+}
+
+fn flood(b: &mut Built, w: &World) -> ddp_sim::FloodOutcome {
+    let mut env = FloodEnv {
+        node_used: &mut b.node_used,
+        capacity: &b.capacity,
+        online: &b.online,
+        prev_util: &b.prev_util,
+        traffic: &mut b.traffic,
+        policy: ForwardingPolicy::Fifo,
+        fair_share_factor: 2.0,
+        hop_latency_secs: 0.05,
+        proc_delay_secs: 0.004,
+    };
+    let mut fe = FloodEngine::new(w.n);
+    fe.flood(
+        &mut b.overlay,
+        NodeId(w.origin),
+        FirstHop::All { count: w.count },
+        w.ttl,
+        None,
+        &mut env,
+    )
+}
+
+proptest! {
+    /// Budgets are never exceeded: processed <= capacity at every node.
+    #[test]
+    fn node_budgets_hold(w in world()) {
+        let mut b = build(&w);
+        flood(&mut b, &w);
+        for i in 0..w.n {
+            prop_assert!(b.node_used[i] <= b.capacity[i],
+                "node {i} used {} > capacity {}", b.node_used[i], b.capacity[i]);
+        }
+    }
+
+    /// Everything sent on the wire either gets processed somewhere or is
+    /// accounted as dropped at a link, a saturated node, or a dup filter —
+    /// plus the copies never sent because the first hop was link-capped.
+    #[test]
+    fn wire_conservation(w in world()) {
+        let mut b = build(&w);
+        flood(&mut b, &w);
+        let total_wire: u64 = (0..w.n)
+            .map(|i| b.overlay.total_sent(NodeId(i.try_into().unwrap())))
+            .sum();
+        prop_assert_eq!(total_wire, b.traffic.query_hops);
+        let processed: u64 = b.node_used.iter().map(|&c| c as u64).sum();
+        // wire = processed + (drops recorded at/after the wire) - (drops
+        // counted before transmission). The engine books both kinds into
+        // `dropped`, so wire <= processed + dropped and processed <= wire.
+        prop_assert!(processed <= total_wire,
+            "processed {processed} cannot exceed wire volume {total_wire}");
+        prop_assert!(total_wire <= processed + b.traffic.dropped,
+            "wire {} > processed {} + dropped {}", total_wire, processed, b.traffic.dropped);
+    }
+
+    /// Accepted (dup-filtered) volume never exceeds wire volume on any edge.
+    #[test]
+    fn accepted_is_a_subset_of_sent(w in world()) {
+        let mut b = build(&w);
+        flood(&mut b, &w);
+        for i in 0..w.n {
+            let u = NodeId(i as u32);
+            for slot in 0..b.overlay.degree(u) {
+                prop_assert!(b.overlay.accepted_via(u, slot) <= b.overlay.sent_via(u, slot));
+            }
+        }
+    }
+
+    /// Flooding twice with the same inputs gives identical outcomes
+    /// (determinism of the hot path).
+    #[test]
+    fn flood_is_deterministic(w in world()) {
+        let mut b1 = build(&w);
+        let o1 = flood(&mut b1, &w);
+        let mut b2 = build(&w);
+        let o2 = flood(&mut b2, &w);
+        prop_assert_eq!(o1, o2);
+        prop_assert_eq!(b1.node_used, b2.node_used);
+        prop_assert_eq!(b1.traffic, b2.traffic);
+    }
+
+    /// The overlay's counter mirrors stay aligned through a flood.
+    #[test]
+    fn overlay_invariants_after_flood(w in world()) {
+        let mut b = build(&w);
+        flood(&mut b, &w);
+        prop_assert!(b.overlay.check_invariants().is_ok());
+    }
+}

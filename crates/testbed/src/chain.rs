@@ -1,0 +1,201 @@
+//! The A→B→C chain and peer B's service-rate model.
+
+/// Peer A's maximum observed generation rate (§2.3): "Peer A is capable of
+/// reading the log file and sending out queries to peer B at a rate of
+/// around 29,000 per minute."
+pub const AGENT_MAX_RATE_QPM: u32 = 29_000;
+
+/// Peer B's saturation point (§2.3): "when the number of queries sent out
+/// from peer A to B is approaching 15,000 per minute, peer B started
+/// discarding queries."
+pub const PEER_B_CAPACITY_QPM: u32 = 15_000;
+
+/// A peer's query-processing cost model: per-query local index lookup plus
+/// forwarding cost. Capacity in queries/minute follows directly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PeerCapacityModel {
+    /// Local sharing-index lookup cost per query, microseconds. The paper
+    /// notes its testbed index was "almost empty, which reduces time for
+    /// local look up" — a populated index raises this.
+    pub lookup_us: f64,
+    /// Per-query forwarding cost (socket write, routing-table upkeep),
+    /// microseconds.
+    pub forward_us: f64,
+}
+
+impl PeerCapacityModel {
+    /// Model calibrated to the paper's GX300 measurement: 15,000 q/min
+    /// saturation means 4 ms total service time per query.
+    pub fn paper_gx300() -> Self {
+        // 2.5 ms lookup + 1.5 ms forward = 4 ms => 250 q/s => 15,000 q/min.
+        PeerCapacityModel { lookup_us: 2_500.0, forward_us: 1_500.0 }
+    }
+
+    /// Service capacity in queries per minute.
+    pub fn capacity_qpm(&self) -> u32 {
+        let per_query_us = self.lookup_us + self.forward_us;
+        assert!(per_query_us > 0.0, "service time must be positive");
+        (60.0e6 / per_query_us) as u32
+    }
+
+    /// Queries processed when `offered` queries/min arrive: a deterministic
+    /// loss system (D/D/1 with finite service rate — at these loads the
+    /// stochastic queueing correction is negligible, which is also why the
+    /// paper's measured knee is sharp).
+    pub fn processed(&self, offered: u32) -> u32 {
+        offered.min(self.capacity_qpm())
+    }
+
+    /// Fraction of offered queries dropped.
+    pub fn drop_rate(&self, offered: u32) -> f64 {
+        if offered == 0 {
+            return 0.0;
+        }
+        1.0 - self.processed(offered) as f64 / offered as f64
+    }
+}
+
+impl Default for PeerCapacityModel {
+    fn default() -> Self {
+        PeerCapacityModel::paper_gx300()
+    }
+}
+
+/// One sweep point of the chain experiment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChainPoint {
+    /// Queries/min peer A sent to B.
+    pub sent_qpm: u32,
+    /// Queries/min peer B processed and forwarded (what peer C counts).
+    pub processed_qpm: u32,
+    /// Queries/min peer B discarded.
+    pub dropped_qpm: u32,
+    /// Drop fraction at B.
+    pub drop_rate: f64,
+}
+
+/// The A→B→C sweep.
+///
+/// ```
+/// use ddp_testbed::ChainExperiment;
+///
+/// let chain = ChainExperiment::default();
+/// // Below the 15,000 q/min knee nothing is dropped...
+/// assert_eq!(chain.point(12_000).drop_rate, 0.0);
+/// // ...and at the agent's 29,000 q/min maximum, ~47% is (Figure 6).
+/// assert!((0.46..0.50).contains(&chain.point(29_000).drop_rate));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ChainExperiment {
+    /// Peer B's cost model.
+    pub peer_b: PeerCapacityModel,
+}
+
+impl ChainExperiment {
+    /// Run one offered rate.
+    pub fn point(&self, sent_qpm: u32) -> ChainPoint {
+        let processed = self.peer_b.processed(sent_qpm);
+        ChainPoint {
+            sent_qpm,
+            processed_qpm: processed,
+            dropped_qpm: sent_qpm - processed,
+            drop_rate: self.peer_b.drop_rate(sent_qpm),
+        }
+    }
+
+    /// Sweep a range of offered rates (the Figures 5/6 x-axis), from
+    /// 1,000/min up to `max_qpm` in `step` increments.
+    pub fn sweep(&self, max_qpm: u32, step: u32) -> Vec<ChainPoint> {
+        assert!(step > 0);
+        (1..=max_qpm / step).map(|i| self.point(i * step)).collect()
+    }
+
+    /// The paper's headline sweep: 1,000 .. 29,000 q/min in 1,000 steps.
+    pub fn paper_sweep(&self) -> Vec<ChainPoint> {
+        self.sweep(AGENT_MAX_RATE_QPM, 1_000)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gx300_capacity_is_15k() {
+        assert_eq!(PeerCapacityModel::paper_gx300().capacity_qpm(), PEER_B_CAPACITY_QPM);
+    }
+
+    #[test]
+    fn below_knee_everything_is_processed() {
+        // Figure 5's linear region.
+        let e = ChainExperiment::default();
+        for rate in [1_000u32, 5_000, 10_000, 14_000] {
+            let p = e.point(rate);
+            assert_eq!(p.processed_qpm, rate);
+            assert_eq!(p.drop_rate, 0.0);
+        }
+    }
+
+    #[test]
+    fn above_knee_processing_is_flat() {
+        // Figure 5's plateau.
+        let e = ChainExperiment::default();
+        for rate in [16_000u32, 20_000, 29_000] {
+            assert_eq!(e.point(rate).processed_qpm, PEER_B_CAPACITY_QPM);
+        }
+    }
+
+    #[test]
+    fn paper_terminal_drop_rate_is_about_47_percent() {
+        // §2.3: "When peer A sends queries to B as fast as it is capable of,
+        // 47% of the queries are dropped by peer B."
+        let e = ChainExperiment::default();
+        let p = e.point(AGENT_MAX_RATE_QPM);
+        assert!(
+            (0.46..0.50).contains(&p.drop_rate),
+            "terminal drop rate {} should be ~0.47",
+            p.drop_rate
+        );
+    }
+
+    #[test]
+    fn drop_rate_is_monotone_in_offered_load() {
+        // Figure 6's growth.
+        let e = ChainExperiment::default();
+        let pts = e.paper_sweep();
+        for w in pts.windows(2) {
+            assert!(w[1].drop_rate >= w[0].drop_rate);
+        }
+    }
+
+    #[test]
+    fn sweep_covers_the_requested_range() {
+        let pts = ChainExperiment::default().paper_sweep();
+        assert_eq!(pts.len(), 29);
+        assert_eq!(pts.first().unwrap().sent_qpm, 1_000);
+        assert_eq!(pts.last().unwrap().sent_qpm, 29_000);
+    }
+
+    #[test]
+    fn populated_index_lowers_capacity() {
+        // "Normally a peer's local index includes many contents; while in our
+        // experiment the local index is almost empty."
+        let loaded = PeerCapacityModel { lookup_us: 5_000.0, forward_us: 1_500.0 };
+        assert!(loaded.capacity_qpm() < PeerCapacityModel::paper_gx300().capacity_qpm());
+    }
+
+    #[test]
+    fn conservation_sent_equals_processed_plus_dropped() {
+        let e = ChainExperiment::default();
+        for p in e.paper_sweep() {
+            assert_eq!(p.sent_qpm, p.processed_qpm + p.dropped_qpm);
+        }
+    }
+
+    #[test]
+    fn zero_offered_load() {
+        let p = ChainExperiment::default().point(0);
+        assert_eq!(p.processed_qpm, 0);
+        assert_eq!(p.drop_rate, 0.0);
+    }
+}

@@ -1,0 +1,27 @@
+//! The §2.3 single-peer capacity testbed.
+//!
+//! The paper measures a three-peer LimeWire chain on a 100 Mbps LAN (Dell
+//! OptiPlex GX300, P3-733, 256 MB):
+//!
+//! * **Peer A** — the DDoS-agent prototype: replays queries from the 24-hour
+//!   monitoring-node trace at a configurable rate, "eventually ... at a rate
+//!   of around 29,000 per minute".
+//! * **Peer B** — a stock peer: for each received query it looks up its local
+//!   sharing index and forwards the query on; it "started discarding queries"
+//!   when the offered rate approached 15,000/minute, and dropped 47% of them
+//!   at A's maximum rate.
+//! * **Peer C** — a passive observer counting what B forwarded.
+//!
+//! We do not have the machines or the trace; [`PeerCapacityModel`] rebuilds
+//! the measurement as a deterministic service-rate model (lookup + forward
+//! cost per query) calibrated to the two published constants, and
+//! [`ChainExperiment`] replays the A→B→C sweep to regenerate Figures 5 and 6.
+//! [`collector`] emulates the trace-collection super-node.
+
+pub mod chain;
+pub mod collector;
+pub mod logfile;
+
+pub use chain::{ChainExperiment, ChainPoint, PeerCapacityModel};
+pub use collector::TraceCollector;
+pub use logfile::{parse_log, write_log, ReplayAgent};

@@ -1,0 +1,287 @@
+//! Topology generators substituting for BRITE (§3.5 of the paper).
+//!
+//! The paper's topologies have 20,000 peers, most with 3–4 neighbors, a few
+//! with tens, mean degree 6. [`barabasi_albert`] with `m = 3` reproduces this
+//! profile; [`waxman`] is the geometric model BRITE itself implements;
+//! [`erdos_renyi`] is a uniform control.
+
+use crate::{DynamicGraph, NodeId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Which generative model to use.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TopologyModel {
+    /// Preferential attachment with `m` edges per arriving node.
+    BarabasiAlbert { m: usize },
+    /// Waxman geometric random graph with parameters `alpha`, `beta`.
+    Waxman { alpha: f64, beta: f64 },
+    /// Uniform random graph with the requested mean degree.
+    ErdosRenyi { mean_degree: f64 },
+    /// Two-tier super-peer overlay (the paper's §1 notes flooding runs
+    /// "among peers or among super-peers"): a fraction of nodes form a
+    /// preferential-attachment core, every other node attaches to one core
+    /// member as a leaf.
+    SuperPeer { super_fraction: f64, core_m: usize },
+}
+
+impl Default for TopologyModel {
+    fn default() -> Self {
+        // Mean degree 2m = 6, minimum degree 3: the paper's profile.
+        TopologyModel::BarabasiAlbert { m: 3 }
+    }
+}
+
+/// Full description of a topology to generate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopologyConfig {
+    /// Number of peers.
+    pub n: usize,
+    /// Generative model.
+    pub model: TopologyModel,
+}
+
+impl Default for TopologyConfig {
+    fn default() -> Self {
+        TopologyConfig { n: 2_000, model: TopologyModel::default() }
+    }
+}
+
+impl TopologyConfig {
+    /// Paper-scale configuration: 20,000 peers (§3.5).
+    pub fn paper_scale() -> Self {
+        TopologyConfig { n: 20_000, model: TopologyModel::default() }
+    }
+
+    /// Generate the overlay with the given RNG.
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> DynamicGraph {
+        let g = match self.model {
+            TopologyModel::BarabasiAlbert { m } => barabasi_albert(self.n, m, rng),
+            TopologyModel::Waxman { alpha, beta } => waxman(self.n, alpha, beta, rng),
+            TopologyModel::ErdosRenyi { mean_degree } => erdos_renyi(self.n, mean_degree, rng),
+            TopologyModel::SuperPeer { super_fraction, core_m } => {
+                super_peer(self.n, super_fraction, core_m, rng)
+            }
+        };
+        debug_assert!(g.check_invariants().is_ok());
+        g
+    }
+}
+
+/// Barabási–Albert preferential attachment.
+///
+/// Starts from an `m + 1`-clique; each arriving node attaches to `m` distinct
+/// existing nodes sampled proportionally to their current degree (implemented
+/// with the repeated-endpoints trick: every half-edge endpoint is recorded
+/// once, so a uniform draw over endpoints is a degree-proportional draw over
+/// nodes). The result is connected with minimum degree `m`, mean degree
+/// `≈ 2m`, and a power-law tail ("a few peers have tens of neighbors").
+pub fn barabasi_albert<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> DynamicGraph {
+    assert!(m >= 1, "m must be at least 1");
+    assert!(n > m, "need more nodes than attachment edges");
+    let mut g = DynamicGraph::new(n);
+    // Seed clique over nodes 0..=m.
+    let mut endpoints: Vec<NodeId> = Vec::with_capacity(2 * m * n);
+    for u in 0..=m {
+        for v in (u + 1)..=m {
+            g.add_edge(NodeId::from_index(u), NodeId::from_index(v));
+            endpoints.push(NodeId::from_index(u));
+            endpoints.push(NodeId::from_index(v));
+        }
+    }
+    let mut chosen: Vec<NodeId> = Vec::with_capacity(m);
+    for u in (m + 1)..n {
+        let u = NodeId::from_index(u);
+        chosen.clear();
+        // Rejection-sample m distinct degree-proportional targets.
+        while chosen.len() < m {
+            let t = endpoints[rng.gen_range(0..endpoints.len())];
+            if !chosen.contains(&t) {
+                chosen.push(t);
+            }
+        }
+        for &t in &chosen {
+            g.add_edge(u, t);
+            endpoints.push(u);
+            endpoints.push(t);
+        }
+    }
+    g
+}
+
+/// Waxman geometric random graph (the model BRITE natively implements).
+///
+/// Nodes are placed uniformly in the unit square; the edge `{u, v}` exists
+/// with probability `alpha * exp(-d(u, v) / (beta * L))` where `L = sqrt(2)`
+/// is the maximal distance. Components are stitched together afterwards so
+/// the overlay is connected (an unconnected overlay cannot carry flooding
+/// search at all).
+pub fn waxman<R: Rng + ?Sized>(n: usize, alpha: f64, beta: f64, rng: &mut R) -> DynamicGraph {
+    assert!(n >= 2);
+    assert!(alpha > 0.0 && beta > 0.0);
+    let pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+    let l = std::f64::consts::SQRT_2;
+    let mut g = DynamicGraph::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let dx = pts[u].0 - pts[v].0;
+            let dy = pts[u].1 - pts[v].1;
+            let d = (dx * dx + dy * dy).sqrt();
+            let p = alpha * (-d / (beta * l)).exp();
+            if rng.gen::<f64>() < p {
+                g.add_edge(NodeId::from_index(u), NodeId::from_index(v));
+            }
+        }
+    }
+    connect_components(&mut g, rng);
+    g
+}
+
+/// Uniform random graph with expected mean degree `mean_degree`, stitched to
+/// be connected.
+pub fn erdos_renyi<R: Rng + ?Sized>(n: usize, mean_degree: f64, rng: &mut R) -> DynamicGraph {
+    assert!(n >= 2);
+    assert!(mean_degree > 0.0);
+    let mut g = DynamicGraph::new(n);
+    // Expected number of edges: n * mean_degree / 2. Sample that many random
+    // pairs; duplicates are rejected by add_edge, which slightly lowers the
+    // realized degree — acceptable for a control topology.
+    let target = ((n as f64) * mean_degree / 2.0).round() as usize;
+    let mut added = 0usize;
+    let mut attempts = 0usize;
+    while added < target && attempts < target * 20 {
+        attempts += 1;
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if g.add_edge(NodeId::from_index(u), NodeId::from_index(v)) {
+            added += 1;
+        }
+    }
+    connect_components(&mut g, rng);
+    g
+}
+
+/// Two-tier super-peer overlay: `super_fraction` of the nodes form a BA
+/// core (ids `0..s`), the rest attach as leaves to one uniformly random
+/// super each. Flooding then effectively happens among the supers, with
+/// leaves as sources/sinks — the architecture §1 describes for modern
+/// Gnutella/FastTrack deployments.
+pub fn super_peer<R: Rng + ?Sized>(
+    n: usize,
+    super_fraction: f64,
+    core_m: usize,
+    rng: &mut R,
+) -> DynamicGraph {
+    assert!((0.0..=1.0).contains(&super_fraction));
+    let supers = ((n as f64 * super_fraction).round() as usize).clamp(core_m + 1, n);
+    let mut g = barabasi_albert(supers, core_m, rng);
+    for _ in supers..n {
+        let leaf = g.add_node();
+        let hub = NodeId::from_index(rng.gen_range(0..supers));
+        g.add_edge(leaf, hub);
+    }
+    g
+}
+
+/// Stitch disconnected components together with random inter-component edges.
+fn connect_components<R: Rng + ?Sized>(g: &mut DynamicGraph, rng: &mut R) {
+    let comps = crate::stats::connected_components(g);
+    if comps.len() <= 1 {
+        return;
+    }
+    // Link a random member of each subsequent component to a random member of
+    // the first (giant) component.
+    let mut reps: Vec<Vec<NodeId>> = comps;
+    reps.sort_by_key(|c| std::cmp::Reverse(c.len()));
+    let giant = reps[0].clone();
+    for comp in reps.iter().skip(1) {
+        let a = *comp.choose(rng).expect("non-empty component");
+        let b = *giant.choose(rng).expect("non-empty giant component");
+        g.add_edge(a, b);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ba_has_paper_degree_profile() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let g = barabasi_albert(2_000, 3, &mut rng);
+        let mean = stats::mean_degree(&g);
+        assert!((5.5..6.5).contains(&mean), "mean degree {mean} should be ~6");
+        // Minimum degree is m = 3.
+        let min = (0..g.node_count()).map(|u| g.degree(NodeId::from_index(u))).min().unwrap();
+        assert_eq!(min, 3);
+        // Power-law tail: someone has "tens of direct neighbors".
+        let max = (0..g.node_count()).map(|u| g.degree(NodeId::from_index(u))).max().unwrap();
+        assert!(max >= 20, "max degree {max} should reach tens");
+        assert_eq!(stats::connected_components(&g).len(), 1);
+    }
+
+    #[test]
+    fn ba_most_peers_have_3_or_4_neighbors() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let g = barabasi_albert(2_000, 3, &mut rng);
+        let small = (0..g.node_count())
+            .filter(|&u| matches!(g.degree(NodeId::from_index(u)), 3 | 4))
+            .count();
+        assert!(
+            small * 2 > g.node_count(),
+            "expected majority of peers with degree 3-4, got {small}/{}",
+            g.node_count()
+        );
+    }
+
+    #[test]
+    fn waxman_is_connected() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let g = waxman(300, 0.15, 0.15, &mut rng);
+        assert_eq!(stats::connected_components(&g).len(), 1);
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn erdos_renyi_mean_degree_close() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = erdos_renyi(2_000, 6.0, &mut rng);
+        let mean = stats::mean_degree(&g);
+        assert!((5.0..7.0).contains(&mean), "mean degree {mean}");
+        assert_eq!(stats::connected_components(&g).len(), 1);
+    }
+
+    #[test]
+    fn generators_are_deterministic_per_seed() {
+        let g1 = TopologyConfig::default().generate(&mut StdRng::seed_from_u64(42));
+        let g2 = TopologyConfig::default().generate(&mut StdRng::seed_from_u64(42));
+        let e1: Vec<_> = g1.edges().collect();
+        let e2: Vec<_> = g2.edges().collect();
+        assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn super_peer_has_two_tiers() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let g = super_peer(1_000, 0.2, 3, &mut rng);
+        assert_eq!(g.node_count(), 1_000);
+        assert_eq!(stats::connected_components(&g).len(), 1);
+        // Leaves (ids 200..1000) have degree exactly 1.
+        for leaf in 200..1_000 {
+            assert_eq!(g.degree(NodeId(leaf as u32)), 1, "leaf {leaf}");
+        }
+        // The core keeps the BA profile: min degree m, hubs exist.
+        let core_max =
+            (0..200).map(|u| g.degree(NodeId(u as u32))).max().unwrap();
+        assert!(core_max >= 15, "core hub degree {core_max}");
+    }
+
+    #[test]
+    fn paper_scale_config() {
+        let c = TopologyConfig::paper_scale();
+        assert_eq!(c.n, 20_000);
+    }
+}

@@ -1,0 +1,158 @@
+//! Compact CSR (compressed sparse row) snapshot of an undirected graph.
+//!
+//! Used for read-only analysis (degree statistics, connectivity, reach
+//! estimation). The simulator itself works on [`crate::DynamicGraph`].
+
+use crate::NodeId;
+
+/// An immutable undirected graph in CSR form.
+///
+/// Each undirected edge `{u, v}` appears twice in the adjacency array, once
+/// under `u` and once under `v`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Graph {
+    offsets: Vec<u32>,
+    adjacency: Vec<NodeId>,
+}
+
+impl Graph {
+    /// Build a CSR graph from an undirected edge list over `n` nodes.
+    ///
+    /// Self-loops are rejected; duplicate edges are deduplicated.
+    ///
+    /// # Panics
+    /// Panics if an endpoint is out of range `0..n`.
+    pub fn from_edges(n: usize, edges: &[(NodeId, NodeId)]) -> Self {
+        let mut pairs: Vec<(u32, u32)> = Vec::with_capacity(edges.len() * 2);
+        for &(u, v) in edges {
+            assert!(u.index() < n && v.index() < n, "edge endpoint out of range");
+            if u == v {
+                continue; // logical overlays have no self-connections
+            }
+            pairs.push((u.0, v.0));
+            pairs.push((v.0, u.0));
+        }
+        pairs.sort_unstable();
+        pairs.dedup();
+
+        let mut offsets = vec![0u32; n + 1];
+        for &(u, _) in &pairs {
+            offsets[u as usize + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let adjacency = pairs.into_iter().map(|(_, v)| NodeId(v)).collect();
+        Graph { offsets, adjacency }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.adjacency.len() / 2
+    }
+
+    /// Neighbors of `u`, sorted ascending.
+    #[inline]
+    pub fn neighbors(&self, u: NodeId) -> &[NodeId] {
+        let lo = self.offsets[u.index()] as usize;
+        let hi = self.offsets[u.index() + 1] as usize;
+        &self.adjacency[lo..hi]
+    }
+
+    /// Degree of `u`.
+    #[inline]
+    pub fn degree(&self, u: NodeId) -> usize {
+        self.neighbors(u).len()
+    }
+
+    /// Whether the undirected edge `{u, v}` exists.
+    pub fn contains_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Iterate each undirected edge once, as `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        (0..self.node_count()).flat_map(move |u| {
+            let u = NodeId::from_index(u);
+            self.neighbors(u)
+                .iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
+        })
+    }
+
+    /// All node ids `0..n`.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.node_count()).map(NodeId::from_index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nid(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn from_edges_builds_symmetric_adjacency() {
+        let g = Graph::from_edges(4, &[(nid(0), nid(1)), (nid(1), nid(2)), (nid(0), nid(3))]);
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.neighbors(nid(0)), &[nid(1), nid(3)]);
+        assert_eq!(g.neighbors(nid(1)), &[nid(0), nid(2)]);
+        assert_eq!(g.neighbors(nid(2)), &[nid(1)]);
+        assert_eq!(g.neighbors(nid(3)), &[nid(0)]);
+    }
+
+    #[test]
+    fn duplicate_edges_are_deduplicated() {
+        let g = Graph::from_edges(3, &[(nid(0), nid(1)), (nid(1), nid(0)), (nid(0), nid(1))]);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.degree(nid(0)), 1);
+    }
+
+    #[test]
+    fn self_loops_are_dropped() {
+        let g = Graph::from_edges(2, &[(nid(0), nid(0)), (nid(0), nid(1))]);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.neighbors(nid(0)), &[nid(1)]);
+    }
+
+    #[test]
+    fn contains_edge_is_symmetric() {
+        let g = Graph::from_edges(3, &[(nid(0), nid(2))]);
+        assert!(g.contains_edge(nid(0), nid(2)));
+        assert!(g.contains_edge(nid(2), nid(0)));
+        assert!(!g.contains_edge(nid(0), nid(1)));
+    }
+
+    #[test]
+    fn edges_iterates_each_edge_once() {
+        let g = Graph::from_edges(4, &[(nid(0), nid(1)), (nid(1), nid(2)), (nid(2), nid(3))]);
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(nid(0), nid(1)), (nid(1), nid(2)), (nid(2), nid(3))]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::from_edges(0, &[]);
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_endpoint_panics() {
+        let _ = Graph::from_edges(2, &[(nid(0), nid(5))]);
+    }
+}

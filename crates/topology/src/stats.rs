@@ -1,0 +1,188 @@
+//! Graph statistics used for topology validation and reach estimation.
+
+use crate::{DynamicGraph, NodeId};
+use std::collections::VecDeque;
+
+/// Mean degree over all node slots.
+pub fn mean_degree(g: &DynamicGraph) -> f64 {
+    if g.node_count() == 0 {
+        return 0.0;
+    }
+    (2 * g.edge_count()) as f64 / g.node_count() as f64
+}
+
+/// Degree histogram: `hist[d]` = number of nodes with degree `d`.
+pub fn degree_histogram(g: &DynamicGraph) -> Vec<usize> {
+    let mut hist = Vec::new();
+    for u in 0..g.node_count() {
+        let d = g.degree(NodeId::from_index(u));
+        if d >= hist.len() {
+            hist.resize(d + 1, 0);
+        }
+        hist[d] += 1;
+    }
+    hist
+}
+
+/// Connected components, each as a list of node ids. Isolated nodes form
+/// singleton components.
+pub fn connected_components(g: &DynamicGraph) -> Vec<Vec<NodeId>> {
+    let n = g.node_count();
+    let mut seen = vec![false; n];
+    let mut comps = Vec::new();
+    let mut queue = VecDeque::new();
+    for start in 0..n {
+        if seen[start] {
+            continue;
+        }
+        seen[start] = true;
+        let mut comp = vec![NodeId::from_index(start)];
+        queue.push_back(NodeId::from_index(start));
+        while let Some(u) = queue.pop_front() {
+            for h in g.neighbors(u) {
+                if !seen[h.peer.index()] {
+                    seen[h.peer.index()] = true;
+                    comp.push(h.peer);
+                    queue.push_back(h.peer);
+                }
+            }
+        }
+        comps.push(comp);
+    }
+    comps
+}
+
+/// Number of nodes reachable from `src` within `ttl` hops (excluding `src`).
+///
+/// This is the maximal audience of a TTL-limited flooded query and is used to
+/// calibrate simulation TTLs so that the unattacked network is not saturated.
+pub fn reach_within(g: &DynamicGraph, src: NodeId, ttl: usize) -> usize {
+    let n = g.node_count();
+    let mut dist = vec![u32::MAX; n];
+    dist[src.index()] = 0;
+    let mut queue = VecDeque::new();
+    queue.push_back(src);
+    let mut count = 0usize;
+    while let Some(u) = queue.pop_front() {
+        let d = dist[u.index()];
+        if d as usize >= ttl {
+            continue;
+        }
+        for h in g.neighbors(u) {
+            if dist[h.peer.index()] == u32::MAX {
+                dist[h.peer.index()] = d + 1;
+                count += 1;
+                queue.push_back(h.peer);
+            }
+        }
+    }
+    count
+}
+
+/// Eccentricity of `src` (longest shortest path from it) within its component.
+pub fn eccentricity(g: &DynamicGraph, src: NodeId) -> usize {
+    let n = g.node_count();
+    let mut dist = vec![u32::MAX; n];
+    dist[src.index()] = 0;
+    let mut queue = VecDeque::new();
+    queue.push_back(src);
+    let mut ecc = 0usize;
+    while let Some(u) = queue.pop_front() {
+        let d = dist[u.index()];
+        ecc = ecc.max(d as usize);
+        for h in g.neighbors(u) {
+            if dist[h.peer.index()] == u32::MAX {
+                dist[h.peer.index()] = d + 1;
+                queue.push_back(h.peer);
+            }
+        }
+    }
+    ecc
+}
+
+/// Lower bound of the diameter via the classic double-BFS sweep.
+pub fn diameter_estimate(g: &DynamicGraph) -> usize {
+    if g.node_count() == 0 {
+        return 0;
+    }
+    // BFS from node 0, find the farthest node, BFS again from there.
+    let far = farthest_from(g, NodeId(0)).0;
+    eccentricity(g, far)
+}
+
+fn farthest_from(g: &DynamicGraph, src: NodeId) -> (NodeId, usize) {
+    let n = g.node_count();
+    let mut dist = vec![u32::MAX; n];
+    dist[src.index()] = 0;
+    let mut queue = VecDeque::new();
+    queue.push_back(src);
+    let mut best = (src, 0usize);
+    while let Some(u) = queue.pop_front() {
+        let d = dist[u.index()] as usize;
+        if d > best.1 {
+            best = (u, d);
+        }
+        for h in g.neighbors(u) {
+            if dist[h.peer.index()] == u32::MAX {
+                dist[h.peer.index()] = dist[u.index()] + 1;
+                queue.push_back(h.peer);
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph(n: usize) -> DynamicGraph {
+        let mut g = DynamicGraph::new(n);
+        for i in 0..n - 1 {
+            g.add_edge(NodeId::from_index(i), NodeId::from_index(i + 1));
+        }
+        g
+    }
+
+    #[test]
+    fn mean_degree_of_path() {
+        let g = path_graph(5);
+        assert!((mean_degree(&g) - 1.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degree_histogram_of_star() {
+        let mut g = DynamicGraph::new(5);
+        for v in 1..5 {
+            g.add_edge(NodeId(0), NodeId(v as u32));
+        }
+        let hist = degree_histogram(&g);
+        assert_eq!(hist[1], 4);
+        assert_eq!(hist[4], 1);
+    }
+
+    #[test]
+    fn components_of_disconnected_graph() {
+        let mut g = DynamicGraph::new(5);
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(2), NodeId(3));
+        let comps = connected_components(&g);
+        assert_eq!(comps.len(), 3); // {0,1}, {2,3}, {4}
+    }
+
+    #[test]
+    fn reach_within_ttl_on_path() {
+        let g = path_graph(10);
+        assert_eq!(reach_within(&g, NodeId(0), 3), 3);
+        assert_eq!(reach_within(&g, NodeId(5), 2), 4);
+        assert_eq!(reach_within(&g, NodeId(0), 0), 0);
+        assert_eq!(reach_within(&g, NodeId(0), 100), 9);
+    }
+
+    #[test]
+    fn diameter_of_path() {
+        let g = path_graph(7);
+        assert_eq!(diameter_estimate(&g), 6);
+        assert_eq!(eccentricity(&g, NodeId(3)), 3);
+    }
+}

@@ -1,0 +1,60 @@
+//! Property-based tests for the dynamic graph's reciprocal-index invariant.
+
+use ddp_topology::{DynamicGraph, NodeId};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    AddEdge(u32, u32),
+    RemoveEdge(u32, u32),
+    Isolate(u32),
+}
+
+fn op_strategy(n: u32) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (0..n, 0..n).prop_map(|(u, v)| Op::AddEdge(u, v)),
+        2 => (0..n, 0..n).prop_map(|(u, v)| Op::RemoveEdge(u, v)),
+        1 => (0..n).prop_map(Op::Isolate),
+    ]
+}
+
+proptest! {
+    /// Any interleaving of add/remove/isolate keeps twin pointers, edge
+    /// counts, and dedup invariants intact.
+    #[test]
+    fn dynamic_graph_invariants_hold(ops in proptest::collection::vec(op_strategy(24), 1..200)) {
+        let mut g = DynamicGraph::new(24);
+        for op in ops {
+            match op {
+                Op::AddEdge(u, v) => { g.add_edge(NodeId(u), NodeId(v)); }
+                Op::RemoveEdge(u, v) => { g.remove_edge(NodeId(u), NodeId(v)); }
+                Op::Isolate(u) => { g.isolate(NodeId(u)); }
+            }
+            prop_assert!(g.check_invariants().is_ok(), "{:?}", g.check_invariants());
+        }
+    }
+
+    /// The CSR snapshot agrees with the dynamic graph on every edge.
+    #[test]
+    fn snapshot_agrees(ops in proptest::collection::vec(op_strategy(16), 1..100)) {
+        let mut g = DynamicGraph::new(16);
+        for op in ops {
+            match op {
+                Op::AddEdge(u, v) => { g.add_edge(NodeId(u), NodeId(v)); }
+                Op::RemoveEdge(u, v) => { g.remove_edge(NodeId(u), NodeId(v)); }
+                Op::Isolate(u) => { g.isolate(NodeId(u)); }
+            }
+        }
+        let csr = g.to_graph();
+        prop_assert_eq!(csr.edge_count(), g.edge_count());
+        for u in 0..16u32 {
+            for v in 0..16u32 {
+                if u == v { continue; }
+                prop_assert_eq!(
+                    csr.contains_edge(NodeId(u), NodeId(v)),
+                    g.contains_edge(NodeId(u), NodeId(v))
+                );
+            }
+        }
+    }
+}

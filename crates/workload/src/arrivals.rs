@@ -1,0 +1,138 @@
+//! Query arrival process.
+//!
+//! §3.5: "every node issues 0.3 queries per minute, which is calculated from
+//! the observation data shown in \[16\], i.e., 12,805 unique IP addresses
+//! issued 1,146,782 queries in 5 hours." (1,146,782 / 12,805 / 300 min ≈ 0.3.)
+//!
+//! Arrivals are Poisson per peer per tick. For large populations the
+//! per-peer draws are the hot path of workload generation, so a small
+//! inverse-CDF Poisson sampler (Knuth) is implemented directly; `rand`'s
+//! distribution machinery would work too, but this keeps the dependency
+//! surface to `Rng` alone.
+
+use rand::Rng;
+
+/// Rate constant the paper derives from the Gnutella trace.
+pub const PAPER_QUERIES_PER_MIN: f64 = 0.3;
+
+/// Good-peer upper bound: "a good peer will not issue more than 10 queries
+/// per minute" (§2.2; humans cannot type faster than ~1 query/second).
+pub const GOOD_PEER_MAX_QPM: u32 = 10;
+
+/// Poisson query arrivals with a per-peer rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryArrivals {
+    /// Mean queries per peer per minute.
+    pub rate_qpm: f64,
+}
+
+impl Default for QueryArrivals {
+    fn default() -> Self {
+        QueryArrivals { rate_qpm: PAPER_QUERIES_PER_MIN }
+    }
+}
+
+impl QueryArrivals {
+    /// New arrival process with the given per-minute rate.
+    pub fn new(rate_qpm: f64) -> Self {
+        assert!(rate_qpm >= 0.0 && rate_qpm.is_finite());
+        QueryArrivals { rate_qpm }
+    }
+
+    /// Number of queries one peer issues in one tick (minute).
+    ///
+    /// Clamped to [`GOOD_PEER_MAX_QPM`]: by the paper's Definition 2.x a good
+    /// peer never exceeds `q = 10` queries/minute, so the workload generator
+    /// must respect the same bound.
+    #[inline]
+    pub fn sample_tick<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        poisson(self.rate_qpm, rng).min(GOOD_PEER_MAX_QPM)
+    }
+
+    /// Total queries issued by `n` peers in one tick, drawn as a single
+    /// Poisson with rate `n * rate` (exact by Poisson additivity; used when
+    /// individual attribution is sampled separately).
+    pub fn sample_aggregate<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> u32 {
+        poisson(self.rate_qpm * n as f64, rng)
+    }
+}
+
+/// Draw from Poisson(lambda).
+///
+/// Knuth's product method for small lambda; for large lambda, a normal
+/// approximation with continuity correction (error negligible above ~30).
+pub fn poisson<R: Rng + ?Sized>(lambda: f64, rng: &mut R) -> u32 {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    if lambda < 30.0 {
+        let limit = (-lambda).exp();
+        let mut product: f64 = rng.gen();
+        let mut count = 0u32;
+        while product > limit {
+            product *= rng.gen::<f64>();
+            count += 1;
+        }
+        count
+    } else {
+        // Box-Muller normal approximation.
+        let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        let u2: f64 = rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        (lambda + lambda.sqrt() * z + 0.5).max(0.0) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_rate_yields_zero() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = QueryArrivals::new(0.0);
+        for _ in 0..100 {
+            assert_eq!(a.sample_tick(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn small_lambda_mean_matches() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = QueryArrivals::default();
+        let draws = 100_000;
+        let total: u64 = (0..draws).map(|_| a.sample_tick(&mut rng) as u64).sum();
+        let mean = total as f64 / draws as f64;
+        assert!((0.28..0.32).contains(&mean), "mean {mean} should be ~0.3");
+    }
+
+    #[test]
+    fn large_lambda_mean_matches() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let draws = 20_000;
+        let total: u64 = (0..draws).map(|_| poisson(200.0, &mut rng) as u64).sum();
+        let mean = total as f64 / draws as f64;
+        assert!((197.0..203.0).contains(&mean), "mean {mean} should be ~200");
+    }
+
+    #[test]
+    fn good_peer_bound_enforced() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let a = QueryArrivals::new(50.0); // absurd rate still clamps
+        for _ in 0..1000 {
+            assert!(a.sample_tick(&mut rng) <= GOOD_PEER_MAX_QPM);
+        }
+    }
+
+    #[test]
+    fn aggregate_matches_sum_of_rates() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = QueryArrivals::default();
+        let draws = 5_000;
+        let total: u64 = (0..draws).map(|_| a.sample_aggregate(1000, &mut rng) as u64).sum();
+        let mean = total as f64 / draws as f64;
+        assert!((295.0..305.0).contains(&mean), "aggregate mean {mean} ~300");
+    }
+}

@@ -1,0 +1,170 @@
+//! Peer bottleneck-bandwidth classes and link capacities.
+//!
+//! §3.5: "We assign bandwidth to each link based on the observations in \[19\],
+//! which show that 78% of the participating peers have downstream bottleneck
+//! bandwidths of at least 100 Kbps, and 22% of the participating peers have
+//! upstream bottleneck bandwidths of 100 Kbps or less." The attack rate is
+//! then "Q_d = min{20,000, the capacity of the link}" queries per minute.
+//!
+//! To convert bits/s into queries/min we need a per-query wire size; a
+//! Gnutella query is the 23-byte header plus a search string, plus TCP/IP
+//! framing, acknowledgements, and the keep-alive/overhead share of the
+//! connection — we budget 500 bytes per query, making 100 Kbps ≈ 1,500
+//! queries/min. Low-bandwidth attackers are then link-capped well below
+//! 20,000 (the regime `Q_d = min{20000, link}` is written for), and a
+//! dial-up agent's observable rate lands in the ambiguous zone that makes
+//! the paper's cut-threshold tradeoff real (Figure 13's rising false
+//! positives are exactly these marginal agents escaping at high CT).
+
+use rand::Rng;
+
+/// Effective wire budget of one query message (header + criteria + TCP/IP
+/// framing + connection overhead share).
+pub const QUERY_WIRE_BYTES: u32 = 500;
+
+/// A peer's bottleneck bandwidth class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BandwidthClass {
+    /// Dial-up / modem-class: 56 Kbps down, 56 Kbps up.
+    Dialup,
+    /// Asymmetric broadband: 768 Kbps down, 128 Kbps up.
+    Dsl,
+    /// Cable-class: 3 Mbps down, 400 Kbps up.
+    Cable,
+    /// Campus / office Ethernet: 10 Mbps symmetric.
+    Ethernet,
+}
+
+impl BandwidthClass {
+    /// Downstream bottleneck in Kbps.
+    pub fn down_kbps(self) -> u32 {
+        match self {
+            BandwidthClass::Dialup => 56,
+            BandwidthClass::Dsl => 768,
+            BandwidthClass::Cable => 3_000,
+            BandwidthClass::Ethernet => 10_000,
+        }
+    }
+
+    /// Upstream bottleneck in Kbps.
+    pub fn up_kbps(self) -> u32 {
+        match self {
+            BandwidthClass::Dialup => 56,
+            BandwidthClass::Dsl => 128,
+            BandwidthClass::Cable => 400,
+            BandwidthClass::Ethernet => 10_000,
+        }
+    }
+}
+
+/// Converts Kbps to whole queries per minute at [`QUERY_WIRE_BYTES`].
+pub fn kbps_to_qpm(kbps: u32) -> u32 {
+    // kbps * 1000 bits/s * 60 s / 8 bits-per-byte / bytes-per-query
+    ((kbps as u64) * 1000 * 60 / 8 / QUERY_WIRE_BYTES as u64) as u32
+}
+
+/// Population model assigning bandwidth classes to peers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BandwidthModel {
+    /// `(class, weight)` pairs; weights need not sum to 1.
+    pub mix: Vec<(BandwidthClass, f64)>,
+}
+
+impl Default for BandwidthModel {
+    fn default() -> Self {
+        // Saroiu-style population: 22% of peers are upstream-constrained
+        // (dial-up), the rest broadband of increasing quality.
+        BandwidthModel {
+            mix: vec![
+                (BandwidthClass::Dialup, 0.22),
+                (BandwidthClass::Dsl, 0.35),
+                (BandwidthClass::Cable, 0.28),
+                (BandwidthClass::Ethernet, 0.15),
+            ],
+        }
+    }
+}
+
+impl BandwidthModel {
+    /// Sample one peer's class.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> BandwidthClass {
+        let total: f64 = self.mix.iter().map(|(_, w)| w).sum();
+        let mut u = rng.gen::<f64>() * total;
+        for &(class, w) in &self.mix {
+            if u < w {
+                return class;
+            }
+            u -= w;
+        }
+        self.mix.last().expect("non-empty mix").0
+    }
+
+    /// Capacity in queries/min of the directed link `sender -> receiver`:
+    /// the minimum of the sender's upstream and the receiver's downstream.
+    pub fn link_capacity_qpm(sender: BandwidthClass, receiver: BandwidthClass) -> u32 {
+        kbps_to_qpm(sender.up_kbps().min(receiver.down_kbps()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn kbps_conversion() {
+        // 100 Kbps = 100_000 bits/s = 12_500 B/s = 25 queries/s = 1_500/min.
+        assert_eq!(kbps_to_qpm(100), 1_500);
+        assert_eq!(kbps_to_qpm(0), 0);
+    }
+
+    #[test]
+    fn dialup_agents_are_ct_marginal() {
+        // 56 Kbps uplink = 840 q/min: above the 500 q/min warning threshold
+        // (so still investigated) but with a single-indicator magnitude of
+        // ~8 at q = 100 — inside the paper's CT grid, which is what makes
+        // Figure 13's false-positive curve rise with CT.
+        let qpm = kbps_to_qpm(BandwidthClass::Dialup.up_kbps());
+        assert_eq!(qpm, 840);
+        assert!(qpm > 500 && qpm < 1_200);
+    }
+
+    #[test]
+    fn dialup_caps_the_attack_rate() {
+        // A dial-up attacker cannot push 20,000 q/min: Q_d = min(20000, link).
+        let cap = BandwidthModel::link_capacity_qpm(BandwidthClass::Dialup, BandwidthClass::Ethernet);
+        assert!(cap < 20_000, "dialup uplink {cap} must be below 20k");
+        let fast = BandwidthModel::link_capacity_qpm(BandwidthClass::Ethernet, BandwidthClass::Ethernet);
+        assert!(fast > 20_000, "ethernet link {fast} must exceed 20k");
+    }
+
+    #[test]
+    fn link_capacity_is_min_of_endpoints() {
+        let c = BandwidthModel::link_capacity_qpm(BandwidthClass::Cable, BandwidthClass::Dialup);
+        assert_eq!(c, kbps_to_qpm(56)); // receiver's 56 Kbps downstream binds
+        let c2 = BandwidthModel::link_capacity_qpm(BandwidthClass::Dsl, BandwidthClass::Cable);
+        assert_eq!(c2, kbps_to_qpm(128)); // sender's 128 Kbps upstream binds
+    }
+
+    #[test]
+    fn population_mix_roughly_matches_weights() {
+        let m = BandwidthModel::default();
+        let mut rng = StdRng::seed_from_u64(8);
+        let draws = 100_000;
+        let dialups = (0..draws)
+            .filter(|_| m.sample(&mut rng) == BandwidthClass::Dialup)
+            .count();
+        let frac = dialups as f64 / draws as f64;
+        assert!((0.21..0.23).contains(&frac), "dialup fraction {frac} ~ 0.22");
+    }
+
+    #[test]
+    fn class_tables_are_monotone() {
+        use BandwidthClass::*;
+        assert!(Dialup.up_kbps() <= Dsl.up_kbps());
+        assert!(Dsl.up_kbps() <= Cable.up_kbps());
+        assert!(Cable.up_kbps() <= Ethernet.up_kbps());
+        assert!(Dialup.down_kbps() <= Dsl.down_kbps());
+    }
+}

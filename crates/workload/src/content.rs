@@ -1,0 +1,186 @@
+//! Shared-content catalog: which peer holds which objects.
+//!
+//! Substitute for the KaZaA file-sharing workload the paper draws its
+//! settings from (Gummadi et al., SOSP'03): object popularity is Zipf, and a
+//! peer's shared library is a Zipf sample of the catalog, so popular objects
+//! end up replicated on many peers and unpopular ones on few — exactly the
+//! property that makes flooding search succeed quickly for popular content
+//! and makes success rate sensitive to message drops for the tail.
+
+use crate::zipf::Zipf;
+use ddp_topology::NodeId;
+use rand::Rng;
+
+/// Identifier of a shared object (rank in the catalog; 0 = most popular).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ObjectId(pub u32);
+
+/// The catalog: per-peer sorted object lists plus the query popularity law.
+#[derive(Debug, Clone)]
+pub struct ContentCatalog {
+    /// Per-node sorted list of held object ids.
+    libraries: Vec<Vec<u32>>,
+    /// Popularity law used to draw query targets.
+    query_popularity: Zipf,
+    num_objects: usize,
+}
+
+/// Configuration for catalog generation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContentConfig {
+    /// Total distinct objects in the system.
+    pub num_objects: usize,
+    /// Objects held per peer (library size).
+    pub objects_per_peer: usize,
+    /// Zipf exponent for both replication and query popularity.
+    pub alpha: f64,
+}
+
+impl Default for ContentConfig {
+    fn default() -> Self {
+        // 10k distinct objects, 50 per peer, alpha 0.8 (classic P2P fit).
+        ContentConfig { num_objects: 10_000, objects_per_peer: 50, alpha: 0.8 }
+    }
+}
+
+impl ContentCatalog {
+    /// Generate libraries for `n` peers.
+    pub fn generate<R: Rng + ?Sized>(n: usize, cfg: &ContentConfig, rng: &mut R) -> Self {
+        let pop = Zipf::new(cfg.num_objects, cfg.alpha);
+        let mut libraries = Vec::with_capacity(n);
+        for _ in 0..n {
+            libraries.push(Self::sample_library(&pop, cfg.objects_per_peer, rng));
+        }
+        ContentCatalog { libraries, query_popularity: pop, num_objects: cfg.num_objects }
+    }
+
+    fn sample_library<R: Rng + ?Sized>(pop: &Zipf, size: usize, rng: &mut R) -> Vec<u32> {
+        let mut lib: Vec<u32> = Vec::with_capacity(size);
+        // Rejection-sample distinct objects; libraries are tiny relative to
+        // the catalog so rejection is rare.
+        while lib.len() < size {
+            let o = pop.sample(rng) as u32;
+            if !lib.contains(&o) {
+                lib.push(o);
+            }
+        }
+        lib.sort_unstable();
+        lib
+    }
+
+    /// Generate the library for one newly joined peer, replacing `node`'s.
+    pub fn regenerate_library<R: Rng + ?Sized>(
+        &mut self,
+        node: NodeId,
+        size: usize,
+        rng: &mut R,
+    ) {
+        let lib = Self::sample_library(&self.query_popularity, size, rng);
+        if node.index() >= self.libraries.len() {
+            self.libraries.resize(node.index() + 1, Vec::new());
+        }
+        self.libraries[node.index()] = lib;
+    }
+
+    /// Does `node` hold `object`? O(log library size).
+    #[inline]
+    pub fn holds(&self, node: NodeId, object: ObjectId) -> bool {
+        self.libraries
+            .get(node.index())
+            .is_some_and(|lib| lib.binary_search(&object.0).is_ok())
+    }
+
+    /// Draw a query target according to the popularity law.
+    pub fn sample_query_target<R: Rng + ?Sized>(&self, rng: &mut R) -> ObjectId {
+        ObjectId(self.query_popularity.sample(rng) as u32)
+    }
+
+    /// Number of distinct objects.
+    pub fn num_objects(&self) -> usize {
+        self.num_objects
+    }
+
+    /// Number of peers with libraries.
+    pub fn num_peers(&self) -> usize {
+        self.libraries.len()
+    }
+
+    /// How many peers hold `object` (O(total library size); diagnostics only).
+    pub fn replication_count(&self, object: ObjectId) -> usize {
+        self.libraries.iter().filter(|lib| lib.binary_search(&object.0).is_ok()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn catalog(n: usize) -> ContentCatalog {
+        let mut rng = StdRng::seed_from_u64(42);
+        ContentCatalog::generate(n, &ContentConfig::default(), &mut rng)
+    }
+
+    #[test]
+    fn libraries_have_requested_size_and_are_sorted() {
+        let c = catalog(20);
+        for i in 0..20 {
+            let node = NodeId::from_index(i);
+            let mut count = 0;
+            for o in 0..c.num_objects() {
+                if c.holds(node, ObjectId(o as u32)) {
+                    count += 1;
+                }
+            }
+            assert_eq!(count, 50);
+        }
+    }
+
+    #[test]
+    fn popular_objects_are_replicated_more() {
+        let c = catalog(500);
+        let head: usize = (0..10).map(|o| c.replication_count(ObjectId(o))).sum();
+        let tail: usize = (9000..9010).map(|o| c.replication_count(ObjectId(o))).sum();
+        assert!(
+            head > tail * 3,
+            "head replication {head} should dominate tail {tail}"
+        );
+    }
+
+    #[test]
+    fn query_targets_follow_popularity() {
+        let c = catalog(10);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut head = 0;
+        let draws = 20_000;
+        for _ in 0..draws {
+            if c.sample_query_target(&mut rng).0 < 100 {
+                head += 1;
+            }
+        }
+        // With alpha=0.8 over 10k objects the top-100 should carry a sizable
+        // fraction of queries (far more than the uniform 1%).
+        assert!(head as f64 / draws as f64 > 0.10, "head share {head}/{draws}");
+    }
+
+    #[test]
+    fn regenerate_library_replaces_content() {
+        let mut c = catalog(5);
+        let node = NodeId(2);
+        let before: Vec<u32> =
+            (0..c.num_objects()).filter(|&o| c.holds(node, ObjectId(o as u32))).map(|o| o as u32).collect();
+        let mut rng = StdRng::seed_from_u64(999);
+        c.regenerate_library(node, 10, &mut rng);
+        let after: Vec<u32> =
+            (0..c.num_objects()).filter(|&o| c.holds(node, ObjectId(o as u32))).map(|o| o as u32).collect();
+        assert_eq!(after.len(), 10);
+        assert_ne!(before, after);
+    }
+
+    #[test]
+    fn holds_out_of_range_node_is_false() {
+        let c = catalog(3);
+        assert!(!c.holds(NodeId(99), ObjectId(0)));
+    }
+}

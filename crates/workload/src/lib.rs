@@ -1,0 +1,32 @@
+//! Workload models for the DD-POLICE evaluation (§3.5 of the paper).
+//!
+//! The paper parameterizes its simulation from measurement studies we do not
+//! have raw data for; this crate rebuilds each model from the published
+//! aggregates (documented per-module, and in DESIGN.md §5):
+//!
+//! * [`arrivals`] — Poisson query issue at 0.3 queries/min/peer (derived in
+//!   the paper from Sripanidkulchai's Gnutella trace: 12,805 unique IPs,
+//!   1,146,782 queries in 5 hours).
+//! * [`content`] — Zipf object popularity and replication (KaZaA-workload
+//!   substitute, Gummadi et al. SOSP'03).
+//! * [`lifetime`] — session lifetime distribution, mean 10 minutes, variance
+//!   half the mean (Sen & Wang / Saroiu et al., as §3.5 prescribes).
+//! * [`bandwidth`] — peer bottleneck-bandwidth classes from Saroiu et al.:
+//!   "78% of the participating peers have downstream bottleneck bandwidths of
+//!   at least 100 Kbps, and 22% ... upstream ... of 100 Kbps or less".
+//! * [`trace`] — a synthetic query-string trace standing in for the paper's
+//!   24-hour LimeWire monitoring-node log (13,750,339 queries / 112 MB).
+
+pub mod arrivals;
+pub mod bandwidth;
+pub mod content;
+pub mod lifetime;
+pub mod trace;
+pub mod zipf;
+
+pub use arrivals::QueryArrivals;
+pub use bandwidth::{BandwidthClass, BandwidthModel};
+pub use content::{ContentCatalog, ObjectId};
+pub use lifetime::LifetimeModel;
+pub use trace::TraceGenerator;
+pub use zipf::Zipf;

@@ -1,0 +1,117 @@
+//! Peer session lifetimes (churn model).
+//!
+//! §3.5: "When a peer joins, a lifetime in seconds will be assigned to the
+//! peer. ... The lifetime is generated according to the distribution observed
+//! in \[19\]. The mean of the distribution is chosen to be 10 minutes \[18\]. The
+//! value of the variance is chosen to be half of the value of the mean."
+//!
+//! Saroiu et al. \[19\] observed heavy-tailed session times; we model them
+//! log-normally, parameterized to the paper's mean/variance, with an
+//! exponential alternative as a control.
+
+use rand::Rng;
+
+/// Lifetime distribution family.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LifetimeModel {
+    /// Log-normal with the given mean and variance, in minutes
+    /// (heavy-tailed, per Saroiu's measurements).
+    LogNormal { mean_min: f64, var_min: f64 },
+    /// Exponential with the given mean, in minutes (memoryless control).
+    Exponential { mean_min: f64 },
+    /// Every peer lives forever (disables churn).
+    Immortal,
+}
+
+impl Default for LifetimeModel {
+    fn default() -> Self {
+        // Paper: mean 10 minutes, variance = mean / 2.
+        LifetimeModel::LogNormal { mean_min: 10.0, var_min: 5.0 }
+    }
+}
+
+impl LifetimeModel {
+    /// Draw a session lifetime, in whole minutes (at least 1).
+    pub fn sample_minutes<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        match *self {
+            LifetimeModel::LogNormal { mean_min, var_min } => {
+                // Solve for (mu, sigma) of the underlying normal from the
+                // target mean m and variance v of the log-normal:
+                //   sigma^2 = ln(1 + v/m^2),  mu = ln(m) - sigma^2/2.
+                let m = mean_min.max(1e-9);
+                let v = var_min.max(0.0);
+                let sigma2 = (1.0 + v / (m * m)).ln();
+                let mu = m.ln() - sigma2 / 2.0;
+                let z = standard_normal(rng);
+                let x = (mu + sigma2.sqrt() * z).exp();
+                x.round().max(1.0) as u32
+            }
+            LifetimeModel::Exponential { mean_min } => {
+                let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+                (-mean_min * u.ln()).round().max(1.0) as u32
+            }
+            LifetimeModel::Immortal => u32::MAX,
+        }
+    }
+}
+
+/// One standard normal draw (Box–Muller).
+fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lognormal_matches_paper_mean() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let m = LifetimeModel::default();
+        let draws = 200_000;
+        let total: u64 = (0..draws).map(|_| m.sample_minutes(&mut rng) as u64).sum();
+        let mean = total as f64 / draws as f64;
+        assert!((9.5..10.5).contains(&mean), "mean lifetime {mean} should be ~10 min");
+    }
+
+    #[test]
+    fn lognormal_variance_close_to_paper() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let m = LifetimeModel::default();
+        let draws = 200_000;
+        let samples: Vec<f64> = (0..draws).map(|_| m.sample_minutes(&mut rng) as f64).collect();
+        let mean = samples.iter().sum::<f64>() / draws as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / draws as f64;
+        // Rounding to whole minutes adds ~1/12 variance; allow slack.
+        assert!((4.0..6.5).contains(&var), "variance {var} should be ~5");
+    }
+
+    #[test]
+    fn exponential_mean_matches() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let m = LifetimeModel::Exponential { mean_min: 10.0 };
+        let draws = 100_000;
+        let total: u64 = (0..draws).map(|_| m.sample_minutes(&mut rng) as u64).sum();
+        let mean = total as f64 / draws as f64;
+        assert!((9.5..10.8).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    fn lifetimes_are_at_least_one_minute() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let m = LifetimeModel::LogNormal { mean_min: 1.0, var_min: 0.5 };
+        for _ in 0..1000 {
+            assert!(m.sample_minutes(&mut rng) >= 1);
+        }
+    }
+
+    #[test]
+    fn immortal_never_dies() {
+        let mut rng = StdRng::seed_from_u64(14);
+        assert_eq!(LifetimeModel::Immortal.sample_minutes(&mut rng), u32::MAX);
+    }
+}

@@ -1,0 +1,36 @@
+//! The paper's §3.6 motivation, live: how few agents does it take to hurt a
+//! flooding-search overlay? Sweeps the number of DDoS agents and prints
+//! traffic amplification, response-time slowdown, and success rate — the
+//! quantities of Figures 9–11.
+//!
+//! ```sh
+//! cargo run --release --example attack_impact
+//! ```
+
+use ddpolice::experiments::runners::{agent_sweep, fig10, fig11, fig9};
+use ddpolice::experiments::ExpOptions;
+
+fn main() {
+    let opts = ExpOptions {
+        peers: 1_000,
+        ticks: 15,
+        seed: 42,
+        ..ExpOptions::default()
+    };
+    println!(
+        "sweeping DDoS agent counts on a {}-peer overlay ({} minutes each, 3 regimes)...\n",
+        opts.peers, opts.ticks
+    );
+    let rows = agent_sweep(&opts);
+    print!("{}", fig9(&rows).render());
+    println!();
+    print!("{}", fig10(&rows).render());
+    println!();
+    print!("{}", fig11(&rows).render());
+    println!();
+    println!(
+        "paper's headline (§3.6): \"ten to twenty (<0.1%) compromised peers will double the\n\
+         total traffic\" and \"up to 89.7% of queries could fail\" at 100 agents — compare the\n\
+         amplification and success columns above."
+    );
+}

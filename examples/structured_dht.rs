@@ -1,0 +1,47 @@
+//! The paper's §5 future work, carried out: overlay DDoS on a *structured*
+//! P2P system (a Chord-like DHT).
+//!
+//! ```sh
+//! cargo run --release --example structured_dht
+//! ```
+
+use ddpolice::dht::{DhtAttack, DhtConfig, DhtPolice, DhtSimulation};
+
+fn run(label: &str, attack: DhtAttack, defense: Option<DhtPolice>, agents: usize) {
+    let mut sim = DhtSimulation::new(
+        DhtConfig { peers: 1_000, attack, defense, ..DhtConfig::default() },
+        7,
+    );
+    sim.compromise(agents);
+    let res = sim.run(10);
+    println!(
+        "{label:<38} success {:>5.1}%  isolated {:>2}/{agents}  wrongly isolated {}",
+        res.summary.success_rate_stable * 100.0,
+        res.attackers_isolated,
+        res.summary.errors.false_negative,
+    );
+}
+
+fn main() {
+    println!("1,000-node Chord-like ring, 10 simulated minutes, 50 DDoS agents\n");
+    run("uniform attack, no defense", DhtAttack::Uniform, None, 50);
+    run(
+        "uniform attack, origination detector",
+        DhtAttack::Uniform,
+        Some(DhtPolice::default()),
+        50,
+    );
+    run(
+        "hotspot attack, no defense",
+        DhtAttack::Hotspot { victim_key: 42 },
+        None,
+        50,
+    );
+    println!(
+        "\nTakeaways (see EXPERIMENTS.md §5): unicast lookups have no flooding\n\
+         amplification, so the same agents hurt far less than on Gnutella; a\n\
+         node's `sent − received` difference exposes originators locally (no\n\
+         Buddy Group needed); and the hotspot variant censors one key region\n\
+         while global service stays up."
+    );
+}

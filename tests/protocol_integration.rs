@@ -1,0 +1,84 @@
+//! Integration between the wire protocol and the simulated defense: the
+//! values DD-POLICE acts on survive a trip through the Table 1 encoding.
+
+use ddpolice::protocol::*;
+use ddpolice::sim::SECS_PER_TICK;
+use std::net::Ipv4Addr;
+
+/// Encode the per-minute counters a peer would report, decode them, and
+/// recompute the single indicator — byte-identical semantics.
+#[test]
+fn neighbor_traffic_roundtrip_preserves_indicator_inputs() {
+    let q = 10u32;
+    // Reporter m's counters about suspect j.
+    let reports = [(480u32, 20_000u32), (312, 19_544), (7, 4_200)];
+    let mut sum_into_suspect = 0.0;
+    for (i, &(out_q, in_q)) in reports.iter().enumerate() {
+        let nt = NeighborTraffic {
+            source_ip: Ipv4Addr::new(10, 0, 0, i as u8 + 1),
+            suspect_ip: Ipv4Addr::new(10, 0, 0, 99),
+            timestamp: (i as u32 + 1) * SECS_PER_TICK,
+            outgoing_queries: out_q,
+            incoming_queries: in_q,
+        };
+        let msg = Message::new(Guid::derived(9, i as u64), 1, Payload::NeighborTraffic(nt));
+        let mut wire = encode_message(&msg);
+        let back = decode_message(&mut wire).unwrap();
+        let Payload::NeighborTraffic(got) = back.payload else {
+            panic!("wrong payload kind")
+        };
+        assert_eq!(got, nt);
+        sum_into_suspect += got.outgoing_queries as f64;
+    }
+    // Observer's own link saw 20,000/min from the suspect.
+    let s = ddpolice::police::indicator::single_indicator(20_000.0, sum_into_suspect, q);
+    assert!(s > 5.0, "the decoded reports must still convict: s = {s}");
+}
+
+/// A full neighbor-list exchange message for a realistic degree fits in a
+/// fraction of a kilobyte — the §3.1 overhead argument.
+#[test]
+fn neighbor_list_messages_are_small() {
+    let msg = Message::new(
+        Guid::derived(1, 1),
+        1,
+        Payload::NeighborList(NeighborList {
+            neighbors: (0..6).map(PeerAddr::from_node_index).collect(),
+        }),
+    );
+    assert!(msg.wire_len() < 100, "6-neighbor list costs {} bytes", msg.wire_len());
+    // Even a hub with 50 neighbors stays in one UDP datagram.
+    let hub = Message::new(
+        Guid::derived(1, 2),
+        1,
+        Payload::NeighborList(NeighborList {
+            neighbors: (0..50).map(PeerAddr::from_node_index).collect(),
+        }),
+    );
+    assert!(hub.wire_len() < 400);
+}
+
+/// The Bye message DD-POLICE sends on disconnection carries the reason code.
+#[test]
+fn bye_reason_codes_roundtrip() {
+    for code in [Bye::CODE_DDOS_SUSPECT, Bye::CODE_LIST_INCONSISTENT] {
+        let msg = Message::new(
+            Guid::derived(2, code as u64),
+            1,
+            Payload::Bye(Bye { code, reason: "cut threshold exceeded".into() }),
+        );
+        let mut wire = encode_message(&msg);
+        let back = decode_message(&mut wire).unwrap();
+        let Payload::Bye(b) = back.payload else { panic!("wrong payload") };
+        assert_eq!(b.code, code);
+    }
+}
+
+/// Every payload kind used by the defense parses from its descriptor byte.
+#[test]
+fn defense_payload_kinds_are_registered() {
+    assert_eq!(PayloadKind::from_byte(0x83).unwrap(), PayloadKind::NeighborTraffic);
+    assert_eq!(PayloadKind::from_byte(0x85).unwrap(), PayloadKind::NeighborList);
+    assert_eq!(PayloadKind::from_byte(0x02).unwrap(), PayloadKind::Bye);
+    assert!(PayloadKind::from_byte(0x84).is_err(), "0x84 stays unassigned");
+}

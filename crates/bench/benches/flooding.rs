@@ -21,8 +21,8 @@ struct Fixture {
 }
 
 fn fixture(n: usize) -> Fixture {
-    let graph = TopologyConfig { n, ..TopologyConfig::default() }
-        .generate(&mut StdRng::seed_from_u64(1));
+    let graph =
+        TopologyConfig { n, ..TopologyConfig::default() }.generate(&mut StdRng::seed_from_u64(1));
     let overlay = Overlay::new(graph, &vec![BandwidthClass::Ethernet; n]);
     let catalog =
         ContentCatalog::generate(n, &ContentConfig::default(), &mut StdRng::seed_from_u64(2));

@@ -96,7 +96,10 @@ fn bench_servent_minute(c: &mut Criterion) {
             || {
                 Harness::new(
                     &graph,
-                    &[(NodeId(4), ServentRole::FloodingAgent { rate_qpm: 600, respond_reports: true })],
+                    &[(
+                        NodeId(4),
+                        ServentRole::FloodingAgent { rate_qpm: 600, respond_reports: true },
+                    )],
                     HarnessConfig::default(),
                     9,
                 )

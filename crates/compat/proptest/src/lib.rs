@@ -1,0 +1,545 @@
+//! Offline mini property-testing harness with a `proptest`-compatible API.
+//!
+//! The build environment has no network access, so the real `proptest`
+//! cannot be fetched. This crate implements the subset its test suites use:
+//! the [`proptest!`] macro, [`strategy::Strategy`] with `prop_map` /
+//! `prop_flat_map`, range / tuple / `Just` / boxed strategies, weighted
+//! [`prop_oneof!`], [`collection::vec`] and [`collection::btree_set`],
+//! `any::<T>()` for primitives, byte arrays and [`sample::Index`], a tiny
+//! `[class]{m,n}` regex-string strategy, and [`test_runner::ProptestConfig`].
+//!
+//! Differences from upstream: no shrinking (failures print the full input
+//! via the assertion message instead of a minimized one), and cases are
+//! generated from a fixed per-test seed so runs are fully deterministic.
+
+pub use rand;
+
+use rand::{Rng, StdRng};
+
+/// Strategy combinators and the core [`Strategy`](strategy::Strategy) trait.
+pub mod strategy {
+    use super::*;
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draw one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Transform generated values.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Generate a value, then generate from a strategy built from it.
+        fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Type-erase the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+    impl<V> Strategy for Box<dyn Strategy<Value = V>> {
+        type Value = V;
+        fn generate(&self, rng: &mut StdRng) -> V {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Always produce a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// `prop_map` adapter.
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// `prop_flat_map` adapter.
+    pub struct FlatMap<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+        fn generate(&self, rng: &mut StdRng) -> S2::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    /// Weighted choice between same-typed strategies ([`prop_oneof!`]).
+    pub struct Union<V> {
+        arms: Vec<(u32, BoxedStrategy<V>)>,
+    }
+
+    impl<V> Union<V> {
+        /// Build from `(weight, strategy)` arms. Panics when empty or all
+        /// weights are zero.
+        pub fn new_weighted(arms: Vec<(u32, BoxedStrategy<V>)>) -> Self {
+            assert!(arms.iter().map(|(w, _)| *w as u64).sum::<u64>() > 0, "empty prop_oneof");
+            Union { arms }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut StdRng) -> V {
+            let total: u64 = self.arms.iter().map(|(w, _)| *w as u64).sum();
+            let mut pick = rng.gen_range(0..total);
+            for (w, s) in &self.arms {
+                if pick < *w as u64 {
+                    return s.generate(rng);
+                }
+                pick -= *w as u64;
+            }
+            unreachable!("weights exhausted")
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+
+    /// Strings from a `[class]{m,n}` regex literal (tiny supported subset).
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut StdRng) -> String {
+            let (alphabet, lo, hi) = super::parse_class_regex(self);
+            let len = rng.gen_range(lo..hi + 1);
+            (0..len).map(|_| alphabet[rng.gen_range(0..alphabet.len())]).collect()
+        }
+    }
+}
+
+/// Parse the supported regex subset: a single `[...]{m,n}` char-class
+/// repetition (ranges and literal chars; `-` last is literal), or a literal
+/// string with no metacharacters. Panics on anything else.
+fn parse_class_regex(pattern: &str) -> (Vec<char>, usize, usize) {
+    macro_rules! unsupported {
+        () => {
+            panic!("unsupported regex strategy in offline proptest shim: {pattern:?}")
+        };
+    }
+    if !pattern.starts_with('[') {
+        if pattern.contains(['[', ']', '{', '}', '*', '+', '?', '|', '(', ')', '\\', '.']) {
+            unsupported!();
+        }
+        let n = pattern.chars().count();
+        return (pattern.chars().collect(), n, n);
+    }
+    let Some(class_end) = pattern.find(']') else { unsupported!() };
+    let class = &pattern[1..class_end];
+    let rest = &pattern[class_end + 1..];
+    let Some(counts) = rest.strip_prefix('{').and_then(|r| r.strip_suffix('}')) else {
+        unsupported!()
+    };
+    let (lo, hi) = match counts.split_once(',') {
+        Some((l, h)) => (l.trim().parse().unwrap(), h.trim().parse().unwrap()),
+        None => {
+            let n = counts.trim().parse().unwrap();
+            (n, n)
+        }
+    };
+    let chars: Vec<char> = class.chars().collect();
+    let mut alphabet = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        if i + 2 < chars.len() && chars[i + 1] == '-' {
+            for c in chars[i]..=chars[i + 2] {
+                alphabet.push(c);
+            }
+            i += 3;
+        } else {
+            alphabet.push(chars[i]);
+            i += 1;
+        }
+    }
+    assert!(!alphabet.is_empty(), "empty character class: {pattern:?}");
+    (alphabet, lo, hi)
+}
+
+/// `any::<T>()` and the [`Arbitrary`](arbitrary::Arbitrary) trait.
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use super::*;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical whole-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Draw one arbitrary value.
+        fn arbitrary(rng: &mut StdRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut StdRng) -> Self {
+                    rng.gen()
+                }
+            }
+        )*};
+    }
+    impl_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool, f32, f64);
+
+    impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+        fn arbitrary(rng: &mut StdRng) -> Self {
+            std::array::from_fn(|_| T::arbitrary(rng))
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::*;
+    use std::collections::BTreeSet;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Size specifications accepted by collection strategies (upstream's
+    /// `Into<SizeRange>`): an exact length, a half-open range, or an
+    /// inclusive range.
+    pub trait IntoSizeRange {
+        /// Convert to the half-open range of permitted lengths.
+        fn into_size_range(self) -> Range<usize>;
+    }
+
+    impl IntoSizeRange for usize {
+        fn into_size_range(self) -> Range<usize> {
+            self..self + 1
+        }
+    }
+
+    impl IntoSizeRange for Range<usize> {
+        fn into_size_range(self) -> Range<usize> {
+            self
+        }
+    }
+
+    impl IntoSizeRange for RangeInclusive<usize> {
+        fn into_size_range(self) -> Range<usize> {
+            *self.start()..*self.end() + 1
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Vectors of `size` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into_size_range() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet<S::Value>` with target size drawn from `size`.
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Ordered sets of distinct elements drawn from `element`. When the
+    /// element domain is too small to reach the drawn size, the set is as
+    /// large as the domain allows (mirrors upstream's bounded retries).
+    pub fn btree_set<S: Strategy>(element: S, size: impl IntoSizeRange) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size: size.into_size_range() }
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let target = rng.gen_range(self.size.clone());
+            let mut out = BTreeSet::new();
+            let mut attempts = 0usize;
+            while out.len() < target && attempts < 10 * (target + 1) {
+                out.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+}
+
+/// Positional sampling helpers.
+pub mod sample {
+    use super::*;
+
+    /// An index into a collection whose length is only known at use time.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Index(u64);
+
+    impl Index {
+        /// Map onto `0..len`. Panics when `len == 0`, like upstream.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            (self.0 % len as u64) as usize
+        }
+    }
+
+    impl crate::arbitrary::Arbitrary for Index {
+        fn arbitrary(rng: &mut StdRng) -> Self {
+            Index(rng.gen())
+        }
+    }
+}
+
+/// Runner configuration.
+pub mod test_runner {
+    /// Configuration accepted by `#![proptest_config(...)]`.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+}
+
+/// FNV-1a over the test path: a stable, distinct seed per property.
+#[doc(hidden)]
+pub fn __fnv(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Everything the test files import.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// The `prop::` namespace (`prop::sample::Index`, `prop::collection`).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...)` becomes a
+/// `#[test]` (the attribute is written explicitly, as with upstream) running
+/// the body over `cases` generated inputs from a per-test deterministic seed.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:pat in $strat:expr),* $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                let __seed = $crate::__fnv(concat!(module_path!(), "::", stringify!($name)));
+                let mut __rng = <$crate::rand::StdRng as $crate::rand::SeedableRng>::seed_from_u64(__seed);
+                for __case in 0..__config.cases {
+                    let ($($arg,)*) = ( $( $crate::strategy::Strategy::generate(&($strat), &mut __rng), )* );
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Assert inside a property (no shrinking: plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Assert inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skip the case when an assumption fails. Upstream retries the case;
+/// skipping keeps determinism and is sufficient at this suite's scale.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            continue;
+        }
+    };
+}
+
+/// Weighted (`w => strategy`) or uniform choice between strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn regex_subset_parses() {
+        let (alphabet, lo, hi) = crate::parse_class_regex("[a-c._-]{0,5}");
+        assert_eq!(alphabet, vec!['a', 'b', 'c', '.', '_', '-']);
+        assert_eq!((lo, hi), (0, 5));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Tuples, maps, ranges, and collections compose.
+        #[test]
+        fn shim_composes(
+            v in prop::collection::vec((0u32..10, any::<bool>()), 1..8),
+            s in "[a-z0-9]{1,6}",
+            pick in any::<prop::sample::Index>(),
+            x in prop_oneof![2 => 0u32..5, 1 => (10u32..20).prop_map(|v| v)],
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 8);
+            for (n, _) in &v {
+                prop_assert!(*n < 10);
+            }
+            prop_assert!(!s.is_empty() && s.len() <= 6);
+            prop_assert!(s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+            prop_assert!(pick.index(v.len()) < v.len());
+            prop_assert!(x < 5 || (10..20).contains(&x));
+        }
+
+        /// Flat-mapped strategies see the outer draw.
+        #[test]
+        fn flat_map_dependent_draws(pair in (2usize..10).prop_flat_map(|n| (Just(n), 0..n))) {
+            let (n, i) = pair;
+            prop_assert!(i < n);
+        }
+    }
+}

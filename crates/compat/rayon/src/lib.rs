@@ -1,0 +1,56 @@
+//! Offline stand-in for the `rayon` API subset this workspace uses.
+//!
+//! `par_iter()` / `into_par_iter()` here return ordinary sequential
+//! iterators: every adapter chain (`map`, `enumerate`, `collect`, …) then
+//! just works through `std::iter::Iterator`. Results are identical to
+//! rayon's (the experiment runners only use order-preserving collects);
+//! only wall-clock parallelism is lost, which matters little at the
+//! experiment scales exercised in CI. Swap for upstream `rayon` when the
+//! build environment regains registry access.
+
+/// Sequential `prelude` matching the names experiment runners import.
+pub mod prelude {
+    /// `into_par_iter()` — sequential stand-in.
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        /// Consume `self` into a (sequential) iterator.
+        fn into_par_iter(self) -> Self::IntoIter {
+            self.into_iter()
+        }
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {}
+
+    /// `par_iter()` — sequential stand-in for by-reference iteration.
+    pub trait IntoParallelRefIterator<'data> {
+        /// Iterator type produced.
+        type Iter: Iterator;
+
+        /// Iterate `self` by reference (sequentially).
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, C: ?Sized + 'data> IntoParallelRefIterator<'data> for C
+    where
+        &'data C: IntoIterator,
+    {
+        type Iter = <&'data C as IntoIterator>::IntoIter;
+
+        fn par_iter(&'data self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_behaves_like_iter() {
+        let v = vec![1, 2, 3];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6]);
+        let squared: Vec<usize> = (0..4usize).into_par_iter().map(|x| x * x).collect();
+        assert_eq!(squared, vec![0, 1, 4, 9]);
+    }
+}

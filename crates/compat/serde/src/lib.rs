@@ -1,0 +1,10 @@
+//! Offline facade for `serde`.
+//!
+//! The workspace annotates metric types with `#[derive(Serialize,
+//! Deserialize)]` but never serializes them (no `serde_json` in the tree).
+//! With no network access the real `serde` cannot be fetched, so this shim
+//! re-exports no-op derives that accept the annotations and expand to
+//! nothing. When a real serialization consumer lands, swap this crate for
+//! upstream `serde` in the workspace `Cargo.toml`.
+
+pub use serde_derive::{Deserialize, Serialize};

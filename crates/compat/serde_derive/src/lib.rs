@@ -1,0 +1,20 @@
+//! No-op `Serialize`/`Deserialize` derive macros.
+//!
+//! Nothing in this workspace actually serializes (there is no `serde_json`
+//! or similar); the derives exist so metric types stay annotated for a
+//! future wire format. Expanding to nothing keeps every annotated type —
+//! generic or not, struct or enum — compiling without the real `serde`.
+
+use proc_macro::TokenStream;
+
+/// Accept and discard a `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accept and discard a `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

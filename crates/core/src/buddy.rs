@@ -45,6 +45,8 @@ pub fn assemble(
     verify: bool,
 ) -> Option<BuddyGroup> {
     let snap = exchange.snapshot(observer, suspect)?;
+    // Resilience accounting: how stale is the view this judgment runs on?
+    obs.note_snapshot_age(obs.tick.saturating_sub(snap.taken_at));
     let mut members = snap.members.clone();
     if verify {
         // §3.1: "when peers exchange their neighbor lists, they will confirm
@@ -117,6 +119,7 @@ mod tests {
                 runs_defense: &self.runs,
                 report_behavior: &self.behavior,
                 list_behavior: &self.lists,
+                faults: None,
             }
         }
     }

@@ -45,6 +45,19 @@ pub struct DdPoliceConfig {
     /// volumes; §3.4's Case 1 analysis assumed a lone agent). Off by default
     /// — the paper's protocol does not clamp.
     pub clamp_reports_to_link: bool,
+    /// On a lossy transport: how many ticks a *late* `Neighbor_Traffic`
+    /// reply stays usable. A delayed reply that matures within this window
+    /// still answers the lookup (with stale counters); older ones are
+    /// discarded and §3.4's assume-zero rule applies. Irrelevant on the
+    /// reliable transport the paper assumes.
+    pub report_timeout_ticks: u32,
+    /// On a lossy transport: bounded retry budget per report lookup. After a
+    /// transport-faulted request/reply the observer re-requests at most this
+    /// many times within the tick (each retry charged one control message)
+    /// before falling back to late replies and then assume-zero. Refusals
+    /// (silent or offline peers) are never retried — that is a protocol
+    /// answer, not a transport failure.
+    pub max_report_retries: u32,
 }
 
 impl Default for DdPoliceConfig {
@@ -58,6 +71,8 @@ impl Default for DdPoliceConfig {
             missing_list_grace: 2,
             verify_lists: true,
             clamp_reports_to_link: false,
+            report_timeout_ticks: 2,
+            max_report_retries: 1,
         }
     }
 }
@@ -88,5 +103,12 @@ mod tests {
         let c = DdPoliceConfig::with_cut_threshold(7.0);
         assert_eq!(c.cut_threshold, 7.0);
         assert_eq!(c.warning_threshold_qpm, 500);
+    }
+
+    #[test]
+    fn fault_tolerance_defaults_are_bounded() {
+        let c = DdPoliceConfig::default();
+        assert_eq!(c.report_timeout_ticks, 2);
+        assert_eq!(c.max_report_retries, 1);
     }
 }

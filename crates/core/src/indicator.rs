@@ -46,7 +46,11 @@ pub fn general_indicator(sum_out_of_suspect: f64, sum_into_suspect: f64, k: usiz
 ///
 /// Everything `j` sent to `i` beyond what `j` received from its *other*
 /// neighbors must have been issued by `j` itself.
-pub fn single_indicator(q_suspect_to_observer: f64, sum_into_suspect_except_observer: f64, q: u32) -> f64 {
+pub fn single_indicator(
+    q_suspect_to_observer: f64,
+    sum_into_suspect_except_observer: f64,
+    q: u32,
+) -> f64 {
     if q == 0 {
         return 0.0;
     }

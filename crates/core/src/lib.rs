@@ -33,4 +33,4 @@ pub mod police;
 pub use baselines::NaiveRateLimit;
 pub use config::DdPoliceConfig;
 pub use exchange::ExchangePolicy;
-pub use police::DdPolice;
+pub use police::{group_traffic_sums, DdPolice};

@@ -20,13 +20,27 @@ use crate::buddy::{assemble, BuddyGroup};
 use crate::config::DdPoliceConfig;
 use crate::exchange::ExchangeState;
 use crate::indicator::{general_indicator, is_bad, single_indicator};
-use ddp_sim::{Actions, Defense, TickObservation};
+use ddp_sim::{Actions, Defense, ReportDelivery, ReportOutcome, TickObservation, TrafficReport};
 use ddp_topology::NodeId;
 use std::collections::{HashMap, HashSet};
 
-/// Estimated fan-out of one event-driven list announcement (mean overlay
-/// degree); used only for overhead accounting of the event-driven policy.
-const EVENT_FANOUT_ESTIMATE: usize = 6;
+/// Sum a Buddy Group's traffic claims about the suspect: the observer's own
+/// ground-truth counters plus each other member's resolved report, where
+/// `None` applies §3.4's assume-zero rule ("it just assumes that peer j sent
+/// 0 query"). Returns `(Σ_m Q_{j→m}, Σ_m Q_{m→j})` — the General-Indicator
+/// numerator pair. All inputs are u32 counters, so the f64 sums are exact.
+pub fn group_traffic_sums(
+    own: TrafficReport,
+    member_reports: &[Option<TrafficReport>],
+) -> (f64, f64) {
+    let mut out_of_suspect = own.received_from_suspect as f64;
+    let mut into_suspect = own.sent_to_suspect as f64;
+    for r in member_reports.iter().flatten() {
+        out_of_suspect += r.received_from_suspect as f64;
+        into_suspect += r.sent_to_suspect as f64;
+    }
+    (out_of_suspect, into_suspect)
+}
 
 /// The DD-POLICE defense.
 #[derive(Debug)]
@@ -59,43 +73,90 @@ impl DdPolice {
         &self.cfg
     }
 
+    /// Resolve one member's `Neighbor_Traffic` report over the (possibly
+    /// faulty) transport. Transport failures are retried up to the bounded
+    /// budget (each retry charged one control message via `retry_msgs`),
+    /// then a late reply from an earlier round within the timeout window is
+    /// accepted, then §3.4's assume-zero rule applies. Refusals are final —
+    /// a silent peer stays silent no matter how often it is asked.
+    fn resolve_report(
+        &self,
+        observer: NodeId,
+        reporter: NodeId,
+        suspect: NodeId,
+        obs: &TickObservation<'_>,
+        retry_msgs: &mut u64,
+    ) -> Option<TrafficReport> {
+        let mut attempt = 0u32;
+        loop {
+            match obs.request_report_via(observer, reporter, suspect, attempt) {
+                ReportDelivery::Fresh(r) => {
+                    obs.note_report_outcome(ReportOutcome::Fresh);
+                    return Some(r);
+                }
+                ReportDelivery::Refused => {
+                    obs.note_report_outcome(ReportOutcome::Refused);
+                    return None;
+                }
+                ReportDelivery::Faulted => {
+                    if attempt < self.cfg.max_report_retries {
+                        attempt += 1;
+                        *retry_msgs += 1;
+                        obs.note_retries(1);
+                        continue;
+                    }
+                    if let Some((r, sent_at)) = obs.stale_report(observer, reporter, suspect) {
+                        if obs.tick.saturating_sub(sent_at) <= self.cfg.report_timeout_ticks {
+                            obs.note_report_outcome(ReportOutcome::Stale);
+                            return Some(r);
+                        }
+                    }
+                    obs.note_report_outcome(ReportOutcome::AssumedZero);
+                    return None;
+                }
+            }
+        }
+    }
+
     /// Judge one suspect from one observer's position. Returns the pair of
-    /// indicators actually computed (for diagnostics/tests).
+    /// indicators actually computed (for diagnostics/tests) and the control
+    /// messages spent on transport retries.
     fn judge(
         &self,
         observer: NodeId,
         group: &BuddyGroup,
         q_suspect_to_observer: u32,
         obs: &TickObservation<'_>,
-    ) -> (f64, f64) {
+    ) -> (f64, f64, u64) {
         let suspect = group.suspect;
         let own = obs.own_counters(observer, suspect);
-        let mut sum_out_of_suspect = 0.0; // Σ_m Q_{j→m}
-        let mut sum_into_suspect = 0.0; // Σ_m Q_{m→j}
+        let mut retry_msgs = 0u64;
+        let mut member_reports = Vec::with_capacity(group.members.len());
         for &m in &group.members {
             if m == observer {
-                sum_out_of_suspect += own.received_from_suspect as f64;
-                sum_into_suspect += own.sent_to_suspect as f64;
-            } else if let Some(r) = obs.request_report(m, suspect) {
-                let mut claimed_sent = r.sent_to_suspect;
-                if self.cfg.clamp_reports_to_link {
-                    // No member can have pushed more into the suspect than
-                    // the physical link allows; impossible claims are capped
-                    // (the collusive-inflation hardening).
-                    claimed_sent = claimed_sent.min(obs.overlay.link_capacity(m, suspect));
-                }
-                sum_out_of_suspect += r.received_from_suspect as f64;
-                sum_into_suspect += claimed_sent as f64;
+                continue; // own counters are summed directly, no message
             }
-            // Missing report => assume zero (§3.4).
+            let report =
+                self.resolve_report(observer, m, suspect, obs, &mut retry_msgs).map(|mut r| {
+                    if self.cfg.clamp_reports_to_link {
+                        // No member can have pushed more into the suspect
+                        // than the physical link allows; impossible claims
+                        // are capped (the collusive-inflation hardening).
+                        r.sent_to_suspect =
+                            r.sent_to_suspect.min(obs.overlay.link_capacity(m, suspect));
+                    }
+                    r
+                });
+            member_reports.push(report);
         }
+        let (sum_out_of_suspect, sum_into_suspect) = group_traffic_sums(own, &member_reports);
         let g = general_indicator(sum_out_of_suspect, sum_into_suspect, group.k(), self.cfg.q_qpm);
         let s = single_indicator(
             q_suspect_to_observer as f64,
             sum_into_suspect - own.sent_to_suspect as f64,
             self.cfg.q_qpm,
         );
-        (g, s)
+        (g, s, retry_msgs)
     }
 }
 
@@ -157,7 +218,8 @@ impl Defense for DdPolice {
                     let k = group.k() as u64;
                     actions.control_msgs += k * k.saturating_sub(1);
                 }
-                let (g, s) = self.judge(observer, &group, q_ji, obs);
+                let (g, s, retry_msgs) = self.judge(observer, &group, q_ji, obs);
+                actions.control_msgs += retry_msgs;
                 if is_bad(g, s, self.cfg.cut_threshold) {
                     actions.cut(observer, suspect);
                 }
@@ -170,20 +232,14 @@ impl Defense for DdPolice {
         self.streaks[node.index()].clear();
     }
 
-    fn on_edge_added(&mut self, _u: NodeId, _v: NodeId) {
-        self.exchange.on_adjacency_event(
-            self.cfg.exchange,
-            EVENT_FANOUT_ESTIMATE,
-            EVENT_FANOUT_ESTIMATE,
-        );
+    fn on_edge_added(&mut self, _u: NodeId, _v: NodeId, deg_u: usize, deg_v: usize) {
+        // Event-driven cost accounting uses the endpoints' *actual* degrees:
+        // each endpoint re-announces its list to that many neighbors.
+        self.exchange.on_adjacency_event(self.cfg.exchange, deg_u, deg_v);
     }
 
-    fn on_edge_removed(&mut self, u: NodeId, v: NodeId) {
-        self.exchange.on_adjacency_event(
-            self.cfg.exchange,
-            EVENT_FANOUT_ESTIMATE,
-            EVENT_FANOUT_ESTIMATE,
-        );
+    fn on_edge_removed(&mut self, u: NodeId, v: NodeId, deg_u: usize, deg_v: usize) {
+        self.exchange.on_adjacency_event(self.cfg.exchange, deg_u, deg_v);
         self.exchange.forget_edge(u, v);
         self.streaks[u.index()].remove(&v.0);
         self.streaks[v.index()].remove(&u.0);
@@ -334,14 +390,8 @@ mod tests {
 
     #[test]
     fn control_overhead_is_accounted() {
-        let res = run_with_attackers(
-            200,
-            &[5],
-            ReportBehavior::Honest,
-            DdPoliceConfig::default(),
-            6,
-            21,
-        );
+        let res =
+            run_with_attackers(200, &[5], ReportBehavior::Honest, DdPoliceConfig::default(), 6, 21);
         assert!(
             res.summary.control_per_tick > 0.0,
             "list exchange + Neighbor_Traffic must appear as control traffic"

@@ -1,0 +1,165 @@
+//! Property tests for the fault-injected control plane.
+//!
+//! Two invariants tie the fault plane back to the paper's protocol:
+//!
+//! 1. §3.4's assume-zero rule is *exact*: judging a Buddy Group with missing
+//!    `Neighbor_Traffic` reports yields the same indicators as judging it
+//!    with explicit all-zero reports — losing a report can bias a judgment
+//!    only by the traffic the report would have claimed, never by changing
+//!    the computation itself.
+//! 2. A fully lossy control plane degrades but never breaks: runs complete
+//!    without panicking, and a peer that stays below the warning threshold
+//!    is never disconnected no matter how broken the transport is.
+
+use ddp_police::indicator::{general_indicator, single_indicator};
+use ddp_police::{group_traffic_sums, DdPolice, DdPoliceConfig};
+use ddp_sim::{FaultConfig, ReportBehavior, SimConfig, Simulation, TrafficReport};
+use ddp_topology::{NodeId, TopologyConfig, TopologyModel};
+use proptest::prelude::*;
+
+fn report(sent: u32, received: u32) -> TrafficReport {
+    TrafficReport { sent_to_suspect: sent, received_from_suspect: received }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// "If it does not receive the Neighbor_Traffic message ... it simply
+    /// assumes the message contains zero values" (§3.4). A missing report
+    /// must be indistinguishable from an explicit `(0, 0)` report through
+    /// the group sums and through both indicators.
+    #[test]
+    fn missing_reports_equal_explicit_zero_reports(
+        own in (0u32..5_000, 0u32..5_000),
+        members in prop::collection::vec((0u32..5_000, 0u32..5_000, any::<bool>()), 0..12),
+        q in 1u32..2_000,
+    ) {
+        let with_holes: Vec<Option<TrafficReport>> = members
+            .iter()
+            .map(|&(s, r, delivered)| delivered.then(|| report(s, r)))
+            .collect();
+        let zero_filled: Vec<Option<TrafficReport>> =
+            with_holes.iter().map(|r| Some(r.unwrap_or(report(0, 0)))).collect();
+
+        let own = report(own.0, own.1);
+        let (out_a, into_a) = group_traffic_sums(own, &with_holes);
+        let (out_b, into_b) = group_traffic_sums(own, &zero_filled);
+        prop_assert_eq!(out_a, out_b);
+        prop_assert_eq!(into_a, into_b);
+
+        // A lost report does not shrink the Buddy Group: k counts members,
+        // not deliveries, so both judgments use the same k.
+        let k = members.len() + 1;
+        prop_assert_eq!(
+            general_indicator(out_a, into_a, k, q),
+            general_indicator(out_b, into_b, k, q)
+        );
+        let from_suspect = own.received_from_suspect as f64;
+        prop_assert_eq!(
+            single_indicator(from_suspect, into_a - own.sent_to_suspect as f64, q),
+            single_indicator(from_suspect, into_b - own.sent_to_suspect as f64, q)
+        );
+    }
+}
+
+fn lossy_cfg(n: usize, loss: f64) -> SimConfig {
+    SimConfig {
+        topology: TopologyConfig { n, model: TopologyModel::BarabasiAlbert { m: 3 } },
+        churn: false,
+        faults: FaultConfig { loss, ..FaultConfig::default() },
+        ..SimConfig::default()
+    }
+}
+
+/// With every control message lost and no attacker present, nobody crosses
+/// the warning threshold, so DD-POLICE must cut nobody: assume-zero never
+/// *creates* a suspect, it only weakens evidence about an existing one.
+#[test]
+fn full_loss_without_attackers_never_cuts_anyone() {
+    for seed in [1u64, 7, 23, 99] {
+        let police = DdPolice::new(DdPoliceConfig::default(), 200);
+        let res = Simulation::new(lossy_cfg(200, 1.0), police, seed).run(6);
+        assert!(
+            res.cut_log.is_empty(),
+            "seed {seed}: full loss cut peers below the warning threshold: {:?}",
+            res.cut_log
+        );
+        assert_eq!(res.summary.errors.false_negative, 0, "seed {seed}");
+    }
+}
+
+/// An all-zero [`FaultConfig`] is not merely "mostly harmless": the mediated
+/// transport must reproduce the fault-free baseline bit-for-bit, whatever
+/// `delay_ticks` says (it only matters for messages actually delayed).
+#[test]
+fn inert_fault_configs_reproduce_the_baseline_bit_for_bit() {
+    let run = |faults: FaultConfig, seed: u64| {
+        let cfg = SimConfig { faults, ..lossy_cfg(220, 0.0) };
+        let police = DdPolice::new(DdPoliceConfig::default(), 220);
+        let mut sim = Simulation::new(cfg, police, seed);
+        for a in [9u32, 60, 131] {
+            sim.make_attacker(NodeId(a), ReportBehavior::Honest);
+        }
+        sim.run(8)
+    };
+    for seed in [2u64, 77] {
+        let baseline = run(FaultConfig::default(), seed);
+        let inert = run(FaultConfig { delay_ticks: 3, ..FaultConfig::default() }, seed);
+        assert_eq!(baseline.summary, inert.summary, "seed {seed}");
+        assert_eq!(baseline.series, inert.series, "seed {seed}");
+        assert_eq!(baseline.cut_log, inert.cut_log, "seed {seed}");
+    }
+}
+
+/// Fault injection is deterministic: identical `SimConfig` and seed give
+/// identical runs — including which messages were lost and delayed, hence
+/// identical cut decisions. A different seed re-rolls the fault pattern.
+#[test]
+fn faulted_runs_are_reproducible_per_seed() {
+    let run = |seed: u64| {
+        let faults = FaultConfig { loss: 0.2, delay_prob: 0.5, delay_ticks: 2, crash_prob: 0.01 };
+        let cfg = SimConfig { faults, ..lossy_cfg(220, 0.0) };
+        let police = DdPolice::new(DdPoliceConfig::default(), 220);
+        let mut sim = Simulation::new(cfg, police, seed);
+        for a in [9u32, 60, 131] {
+            sim.make_attacker(NodeId(a), ReportBehavior::Honest);
+        }
+        sim.run(8)
+    };
+    let a = run(6);
+    let b = run(6);
+    assert_eq!(a.cut_log, b.cut_log);
+    assert_eq!(a.summary, b.summary);
+    let c = run(7);
+    assert_ne!(
+        (a.summary.resilience.reports_assumed_zero, a.summary.resilience.lists_lost),
+        (c.summary.resilience.reports_assumed_zero, c.summary.resilience.lists_lost),
+        "a different seed must re-roll the fault pattern"
+    );
+}
+
+/// Under attack with a fully lossy transport the run still completes. No
+/// neighbor list ever arrives, so no Buddy Group can assemble and no
+/// `Neighbor_Traffic` can be fetched — DD-POLICE is left with the no-snapshot
+/// streak fallback, and nothing fresh or stale ever crosses the wire.
+#[test]
+fn full_loss_under_attack_completes_without_any_delivery() {
+    for seed in [5u64, 41] {
+        let police = DdPolice::new(DdPoliceConfig::default(), 240);
+        let mut sim = Simulation::new(lossy_cfg(240, 1.0), police, seed);
+        for a in [3u32, 91, 155] {
+            sim.make_attacker(NodeId(a), ReportBehavior::Honest);
+        }
+        let res = sim.run(8);
+        let r = &res.summary.resilience;
+        assert!(r.lists_sent > 0, "seed {seed}: peers keep announcing lists");
+        assert_eq!(r.lists_lost, r.lists_sent, "seed {seed}: full loss drops every list");
+        assert_eq!(r.reports_fresh, 0, "seed {seed}: no report survives full loss");
+        assert_eq!(r.reports_stale_used, 0, "seed {seed}: nothing mailed, nothing matures");
+        assert_eq!(
+            r.reports_assumed_zero + r.reports_refused,
+            r.reports_requested,
+            "seed {seed}: every lookup ends in refusal or assume-zero"
+        );
+    }
+}

@@ -71,8 +71,7 @@ impl Router<'_> {
             // Transmit to `next`: the receiver processes up to its budget.
             self.sent[at.index()] += alive as u64;
             self.received[next.index()] += alive as u64;
-            let room = self.capacity[next.index()]
-                .saturating_sub(self.node_used[next.index()]);
+            let room = self.capacity[next.index()].saturating_sub(self.node_used[next.index()]);
             let processed = alive.min(room);
             self.node_used[next.index()] += processed;
             alive = processed;

@@ -39,12 +39,7 @@ impl Ring {
         let n = keyed.len();
         let mut members: Vec<Member> = keyed
             .iter()
-            .map(|&(key, node)| Member {
-                node,
-                key,
-                fingers: Vec::new(),
-                successor: node,
-            })
+            .map(|&(key, node)| Member { node, key, fingers: Vec::new(), successor: node })
             .collect();
 
         // Fingers: for each member and bit, the first member at or after

@@ -151,10 +151,8 @@ impl DhtSimulation {
         if !self.ring_dirty {
             return;
         }
-        let live: Vec<NodeId> = (0..self.cfg.peers)
-            .filter(|&i| self.online[i])
-            .map(NodeId::from_index)
-            .collect();
+        let live: Vec<NodeId> =
+            (0..self.cfg.peers).filter(|&i| self.online[i]).map(NodeId::from_index).collect();
         self.ring = Ring::build(&live, self.cfg.peers);
         self.ring_dirty = false;
     }
@@ -290,8 +288,11 @@ impl DhtSimulation {
             }
         }
         errors.false_negative = self.good_isolated as u64;
-        let summary =
-            self.series.summarize(errors, self.attackers_isolated as u64, self.good_isolated as u64);
+        let summary = self.series.summarize(
+            errors,
+            self.attackers_isolated as u64,
+            self.good_isolated as u64,
+        );
         DhtRunResult { series: self.series, summary, attackers_isolated: self.attackers_isolated }
     }
 }
@@ -358,10 +359,8 @@ mod tests {
 
     #[test]
     fn origination_detector_isolates_attackers() {
-        let mut sim = DhtSimulation::new(
-            DhtConfig { defense: Some(DhtPolice::default()), ..cfg(500) },
-            4,
-        );
+        let mut sim =
+            DhtSimulation::new(DhtConfig { defense: Some(DhtPolice::default()), ..cfg(500) }, 4);
         sim.compromise(25);
         let res = sim.run(6);
         assert_eq!(res.attackers_isolated, 25, "every agent must be flagged");

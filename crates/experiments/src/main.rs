@@ -14,6 +14,7 @@
 //!   fig13 fig14 errors / recovery time vs cut threshold
 //!   exchange    neighbor-list exchange policy study (§3.7.1)
 //!   cheating    report-cheating strategies (§3.4)
+//!   resilience  lossy/delayed control plane sweep (extension)
 //!   ablations   design-choice ablations
 //!   all         everything above
 //! ```
@@ -65,6 +66,7 @@ fn main() -> ExitCode {
         "exchange" => emit(&runners::exchange(&opts), &opts),
         "structured" => emit(&runners::structured(&opts), &opts),
         "cheating" => emit(&runners::cheating(&opts), &opts),
+        "resilience" => emit(&runners::resilience(&opts), &opts),
         "ablations" => {
             emit(&runners::ablate_warning(&opts), &opts);
             emit(&runners::ablate_radius(&opts), &opts);
@@ -88,6 +90,7 @@ fn main() -> ExitCode {
             emit(&runners::fig14(&rows), &opts);
             emit(&runners::exchange(&opts), &opts);
             emit(&runners::cheating(&opts), &opts);
+            emit(&runners::resilience(&opts), &opts);
             emit(&runners::ablate_warning(&opts), &opts);
             emit(&runners::ablate_radius(&opts), &opts);
             emit(&runners::ablate_forwarding(&opts), &opts);
@@ -113,7 +116,7 @@ usage: ddp-experiments <command> [options]
 
 commands:
   table1 fig2 fig5 fig6 fig9 fig10 fig11 consequences
-  fig12 fig13 fig14 ct exchange cheating structured ablations all
+  fig12 fig13 fig14 ct exchange cheating resilience structured ablations all
 
 options:
   --peers N        overlay size (default 2000)
@@ -141,8 +144,7 @@ fn parse_options(args: &[String]) -> Result<ExpOptions, String> {
                 opts.agents = take(&mut i)?.parse().map_err(|e| format!("--agents: {e}"))?
             }
             "--replicates" => {
-                opts.replicates =
-                    take(&mut i)?.parse().map_err(|e| format!("--replicates: {e}"))?
+                opts.replicates = take(&mut i)?.parse().map_err(|e| format!("--replicates: {e}"))?
             }
             "--csv" => opts.csv_dir = Some(PathBuf::from(take(&mut i)?)),
             "--paper-scale" => opts.peers = 20_000,

@@ -18,11 +18,7 @@ pub struct Table {
 
 impl Table {
     /// New empty table.
-    pub fn new(
-        name: impl Into<String>,
-        title: impl Into<String>,
-        headers: &[&str],
-    ) -> Self {
+    pub fn new(name: impl Into<String>, title: impl Into<String>, headers: &[&str]) -> Self {
         Table {
             name: name.into(),
             title: title.into(),
@@ -73,7 +69,8 @@ impl Table {
             }
         };
         let mut out = String::new();
-        let _ = writeln!(out, "{}", self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+        let _ =
+            writeln!(out, "{}", self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
         for row in &self.rows {
             let _ = writeln!(out, "{}", row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
         }

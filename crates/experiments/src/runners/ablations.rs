@@ -6,7 +6,11 @@ use ddp_police::{DdPoliceConfig, ExchangePolicy};
 use ddp_workload::LifetimeModel;
 use rayon::prelude::*;
 
-fn damage_row(opts: &ExpOptions, ci: usize, scenario: impl Fn(u64) -> Scenario) -> (f64, f64, f64, f64) {
+fn damage_row(
+    opts: &ExpOptions,
+    ci: usize,
+    scenario: impl Fn(u64) -> Scenario,
+) -> (f64, f64, f64, f64) {
     let mut fneg = 0.0;
     let mut fpos = 0.0;
     let mut damage = 0.0;
@@ -46,7 +50,13 @@ pub fn ablate_warning(opts: &ExpOptions) -> Table {
     let mut t = Table::new(
         "ablate_warning_threshold",
         format!("Ablation: warning threshold ({} agents)", opts.agents),
-        &["warning q/min", "false negative", "false positive", "stable damage", "control msgs/tick"],
+        &[
+            "warning q/min",
+            "false negative",
+            "false positive",
+            "stable damage",
+            "control msgs/tick",
+        ],
     );
     for row in rows {
         t.push_row(row);
@@ -238,10 +248,8 @@ pub fn ablate_clamp(opts: &ExpOptions) -> Table {
             let mut damage = 0.0;
             let mut never = 0.0;
             for r in 0..opts.replicates {
-                let cfg = DdPoliceConfig {
-                    clamp_reports_to_link: *clamp,
-                    ..DdPoliceConfig::default()
-                };
+                let cfg =
+                    DdPoliceConfig { clamp_reports_to_link: *clamp, ..DdPoliceConfig::default() };
                 let dr = Scenario::builder()
                     .peers(opts.peers)
                     .ticks(opts.ticks)
@@ -260,7 +268,10 @@ pub fn ablate_clamp(opts: &ExpOptions) -> Table {
         .collect();
     let mut t = Table::new(
         "ablate_report_clamp",
-        format!("Hardening: link-capacity report clamp vs collusive inflation ({} agents)", opts.agents),
+        format!(
+            "Hardening: link-capacity report clamp vs collusive inflation ({} agents)",
+            opts.agents
+        ),
         &["configuration", "stable damage", "agents never cut"],
     );
     for row in rows {
@@ -318,7 +329,13 @@ pub fn ablate_lists(opts: &ExpOptions) -> Table {
             "Section 3.1: neighbor-list lying vs the consistency check ({} agents)",
             opts.agents
         ),
-        &["agent list behavior", "consistency check", "stable damage", "agents never cut", "good peers cut"],
+        &[
+            "agent list behavior",
+            "consistency check",
+            "stable damage",
+            "agents never cut",
+            "good peers cut",
+        ],
     );
     for row in rows {
         t.push_row(row);

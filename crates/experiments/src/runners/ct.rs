@@ -99,10 +99,7 @@ pub fn fig12(opts: &ExpOptions) -> Table {
         std::iter::once("tick").chain(runs.iter().map(|(n, _)| n.as_str())).collect();
     let mut t = Table::new(
         "fig12_damage_over_time",
-        format!(
-            "Figure 12: damage rate vs time ({} agents, {} peers)",
-            opts.agents, opts.peers
-        ),
+        format!("Figure 12: damage rate vs time ({} agents, {} peers)", opts.agents, opts.peers),
         &headers,
     );
     for tick in 0..opts.ticks {

@@ -3,13 +3,18 @@
 mod ablations;
 mod ct;
 mod policy;
+mod resilience;
 mod static_figs;
 mod structured;
 mod sweep;
 
-pub use ablations::{ablate_clamp, ablate_forwarding, ablate_lists, ablate_radius, ablate_rejoin, ablate_topology, ablate_warning};
+pub use ablations::{
+    ablate_clamp, ablate_forwarding, ablate_lists, ablate_radius, ablate_rejoin, ablate_topology,
+    ablate_warning,
+};
 pub use ct::{ct_sweep, fig12, fig13, fig14, CtRow, CT_GRID};
 pub use policy::{cheating, exchange};
+pub use resilience::{detection_latency, resilience, resilience_grid, ResilienceCell};
 pub use static_figs::{fig2, fig5, fig6, table1};
 pub use structured::structured;
 pub use sweep::{agent_sweep, consequences, fig10, fig11, fig9, SweepRow};

@@ -59,12 +59,7 @@ pub fn fig2() -> Table {
         let out1 = q0 + q2 + q3;
         let out2 = q0 + q1 + q3;
         let out3 = q0 + q1 + q2;
-        let g = ddp_police::indicator::general_indicator(
-            out1 + out2 + out3,
-            q1 + q2 + q3,
-            3,
-            q,
-        );
+        let g = ddp_police::indicator::general_indicator(out1 + out2 + out3, q1 + q2 + q3, 3, q);
         let s = ddp_police::indicator::single_indicator(out1, q2 + q3, q);
         t.push_row(vec![f(q0, 0), f(g, 1), f(s, 1), f(q0 / q as f64, 1)]);
     }

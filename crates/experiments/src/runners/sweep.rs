@@ -126,7 +126,14 @@ pub fn fig10(rows: &[SweepRow]) -> Table {
     let mut t = Table::new(
         "fig10_response_time",
         "Figure 10: average query response time (s) vs number of DDoS agents",
-        &["agents", "no attack", "attack, no defense", "attack, DD-POLICE", "slowdown", "undef. p95"],
+        &[
+            "agents",
+            "no attack",
+            "attack, no defense",
+            "attack, DD-POLICE",
+            "slowdown",
+            "undef. p95",
+        ],
     );
     for r in rows {
         t.push_row(vec![

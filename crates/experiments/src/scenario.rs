@@ -6,7 +6,10 @@ use ddp_metrics::recovery::{recovery_time, RecoveryThresholds};
 use ddp_metrics::summary::{RunSeries, RunSummary};
 use ddp_metrics::{damage_rate, TimeSeries};
 use ddp_police::{DdPolice, DdPoliceConfig, NaiveRateLimit};
-use ddp_sim::{Defense, ForwardingPolicy, ListBehavior, NoDefense, SimConfig, Simulation};
+use ddp_sim::{
+    CutRecord, Defense, FaultConfig, ForwardingPolicy, ListBehavior, NoDefense, SimConfig,
+    Simulation,
+};
 use ddp_topology::{TopologyConfig, TopologyModel};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -97,6 +100,7 @@ impl Scenario {
             defense: self.defense.label(),
             summary: result.summary,
             series: result.series,
+            cut_log: result.cut_log,
         }
     }
 
@@ -104,11 +108,7 @@ impl Scenario {
     /// topology, no agents, no defense), yielding the damage-rate series
     /// `D(t) = (S(t) − S'(t)) / S(t)` of §3.7.2.
     pub fn run_with_damage(&self) -> DamageReport {
-        let baseline_scenario = Scenario {
-            defense: DefenseKind::None,
-            agents: 0,
-            ..self.clone()
-        };
+        let baseline_scenario = Scenario { defense: DefenseKind::None, agents: 0, ..self.clone() };
         let baseline = baseline_scenario.run();
         let attacked = self.run();
         let mut damage = TimeSeries::new("damage_rate");
@@ -151,8 +151,7 @@ impl Default for ScenarioBuilder {
 impl ScenarioBuilder {
     /// Overlay size.
     pub fn peers(mut self, n: usize) -> Self {
-        self.sim.topology =
-            TopologyConfig { n, model: TopologyModel::BarabasiAlbert { m: 3 } };
+        self.sim.topology = TopologyConfig { n, model: TopologyModel::BarabasiAlbert { m: 3 } };
         self
     }
 
@@ -204,6 +203,13 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Control-plane fault injection (lossy/delayed protocol messages,
+    /// crash-restarting peers).
+    pub fn faults(mut self, f: FaultConfig) -> Self {
+        self.sim.faults = f;
+        self
+    }
+
     /// Finalize.
     pub fn build(self) -> Scenario {
         Scenario {
@@ -227,6 +233,8 @@ pub struct ScenarioReport {
     pub summary: RunSummary,
     /// Per-tick series.
     pub series: RunSeries,
+    /// Every defensive disconnection, in order (detection-latency analysis).
+    pub cut_log: Vec<CutRecord>,
 }
 
 /// An attacked run paired with its no-attack baseline.
@@ -267,14 +275,7 @@ pub struct ExpOptions {
 
 impl Default for ExpOptions {
     fn default() -> Self {
-        ExpOptions {
-            peers: 2_000,
-            ticks: 30,
-            seed: 42,
-            agents: 100,
-            replicates: 1,
-            csv_dir: None,
-        }
+        ExpOptions { peers: 2_000, ticks: 30, seed: 42, agents: 100, replicates: 1, csv_dir: None }
     }
 }
 

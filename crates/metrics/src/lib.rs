@@ -20,6 +20,7 @@ pub mod errors;
 pub mod histogram;
 pub mod quantile;
 pub mod recovery;
+pub mod resilience;
 pub mod response;
 pub mod success;
 pub mod summary;
@@ -31,6 +32,7 @@ pub use errors::DetectionErrors;
 pub use histogram::Histogram;
 pub use quantile::P2Quantile;
 pub use recovery::{recovery_time, RecoveryThresholds};
+pub use resilience::ResilienceSummary;
 pub use response::ResponseStats;
 pub use success::SuccessStats;
 pub use summary::RunSummary;

@@ -90,13 +90,12 @@ impl P2Quantile {
             if (d >= 1.0 && right > 1.0) || (d <= -1.0 && left < -1.0) {
                 let d = d.signum();
                 let candidate = self.parabolic(i, d);
-                self.heights[i] = if self.heights[i - 1] < candidate
-                    && candidate < self.heights[i + 1]
-                {
-                    candidate
-                } else {
-                    self.linear(i, d)
-                };
+                self.heights[i] =
+                    if self.heights[i - 1] < candidate && candidate < self.heights[i + 1] {
+                        candidate
+                    } else {
+                        self.linear(i, d)
+                    };
                 self.positions[i] += d;
             }
         }
@@ -113,8 +112,7 @@ impl P2Quantile {
     fn linear(&self, i: usize, d: f64) -> f64 {
         let j = (i as f64 + d) as usize;
         self.heights[i]
-            + d * (self.heights[j] - self.heights[i])
-                / (self.positions[j] - self.positions[i])
+            + d * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
     }
 
     /// Current estimate (exact for <= 5 observations; 0 when empty).

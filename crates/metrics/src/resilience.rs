@@ -1,0 +1,135 @@
+//! Control-plane resilience accounting.
+//!
+//! When the simulation injects faults into DD-POLICE's control plane (lost or
+//! delayed `Neighbor_Traffic` reports and neighbor-list announcements,
+//! crash-restarted peers), these counters record how the protocol actually
+//! experienced the faulty transport: how many reports never arrived and were
+//! assumed zero (§3.4's rule), how often a late report was still usable, and
+//! how stale the membership snapshots driving Buddy-Group assembly were.
+
+use crate::Histogram;
+use serde::{Deserialize, Serialize};
+
+/// Snapshot-age histogram shape: 1-tick buckets up to this many ticks, then
+/// overflow. Ages beyond this are all "very stale" for every exchange period
+/// the experiments sweep.
+const AGE_BUCKETS: usize = 16;
+
+/// Fault-plane and assume-zero accounting for one run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResilienceSummary {
+    /// Neighbor_Traffic report lookups the defense attempted (one per Buddy
+    /// Group member per judgment, the observer's own counters excluded).
+    pub reports_requested: u64,
+    /// Lookups answered by a report that arrived within the same tick.
+    pub reports_fresh: u64,
+    /// Lookups answered by a delayed report that matured within the timeout.
+    pub reports_stale_used: u64,
+    /// Lookups where the member refused (offline, disconnected, or silent).
+    pub reports_refused: u64,
+    /// Lookups resolved by the assume-zero rule after retries and the stale
+    /// mailbox both came up empty.
+    pub reports_assumed_zero: u64,
+    /// Re-requests issued after a transport fault (bounded per suspect/tick).
+    pub report_retries: u64,
+    /// Neighbor-list announcements sent (per announcer-receiver pair).
+    pub lists_sent: u64,
+    /// Announcements the transport dropped.
+    pub lists_lost: u64,
+    /// Announcements the transport delivered late.
+    pub lists_delayed: u64,
+    /// Late announcements that were still applied on maturity.
+    pub lists_late_applied: u64,
+    /// Crash-restart events (a peer's police/exchange state wiped mid-run).
+    pub crash_restarts: u64,
+    /// Age (ticks) of the membership snapshot behind each Buddy-Group
+    /// judgment: 0 = refreshed this tick.
+    pub snapshot_age: Histogram,
+}
+
+impl Default for ResilienceSummary {
+    fn default() -> Self {
+        ResilienceSummary {
+            reports_requested: 0,
+            reports_fresh: 0,
+            reports_stale_used: 0,
+            reports_refused: 0,
+            reports_assumed_zero: 0,
+            report_retries: 0,
+            lists_sent: 0,
+            lists_lost: 0,
+            lists_delayed: 0,
+            lists_late_applied: 0,
+            crash_restarts: 0,
+            snapshot_age: Histogram::new(1.0, AGE_BUCKETS),
+        }
+    }
+}
+
+impl ResilienceSummary {
+    /// Fraction of report lookups that ended in assume-zero *because of the
+    /// transport* (refusals excluded: a silent peer assumes zero even on a
+    /// perfect network).
+    pub fn missed_report_rate(&self) -> f64 {
+        let answerable = self.reports_requested.saturating_sub(self.reports_refused);
+        if answerable == 0 {
+            return 0.0;
+        }
+        self.reports_assumed_zero as f64 / answerable as f64
+    }
+
+    /// Fraction of sent neighbor-list announcements the transport dropped.
+    pub fn list_loss_rate(&self) -> f64 {
+        if self.lists_sent == 0 {
+            return 0.0;
+        }
+        self.lists_lost as f64 / self.lists_sent as f64
+    }
+
+    /// Mean snapshot age (ticks) over all judgments, overflow counted at the
+    /// histogram's upper edge.
+    pub fn mean_snapshot_age(&self) -> f64 {
+        let total = self.snapshot_age.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let mut weighted = 0.0;
+        for b in 0..AGE_BUCKETS {
+            weighted += self.snapshot_age.bucket(b) as f64 * b as f64;
+        }
+        weighted += self.snapshot_age.overflow() as f64 * AGE_BUCKETS as f64;
+        weighted / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn missed_rate_excludes_refusals() {
+        let r = ResilienceSummary {
+            reports_requested: 10,
+            reports_refused: 2,
+            reports_assumed_zero: 4,
+            ..Default::default()
+        };
+        assert!((r.missed_report_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_summary_has_zero_rates() {
+        let r = ResilienceSummary::default();
+        assert_eq!(r.missed_report_rate(), 0.0);
+        assert_eq!(r.list_loss_rate(), 0.0);
+        assert_eq!(r.mean_snapshot_age(), 0.0);
+    }
+
+    #[test]
+    fn mean_snapshot_age_weights_buckets() {
+        let mut r = ResilienceSummary::default();
+        r.snapshot_age.record(0.0);
+        r.snapshot_age.record(2.0);
+        assert!((r.mean_snapshot_age() - 1.0).abs() < 1e-12);
+    }
+}

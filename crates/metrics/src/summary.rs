@@ -1,6 +1,6 @@
 //! Whole-run summary, the unit the experiment harness tabulates.
 
-use crate::{DetectionErrors, TimeSeries};
+use crate::{DetectionErrors, ResilienceSummary, TimeSeries};
 use serde::{Deserialize, Serialize};
 
 /// Aggregated results of one simulation run.
@@ -29,6 +29,9 @@ pub struct RunSummary {
     pub attackers_never_cut: u64,
     /// Number of good-peer disconnection events (defense mistakes).
     pub good_peers_cut: u64,
+    /// Control-plane fault / assume-zero accounting (all zeros outside the
+    /// fault-injected runs; populated by the engine's fault plane).
+    pub resilience: ResilienceSummary,
     /// Ticks simulated.
     pub ticks: usize,
 }
@@ -86,6 +89,7 @@ impl RunSeries {
             attackers_cut,
             attackers_never_cut: 0,
             good_peers_cut,
+            resilience: ResilienceSummary::default(),
             ticks,
         }
     }

@@ -150,10 +150,7 @@ mod tests {
         );
         let wire = encode_message(&msg);
         let mut cut = wire.slice(..wire.len() - 2);
-        assert!(matches!(
-            decode_message(&mut cut),
-            Err(ProtocolError::TruncatedPayload { .. })
-        ));
+        assert!(matches!(decode_message(&mut cut), Err(ProtocolError::TruncatedPayload { .. })));
     }
 
     #[test]

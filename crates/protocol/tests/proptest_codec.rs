@@ -6,8 +6,7 @@ use proptest::prelude::*;
 use std::net::Ipv4Addr;
 
 fn arb_addr() -> impl Strategy<Value = PeerAddr> {
-    (any::<u32>(), any::<u16>())
-        .prop_map(|(ip, port)| PeerAddr { ip: Ipv4Addr::from(ip), port })
+    (any::<u32>(), any::<u16>()).prop_map(|(ip, port)| PeerAddr { ip: Ipv4Addr::from(ip), port })
 }
 
 fn arb_name() -> impl Strategy<Value = String> {
@@ -23,8 +22,7 @@ fn arb_payload() -> impl Strategy<Value = Payload> {
             shared_files: f,
             shared_kb: kb
         })),
-        (any::<u16>(), arb_name())
-            .prop_map(|(code, reason)| Payload::Bye(Bye { code, reason })),
+        (any::<u16>(), arb_name()).prop_map(|(code, reason)| Payload::Bye(Bye { code, reason })),
         (any::<u16>(), arb_name())
             .prop_map(|(min_speed, criteria)| Payload::Query(Query { min_speed, criteria })),
         (

@@ -247,7 +247,11 @@ impl Servent {
         };
         if announces && minute.is_multiple_of(period) {
             let list = NeighborList {
-                neighbors: self.neighbors().iter().map(|p| PeerAddr::from_node_index(p.0)).collect(),
+                neighbors: self
+                    .neighbors()
+                    .iter()
+                    .map(|p| PeerAddr::from_node_index(p.0))
+                    .collect(),
             };
             let msg = Message::new(self.next_guid(), 1, Payload::NeighborList(list));
             let frame = self.frame(&msg);
@@ -314,22 +318,22 @@ impl Servent {
         if self.investigations.contains_key(&suspect.0) {
             return;
         }
-        let members: Vec<NodeId> = match self.links.get(&suspect.0).and_then(|l| l.announced.clone())
-        {
-            Some(list) => {
-                self.missing_list_strikes.remove(&suspect.0);
-                list
-            }
-            None => {
-                // No list yet: wait out the grace period, then judge solo.
-                let strikes = self.missing_list_strikes.entry(suspect.0).or_insert(0);
-                *strikes = strikes.saturating_add(1);
-                if *strikes < self.cfg.police.missing_list_grace {
-                    return;
+        let members: Vec<NodeId> =
+            match self.links.get(&suspect.0).and_then(|l| l.announced.clone()) {
+                Some(list) => {
+                    self.missing_list_strikes.remove(&suspect.0);
+                    list
                 }
-                vec![self.id]
-            }
-        };
+                None => {
+                    // No list yet: wait out the grace period, then judge solo.
+                    let strikes = self.missing_list_strikes.entry(suspect.0).or_insert(0);
+                    *strikes = strikes.saturating_add(1);
+                    if *strikes < self.cfg.police.missing_list_grace {
+                        return;
+                    }
+                    vec![self.id]
+                }
+            };
         self.investigations.insert(
             suspect.0,
             Investigation {
@@ -371,11 +375,9 @@ impl Servent {
             if m == self.id {
                 continue;
             }
-            let dead = self
-                .member_last_seen
-                .get(&m.0)
-                .is_some_and(|&t| now.saturating_sub(t) > horizon)
-                && now > horizon;
+            let dead =
+                self.member_last_seen.get(&m.0).is_some_and(|&t| now.saturating_sub(t) > horizon)
+                    && now > horizon;
             if !dead {
                 out.push((m, frame.clone()));
             }

@@ -24,8 +24,11 @@ fn searches_resolve_over_the_wire() {
     let rate = r.resolved as f64 / r.issued as f64;
     assert!(rate > 0.6, "resolution rate {rate} ({} / {})", r.resolved, r.issued);
     // Round trips through a TTL-5 flood with 1 s hops stay in seconds.
-    assert!(r.mean_latency_secs >= 2.0 && r.mean_latency_secs <= 12.0,
-        "mean latency {}", r.mean_latency_secs);
+    assert!(
+        r.mean_latency_secs >= 2.0 && r.mean_latency_secs <= 12.0,
+        "mean latency {}",
+        r.mean_latency_secs
+    );
     assert!(r.cuts.is_empty(), "no attackers, no cuts: {:?}", r.cuts);
 }
 
@@ -106,8 +109,7 @@ fn service_recovers_after_the_cut() {
 fn runs_are_deterministic() {
     let g = graph(25, 6);
     let mk = || {
-        let mut h =
-            Harness::new(&g, &[(NodeId(3), agent(1_200))], HarnessConfig::default(), 21);
+        let mut h = Harness::new(&g, &[(NodeId(3), agent(1_200))], HarnessConfig::default(), 21);
         h.run_minutes(3);
         h.report()
     };

@@ -1,5 +1,6 @@
 //! Simulation configuration.
 
+use crate::faults::FaultConfig;
 use ddp_topology::TopologyConfig;
 use ddp_workload::content::ContentConfig;
 use ddp_workload::{BandwidthModel, LifetimeModel, QueryArrivals};
@@ -72,6 +73,10 @@ pub struct SimConfig {
     pub fair_share_factor: f64,
     /// Query timeout: successful responses slower than this count as failed.
     pub response_timeout_secs: f64,
+    /// Control-plane fault injection (lost/delayed protocol messages,
+    /// crash-restarting peers). Inert by default — the reliable-transport
+    /// setting the paper assumes.
+    pub faults: FaultConfig,
 }
 
 impl Default for SimConfig {
@@ -95,6 +100,7 @@ impl Default for SimConfig {
             forwarding: ForwardingPolicy::Fifo,
             fair_share_factor: 2.0,
             response_timeout_secs: 60.0,
+            faults: FaultConfig::default(),
         }
     }
 }
@@ -177,6 +183,7 @@ impl SimConfig {
                 self.fair_share_factor
             )));
         }
+        self.faults.validate().map_err(ConfigError)?;
         Ok(())
     }
 }
@@ -207,5 +214,11 @@ mod validate_tests {
 
         let c = SimConfig { response_timeout_secs: 0.0, ..SimConfig::default() };
         assert!(c.validate().is_err());
+
+        let c = SimConfig {
+            faults: FaultConfig { loss: 1.2, ..FaultConfig::default() },
+            ..SimConfig::default()
+        };
+        assert!(c.validate().unwrap_err().0.contains("loss"));
     }
 }

@@ -8,6 +8,7 @@
 //! disconnections. The engine applies them and keeps ground-truth error
 //! statistics.
 
+use crate::faults::{FaultPlane, ReportOutcome};
 use crate::node::{ListBehavior, ReportBehavior};
 use crate::overlay::Overlay;
 use crate::Tick;
@@ -36,6 +37,24 @@ pub struct TickObservation<'a> {
     pub report_behavior: &'a [ReportBehavior],
     /// Per-node neighbor-list exchange behavior (truthful for good peers).
     pub list_behavior: &'a [ListBehavior],
+    /// Control-plane transport. `None` means the paper's reliable same-tick
+    /// delivery; `Some` routes every protocol message through the fault
+    /// plane's loss/delay decisions and mailboxes.
+    pub faults: Option<&'a FaultPlane>,
+}
+
+/// Outcome of one transport-mediated `Neighbor_Traffic` round trip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReportDelivery {
+    /// The report arrived this tick.
+    Fresh(TrafficReport),
+    /// The reporter refused (offline, disconnected, or deliberately silent).
+    /// The paper's assume-zero rule applies; retrying cannot help.
+    Refused,
+    /// The transport lost the request or the reply (or delayed the reply —
+    /// it may surface later via [`TickObservation::stale_report`]). A retry
+    /// with a higher attempt number may get through.
+    Faulted,
 }
 
 impl TickObservation<'_> {
@@ -55,10 +74,9 @@ impl TickObservation<'_> {
         let true_sent = self.overlay.accepted_between(reporter, suspect);
         let true_recv = self.overlay.accepted_between(suspect, reporter);
         match self.report_behavior[reporter.index()] {
-            ReportBehavior::Honest => Some(TrafficReport {
-                sent_to_suspect: true_sent,
-                received_from_suspect: true_recv,
-            }),
+            ReportBehavior::Honest => {
+                Some(TrafficReport { sent_to_suspect: true_sent, received_from_suspect: true_recv })
+            }
             ReportBehavior::Inflate(f) => Some(TrafficReport {
                 sent_to_suspect: scale(true_sent, f),
                 received_from_suspect: true_recv,
@@ -80,8 +98,9 @@ impl TickObservation<'_> {
         if !self.online[announcer.index()] {
             return None;
         }
-        let truth =
-            || -> Vec<NodeId> { self.overlay.neighbors(announcer).iter().map(|h| h.peer).collect() };
+        let truth = || -> Vec<NodeId> {
+            self.overlay.neighbors(announcer).iter().map(|h| h.peer).collect()
+        };
         match self.list_behavior[announcer.index()] {
             ListBehavior::Truthful => Some(truth()),
             ListBehavior::Omit => Some(Vec::new()),
@@ -117,8 +136,7 @@ impl TickObservation<'_> {
         }
         let truth = self.overlay.contains_edge(member, suspect);
         let member_lies = !matches!(self.report_behavior[member.index()], ReportBehavior::Honest);
-        let suspect_lies =
-            !matches!(self.list_behavior[suspect.index()], ListBehavior::Truthful);
+        let suspect_lies = !matches!(self.list_behavior[suspect.index()], ListBehavior::Truthful);
         if member_lies && suspect_lies {
             return true; // collusion: the puppet confirms the padded claim
         }
@@ -132,6 +150,102 @@ impl TickObservation<'_> {
         TrafficReport {
             sent_to_suspect: self.overlay.accepted_between(observer, neighbor),
             received_from_suspect: self.overlay.accepted_between(neighbor, observer),
+        }
+    }
+
+    /// [`request_report`](Self::request_report) routed through the fault
+    /// plane: `requester` asks `reporter` about `suspect`, `attempt` numbers
+    /// this tick's retries so re-requests re-roll the transport dice.
+    ///
+    /// What the *reporter would say* is decided first — a refusal is a
+    /// protocol-level answer and is reported as [`ReportDelivery::Refused`]
+    /// whether or not the transport would also have failed, so fault-free and
+    /// faulted runs agree exactly on which peers were silent.
+    pub fn request_report_via(
+        &self,
+        requester: NodeId,
+        reporter: NodeId,
+        suspect: NodeId,
+        attempt: u32,
+    ) -> ReportDelivery {
+        let Some(report) = self.request_report(reporter, suspect) else {
+            return ReportDelivery::Refused;
+        };
+        let Some(fp) = self.faults else {
+            return ReportDelivery::Fresh(report);
+        };
+        if fp.request_lost(self.tick, requester, reporter, attempt) {
+            return ReportDelivery::Faulted;
+        }
+        match fp.deliver_reply(self.tick, requester, reporter, suspect, report, attempt) {
+            Some(r) => ReportDelivery::Fresh(r),
+            None => ReportDelivery::Faulted,
+        }
+    }
+
+    /// The newest matured *late* reply for (requester, reporter, suspect)
+    /// from an earlier tick's faulted round trip, with its send tick.
+    /// Consuming: a stale report answers at most one lookup.
+    pub fn stale_report(
+        &self,
+        requester: NodeId,
+        reporter: NodeId,
+        suspect: NodeId,
+    ) -> Option<(TrafficReport, Tick)> {
+        self.faults?.take_stale_report(self.tick, requester, reporter, suspect)
+    }
+
+    /// Send one copy of `announcer`'s neighbor list to `receiver` through
+    /// the transport. `None` means the copy was lost or delayed (a delayed
+    /// copy surfaces later via [`matured_lists`](Self::matured_lists)).
+    pub fn transmit_list(
+        &self,
+        announcer: NodeId,
+        receiver: NodeId,
+        members: &[NodeId],
+    ) -> Option<Vec<NodeId>> {
+        match self.faults {
+            Some(fp) => fp.transmit_list(self.tick, announcer, receiver, members),
+            None => Some(members.to_vec()),
+        }
+    }
+
+    /// Drain every late list announcement that matured for `receiver`:
+    /// `(announcer, members, sent_at)` in send order.
+    pub fn matured_lists(&self, receiver: NodeId) -> Vec<(NodeId, Vec<NodeId>, Tick)> {
+        match self.faults {
+            Some(fp) => fp.take_matured_lists(self.tick, receiver),
+            None => Vec::new(),
+        }
+    }
+
+    /// Resilience accounting: how one report lookup was resolved. No-op on a
+    /// reliable transport.
+    pub fn note_report_outcome(&self, outcome: ReportOutcome) {
+        if let Some(fp) = self.faults {
+            fp.note_report_outcome(outcome);
+        }
+    }
+
+    /// Resilience accounting: a matured late list was actually applied.
+    pub fn note_late_list_applied(&self) {
+        if let Some(fp) = self.faults {
+            fp.note_late_list_applied();
+        }
+    }
+
+    /// Resilience accounting: retries spent on one suspect's report round.
+    pub fn note_retries(&self, n: u64) {
+        if let Some(fp) = self.faults {
+            fp.note_retries(n);
+        }
+    }
+
+    /// Resilience accounting: age (ticks) of the membership snapshot behind
+    /// one Buddy-Group judgment.
+    pub fn note_snapshot_age(&self, age: Tick) {
+        if let Some(fp) = self.faults {
+            fp.note_snapshot_age(age);
         }
     }
 }
@@ -169,10 +283,14 @@ pub trait Defense {
     fn on_peer_reset(&mut self, _node: NodeId) {}
 
     /// The engine added an overlay connection (join or attacker rejoin).
-    fn on_edge_added(&mut self, _u: NodeId, _v: NodeId) {}
+    /// `deg_u` / `deg_v` are the endpoints' overlay degrees *after* the
+    /// addition — an event-driven exchange announces to exactly that many
+    /// neighbors, so cost accounting can use the real fan-out.
+    fn on_edge_added(&mut self, _u: NodeId, _v: NodeId, _deg_u: usize, _deg_v: usize) {}
 
     /// The engine removed an overlay connection (departure or cut).
-    fn on_edge_removed(&mut self, _u: NodeId, _v: NodeId) {}
+    /// `deg_u` / `deg_v` are the endpoints' degrees *after* the removal.
+    fn on_edge_removed(&mut self, _u: NodeId, _v: NodeId, _deg_u: usize, _deg_v: usize) {}
 }
 
 impl<D: Defense + ?Sized> Defense for Box<D> {
@@ -185,11 +303,11 @@ impl<D: Defense + ?Sized> Defense for Box<D> {
     fn on_peer_reset(&mut self, node: NodeId) {
         (**self).on_peer_reset(node)
     }
-    fn on_edge_added(&mut self, u: NodeId, v: NodeId) {
-        (**self).on_edge_added(u, v)
+    fn on_edge_added(&mut self, u: NodeId, v: NodeId, deg_u: usize, deg_v: usize) {
+        (**self).on_edge_added(u, v, deg_u, deg_v)
     }
-    fn on_edge_removed(&mut self, u: NodeId, v: NodeId) {
-        (**self).on_edge_removed(u, v)
+    fn on_edge_removed(&mut self, u: NodeId, v: NodeId, deg_u: usize, deg_v: usize) {
+        (**self).on_edge_removed(u, v, deg_u, deg_v)
     }
 }
 
@@ -240,6 +358,7 @@ mod tests {
             runs_defense: runs,
             report_behavior: behavior,
             list_behavior: &TRUTHFUL[..overlay.node_count()],
+            faults: None,
         }
     }
 
@@ -256,8 +375,7 @@ mod tests {
     #[test]
     fn silent_reporter_returns_none() {
         let (o, online, runs) = setup();
-        let behavior =
-            vec![ReportBehavior::Silent, ReportBehavior::Honest, ReportBehavior::Honest];
+        let behavior = vec![ReportBehavior::Silent, ReportBehavior::Honest, ReportBehavior::Honest];
         let ob = obs(&o, &online, &runs, &behavior);
         assert!(ob.request_report(NodeId(0), NodeId(1)).is_none());
     }
@@ -297,6 +415,49 @@ mod tests {
         let r = ob.own_counters(NodeId(1), NodeId(0));
         assert_eq!(r.sent_to_suspect, 7);
         assert_eq!(r.received_from_suspect, 100);
+    }
+
+    #[test]
+    fn reliable_transport_mediation_matches_direct_access() {
+        let (o, online, runs) = setup();
+        let behavior = vec![ReportBehavior::Honest; 3];
+        let ob = obs(&o, &online, &runs, &behavior);
+        // Fresh delivery equals the unmediated oracle.
+        assert_eq!(
+            ob.request_report_via(NodeId(2), NodeId(0), NodeId(1), 0),
+            ReportDelivery::Fresh(ob.request_report(NodeId(0), NodeId(1)).unwrap())
+        );
+        // A non-neighbor refuses — that is protocol, not transport.
+        assert_eq!(
+            ob.request_report_via(NodeId(1), NodeId(0), NodeId(2), 0),
+            ReportDelivery::Refused
+        );
+        // Lists pass through verbatim; no mail ever matures.
+        let members = [NodeId(5), NodeId(6)];
+        assert_eq!(ob.transmit_list(NodeId(0), NodeId(1), &members).unwrap(), members);
+        assert!(ob.matured_lists(NodeId(1)).is_empty());
+        assert!(ob.stale_report(NodeId(0), NodeId(1), NodeId(2)).is_none());
+    }
+
+    #[test]
+    fn faulted_transport_mediation_reports_transport_failures() {
+        use crate::faults::{FaultConfig, FaultPlane};
+        let (o, online, runs) = setup();
+        let behavior = vec![ReportBehavior::Honest; 3];
+        let plane = FaultPlane::new(FaultConfig { loss: 1.0, ..FaultConfig::default() }, 7);
+        let mut ob = obs(&o, &online, &runs, &behavior);
+        ob.faults = Some(&plane);
+        // Total loss: every answerable lookup comes back Faulted, but a
+        // refusal is still Refused — the oracle answers before the transport.
+        assert_eq!(
+            ob.request_report_via(NodeId(2), NodeId(0), NodeId(1), 0),
+            ReportDelivery::Faulted
+        );
+        assert_eq!(
+            ob.request_report_via(NodeId(1), NodeId(0), NodeId(2), 0),
+            ReportDelivery::Refused
+        );
+        assert!(ob.transmit_list(NodeId(0), NodeId(1), &[NodeId(5)]).is_none());
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use crate::config::SimConfig;
 use crate::defense::{Actions, Defense, TickObservation};
+use crate::faults::FaultPlane;
 use crate::flood::{FirstHop, FloodEngine, FloodEnv};
 use crate::node::{ListBehavior, NodeState, ReportBehavior, Role};
 use crate::overlay::Overlay;
@@ -58,6 +59,8 @@ pub struct Simulation<D: Defense> {
     tick: Tick,
     rng_workload: StdRng,
     rng_churn: StdRng,
+    /// Control-plane transport (inert unless `cfg.faults` injects faults).
+    fault_plane: FaultPlane,
 
     // Per-tick scratch, refreshed from `nodes` each tick.
     node_used: Vec<u32>,
@@ -113,6 +116,7 @@ impl<D: Defense> Simulation<D> {
         let mut rng_content = StdRng::seed_from_u64(derive_seed(seed, 2));
         let rng_workload = StdRng::seed_from_u64(derive_seed(seed, 3));
         let mut rng_churn = StdRng::seed_from_u64(derive_seed(seed, 4));
+        let fault_plane = FaultPlane::new(cfg.faults.clone(), derive_seed(seed, 5));
 
         let graph = cfg.topology.generate(&mut rng_topo);
         let classes: Vec<_> = (0..n).map(|_| cfg.bandwidth.sample(&mut rng_churn)).collect();
@@ -155,6 +159,7 @@ impl<D: Defense> Simulation<D> {
             defense,
             rng_workload,
             rng_churn,
+            fault_plane,
         }
     }
 
@@ -207,7 +212,9 @@ impl<D: Defense> Simulation<D> {
     /// Advance the simulation by one tick (one minute).
     pub fn step(&mut self) {
         self.tick += 1;
+        self.fault_plane.begin_tick(self.tick);
         self.churn_step();
+        self.crash_step();
         self.refresh_scratch();
         self.overlay.reset_tick_counters();
         self.node_used.fill(0);
@@ -257,6 +264,7 @@ impl<D: Defense> Simulation<D> {
             self.series.summarize(self.errors, self.attackers_cut, self.good_peers_cut);
         summary.attackers_never_cut = never_cut;
         summary.response_p95_secs = self.response_p95.estimate();
+        summary.resilience = self.fault_plane.stats();
         RunResult { series: self.series, summary, cut_log: self.cut_log }
     }
 
@@ -297,10 +305,28 @@ impl<D: Defense> Simulation<D> {
         self.maintain_connectivity();
     }
 
+    /// Crash-restart injection: a crashed peer keeps its overlay links (the
+    /// process restarts within the minute) but its detection-protocol state
+    /// — exchange views, suspicion streaks, in-flight mail — is wiped.
+    fn crash_step(&mut self) {
+        if self.cfg.faults.crash_prob <= 0.0 {
+            return;
+        }
+        for i in 0..self.nodes.len() {
+            let node = NodeId::from_index(i);
+            if self.nodes[i].online
+                && self.nodes[i].runs_defense
+                && self.fault_plane.crashes(self.tick, node)
+            {
+                self.defense.on_peer_reset(node);
+            }
+        }
+    }
+
     fn depart(&mut self, node: NodeId) {
         let freed = self.overlay.isolate(node);
         for peer in freed {
-            self.defense.on_edge_removed(node, peer);
+            self.defense.on_edge_removed(node, peer, 0, self.overlay.degree(peer));
         }
         let s = &mut self.nodes[node.index()];
         s.online = false;
@@ -316,7 +342,11 @@ impl<D: Defense> Simulation<D> {
         let s = &mut self.nodes[node.index()];
         *s = NodeState::good(bw, capacity, lifetime);
         self.overlay.set_class(node, bw);
-        self.catalog.regenerate_library(node, self.cfg.content.objects_per_peer, &mut self.rng_churn);
+        self.catalog.regenerate_library(
+            node,
+            self.cfg.content.objects_per_peer,
+            &mut self.rng_churn,
+        );
         self.prev_util[node.index()] = 0.0;
         self.ever_cut[node.index()] = false; // brand-new peer, clean record
         self.counted_wrongly_cut[node.index()] = false;
@@ -324,7 +354,12 @@ impl<D: Defense> Simulation<D> {
         for _ in 0..self.cfg.join_degree {
             if let Some(peer) = self.pick_online_peer(node) {
                 if self.overlay.add_edge(node, peer) {
-                    self.defense.on_edge_added(node, peer);
+                    self.defense.on_edge_added(
+                        node,
+                        peer,
+                        self.overlay.degree(node),
+                        self.overlay.degree(peer),
+                    );
                 }
             }
         }
@@ -354,7 +389,12 @@ impl<D: Defense> Simulation<D> {
             match self.pick_online_peer(node) {
                 Some(peer) => {
                     if self.overlay.add_edge(node, peer) {
-                        self.defense.on_edge_added(node, peer);
+                        self.defense.on_edge_added(
+                            node,
+                            peer,
+                            self.overlay.degree(node),
+                            self.overlay.degree(peer),
+                        );
                     } else {
                         break;
                     }
@@ -374,7 +414,12 @@ impl<D: Defense> Simulation<D> {
                 match self.pick_online_peer(node) {
                     Some(peer) => {
                         if self.overlay.add_edge(node, peer) {
-                            self.defense.on_edge_added(node, peer);
+                            self.defense.on_edge_added(
+                                node,
+                                peer,
+                                self.overlay.degree(node),
+                                self.overlay.degree(peer),
+                            );
                         } else {
                             break; // already connected to the sampled peer
                         }
@@ -515,6 +560,7 @@ impl<D: Defense> Simulation<D> {
                 runs_defense: &self.runs_defense,
                 report_behavior: &self.report_behavior,
                 list_behavior: &self.list_behavior,
+                faults: Some(&self.fault_plane),
             };
             self.defense.on_tick(&obs, &mut actions);
         }
@@ -523,7 +569,12 @@ impl<D: Defense> Simulation<D> {
             if !self.overlay.remove_edge(observer, suspect) {
                 continue; // already gone (double cut within the tick)
             }
-            self.defense.on_edge_removed(observer, suspect);
+            self.defense.on_edge_removed(
+                observer,
+                suspect,
+                self.overlay.degree(observer),
+                self.overlay.degree(suspect),
+            );
             self.ever_cut[suspect.index()] = true;
             self.cut_log.push(CutRecord {
                 tick: self.tick,
@@ -656,8 +707,7 @@ mod tests {
             "cut-everything"
         }
         fn on_tick(&mut self, obs: &TickObservation<'_>, actions: &mut Actions) {
-            let victims: Vec<_> =
-                obs.overlay.neighbors(NodeId(0)).iter().map(|h| h.peer).collect();
+            let victims: Vec<_> = obs.overlay.neighbors(NodeId(0)).iter().map(|h| h.peer).collect();
             for v in victims {
                 actions.cut(NodeId(0), v);
             }

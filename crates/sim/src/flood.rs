@@ -177,7 +177,16 @@ impl FloodEngine {
                     if overlay.neighbors(e.node)[slot].peer == e.parent {
                         continue; // never echo back along the arrival link
                     }
-                    self.send_via(overlay, e.node, slot, e.count, e.delay, target, env, &mut outcome);
+                    self.send_via(
+                        overlay,
+                        e.node,
+                        slot,
+                        e.count,
+                        e.delay,
+                        target,
+                        env,
+                        &mut outcome,
+                    );
                 }
             }
             frontier.clear();
@@ -450,13 +459,27 @@ mod tests {
         let cfg = ContentConfig { num_objects: 2, objects_per_peer: 2, alpha: 1.0 };
         let catalog = ContentCatalog::generate(2, &cfg, &mut rng);
         let idle = fe
-            .flood(&mut o, NodeId(0), FirstHop::All { count: 1 }, 2, Some((&catalog, ObjectId(0))), &mut env.env())
+            .flood(
+                &mut o,
+                NodeId(0),
+                FirstHop::All { count: 1 },
+                2,
+                Some((&catalog, ObjectId(0))),
+                &mut env.env(),
+            )
             .hit_delay_secs;
         o.reset_tick_counters();
         env.node_used.fill(0);
         env.prev_util[1] = 0.95;
         let busy = fe
-            .flood(&mut o, NodeId(0), FirstHop::All { count: 1 }, 2, Some((&catalog, ObjectId(0))), &mut env.env())
+            .flood(
+                &mut o,
+                NodeId(0),
+                FirstHop::All { count: 1 },
+                2,
+                Some((&catalog, ObjectId(0))),
+                &mut env.env(),
+            )
             .hit_delay_secs;
         assert!(busy > idle * 2.0, "busy {busy} should dwarf idle {idle}");
         // Near-saturation (clamped at 0.98) inflates further.
@@ -464,7 +487,14 @@ mod tests {
         env.node_used.fill(0);
         env.prev_util[1] = 1.0;
         let saturated = fe
-            .flood(&mut o, NodeId(0), FirstHop::All { count: 1 }, 2, Some((&catalog, ObjectId(0))), &mut env.env())
+            .flood(
+                &mut o,
+                NodeId(0),
+                FirstHop::All { count: 1 },
+                2,
+                Some((&catalog, ObjectId(0))),
+                &mut env.env(),
+            )
             .hit_delay_secs;
         assert!(saturated > busy, "saturated {saturated} > busy {busy}");
     }

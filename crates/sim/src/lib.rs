@@ -36,13 +36,15 @@
 pub mod config;
 pub mod defense;
 pub mod engine;
+pub mod faults;
 pub mod flood;
 pub mod node;
 pub mod overlay;
 
 pub use config::{ForwardingPolicy, SimConfig};
-pub use defense::{Actions, Defense, NoDefense, TickObservation};
+pub use defense::{Actions, Defense, NoDefense, ReportDelivery, TickObservation, TrafficReport};
 pub use engine::{CutRecord, RunResult, Simulation};
+pub use faults::{FaultConfig, FaultPlane, ReportOutcome};
 pub use flood::{FloodEngine, FloodOutcome};
 pub use node::{ListBehavior, NodeState, ReportBehavior, Role};
 pub use overlay::Overlay;

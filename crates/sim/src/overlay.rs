@@ -9,12 +9,8 @@
 use ddp_topology::{DynamicGraph, Half, NodeId};
 use ddp_workload::{BandwidthClass, BandwidthModel};
 
-const CLASSES: [BandwidthClass; 4] = [
-    BandwidthClass::Dialup,
-    BandwidthClass::Dsl,
-    BandwidthClass::Cable,
-    BandwidthClass::Ethernet,
-];
+const CLASSES: [BandwidthClass; 4] =
+    [BandwidthClass::Dialup, BandwidthClass::Dsl, BandwidthClass::Cable, BandwidthClass::Ethernet];
 
 fn class_index(c: BandwidthClass) -> usize {
     match c {

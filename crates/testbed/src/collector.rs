@@ -94,10 +94,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let (_, summary) = c.collect(3_600, &mut rng);
         let hourly = summary.queries as f64;
-        assert!(
-            (520_000.0..630_000.0).contains(&hourly),
-            "hourly volume {hourly} should be ~573k"
-        );
+        assert!((520_000.0..630_000.0).contains(&hourly), "hourly volume {hourly} should be ~573k");
     }
 
     #[test]

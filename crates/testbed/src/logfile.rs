@@ -154,8 +154,7 @@ mod tests {
         let mut agent = ReplayAgent::new(records, 5);
         let first = agent.next_minute();
         assert_eq!(first, vec!["a", "b", "c", "a", "b"]);
-        let second: Vec<String> =
-            agent.next_minute().into_iter().map(str::to_string).collect();
+        let second: Vec<String> = agent.next_minute().into_iter().map(str::to_string).collect();
         assert_eq!(second, vec!["c", "a", "b", "c", "a"]);
     }
 

@@ -274,8 +274,7 @@ mod tests {
             assert_eq!(g.degree(NodeId(leaf as u32)), 1, "leaf {leaf}");
         }
         // The core keeps the BA profile: min degree m, hubs exist.
-        let core_max =
-            (0..200).map(|u| g.degree(NodeId(u as u32))).max().unwrap();
+        let core_max = (0..200).map(|u| g.degree(NodeId(u as u32))).max().unwrap();
         assert!(core_max >= 15, "core hub degree {core_max}");
     }
 

@@ -133,9 +133,11 @@ mod tests {
     #[test]
     fn dialup_caps_the_attack_rate() {
         // A dial-up attacker cannot push 20,000 q/min: Q_d = min(20000, link).
-        let cap = BandwidthModel::link_capacity_qpm(BandwidthClass::Dialup, BandwidthClass::Ethernet);
+        let cap =
+            BandwidthModel::link_capacity_qpm(BandwidthClass::Dialup, BandwidthClass::Ethernet);
         assert!(cap < 20_000, "dialup uplink {cap} must be below 20k");
-        let fast = BandwidthModel::link_capacity_qpm(BandwidthClass::Ethernet, BandwidthClass::Ethernet);
+        let fast =
+            BandwidthModel::link_capacity_qpm(BandwidthClass::Ethernet, BandwidthClass::Ethernet);
         assert!(fast > 20_000, "ethernet link {fast} must exceed 20k");
     }
 
@@ -152,9 +154,7 @@ mod tests {
         let m = BandwidthModel::default();
         let mut rng = StdRng::seed_from_u64(8);
         let draws = 100_000;
-        let dialups = (0..draws)
-            .filter(|_| m.sample(&mut rng) == BandwidthClass::Dialup)
-            .count();
+        let dialups = (0..draws).filter(|_| m.sample(&mut rng) == BandwidthClass::Dialup).count();
         let frac = dialups as f64 / draws as f64;
         assert!((0.21..0.23).contains(&frac), "dialup fraction {frac} ~ 0.22");
     }

@@ -69,12 +69,7 @@ impl ContentCatalog {
     }
 
     /// Generate the library for one newly joined peer, replacing `node`'s.
-    pub fn regenerate_library<R: Rng + ?Sized>(
-        &mut self,
-        node: NodeId,
-        size: usize,
-        rng: &mut R,
-    ) {
+    pub fn regenerate_library<R: Rng + ?Sized>(&mut self, node: NodeId, size: usize, rng: &mut R) {
         let lib = Self::sample_library(&self.query_popularity, size, rng);
         if node.index() >= self.libraries.len() {
             self.libraries.resize(node.index() + 1, Vec::new());
@@ -85,9 +80,7 @@ impl ContentCatalog {
     /// Does `node` hold `object`? O(log library size).
     #[inline]
     pub fn holds(&self, node: NodeId, object: ObjectId) -> bool {
-        self.libraries
-            .get(node.index())
-            .is_some_and(|lib| lib.binary_search(&object.0).is_ok())
+        self.libraries.get(node.index()).is_some_and(|lib| lib.binary_search(&object.0).is_ok())
     }
 
     /// Draw a query target according to the popularity law.
@@ -142,10 +135,7 @@ mod tests {
         let c = catalog(500);
         let head: usize = (0..10).map(|o| c.replication_count(ObjectId(o))).sum();
         let tail: usize = (9000..9010).map(|o| c.replication_count(ObjectId(o))).sum();
-        assert!(
-            head > tail * 3,
-            "head replication {head} should dominate tail {tail}"
-        );
+        assert!(head > tail * 3, "head replication {head} should dominate tail {tail}");
     }
 
     #[test]
@@ -168,12 +158,16 @@ mod tests {
     fn regenerate_library_replaces_content() {
         let mut c = catalog(5);
         let node = NodeId(2);
-        let before: Vec<u32> =
-            (0..c.num_objects()).filter(|&o| c.holds(node, ObjectId(o as u32))).map(|o| o as u32).collect();
+        let before: Vec<u32> = (0..c.num_objects())
+            .filter(|&o| c.holds(node, ObjectId(o as u32)))
+            .map(|o| o as u32)
+            .collect();
         let mut rng = StdRng::seed_from_u64(999);
         c.regenerate_library(node, 10, &mut rng);
-        let after: Vec<u32> =
-            (0..c.num_objects()).filter(|&o| c.holds(node, ObjectId(o as u32))).map(|o| o as u32).collect();
+        let after: Vec<u32> = (0..c.num_objects())
+            .filter(|&o| c.holds(node, ObjectId(o as u32)))
+            .map(|o| o as u32)
+            .collect();
         assert_eq!(after.len(), 10);
         assert_ne!(before, after);
     }

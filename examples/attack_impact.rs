@@ -11,12 +11,7 @@ use ddpolice::experiments::runners::{agent_sweep, fig10, fig11, fig9};
 use ddpolice::experiments::ExpOptions;
 
 fn main() {
-    let opts = ExpOptions {
-        peers: 1_000,
-        ticks: 15,
-        seed: 42,
-        ..ExpOptions::default()
-    };
+    let opts = ExpOptions { peers: 1_000, ticks: 15, seed: 42, ..ExpOptions::default() };
     println!(
         "sweeping DDoS agent counts on a {}-peer overlay ({} minutes each, 3 regimes)...\n",
         opts.peers, opts.ticks

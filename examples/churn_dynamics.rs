@@ -16,13 +16,7 @@ use ddpolice::sim::SimConfig;
 use ddpolice::workload::LifetimeModel;
 
 fn main() {
-    let opts = ExpOptions {
-        peers: 1_000,
-        ticks: 15,
-        agents: 30,
-        seed: 4,
-        ..ExpOptions::default()
-    };
+    let opts = ExpOptions { peers: 1_000, ticks: 15, agents: 30, seed: 4, ..ExpOptions::default() };
     println!(
         "comparing exchange policies with {} agents on {} peers, churn on\n",
         opts.agents, opts.peers
@@ -34,9 +28,7 @@ fn main() {
     println!("\nchurn model (§3.5): lifetime {:?}", cfg.lifetime);
     let mut rng = rand::SeedableRng::seed_from_u64(1);
     let mut lifetimes: Vec<u32> = (0..10_000)
-        .map(|_| {
-            LifetimeModel::default().sample_minutes::<rand::rngs::StdRng>(&mut rng)
-        })
+        .map(|_| LifetimeModel::default().sample_minutes::<rand::rngs::StdRng>(&mut rng))
         .collect();
     lifetimes.sort_unstable();
     let pct = |p: f64| lifetimes[(p * (lifetimes.len() - 1) as f64) as usize];

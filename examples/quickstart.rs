@@ -4,8 +4,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use ddpolice::prelude::*;
 use ddpolice::experiments::DefenseKind;
+use ddpolice::prelude::*;
 
 fn main() {
     // A 1,000-peer Gnutella-style overlay, 20 simulated minutes, 20 DDoS
@@ -23,10 +23,7 @@ fn main() {
     let report = scenario.run_with_damage();
 
     println!("defense: {}", report.attacked.defense);
-    println!(
-        "baseline success rate: {:.1}%",
-        report.baseline.summary.success_rate_mean * 100.0
-    );
+    println!("baseline success rate: {:.1}%", report.baseline.summary.success_rate_mean * 100.0);
     println!(
         "attacked success rate: {:.1}% (stabilized {:.1}%)",
         report.attacked.summary.success_rate_mean * 100.0,

@@ -8,10 +8,8 @@
 use ddpolice::dht::{DhtAttack, DhtConfig, DhtPolice, DhtSimulation};
 
 fn run(label: &str, attack: DhtAttack, defense: Option<DhtPolice>, agents: usize) {
-    let mut sim = DhtSimulation::new(
-        DhtConfig { peers: 1_000, attack, defense, ..DhtConfig::default() },
-        7,
-    );
+    let mut sim =
+        DhtSimulation::new(DhtConfig { peers: 1_000, attack, defense, ..DhtConfig::default() }, 7);
     sim.compromise(agents);
     let res = sim.run(10);
     println!(
@@ -25,18 +23,8 @@ fn run(label: &str, attack: DhtAttack, defense: Option<DhtPolice>, agents: usize
 fn main() {
     println!("1,000-node Chord-like ring, 10 simulated minutes, 50 DDoS agents\n");
     run("uniform attack, no defense", DhtAttack::Uniform, None, 50);
-    run(
-        "uniform attack, origination detector",
-        DhtAttack::Uniform,
-        Some(DhtPolice::default()),
-        50,
-    );
-    run(
-        "hotspot attack, no defense",
-        DhtAttack::Hotspot { victim_key: 42 },
-        None,
-        50,
-    );
+    run("uniform attack, origination detector", DhtAttack::Uniform, Some(DhtPolice::default()), 50);
+    run("hotspot attack, no defense", DhtAttack::Hotspot { victim_key: 42 }, None, 50);
     println!(
         "\nTakeaways (see EXPERIMENTS.md §5): unicast lookups have no flooding\n\
          amplification, so the same agents hurt far less than on Gnutella; a\n\

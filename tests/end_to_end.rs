@@ -4,13 +4,7 @@ use ddpolice::attack::CheatStrategy;
 use ddpolice::experiments::{DefenseKind, Scenario};
 
 fn base(defense: DefenseKind, agents: usize, seed: u64) -> Scenario {
-    Scenario::builder()
-        .peers(600)
-        .ticks(12)
-        .attackers(agents)
-        .defense(defense)
-        .seed(seed)
-        .build()
+    Scenario::builder().peers(600).ticks(12).attackers(agents).defense(defense).seed(seed).build()
 }
 
 #[test]
@@ -62,8 +56,7 @@ fn recovery_time_is_short_with_default_ct() {
 #[test]
 fn every_cheating_strategy_still_ends_with_agents_cut() {
     for strategy in CheatStrategy::all() {
-        let dr = base(DefenseKind::DdPolice { cut_threshold: 5.0 }, 10, 5)
-            .run_with_damage();
+        let dr = base(DefenseKind::DdPolice { cut_threshold: 5.0 }, 10, 5).run_with_damage();
         let _ = strategy; // strategy applied below
         let report = Scenario {
             cheat: strategy,

@@ -24,9 +24,7 @@ fn neighbor_traffic_roundtrip_preserves_indicator_inputs() {
         let msg = Message::new(Guid::derived(9, i as u64), 1, Payload::NeighborTraffic(nt));
         let mut wire = encode_message(&msg);
         let back = decode_message(&mut wire).unwrap();
-        let Payload::NeighborTraffic(got) = back.payload else {
-            panic!("wrong payload kind")
-        };
+        let Payload::NeighborTraffic(got) = back.payload else { panic!("wrong payload kind") };
         assert_eq!(got, nt);
         sum_into_suspect += got.outgoing_queries as f64;
     }

@@ -24,15 +24,35 @@ pub enum CheatStrategy {
     Silent,
 }
 
+/// Distortion magnitudes for the lying strategies. The defaults are the
+/// paper's §3.4 example (Case 2 reports 100 instead of 5,000 — a 50×
+/// deflation; we use symmetric factors); sweeps can vary them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CheatFactors {
+    /// Multiplier for [`CheatStrategy::InflateSent`] (> 1).
+    pub inflate: f64,
+    /// Multiplier for [`CheatStrategy::DeflateSent`] (< 1).
+    pub deflate: f64,
+}
+
+impl Default for CheatFactors {
+    fn default() -> Self {
+        CheatFactors { inflate: 50.0, deflate: 0.02 }
+    }
+}
+
 impl CheatStrategy {
-    /// Default distortion factors from the paper's example (§3.4 Case 2
-    /// reports 100 instead of 5,000 — a 50× deflation; we use symmetric
-    /// factors).
+    /// The behavior with the paper's default distortion factors.
     pub fn to_behavior(self) -> ReportBehavior {
+        self.to_behavior_with(CheatFactors::default())
+    }
+
+    /// The behavior with explicit distortion factors.
+    pub fn to_behavior_with(self, factors: CheatFactors) -> ReportBehavior {
         match self {
             CheatStrategy::Honest => ReportBehavior::Honest,
-            CheatStrategy::InflateSent => ReportBehavior::Inflate(50.0),
-            CheatStrategy::DeflateSent => ReportBehavior::Deflate(0.02),
+            CheatStrategy::InflateSent => ReportBehavior::Inflate(factors.inflate),
+            CheatStrategy::DeflateSent => ReportBehavior::Deflate(factors.deflate),
             CheatStrategy::Silent => ReportBehavior::Silent,
         }
     }
@@ -77,6 +97,21 @@ mod tests {
             ReportBehavior::Deflate(f) => assert!(f < 1.0),
             other => panic!("expected deflate, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn custom_factors_override_the_defaults() {
+        let f = CheatFactors { inflate: 3.0, deflate: 0.5 };
+        assert_eq!(CheatStrategy::InflateSent.to_behavior_with(f), ReportBehavior::Inflate(3.0));
+        assert_eq!(CheatStrategy::DeflateSent.to_behavior_with(f), ReportBehavior::Deflate(0.5));
+        assert_eq!(CheatStrategy::Honest.to_behavior_with(f), ReportBehavior::Honest);
+        assert_eq!(CheatStrategy::Silent.to_behavior_with(f), ReportBehavior::Silent);
+    }
+
+    #[test]
+    fn default_factors_match_the_paper() {
+        assert_eq!(CheatFactors::default(), CheatFactors { inflate: 50.0, deflate: 0.02 });
+        assert_eq!(CheatStrategy::DeflateSent.to_behavior(), ReportBehavior::Deflate(0.02));
     }
 
     #[test]

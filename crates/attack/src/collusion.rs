@@ -1,0 +1,260 @@
+//! Coordinated report-cheating coalitions (beyond §3.4's lone cheater).
+//!
+//! The paper analyzes a *single* agent distorting its own reports and
+//! concludes honest reporting is the attacker's best move. A coalition
+//! changes that calculus: colluders can lie about *each other* (shielding)
+//! or gang up on an innocent peer (framing) — the Byzantine cases PR 2's
+//! robust aggregation exists to survive.
+//!
+//! * [`CollusionMode::Shield`]: the flooding agents also sit in each
+//!   other's Buddy Groups and deflate the `received_from_suspect` counts
+//!   they report about fellow agents, hiding the flood from the General
+//!   Indicator.
+//! * [`CollusionMode::Frame`]: a fraction of an innocent victim's
+//!   neighbors are compromised; they flood (so the victim's forwarding
+//!   crosses the warning threshold at its other neighbors) and inflate the
+//!   `received_from_suspect` counts they report about the victim,
+//!   manufacturing phantom output that convicts it under sum aggregation.
+
+use ddp_sim::{Defense, ReportBehavior, Simulation};
+use ddp_topology::NodeId;
+use rand::seq::index::sample;
+use rand::Rng;
+
+/// What the coalition lies about.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CollusionMode {
+    /// `agents` flooding colluders, grown as one adjacent cluster so they
+    /// sit in each other's Buddy Groups, each deflating its
+    /// `received_from_suspect` claims about fellow colluders by `deflate`
+    /// (< 1).
+    Shield {
+        /// Coalition size.
+        agents: usize,
+        /// Deflation factor for claims about fellow colluders.
+        deflate: f64,
+    },
+    /// `⌈fraction × degree(victim)⌉` of the victim's neighbors become
+    /// flooding colluders that inflate their `received_from_suspect`
+    /// claims about the victim by `inflate` (> 1). The victim is the
+    /// highest-degree good peer — the best-connected, most damaging peer
+    /// to frame.
+    Frame {
+        /// Fraction of the victim's neighborhood that colludes, `0.0..=1.0`.
+        fraction: f64,
+        /// Inflation factor for claims about the victim.
+        inflate: f64,
+    },
+}
+
+/// A coordinated attack: flooding agents whose reports implement `mode`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CollusionPlan {
+    /// The coalition's lie.
+    pub mode: CollusionMode,
+}
+
+/// Ground truth of an applied [`CollusionPlan`], for error accounting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CollusionOutcome {
+    /// The framed innocent peer (`None` in shield mode).
+    pub victim: Option<NodeId>,
+    /// The compromised peers, in application order.
+    pub colluders: Vec<NodeId>,
+}
+
+impl CollusionPlan {
+    /// A shielding coalition.
+    pub fn shield(agents: usize, deflate: f64) -> Self {
+        CollusionPlan { mode: CollusionMode::Shield { agents, deflate } }
+    }
+
+    /// A framing coalition.
+    pub fn frame(fraction: f64, inflate: f64) -> Self {
+        CollusionPlan { mode: CollusionMode::Frame { fraction, inflate } }
+    }
+
+    /// Apply the plan: compromise the coalition and return the ground truth.
+    pub fn apply<D: Defense, R: Rng + ?Sized>(
+        &self,
+        sim: &mut Simulation<D>,
+        rng: &mut R,
+    ) -> CollusionOutcome {
+        match self.mode {
+            CollusionMode::Shield { agents, deflate } => {
+                let colluders = adjacent_cluster(sim, agents, rng);
+                for &c in &colluders {
+                    sim.make_attacker(c, ReportBehavior::ShieldColluders { factor: deflate });
+                }
+                CollusionOutcome { victim: None, colluders }
+            }
+            CollusionMode::Frame { fraction, inflate } => {
+                let Some(victim) = highest_degree_good_peer(sim) else {
+                    return CollusionOutcome { victim: None, colluders: Vec::new() };
+                };
+                let neighbors: Vec<NodeId> =
+                    sim.overlay().neighbors(victim).iter().map(|h| h.peer).collect();
+                let want = ((neighbors.len() as f64) * fraction.clamp(0.0, 1.0)).ceil() as usize;
+                let take = want.min(neighbors.len());
+                let colluders: Vec<NodeId> = if take == 0 {
+                    Vec::new()
+                } else {
+                    sample(rng, neighbors.len(), take).into_iter().map(|i| neighbors[i]).collect()
+                };
+                for &c in &colluders {
+                    sim.make_attacker(c, ReportBehavior::FrameVictim { victim, inflate });
+                }
+                CollusionOutcome { victim: Some(victim), colluders }
+            }
+        }
+    }
+}
+
+/// The highest-degree online good peer (lowest id on ties): deterministic
+/// per simulation, so paired-seed sweeps frame the same victim.
+fn highest_degree_good_peer<D: Defense>(sim: &Simulation<D>) -> Option<NodeId> {
+    let n = sim.config().peers();
+    let mut best: Option<(usize, NodeId)> = None;
+    for i in 0..n {
+        let node = NodeId::from_index(i);
+        if sim.role(node).is_attacker() || !sim.is_online(node) {
+            continue;
+        }
+        let deg = sim.overlay().degree(node);
+        if deg > 0 && best.is_none_or(|(bd, _)| deg > bd) {
+            best = Some((deg, node));
+        }
+    }
+    best.map(|(_, node)| node)
+}
+
+/// Grow a connected cluster of `want` good peers from a random seed
+/// (breadth-first over the overlay), so shield colluders actually appear in
+/// each other's Buddy Groups.
+fn adjacent_cluster<D: Defense, R: Rng + ?Sized>(
+    sim: &Simulation<D>,
+    want: usize,
+    rng: &mut R,
+) -> Vec<NodeId> {
+    let n = sim.config().peers();
+    if want == 0 || n == 0 {
+        return Vec::new();
+    }
+    let eligible = |node: NodeId| {
+        sim.is_online(node) && !sim.role(node).is_attacker() && sim.overlay().degree(node) > 0
+    };
+    // Random connected seed (bounded rejection sampling, then linear scan).
+    let mut seed = None;
+    for _ in 0..64 {
+        let cand = NodeId::from_index(rng.gen_range(0..n));
+        if eligible(cand) {
+            seed = Some(cand);
+            break;
+        }
+    }
+    let seed = seed.or_else(|| (0..n).map(NodeId::from_index).find(|&c| eligible(c)));
+    let Some(seed) = seed else {
+        return Vec::new();
+    };
+    let mut cluster = vec![seed];
+    let mut in_cluster = vec![false; n];
+    in_cluster[seed.index()] = true;
+    let mut frontier = 0;
+    while cluster.len() < want && frontier < cluster.len() {
+        let node = cluster[frontier];
+        frontier += 1;
+        for h in sim.overlay().neighbors(node) {
+            if cluster.len() >= want {
+                break;
+            }
+            if !in_cluster[h.peer.index()] && eligible(h.peer) {
+                in_cluster[h.peer.index()] = true;
+                cluster.push(h.peer);
+            }
+        }
+    }
+    cluster
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddp_sim::{NoDefense, SimConfig};
+    use ddp_topology::{TopologyConfig, TopologyModel};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sim(n: usize, seed: u64) -> Simulation<NoDefense> {
+        let cfg = SimConfig {
+            topology: TopologyConfig { n, model: TopologyModel::BarabasiAlbert { m: 3 } },
+            churn: false,
+            ..SimConfig::default()
+        };
+        Simulation::new(cfg, NoDefense, seed)
+    }
+
+    #[test]
+    fn frame_compromises_the_requested_neighbor_fraction() {
+        let mut s = sim(200, 5);
+        let mut rng = StdRng::seed_from_u64(9);
+        let out = CollusionPlan::frame(0.5, 40.0).apply(&mut s, &mut rng);
+        let victim = out.victim.expect("a victim must be chosen");
+        assert!(!s.role(victim).is_attacker(), "the victim stays innocent");
+        let deg = s.overlay().degree(victim);
+        assert_eq!(out.colluders.len(), (deg as f64 * 0.5).ceil() as usize);
+        for c in &out.colluders {
+            assert!(s.role(*c).is_attacker());
+            assert!(s.overlay().contains_edge(*c, victim), "colluders neighbor the victim");
+            assert_eq!(
+                s.role(*c).report_behavior(),
+                ReportBehavior::FrameVictim { victim, inflate: 40.0 }
+            );
+        }
+    }
+
+    #[test]
+    fn frame_victim_is_deterministic_per_sim() {
+        let a = {
+            let mut s = sim(200, 5);
+            CollusionPlan::frame(0.3, 40.0).apply(&mut s, &mut StdRng::seed_from_u64(1)).victim
+        };
+        let b = {
+            let mut s = sim(200, 5);
+            CollusionPlan::frame(0.6, 40.0).apply(&mut s, &mut StdRng::seed_from_u64(2)).victim
+        };
+        assert_eq!(a, b, "same topology, same victim, regardless of rng/fraction");
+    }
+
+    #[test]
+    fn shield_cluster_is_adjacent_and_marked() {
+        let mut s = sim(200, 7);
+        let mut rng = StdRng::seed_from_u64(3);
+        let out = CollusionPlan::shield(8, 0.02).apply(&mut s, &mut rng);
+        assert_eq!(out.victim, None);
+        assert_eq!(out.colluders.len(), 8);
+        for c in &out.colluders {
+            assert!(s.role(*c).is_attacker());
+            assert_eq!(
+                s.role(*c).report_behavior(),
+                ReportBehavior::ShieldColluders { factor: 0.02 }
+            );
+        }
+        // BFS growth: every non-seed colluder neighbors an earlier one.
+        for (i, c) in out.colluders.iter().enumerate().skip(1) {
+            assert!(
+                out.colluders[..i].iter().any(|p| s.overlay().contains_edge(*p, *c)),
+                "colluder {c:?} must attach to the cluster"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_sized_coalitions_are_noops() {
+        let mut s = sim(60, 1);
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!(CollusionPlan::shield(0, 0.1).apply(&mut s, &mut rng).colluders.is_empty());
+        let out = CollusionPlan::frame(0.0, 40.0).apply(&mut s, &mut rng);
+        assert!(out.colluders.is_empty());
+        assert!(s.attackers().is_empty());
+    }
+}

@@ -14,8 +14,14 @@
 //! reports: answer honestly, inflate, deflate, or stay silent; this crate
 //! exposes each as a [`CheatStrategy`].
 
+//! A coalition of agents can additionally coordinate their lies — shield
+//! each other or frame an innocent peer ([`CollusionPlan`]), the Byzantine
+//! report model PR 2's robust aggregation defends against.
+
 pub mod cheat;
+pub mod collusion;
 pub mod plan;
 
-pub use cheat::CheatStrategy;
+pub use cheat::{CheatFactors, CheatStrategy};
+pub use collusion::{CollusionMode, CollusionOutcome, CollusionPlan};
 pub use plan::AttackPlan;

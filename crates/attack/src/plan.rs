@@ -1,6 +1,6 @@
 //! Attack orchestration: which peers are compromised, and how they behave.
 
-use crate::cheat::CheatStrategy;
+use crate::cheat::{CheatFactors, CheatStrategy};
 use ddp_sim::{Defense, Simulation};
 use ddp_topology::NodeId;
 use rand::seq::index::sample;
@@ -16,18 +16,26 @@ pub struct AttackPlan {
     pub agents: usize,
     /// How agents answer Neighbor_Traffic requests.
     pub cheat: CheatStrategy,
+    /// Distortion magnitudes for the lying strategies (the paper's §3.4
+    /// values by default).
+    pub factors: CheatFactors,
 }
 
 impl AttackPlan {
     /// A plan with `agents` honest-reporting agents (the paper's default:
     /// §3.4 concludes "we assume that peer j will not cheat").
     pub fn new(agents: usize) -> Self {
-        AttackPlan { agents, cheat: CheatStrategy::Honest }
+        AttackPlan { agents, cheat: CheatStrategy::Honest, factors: CheatFactors::default() }
     }
 
     /// Same plan with a different cheating strategy.
     pub fn with_cheat(self, cheat: CheatStrategy) -> Self {
         AttackPlan { cheat, ..self }
+    }
+
+    /// Same plan with different distortion factors.
+    pub fn with_factors(self, factors: CheatFactors) -> Self {
+        AttackPlan { factors, ..self }
     }
 
     /// Pick the compromised peers uniformly at random.
@@ -44,7 +52,7 @@ impl AttackPlan {
         rng: &mut R,
     ) -> Vec<NodeId> {
         let agents = self.select_agents(sim.config().peers(), rng);
-        let behavior = self.cheat.to_behavior();
+        let behavior = self.cheat.to_behavior_with(self.factors);
         for &a in &agents {
             sim.make_attacker(a, behavior);
         }

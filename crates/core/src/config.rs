@@ -1,6 +1,7 @@
 //! DD-POLICE parameters.
 
 use crate::exchange::ExchangePolicy;
+use crate::verdict::{AggregationPolicy, Hysteresis, ReadmissionPolicy};
 
 /// All protocol parameters, defaulted to the values §3.7 settles on.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -58,6 +59,16 @@ pub struct DdPoliceConfig {
     /// (silent or offline peers) are never retried — that is a protocol
     /// answer, not a transport failure.
     pub max_report_retries: u32,
+    /// W-of-K confirmation windows before a cut. Default 1-of-1: the
+    /// paper's single-window verdict, bit-identical to the pre-hysteresis
+    /// protocol.
+    pub hysteresis: Hysteresis,
+    /// How the Buddy Group's traffic claims are combined. Default
+    /// [`AggregationPolicy::Sum`]: the paper's sum-with-assume-zero.
+    pub aggregation: AggregationPolicy,
+    /// Quarantine/probation lifecycle after a cut. Disabled by default: the
+    /// paper's disconnect is permanent.
+    pub readmission: ReadmissionPolicy,
 }
 
 impl Default for DdPoliceConfig {
@@ -73,6 +84,9 @@ impl Default for DdPoliceConfig {
             clamp_reports_to_link: false,
             report_timeout_ticks: 2,
             max_report_retries: 1,
+            hysteresis: Hysteresis::default(),
+            aggregation: AggregationPolicy::default(),
+            readmission: ReadmissionPolicy::default(),
         }
     }
 }
@@ -110,5 +124,13 @@ mod tests {
         let c = DdPoliceConfig::default();
         assert_eq!(c.report_timeout_ticks, 2);
         assert_eq!(c.max_report_retries, 1);
+    }
+
+    #[test]
+    fn verdict_defaults_reproduce_the_paper() {
+        let c = DdPoliceConfig::default();
+        assert_eq!(c.hysteresis, Hysteresis { required: 1, window: 1 });
+        assert_eq!(c.aggregation, AggregationPolicy::Sum);
+        assert!(!c.readmission.enabled, "the paper's cut is permanent");
     }
 }

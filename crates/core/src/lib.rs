@@ -29,8 +29,13 @@ pub mod config;
 pub mod exchange;
 pub mod indicator;
 pub mod police;
+pub mod verdict;
 
 pub use baselines::NaiveRateLimit;
 pub use config::DdPoliceConfig;
 pub use exchange::ExchangePolicy;
 pub use police::{group_traffic_sums, DdPolice};
+pub use verdict::{
+    aggregate_group_traffic, AggregationPolicy, Hysteresis, ReadmissionPolicy, SuspectEntry,
+    SuspectState, VerdictMachine,
+};

@@ -20,9 +20,10 @@ use crate::buddy::{assemble, BuddyGroup};
 use crate::config::DdPoliceConfig;
 use crate::exchange::ExchangeState;
 use crate::indicator::{general_indicator, is_bad, single_indicator};
+use crate::verdict::{aggregate_group_traffic, VerdictMachine};
 use ddp_sim::{Actions, Defense, ReportDelivery, ReportOutcome, TickObservation, TrafficReport};
 use ddp_topology::NodeId;
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 
 /// Sum a Buddy Group's traffic claims about the suspect: the observer's own
 /// ground-truth counters plus each other member's resolved report, where
@@ -47,9 +48,9 @@ pub fn group_traffic_sums(
 pub struct DdPolice {
     cfg: DdPoliceConfig,
     exchange: ExchangeState,
-    /// Per-observer: suspect id -> consecutive suspicious ticks without a
-    /// usable neighbor-list snapshot.
-    streaks: Vec<HashMap<u32, u8>>,
+    /// Per-observer suspicion state machines: hysteresis history, the
+    /// missing-list grace streak, and the quarantine/probation lifecycle.
+    verdicts: VerdictMachine,
     /// Suspects whose Buddy Group already exchanged Neighbor_Traffic this
     /// tick (the 50-second suppression: "check whether it has sent a
     /// Neighbor_Traffic message to other members in this BG in past 50
@@ -63,7 +64,7 @@ impl DdPolice {
         DdPolice {
             cfg,
             exchange: ExchangeState::new(n),
-            streaks: (0..n).map(|_| HashMap::new()).collect(),
+            verdicts: VerdictMachine::new(n),
             exchanged_this_tick: HashSet::new(),
         }
     }
@@ -71,6 +72,11 @@ impl DdPolice {
     /// The active configuration.
     pub fn config(&self) -> &DdPoliceConfig {
         &self.cfg
+    }
+
+    /// The suspicion state machines (for tests and diagnostics).
+    pub fn verdicts(&self) -> &VerdictMachine {
+        &self.verdicts
     }
 
     /// Resolve one member's `Neighbor_Traffic` report over the (possibly
@@ -149,7 +155,8 @@ impl DdPolice {
                 });
             member_reports.push(report);
         }
-        let (sum_out_of_suspect, sum_into_suspect) = group_traffic_sums(own, &member_reports);
+        let (sum_out_of_suspect, sum_into_suspect) =
+            aggregate_group_traffic(own, &member_reports, self.cfg.aggregation);
         let g = general_indicator(sum_out_of_suspect, sum_into_suspect, group.k(), self.cfg.q_qpm);
         let s = single_indicator(
             q_suspect_to_observer as f64,
@@ -175,6 +182,15 @@ impl Defense for DdPolice {
                 continue;
             }
             let observer = NodeId::from_index(i);
+            if self.cfg.readmission.enabled {
+                // Lifecycle clocks first: probations that survived their
+                // window readmit; quarantines whose backoff matured re-dial
+                // (one control message per probe) and enter probation.
+                self.verdicts.expire_probations(observer, obs.tick, actions);
+                let before = actions.reconnects.len();
+                self.verdicts.fire_probes(observer, obs.tick, self.cfg.readmission, actions);
+                actions.control_msgs += (actions.reconnects.len() - before) as u64;
+            }
             let degree = obs.overlay.degree(observer);
             for slot in 0..degree {
                 let half = obs.overlay.neighbors(observer)[slot];
@@ -183,9 +199,7 @@ impl Defense for DdPolice {
                 // (receiver-side, duplicate-filtered).
                 let q_ji = obs.overlay.accepted_via(suspect, half.ridx as usize);
                 if q_ji <= self.cfg.warning_threshold_qpm {
-                    if !self.streaks[i].is_empty() {
-                        self.streaks[i].remove(&suspect.0);
-                    }
+                    self.verdicts.below_warning(observer, suspect);
                     continue;
                 }
                 // Suspicious: assemble the Buddy Group.
@@ -198,13 +212,12 @@ impl Defense for DdPolice {
                     self.cfg.verify_lists,
                 ) {
                     Some(bg) => {
-                        self.streaks[i].remove(&suspect.0);
+                        self.verdicts.note_list_ok(observer, suspect);
                         bg
                     }
                     None => {
-                        let streak = self.streaks[i].entry(suspect.0).or_insert(0);
-                        *streak = streak.saturating_add(1);
-                        if *streak < self.cfg.missing_list_grace {
+                        let streak = self.verdicts.note_list_missing(observer, suspect);
+                        if streak < self.cfg.missing_list_grace {
                             continue; // wait for the first exchange
                         }
                         // The suspect never announced a list: judge it from
@@ -220,7 +233,16 @@ impl Defense for DdPolice {
                 }
                 let (g, s, retry_msgs) = self.judge(observer, &group, q_ji, obs);
                 actions.control_msgs += retry_msgs;
-                if is_bad(g, s, self.cfg.cut_threshold) {
+                let over_ct = is_bad(g, s, self.cfg.cut_threshold);
+                if self.verdicts.judged(
+                    observer,
+                    suspect,
+                    over_ct,
+                    obs.tick,
+                    self.cfg.hysteresis,
+                    self.cfg.readmission,
+                    actions,
+                ) {
                     actions.cut(observer, suspect);
                 }
             }
@@ -229,7 +251,7 @@ impl Defense for DdPolice {
 
     fn on_peer_reset(&mut self, node: NodeId) {
         self.exchange.reset_peer(node);
-        self.streaks[node.index()].clear();
+        self.verdicts.reset_observer(node);
     }
 
     fn on_edge_added(&mut self, _u: NodeId, _v: NodeId, deg_u: usize, deg_v: usize) {
@@ -241,8 +263,9 @@ impl Defense for DdPolice {
     fn on_edge_removed(&mut self, u: NodeId, v: NodeId, deg_u: usize, deg_v: usize) {
         self.exchange.on_adjacency_event(self.cfg.exchange, deg_u, deg_v);
         self.exchange.forget_edge(u, v);
-        self.streaks[u.index()].remove(&v.0);
-        self.streaks[v.index()].remove(&u.0);
+        // Watching/Probation state dies with the edge; a quarantine survives
+        // its own cut (it owns the readmission clock).
+        self.verdicts.forget_edge(u, v);
     }
 }
 

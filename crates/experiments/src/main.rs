@@ -15,6 +15,7 @@
 //!   exchange    neighbor-list exchange policy study (§3.7.1)
 //!   cheating    report-cheating strategies (§3.4)
 //!   resilience  lossy/delayed control plane sweep (extension)
+//!   collusion   coordinated report-cheating coalitions sweep (extension)
 //!   ablations   design-choice ablations
 //!   all         everything above
 //! ```
@@ -67,6 +68,10 @@ fn main() -> ExitCode {
         "structured" => emit(&runners::structured(&opts), &opts),
         "cheating" => emit(&runners::cheating(&opts), &opts),
         "resilience" => emit(&runners::resilience(&opts), &opts),
+        "collusion" => {
+            emit(&runners::collusion(&opts), &opts);
+            emit(&runners::readmission(&opts), &opts);
+        }
         "ablations" => {
             emit(&runners::ablate_warning(&opts), &opts);
             emit(&runners::ablate_radius(&opts), &opts);
@@ -91,6 +96,8 @@ fn main() -> ExitCode {
             emit(&runners::exchange(&opts), &opts);
             emit(&runners::cheating(&opts), &opts);
             emit(&runners::resilience(&opts), &opts);
+            emit(&runners::collusion(&opts), &opts);
+            emit(&runners::readmission(&opts), &opts);
             emit(&runners::ablate_warning(&opts), &opts);
             emit(&runners::ablate_radius(&opts), &opts);
             emit(&runners::ablate_forwarding(&opts), &opts);
@@ -116,7 +123,8 @@ usage: ddp-experiments <command> [options]
 
 commands:
   table1 fig2 fig5 fig6 fig9 fig10 fig11 consequences
-  fig12 fig13 fig14 ct exchange cheating resilience structured ablations all
+  fig12 fig13 fig14 ct exchange cheating resilience collusion structured
+  ablations all
 
 options:
   --peers N        overlay size (default 2000)

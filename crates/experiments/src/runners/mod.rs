@@ -1,6 +1,7 @@
 //! One runner per paper table/figure, plus ablations.
 
 mod ablations;
+mod collusion;
 mod ct;
 mod policy;
 mod resilience;
@@ -11,6 +12,9 @@ mod sweep;
 pub use ablations::{
     ablate_clamp, ablate_forwarding, ablate_lists, ablate_radius, ablate_rejoin, ablate_topology,
     ablate_warning,
+};
+pub use collusion::{
+    collusion, collusion_grid, readmission, readmission_grid, CollusionCell, ReadmissionCell,
 };
 pub use ct::{ct_sweep, fig12, fig13, fig14, CtRow, CT_GRID};
 pub use policy::{cheating, exchange};

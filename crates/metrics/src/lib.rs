@@ -26,6 +26,7 @@ pub mod success;
 pub mod summary;
 pub mod timeseries;
 pub mod traffic;
+pub mod verdict;
 
 pub use damage::damage_rate;
 pub use errors::DetectionErrors;
@@ -38,3 +39,4 @@ pub use success::SuccessStats;
 pub use summary::RunSummary;
 pub use timeseries::TimeSeries;
 pub use traffic::TrafficAccumulator;
+pub use verdict::{PeerVerdict, VerdictLedger, VerdictSummary, VerdictTransition};

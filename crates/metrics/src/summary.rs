@@ -1,6 +1,6 @@
 //! Whole-run summary, the unit the experiment harness tabulates.
 
-use crate::{DetectionErrors, ResilienceSummary, TimeSeries};
+use crate::{DetectionErrors, ResilienceSummary, TimeSeries, VerdictSummary};
 use serde::{Deserialize, Serialize};
 
 /// Aggregated results of one simulation run.
@@ -32,6 +32,9 @@ pub struct RunSummary {
     /// Control-plane fault / assume-zero accounting (all zeros outside the
     /// fault-injected runs; populated by the engine's fault plane).
     pub resilience: ResilienceSummary,
+    /// Verdict-lifecycle accounting (all zeros for defenses that never
+    /// transition anyone; populated by the engine's verdict ledger).
+    pub verdicts: VerdictSummary,
     /// Ticks simulated.
     pub ticks: usize,
 }
@@ -90,6 +93,7 @@ impl RunSeries {
             attackers_never_cut: 0,
             good_peers_cut,
             resilience: ResilienceSummary::default(),
+            verdicts: VerdictSummary::default(),
             ticks,
         }
     }

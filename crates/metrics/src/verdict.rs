@@ -1,0 +1,235 @@
+//! Verdict ledger: the audit trail of the suspicion state machine.
+//!
+//! PR 2 replaces DD-POLICE's single-shot permanent cut with a per-suspect
+//! lifecycle (`Normal → Suspicious → Cut → Quarantined → Probation →
+//! Readmitted`). Every state change an observer decides is recorded as a
+//! [`VerdictTransition`]; the engine collects them into a [`VerdictLedger`]
+//! and the run summary carries the aggregated [`VerdictSummary`] so
+//! experiments can report wrongful-cut duration, readmission latency, and
+//! re-cut counts alongside the paper's detection errors.
+//!
+//! The types here are deliberately dependency-light (raw `u32` peer ids, no
+//! floats in [`VerdictTransition`]) so they can ride inside the simulator's
+//! `Actions` value, which is `Eq`.
+
+use serde::{Deserialize, Serialize};
+
+/// The lifecycle states a suspect can occupy from one observer's view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PeerVerdict {
+    /// No live suspicion (also the implicit state of untracked peers).
+    Normal,
+    /// Over the warning threshold with at least one over-`CT` window, but
+    /// the W-of-K hysteresis has not confirmed a cut yet.
+    Suspicious,
+    /// The indicator evidence crossed the hysteresis bar this tick; the
+    /// observer is severing the link. Transient: immediately followed by
+    /// `Quarantined` in the same tick.
+    Cut,
+    /// Disconnected and waiting out an exponential readmission backoff.
+    Quarantined,
+    /// Reconnected on probation: one re-offense re-cuts without hysteresis.
+    Probation,
+    /// Survived probation; suspicion state is dropped. Terminal (a later
+    /// offense starts a fresh lifecycle from `Normal`).
+    Readmitted,
+}
+
+/// One observer-side state change of one suspect, at one tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VerdictTransition {
+    /// Tick the transition was decided.
+    pub tick: u32,
+    /// The observer (police node) holding the suspicion state.
+    pub observer: u32,
+    /// The peer being judged.
+    pub suspect: u32,
+    /// State before.
+    pub from: PeerVerdict,
+    /// State after.
+    pub to: PeerVerdict,
+}
+
+/// Whole-run ledger of verdict transitions, in decision order.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct VerdictLedger {
+    /// Every transition, in the order observers decided them.
+    pub log: Vec<VerdictTransition>,
+}
+
+impl VerdictLedger {
+    /// Empty ledger.
+    pub fn new() -> Self {
+        VerdictLedger::default()
+    }
+
+    /// Append one transition.
+    pub fn record(&mut self, t: VerdictTransition) {
+        self.log.push(t);
+    }
+
+    /// Transitions into `state`.
+    pub fn count_into(&self, state: PeerVerdict) -> u64 {
+        self.log.iter().filter(|t| t.to == state).count() as u64
+    }
+
+    /// Aggregate the ledger. `wrongful_cut_ticks` are the engine-measured
+    /// durations (one entry per wrongful cut of a good peer, in ticks until
+    /// the severed edge was restored, censored at run end if never restored).
+    pub fn summarize(&self, wrongful_cut_ticks: &[u32]) -> VerdictSummary {
+        use std::collections::HashMap;
+        let mut quarantined_at: HashMap<(u32, u32), u32> = HashMap::new();
+        let mut cuts = 0u64;
+        let mut quarantines = 0u64;
+        let mut probes = 0u64;
+        let mut readmissions = 0u64;
+        let mut recuts = 0u64;
+        let mut latency_sum = 0u64;
+        for t in &self.log {
+            match t.to {
+                PeerVerdict::Cut => {
+                    cuts += 1;
+                    if t.from == PeerVerdict::Probation {
+                        recuts += 1;
+                    }
+                }
+                PeerVerdict::Quarantined => {
+                    quarantines += 1;
+                    quarantined_at.insert((t.observer, t.suspect), t.tick);
+                }
+                PeerVerdict::Probation => probes += 1,
+                PeerVerdict::Readmitted => {
+                    readmissions += 1;
+                    if let Some(start) = quarantined_at.remove(&(t.observer, t.suspect)) {
+                        latency_sum += u64::from(t.tick.saturating_sub(start));
+                    }
+                }
+                PeerVerdict::Normal | PeerVerdict::Suspicious => {}
+            }
+        }
+        let wrongful_total: u64 = wrongful_cut_ticks.iter().map(|&d| u64::from(d)).sum();
+        VerdictSummary {
+            transitions: self.log.len() as u64,
+            cuts,
+            quarantines,
+            readmission_probes: probes,
+            readmissions,
+            recuts,
+            wrongful_cuts: wrongful_cut_ticks.len() as u64,
+            wrongful_cut_ticks_total: wrongful_total,
+            wrongful_cut_ticks_mean: if wrongful_cut_ticks.is_empty() {
+                0.0
+            } else {
+                wrongful_total as f64 / wrongful_cut_ticks.len() as f64
+            },
+            readmission_latency_mean_ticks: if readmissions == 0 {
+                0.0
+            } else {
+                latency_sum as f64 / readmissions as f64
+            },
+        }
+    }
+}
+
+/// Aggregated verdict-lifecycle statistics for one run.
+///
+/// All zeros when the defense never transitions anyone (e.g. `NoDefense`)
+/// or the run predates the verdict pipeline.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct VerdictSummary {
+    /// Total ledger entries.
+    pub transitions: u64,
+    /// Transitions into `Cut` (equals the engine's requested-cut count).
+    pub cuts: u64,
+    /// Transitions into `Quarantined`.
+    pub quarantines: u64,
+    /// Quarantine → Probation readmission probes issued.
+    pub readmission_probes: u64,
+    /// Probation periods survived (suspect fully readmitted).
+    pub readmissions: u64,
+    /// Probationary peers re-cut on a re-offense.
+    pub recuts: u64,
+    /// Wrongful cuts of good peers (one per severed good edge).
+    pub wrongful_cuts: u64,
+    /// Total ticks good peers spent wrongly severed (censored at run end).
+    pub wrongful_cut_ticks_total: u64,
+    /// Mean wrongful-cut duration in ticks (0 when there were none).
+    pub wrongful_cut_ticks_mean: f64,
+    /// Mean ticks from quarantine entry to full readmission (0 when no peer
+    /// was readmitted).
+    pub readmission_latency_mean_ticks: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(
+        tick: u32,
+        observer: u32,
+        suspect: u32,
+        from: PeerVerdict,
+        to: PeerVerdict,
+    ) -> VerdictTransition {
+        VerdictTransition { tick, observer, suspect, from, to }
+    }
+
+    #[test]
+    fn empty_ledger_summarizes_to_default() {
+        let ledger = VerdictLedger::new();
+        assert_eq!(ledger.summarize(&[]), VerdictSummary::default());
+    }
+
+    #[test]
+    fn full_lifecycle_is_counted() {
+        let mut ledger = VerdictLedger::new();
+        ledger.record(t(3, 1, 2, PeerVerdict::Normal, PeerVerdict::Cut));
+        ledger.record(t(3, 1, 2, PeerVerdict::Cut, PeerVerdict::Quarantined));
+        ledger.record(t(7, 1, 2, PeerVerdict::Quarantined, PeerVerdict::Probation));
+        ledger.record(t(12, 1, 2, PeerVerdict::Probation, PeerVerdict::Readmitted));
+        let s = ledger.summarize(&[]);
+        assert_eq!(s.transitions, 4);
+        assert_eq!(s.cuts, 1);
+        assert_eq!(s.quarantines, 1);
+        assert_eq!(s.readmission_probes, 1);
+        assert_eq!(s.readmissions, 1);
+        assert_eq!(s.recuts, 0);
+        // Quarantined at tick 3, readmitted at tick 12.
+        assert_eq!(s.readmission_latency_mean_ticks, 9.0);
+    }
+
+    #[test]
+    fn probation_recut_counts_as_recut_not_readmission() {
+        let mut ledger = VerdictLedger::new();
+        ledger.record(t(3, 0, 9, PeerVerdict::Normal, PeerVerdict::Cut));
+        ledger.record(t(3, 0, 9, PeerVerdict::Cut, PeerVerdict::Quarantined));
+        ledger.record(t(6, 0, 9, PeerVerdict::Quarantined, PeerVerdict::Probation));
+        ledger.record(t(7, 0, 9, PeerVerdict::Probation, PeerVerdict::Cut));
+        ledger.record(t(7, 0, 9, PeerVerdict::Cut, PeerVerdict::Quarantined));
+        let s = ledger.summarize(&[]);
+        assert_eq!(s.cuts, 2);
+        assert_eq!(s.recuts, 1);
+        assert_eq!(s.readmissions, 0);
+        assert_eq!(s.readmission_latency_mean_ticks, 0.0);
+    }
+
+    #[test]
+    fn wrongful_cut_durations_aggregate() {
+        let ledger = VerdictLedger::new();
+        let s = ledger.summarize(&[4, 6]);
+        assert_eq!(s.wrongful_cuts, 2);
+        assert_eq!(s.wrongful_cut_ticks_total, 10);
+        assert_eq!(s.wrongful_cut_ticks_mean, 5.0);
+    }
+
+    #[test]
+    fn count_into_filters_by_target_state() {
+        let mut ledger = VerdictLedger::new();
+        ledger.record(t(1, 0, 1, PeerVerdict::Normal, PeerVerdict::Suspicious));
+        ledger.record(t(2, 0, 1, PeerVerdict::Suspicious, PeerVerdict::Cut));
+        ledger.record(t(2, 0, 1, PeerVerdict::Cut, PeerVerdict::Quarantined));
+        assert_eq!(ledger.count_into(PeerVerdict::Cut), 1);
+        assert_eq!(ledger.count_into(PeerVerdict::Quarantined), 1);
+        assert_eq!(ledger.count_into(PeerVerdict::Readmitted), 0);
+    }
+}

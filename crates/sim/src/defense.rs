@@ -12,6 +12,7 @@ use crate::faults::{FaultPlane, ReportOutcome};
 use crate::node::{ListBehavior, ReportBehavior};
 use crate::overlay::Overlay;
 use crate::Tick;
+use ddp_metrics::VerdictTransition;
 use ddp_topology::NodeId;
 
 /// What one peer claims about its traffic with a suspect, in queries/min.
@@ -86,6 +87,31 @@ impl TickObservation<'_> {
                 received_from_suspect: true_recv,
             }),
             ReportBehavior::Silent => None,
+            ReportBehavior::ShieldColluders { factor } => {
+                // Colluders recognize each other by sharing the coalition's
+                // behavior; they hide a fellow colluder's output and answer
+                // honestly about everyone else (a credible witness).
+                let fellow = matches!(
+                    self.report_behavior[suspect.index()],
+                    ReportBehavior::ShieldColluders { .. }
+                );
+                Some(TrafficReport {
+                    sent_to_suspect: true_sent,
+                    received_from_suspect: if fellow {
+                        scale(true_recv, factor)
+                    } else {
+                        true_recv
+                    },
+                })
+            }
+            ReportBehavior::FrameVictim { victim, inflate } => Some(TrafficReport {
+                sent_to_suspect: true_sent,
+                received_from_suspect: if suspect == victim {
+                    scale(true_recv, inflate)
+                } else {
+                    true_recv
+                },
+            }),
         }
     }
 
@@ -259,6 +285,13 @@ fn scale(v: u32, f: f64) -> u32 {
 pub struct Actions {
     /// `(observer, suspect)` pairs: observer cuts its link to suspect.
     pub cuts: Vec<(NodeId, NodeId)>,
+    /// `(observer, suspect)` pairs: observer re-dials a quarantined suspect
+    /// for a probationary readmission probe. Applied after cuts; ignored if
+    /// either endpoint is offline.
+    pub reconnects: Vec<(NodeId, NodeId)>,
+    /// Verdict-lifecycle state changes decided this tick, for the engine's
+    /// ledger. Defenses without a verdict machine leave this empty.
+    pub transitions: Vec<VerdictTransition>,
     /// Control messages the defense exchanged this tick (neighbor lists,
     /// Neighbor_Traffic, BG pings) — feeds traffic-cost accounting.
     pub control_msgs: u64,
@@ -268,6 +301,16 @@ impl Actions {
     /// Request that `observer` disconnect from `suspect`.
     pub fn cut(&mut self, observer: NodeId, suspect: NodeId) {
         self.cuts.push((observer, suspect));
+    }
+
+    /// Request that `observer` re-dial `suspect` for a readmission probe.
+    pub fn reconnect(&mut self, observer: NodeId, suspect: NodeId) {
+        self.reconnects.push((observer, suspect));
+    }
+
+    /// Record a verdict-lifecycle transition in the ledger.
+    pub fn transition(&mut self, t: VerdictTransition) {
+        self.transitions.push(t);
     }
 }
 

@@ -8,12 +8,16 @@ use crate::node::{ListBehavior, NodeState, ReportBehavior, Role};
 use crate::overlay::Overlay;
 use crate::Tick;
 use ddp_metrics::summary::{RunSeries, RunSummary};
-use ddp_metrics::{DetectionErrors, P2Quantile, ResponseStats, SuccessStats, TrafficAccumulator};
+use ddp_metrics::{
+    DetectionErrors, P2Quantile, ResponseStats, SuccessStats, TrafficAccumulator, VerdictLedger,
+    VerdictTransition,
+};
 use ddp_topology::NodeId;
 use ddp_workload::ContentCatalog;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
 
 /// One defensive disconnection, for observability and post-hoc analysis.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,6 +41,11 @@ pub struct RunResult {
     pub summary: RunSummary,
     /// Every defensive disconnection, in order.
     pub cut_log: Vec<CutRecord>,
+    /// Every verdict-lifecycle transition the defense decided, in order
+    /// (empty for defenses without a verdict state machine). Note this logs
+    /// *decisions*: a `Cut` entry may have no matching [`CutRecord`] when a
+    /// second observer condemned an already-severed edge in the same tick.
+    pub verdict_log: Vec<VerdictTransition>,
 }
 
 /// One query or attack emission scheduled within a tick.
@@ -86,6 +95,14 @@ pub struct Simulation<D: Defense> {
     counted_wrongly_cut: Vec<bool>,
     /// Every defensive disconnection, in order.
     cut_log: Vec<CutRecord>,
+    /// Verdict-lifecycle audit trail (fed by `Actions::transitions`).
+    verdict_ledger: VerdictLedger,
+    /// Open wrongful-cut intervals: `(observer, suspect)` → tick the good
+    /// peer's edge was severed. Closed when the pair re-links (any add-edge
+    /// path) or either endpoint departs; censored at run end.
+    wrongful_open: HashMap<(u32, u32), Tick>,
+    /// Closed (or censored) wrongful-cut durations, in ticks.
+    wrongful_durations: Vec<u32>,
     /// Streaming 95th-percentile response time over the whole run.
     response_p95: P2Quantile,
 }
@@ -150,6 +167,9 @@ impl<D: Defense> Simulation<D> {
             ever_cut: vec![false; n],
             counted_wrongly_cut: vec![false; n],
             cut_log: Vec::new(),
+            verdict_ledger: VerdictLedger::new(),
+            wrongful_open: HashMap::new(),
+            wrongful_durations: Vec::new(),
             response_p95: P2Quantile::new(0.95),
             tick: 0,
             cfg,
@@ -260,12 +280,23 @@ impl<D: Defense> Simulation<D> {
                 }
             }
         }
+        // Censor wrongful-cut intervals still open at run end.
+        let final_tick = self.tick;
+        for (_, start) in self.wrongful_open.drain() {
+            self.wrongful_durations.push(final_tick.saturating_sub(start));
+        }
         let mut summary =
             self.series.summarize(self.errors, self.attackers_cut, self.good_peers_cut);
         summary.attackers_never_cut = never_cut;
         summary.response_p95_secs = self.response_p95.estimate();
         summary.resilience = self.fault_plane.stats();
-        RunResult { series: self.series, summary, cut_log: self.cut_log }
+        summary.verdicts = self.verdict_ledger.summarize(&self.wrongful_durations);
+        RunResult {
+            series: self.series,
+            summary,
+            cut_log: self.cut_log,
+            verdict_log: self.verdict_ledger.log,
+        }
     }
 
     /// Per-tick snapshot of success-critical slices from node state.
@@ -323,11 +354,36 @@ impl<D: Defense> Simulation<D> {
         }
     }
 
+    /// The pair re-linked: any matching wrongful-cut interval ends now.
+    fn close_wrongful(&mut self, u: NodeId, v: NodeId) {
+        for key in [(u.0, v.0), (v.0, u.0)] {
+            if let Some(start) = self.wrongful_open.remove(&key) {
+                self.wrongful_durations.push(self.tick.saturating_sub(start));
+            }
+        }
+    }
+
+    /// `node` left the overlay: intervals involving it no longer measure a
+    /// wrongful severance (the peer is gone either way).
+    fn close_wrongful_for(&mut self, node: NodeId) {
+        let tick = self.tick;
+        let durations = &mut self.wrongful_durations;
+        self.wrongful_open.retain(|&(a, b), &mut start| {
+            if a == node.0 || b == node.0 {
+                durations.push(tick.saturating_sub(start));
+                false
+            } else {
+                true
+            }
+        });
+    }
+
     fn depart(&mut self, node: NodeId) {
         let freed = self.overlay.isolate(node);
         for peer in freed {
             self.defense.on_edge_removed(node, peer, 0, self.overlay.degree(peer));
         }
+        self.close_wrongful_for(node);
         let s = &mut self.nodes[node.index()];
         s.online = false;
         s.rejoin_at = self.tick + self.cfg.rejoin_delay_ticks;
@@ -360,6 +416,7 @@ impl<D: Defense> Simulation<D> {
                         self.overlay.degree(node),
                         self.overlay.degree(peer),
                     );
+                    self.close_wrongful(node, peer);
                 }
             }
         }
@@ -395,6 +452,7 @@ impl<D: Defense> Simulation<D> {
                             self.overlay.degree(node),
                             self.overlay.degree(peer),
                         );
+                        self.close_wrongful(node, peer);
                     } else {
                         break;
                     }
@@ -420,6 +478,7 @@ impl<D: Defense> Simulation<D> {
                                 self.overlay.degree(node),
                                 self.overlay.degree(peer),
                             );
+                            self.close_wrongful(node, peer);
                         } else {
                             break; // already connected to the sampled peer
                         }
@@ -565,6 +624,9 @@ impl<D: Defense> Simulation<D> {
             self.defense.on_tick(&obs, &mut actions);
         }
         traffic.control_msgs += actions.control_msgs;
+        for t in actions.transitions {
+            self.verdict_ledger.record(t);
+        }
         for (observer, suspect) in actions.cuts {
             if !self.overlay.remove_edge(observer, suspect) {
                 continue; // already gone (double cut within the tick)
@@ -591,6 +653,7 @@ impl<D: Defense> Simulation<D> {
                 }
             } else {
                 self.good_peers_cut += 1;
+                self.wrongful_open.entry((observer.0, suspect.0)).or_insert(self.tick);
                 // "False negative is the number of good peers that are
                 // wrongly disconnected" — count each peer once, however many
                 // neighbors cut it.
@@ -598,6 +661,22 @@ impl<D: Defense> Simulation<D> {
                     self.counted_wrongly_cut[suspect.index()] = true;
                     self.errors.record_good_peer_cut();
                 }
+            }
+        }
+        // Readmission probes re-dial after cuts are applied, so a cut and a
+        // probe of the same pair in one tick nets out to "still severed".
+        for (observer, suspect) in actions.reconnects {
+            if !self.online[observer.index()] || !self.online[suspect.index()] {
+                continue;
+            }
+            if self.overlay.add_edge(observer, suspect) {
+                self.defense.on_edge_added(
+                    observer,
+                    suspect,
+                    self.overlay.degree(observer),
+                    self.overlay.degree(suspect),
+                );
+                self.close_wrongful(observer, suspect);
             }
         }
     }

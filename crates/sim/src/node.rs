@@ -1,5 +1,6 @@
 //! Per-peer simulation state.
 
+use ddp_topology::NodeId;
 use ddp_workload::BandwidthClass;
 
 /// How a peer answers `Neighbor_Traffic` report requests (§3.4's cheating
@@ -17,6 +18,29 @@ pub enum ReportBehavior {
     /// Choice 3 of §3.4: "refuse to report" — peers then "just assume that
     /// peer j sent 0 query to peer m".
     Silent,
+    /// Coordinated shielding (beyond §3.4's lone cheater): when asked about
+    /// a *fellow colluder* (any peer whose own behavior is also
+    /// `ShieldColluders`), report `factor ×` the true count of queries
+    /// received from it (factor < 1), hiding the colluder's output from its
+    /// Buddy Group. Reports about everyone else are honest, so the colluder
+    /// blends in as a credible witness.
+    ShieldColluders {
+        /// Multiplier applied to `received_from_suspect` claims about
+        /// fellow colluders (< 1).
+        factor: f64,
+    },
+    /// Coordinated framing: when asked about the designated innocent
+    /// `victim`, report `inflate ×` the true count of queries received from
+    /// it (inflate > 1), manufacturing phantom output that drives the
+    /// victim's General Indicator over `CT`. Reports about everyone else
+    /// are honest.
+    FrameVictim {
+        /// The innocent peer the coalition lies about.
+        victim: NodeId,
+        /// Multiplier applied to `received_from_suspect` claims about the
+        /// victim (> 1).
+        inflate: f64,
+    },
 }
 
 /// How a peer answers the neighbor-list exchange (§3.1). The paper notes "a

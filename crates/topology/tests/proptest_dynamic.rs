@@ -2,25 +2,35 @@
 
 use ddp_topology::{DynamicGraph, NodeId};
 use proptest::prelude::*;
+use std::collections::HashSet;
 
 #[derive(Debug, Clone)]
 enum Op {
     AddEdge(u32, u32),
     RemoveEdge(u32, u32),
+    /// Positional removal: the raw index is reduced modulo the node's
+    /// current degree at execution time (no-op at degree 0).
+    RemoveEdgeAt(u32, usize),
     Isolate(u32),
 }
 
 fn op_strategy(n: u32) -> impl Strategy<Value = Op> {
     prop_oneof![
-        3 => (0..n, 0..n).prop_map(|(u, v)| Op::AddEdge(u, v)),
+        4 => (0..n, 0..n).prop_map(|(u, v)| Op::AddEdge(u, v)),
         2 => (0..n, 0..n).prop_map(|(u, v)| Op::RemoveEdge(u, v)),
+        2 => (0..n, 0..64usize).prop_map(|(u, s)| Op::RemoveEdgeAt(u, s)),
         1 => (0..n).prop_map(Op::Isolate),
     ]
 }
 
+/// Canonical undirected key for the shadow model.
+fn key(u: NodeId, v: NodeId) -> (u32, u32) {
+    (u.0.min(v.0), u.0.max(v.0))
+}
+
 proptest! {
-    /// Any interleaving of add/remove/isolate keeps twin pointers, edge
-    /// counts, and dedup invariants intact.
+    /// Any interleaving of add/remove/remove-at/isolate keeps twin pointers,
+    /// edge counts, and dedup invariants intact.
     #[test]
     fn dynamic_graph_invariants_hold(ops in proptest::collection::vec(op_strategy(24), 1..200)) {
         let mut g = DynamicGraph::new(24);
@@ -28,9 +38,72 @@ proptest! {
             match op {
                 Op::AddEdge(u, v) => { g.add_edge(NodeId(u), NodeId(v)); }
                 Op::RemoveEdge(u, v) => { g.remove_edge(NodeId(u), NodeId(v)); }
+                Op::RemoveEdgeAt(u, s) => {
+                    let deg = g.degree(NodeId(u));
+                    if deg > 0 {
+                        g.remove_edge_at(NodeId(u), s % deg);
+                    }
+                }
                 Op::Isolate(u) => { g.isolate(NodeId(u)); }
             }
             prop_assert!(g.check_invariants().is_ok(), "{:?}", g.check_invariants());
+        }
+    }
+
+    /// The graph agrees with a shadow set-of-edges model after every single
+    /// operation: membership, per-node degrees, and the edge count.
+    #[test]
+    fn dynamic_graph_matches_shadow_model(
+        ops in proptest::collection::vec(op_strategy(16), 1..150)
+    ) {
+        const N: u32 = 16;
+        let mut g = DynamicGraph::new(N as usize);
+        let mut model: HashSet<(u32, u32)> = HashSet::new();
+        for op in ops {
+            match op {
+                Op::AddEdge(u, v) => {
+                    let added = g.add_edge(NodeId(u), NodeId(v));
+                    prop_assert_eq!(
+                        added,
+                        u != v && model.insert(key(NodeId(u), NodeId(v))),
+                        "add_edge({}, {}) return disagrees with the model", u, v
+                    );
+                }
+                Op::RemoveEdge(u, v) => {
+                    let removed = g.remove_edge(NodeId(u), NodeId(v));
+                    prop_assert_eq!(
+                        removed,
+                        model.remove(&key(NodeId(u), NodeId(v))),
+                        "remove_edge({}, {}) return disagrees with the model", u, v
+                    );
+                }
+                Op::RemoveEdgeAt(u, s) => {
+                    let deg = g.degree(NodeId(u));
+                    if deg > 0 {
+                        let slot = s % deg;
+                        let expect = g.neighbors(NodeId(u))[slot].peer;
+                        let freed = g.remove_edge_at(NodeId(u), slot);
+                        prop_assert_eq!(freed, expect, "remove_edge_at freed the wrong peer");
+                        prop_assert!(model.remove(&key(NodeId(u), freed)));
+                    }
+                }
+                Op::Isolate(u) => {
+                    let freed = g.isolate(NodeId(u));
+                    for v in &freed {
+                        prop_assert!(model.remove(&key(NodeId(u), *v)));
+                    }
+                    prop_assert_eq!(g.degree(NodeId(u)), 0);
+                    prop_assert!(!model.iter().any(|&(a, b)| a == u || b == u));
+                }
+            }
+            prop_assert_eq!(g.edge_count(), model.len());
+            for u in 0..N {
+                let deg_model = model.iter().filter(|&&(a, b)| a == u || b == u).count();
+                prop_assert_eq!(g.degree(NodeId(u)), deg_model, "degree mismatch at node {}", u);
+            }
+            for &(a, b) in &model {
+                prop_assert!(g.contains_edge(NodeId(a), NodeId(b)));
+            }
         }
     }
 
@@ -42,6 +115,12 @@ proptest! {
             match op {
                 Op::AddEdge(u, v) => { g.add_edge(NodeId(u), NodeId(v)); }
                 Op::RemoveEdge(u, v) => { g.remove_edge(NodeId(u), NodeId(v)); }
+                Op::RemoveEdgeAt(u, s) => {
+                    let deg = g.degree(NodeId(u));
+                    if deg > 0 {
+                        g.remove_edge_at(NodeId(u), s % deg);
+                    }
+                }
                 Op::Isolate(u) => { g.isolate(NodeId(u)); }
             }
         }

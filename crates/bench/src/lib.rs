@@ -4,8 +4,14 @@
 //! (reduced scale — the shapes, not the wall-clock, are the figure's point)
 //! and each hot component has a microbench.
 
+use ddp_police::{DdPolice, DdPoliceConfig};
 use ddp_sim::{NoDefense, SimConfig, Simulation};
 use ddp_topology::{TopologyConfig, TopologyModel};
+
+// The peak-RSS proxy used by the benches and by `ddp-experiments scale`;
+// install as `#[global_allocator]` in a bench target to read peak/live heap
+// bytes around a measured region.
+pub use ddp_metrics::CountingAlloc;
 
 /// A small but non-trivial engine configuration for benches.
 pub fn bench_sim_config(peers: usize) -> SimConfig {
@@ -19,4 +25,19 @@ pub fn bench_sim_config(peers: usize) -> SimConfig {
 /// A ready-to-step undefended simulation.
 pub fn bench_simulation(peers: usize, seed: u64) -> Simulation<NoDefense> {
     Simulation::new(bench_sim_config(peers), NoDefense, seed)
+}
+
+/// A ready-to-step simulation defended by DD-POLICE at paper defaults, with
+/// `attackers` flooders installed — the hot-kernel benches' workload.
+pub fn bench_police_simulation(peers: usize, attackers: usize, seed: u64) -> Simulation<DdPolice> {
+    let cfg = bench_sim_config(peers);
+    let police = DdPolice::new(DdPoliceConfig::default(), peers);
+    let mut sim = Simulation::new(cfg, police, seed);
+    for i in 0..attackers {
+        // Spread attackers across the id space so they do not cluster on the
+        // oldest (highest-degree) BA nodes only.
+        let id = (i * peers / attackers.max(1)) as u32;
+        sim.make_attacker(ddp_topology::NodeId(id), ddp_sim::ReportBehavior::Honest);
+    }
+    sim
 }

@@ -104,8 +104,15 @@ pub struct Criterion {
 impl Default for Criterion {
     fn default() -> Self {
         // Enough iterations to dominate timer noise for micro/millisecond
-        // benches without making `cargo bench` crawl.
-        Criterion { iters: 10 }
+        // benches without making `cargo bench` crawl. CI smoke jobs set
+        // `DDP_BENCH_ITERS=1` to verify the bench targets run without paying
+        // for measurement quality.
+        let iters = std::env::var("DDP_BENCH_ITERS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(10);
+        Criterion { iters }
     }
 }
 

@@ -76,6 +76,55 @@ pub fn assemble(
     Some(BuddyGroup { suspect, members })
 }
 
+/// The observer-independent core of [`assemble`]: the suspect's announced
+/// list filtered by the §3.1 consistency check and (at radius ≥ 2) the
+/// current-neighbor cross-verification.
+///
+/// [`assemble`] short-circuits the checks for the observer itself, but an
+/// observer is always a *current* neighbor of the suspect, and a current
+/// online neighbor passes both checks unconditionally (`confirm_membership`
+/// answers `true` for any real adjacency, colluding or not). The result is
+/// therefore identical for every observer holding the same announcement,
+/// and [`crate::police::DdPolice`] shares one verification across all of a
+/// suspect's observers within a tick.
+pub fn verified_members(
+    suspect: NodeId,
+    announced: &[NodeId],
+    obs: &TickObservation<'_>,
+    radius: u8,
+    verify: bool,
+) -> Vec<NodeId> {
+    let mut members = Vec::new();
+    verified_members_into(suspect, announced, obs, radius, verify, &mut members);
+    members
+}
+
+/// [`verified_members`] writing into a caller-owned buffer (cleared first),
+/// so per-tick rebuilds reuse one allocation per suspect.
+pub fn verified_members_into(
+    suspect: NodeId,
+    announced: &[NodeId],
+    obs: &TickObservation<'_>,
+    radius: u8,
+    verify: bool,
+    members: &mut Vec<NodeId>,
+) {
+    members.clear();
+    members.extend_from_slice(announced);
+    if verify {
+        members.retain(|&m| obs.confirm_membership(m, suspect));
+    }
+    if radius >= 2 {
+        let current: Vec<NodeId> = obs.overlay.neighbors(suspect).iter().map(|h| h.peer).collect();
+        for m in current {
+            if !members.contains(&m) {
+                members.push(m);
+            }
+        }
+        members.retain(|&m| obs.overlay.contains_edge(m, suspect));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -16,14 +16,16 @@
 //! the exchange step) is judged after a grace period from the observer's own
 //! counters alone — refusing to participate cannot be a shield.
 
-use crate::buddy::{assemble, BuddyGroup};
+use crate::buddy::{assemble, verified_members_into, BuddyGroup};
 use crate::config::DdPoliceConfig;
 use crate::exchange::ExchangeState;
 use crate::indicator::{general_indicator, is_bad, single_indicator};
-use crate::verdict::{aggregate_group_traffic, VerdictMachine};
-use ddp_sim::{Actions, Defense, ReportDelivery, ReportOutcome, TickObservation, TrafficReport};
+use crate::verdict::{aggregate_group_traffic, AggregationPolicy, VerdictMachine};
+use ddp_sim::{
+    Actions, Defense, ReportDelivery, ReportOutcome, Tick, TickObservation, TrafficReport,
+};
 use ddp_topology::NodeId;
-use std::collections::HashSet;
+use std::collections::HashMap;
 
 /// Sum a Buddy Group's traffic claims about the suspect: the observer's own
 /// ground-truth counters plus each other member's resolved report, where
@@ -51,11 +53,48 @@ pub struct DdPolice {
     /// Per-observer suspicion state machines: hysteresis history, the
     /// missing-list grace streak, and the quarantine/probation lifecycle.
     verdicts: VerdictMachine,
-    /// Suspects whose Buddy Group already exchanged Neighbor_Traffic this
-    /// tick (the 50-second suppression: "check whether it has sent a
-    /// Neighbor_Traffic message to other members in this BG in past 50
-    /// seconds").
-    exchanged_this_tick: HashSet<u32>,
+    /// Per-suspect tick stamp of the last Neighbor_Traffic exchange (the
+    /// 50-second suppression: "check whether it has sent a Neighbor_Traffic
+    /// message to other members in this BG in past 50 seconds"). A stamp
+    /// equal to the current tick means the suspect's group already exchanged;
+    /// ticks are monotone and start at 1, so 0 reads as "never".
+    exchanged_stamp: Vec<Tick>,
+    /// Per-tick memo of what `(reporter, suspect)` *would answer* to a
+    /// Neighbor_Traffic request. The answer reads only the tick's frozen
+    /// counters and the reporter's fixed behavior, so it is identical for
+    /// every observer that asks — without the memo, every observer of a
+    /// high-degree suspect re-scans the suspect's adjacency row per member,
+    /// an O(deg³) blowup on hub nodes. Transport faults stay per-observer:
+    /// only the answer's *content* is shared. Cleared each tick.
+    report_memo: HashMap<(u32, u32), Option<TrafficReport>>,
+    /// Per-suspect shared judgment inputs under the reliable/Sum fast path:
+    /// the verified member list and the report sums over it, both functions
+    /// of `(suspect, announcement tick)` alone. Each observer then adjusts
+    /// the sums for its own membership in O(1) instead of re-resolving every
+    /// member. Entries are stamped per tick; a stale stamp means "rebuild".
+    suspect_cache: Vec<SuspectTickCache>,
+}
+
+/// See [`DdPolice::suspect_cache`].
+#[derive(Debug, Clone, Default)]
+struct SuspectTickCache {
+    /// Tick the entry was built in (0 = never; ticks start at 1).
+    stamp: Tick,
+    /// Announcement tick of the snapshot the entry was built from. Observers
+    /// holding a different-aged snapshot rebuild rather than share.
+    taken_at: Tick,
+    /// The suspect's verified members (no observer adjustments applied).
+    members: Vec<NodeId>,
+    /// What each member answers a Neighbor_Traffic request with, aligned
+    /// with `members` — each observer subtracts its own slot back out.
+    answers: Vec<Option<TrafficReport>>,
+    /// Σ members' claimed received-from-suspect, missing reports as zero.
+    sum_out: f64,
+    /// Σ members' claimed sent-to-suspect, missing reports as zero.
+    sum_in: f64,
+    /// Members that answered / refused (for bulk resilience accounting).
+    n_answered: u32,
+    n_refused: u32,
 }
 
 impl DdPolice {
@@ -65,7 +104,9 @@ impl DdPolice {
             cfg,
             exchange: ExchangeState::new(n),
             verdicts: VerdictMachine::new(n),
-            exchanged_this_tick: HashSet::new(),
+            exchanged_stamp: vec![0; n],
+            report_memo: HashMap::new(),
+            suspect_cache: vec![SuspectTickCache::default(); n],
         }
     }
 
@@ -90,12 +131,13 @@ impl DdPolice {
         observer: NodeId,
         reporter: NodeId,
         suspect: NodeId,
+        answer: Option<TrafficReport>,
         obs: &TickObservation<'_>,
         retry_msgs: &mut u64,
     ) -> Option<TrafficReport> {
         let mut attempt = 0u32;
         loop {
-            match obs.request_report_via(observer, reporter, suspect, attempt) {
+            match obs.deliver_prepared_report(observer, reporter, suspect, answer, attempt) {
                 ReportDelivery::Fresh(r) => {
                     obs.note_report_outcome(ReportOutcome::Fresh);
                     return Some(r);
@@ -131,19 +173,23 @@ impl DdPolice {
         &self,
         observer: NodeId,
         group: &BuddyGroup,
+        own: TrafficReport,
         q_suspect_to_observer: u32,
         obs: &TickObservation<'_>,
+        memo: &mut HashMap<(u32, u32), Option<TrafficReport>>,
     ) -> (f64, f64, u64) {
         let suspect = group.suspect;
-        let own = obs.own_counters(observer, suspect);
         let mut retry_msgs = 0u64;
         let mut member_reports = Vec::with_capacity(group.members.len());
         for &m in &group.members {
             if m == observer {
                 continue; // own counters are summed directly, no message
             }
-            let report =
-                self.resolve_report(observer, m, suspect, obs, &mut retry_msgs).map(|mut r| {
+            let answer =
+                *memo.entry((m.0, suspect.0)).or_insert_with(|| obs.request_report(m, suspect));
+            let report = self
+                .resolve_report(observer, m, suspect, answer, obs, &mut retry_msgs)
+                .map(|mut r| {
                     if self.cfg.clamp_reports_to_link {
                         // No member can have pushed more into the suspect
                         // than the physical link allows; impossible claims
@@ -174,9 +220,26 @@ impl Defense for DdPolice {
 
     fn on_tick(&mut self, obs: &TickObservation<'_>, actions: &mut Actions) {
         actions.control_msgs += self.exchange.on_tick(self.cfg.exchange, obs);
-        self.exchanged_this_tick.clear();
 
         let n = obs.overlay.node_count();
+        if self.exchanged_stamp.len() < n {
+            self.exchanged_stamp.resize(n, 0);
+        }
+        // Counters are frozen for the whole tick, so reporter answers cached
+        // by the previous observer stay valid for the next one.
+        let mut memo = std::mem::take(&mut self.report_memo);
+        memo.clear();
+        let mut cache = std::mem::take(&mut self.suspect_cache);
+        if cache.len() < n {
+            cache.resize(n, SuspectTickCache::default());
+        }
+        // The shared-judgment fast path is exact only when every observer of
+        // a suspect computes the same per-member terms: reliable transport
+        // (no per-observer fault dice), plain summation (integer-valued f64
+        // sums are order-independent below 2^53), and no per-link clamping.
+        let fast = self.cfg.aggregation == AggregationPolicy::Sum
+            && !self.cfg.clamp_reports_to_link
+            && obs.faults.is_none_or(|f| f.config().is_inert());
         for i in 0..n {
             if !obs.runs_defense[i] {
                 continue;
@@ -191,15 +254,129 @@ impl Defense for DdPolice {
                 self.verdicts.fire_probes(observer, obs.tick, self.cfg.readmission, actions);
                 actions.control_msgs += (actions.reconnects.len() - before) as u64;
             }
-            let degree = obs.overlay.degree(observer);
-            for slot in 0..degree {
-                let half = obs.overlay.neighbors(observer)[slot];
+            // One adjacency fetch per observer; the slot loop below never
+            // mutates the overlay.
+            let neigh = obs.overlay.neighbors(observer);
+            for (slot, &half) in neigh.iter().enumerate() {
                 let suspect = half.peer;
                 // In_query(suspect) read through the reciprocal index
                 // (receiver-side, duplicate-filtered).
                 let q_ji = obs.overlay.accepted_via(suspect, half.ridx as usize);
                 if q_ji <= self.cfg.warning_threshold_qpm {
                     self.verdicts.below_warning(observer, suspect);
+                    continue;
+                }
+                if fast {
+                    // Own counters via the slots already in hand (identical
+                    // to `obs.own_counters`, minus its two adjacency scans).
+                    let own = TrafficReport {
+                        sent_to_suspect: obs.overlay.accepted_via(observer, slot),
+                        received_from_suspect: q_ji,
+                    };
+                    let Some(snap) = self.exchange.snapshot(observer, suspect) else {
+                        let streak = self.verdicts.note_list_missing(observer, suspect);
+                        if streak < self.cfg.missing_list_grace {
+                            continue; // wait for the first exchange
+                        }
+                        // Own-counters-only judgment of a silent suspect:
+                        // the group is {observer}, no messages, k = 1.
+                        self.exchanged_stamp[suspect.index()] = obs.tick;
+                        let g = general_indicator(
+                            own.received_from_suspect as f64,
+                            own.sent_to_suspect as f64,
+                            1,
+                            self.cfg.q_qpm,
+                        );
+                        let s = single_indicator(q_ji as f64, 0.0, self.cfg.q_qpm);
+                        if self.verdicts.judged(
+                            observer,
+                            suspect,
+                            is_bad(g, s, self.cfg.cut_threshold),
+                            obs.tick,
+                            self.cfg.hysteresis,
+                            self.cfg.readmission,
+                            actions,
+                        ) {
+                            actions.cut(observer, suspect);
+                        }
+                        continue;
+                    };
+                    obs.note_snapshot_age(obs.tick.saturating_sub(snap.taken_at));
+                    self.verdicts.note_list_ok(observer, suspect);
+                    let entry = &mut cache[suspect.index()];
+                    if entry.stamp != obs.tick || entry.taken_at != snap.taken_at {
+                        entry.stamp = obs.tick;
+                        entry.taken_at = snap.taken_at;
+                        verified_members_into(
+                            suspect,
+                            &snap.members,
+                            obs,
+                            self.cfg.radius,
+                            self.cfg.verify_lists,
+                            &mut entry.members,
+                        );
+                        entry.answers.clear();
+                        entry.sum_out = 0.0;
+                        entry.sum_in = 0.0;
+                        entry.n_answered = 0;
+                        entry.n_refused = 0;
+                        for &m in &entry.members {
+                            let answer = obs.request_report(m, suspect);
+                            match answer {
+                                Some(r) => {
+                                    entry.n_answered += 1;
+                                    entry.sum_out += r.received_from_suspect as f64;
+                                    entry.sum_in += r.sent_to_suspect as f64;
+                                }
+                                None => entry.n_refused += 1,
+                            }
+                            entry.answers.push(answer);
+                        }
+                    }
+                    // Adjust the shared sums for this observer: it never
+                    // messages itself — its ground-truth counters stand in
+                    // for its own (by construction identical) report.
+                    let own_slot = entry.members.iter().position(|&m| m == observer);
+                    let in_group = own_slot.is_some();
+                    let k = entry.members.len() + usize::from(!in_group);
+                    if self.exchanged_stamp[suspect.index()] != obs.tick {
+                        self.exchanged_stamp[suspect.index()] = obs.tick;
+                        let ku = k as u64;
+                        actions.control_msgs += ku * ku.saturating_sub(1);
+                    }
+                    let mut sum_out = own.received_from_suspect as f64 + entry.sum_out;
+                    let mut sum_in = own.sent_to_suspect as f64 + entry.sum_in;
+                    let mut fresh = entry.n_answered as u64;
+                    let mut refused = entry.n_refused as u64;
+                    if let Some(slot) = own_slot {
+                        match entry.answers[slot] {
+                            Some(r) => {
+                                fresh -= 1;
+                                sum_out -= r.received_from_suspect as f64;
+                                sum_in -= r.sent_to_suspect as f64;
+                            }
+                            None => refused -= 1,
+                        }
+                    }
+                    obs.note_report_outcomes(ReportOutcome::Fresh, fresh);
+                    obs.note_report_outcomes(ReportOutcome::Refused, refused);
+                    let g = general_indicator(sum_out, sum_in, k, self.cfg.q_qpm);
+                    let s = single_indicator(
+                        q_ji as f64,
+                        sum_in - own.sent_to_suspect as f64,
+                        self.cfg.q_qpm,
+                    );
+                    if self.verdicts.judged(
+                        observer,
+                        suspect,
+                        is_bad(g, s, self.cfg.cut_threshold),
+                        obs.tick,
+                        self.cfg.hysteresis,
+                        self.cfg.readmission,
+                        actions,
+                    ) {
+                        actions.cut(observer, suspect);
+                    }
                     continue;
                 }
                 // Suspicious: assemble the Buddy Group.
@@ -227,11 +404,18 @@ impl Defense for DdPolice {
                 };
                 // Neighbor_Traffic exchange: k(k-1) messages, once per
                 // suspect per tick across all its observers (suppression).
-                if self.exchanged_this_tick.insert(suspect.0) {
+                if self.exchanged_stamp[suspect.index()] != obs.tick {
+                    self.exchanged_stamp[suspect.index()] = obs.tick;
                     let k = group.k() as u64;
                     actions.control_msgs += k * k.saturating_sub(1);
                 }
-                let (g, s, retry_msgs) = self.judge(observer, &group, q_ji, obs);
+                // Own counters via the slots already in hand (identical to
+                // `obs.own_counters`, minus its two adjacency scans).
+                let own = TrafficReport {
+                    sent_to_suspect: obs.overlay.accepted_via(observer, slot),
+                    received_from_suspect: q_ji,
+                };
+                let (g, s, retry_msgs) = self.judge(observer, &group, own, q_ji, obs, &mut memo);
                 actions.control_msgs += retry_msgs;
                 let over_ct = is_bad(g, s, self.cfg.cut_threshold);
                 if self.verdicts.judged(
@@ -247,6 +431,8 @@ impl Defense for DdPolice {
                 }
             }
         }
+        self.report_memo = memo;
+        self.suspect_cache = cache;
     }
 
     fn on_peer_reset(&mut self, node: NodeId) {

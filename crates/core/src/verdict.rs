@@ -320,9 +320,15 @@ impl VerdictMachine {
     /// position: a Watching chain is broken (entry dropped); quarantine and
     /// probation are unaffected (they are clocked, not traffic-driven).
     pub fn below_warning(&mut self, observer: NodeId, suspect: NodeId) {
-        if let Some(e) = self.entries[observer.index()].get(&suspect.0) {
+        let map = &mut self.entries[observer.index()];
+        // Hot path: this runs once per (observer, neighbor) per tick and
+        // almost every observer tracks no suspects — skip the key hash.
+        if map.is_empty() {
+            return;
+        }
+        if let Some(e) = map.get(&suspect.0) {
             if matches!(e.state, SuspectState::Watching { .. }) {
-                self.entries[observer.index()].remove(&suspect.0);
+                map.remove(&suspect.0);
             }
         }
     }

@@ -1,0 +1,243 @@
+//! Property test: the dense per-peer exchange views against a `HashMap`
+//! shadow model.
+//!
+//! [`ExchangeState`] stores each peer's knowledge of its neighbors' lists in
+//! short dense `Vec<(neighbor, Snapshot)>` rows with in-place buffer reuse on
+//! the reliable path, and (since the inert-plane fast path) skips per-copy
+//! transport transmission entirely when the fault plane can neither lose,
+//! delay, nor crash anything. The shadow here replays the *naive* semantics —
+//! one `HashMap<(viewer, announcer), (members, taken_at)>`, every copy pushed
+//! through `FaultPlane::transmit_list` — on a twin fault plane built from the
+//! same seed, so the dice agree draw-for-draw. After every tick the dense
+//! views, the returned message counts, and the full resilience accounting of
+//! both planes must match exactly.
+
+use ddp_police::exchange::ExchangeState;
+use ddp_police::ExchangePolicy;
+use ddp_sim::{
+    FaultConfig, FaultPlane, ListBehavior, Overlay, ReportBehavior, Tick, TickObservation,
+};
+use ddp_topology::{DynamicGraph, NodeId};
+use ddp_workload::BandwidthClass;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+const N: usize = 8;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Advance one tick and run the exchange on both models.
+    Tick,
+    AddEdge(u32, u32),
+    RemoveEdge(u32, u32),
+    /// Peer restart: its accumulated views are wiped.
+    ResetPeer(u32),
+    ToggleOnline(u32),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let n = N as u32;
+    prop_oneof![
+        5 => Just(Op::Tick),
+        3 => (0..n, 0..n).prop_map(|(u, v)| Op::AddEdge(u, v)),
+        2 => (0..n, 0..n).prop_map(|(u, v)| Op::RemoveEdge(u, v)),
+        1 => (0..n).prop_map(Op::ResetPeer),
+        1 => (0..n).prop_map(Op::ToggleOnline),
+    ]
+}
+
+fn fault_strategy() -> impl Strategy<Value = FaultConfig> {
+    prop_oneof![
+        Just(FaultConfig::default()), // inert: exercises the reliable fast path
+        Just(FaultConfig { loss: 0.4, ..FaultConfig::default() }),
+        Just(FaultConfig { delay_prob: 0.6, delay_ticks: 1, ..FaultConfig::default() }),
+        Just(FaultConfig { loss: 0.2, delay_prob: 0.3, delay_ticks: 2, ..FaultConfig::default() }),
+    ]
+}
+
+fn policy_strategy() -> impl Strategy<Value = ExchangePolicy> {
+    prop_oneof![
+        (1u32..4).prop_map(|minutes| ExchangePolicy::Periodic { minutes }),
+        Just(ExchangePolicy::EventDriven),
+    ]
+}
+
+/// The naive replay of one exchange tick over the shadow map. Mirrors
+/// `ExchangeState::on_tick`'s faulty branch unconditionally: matured mail
+/// first (newer-only, still-adjacent, receiver online), then per-copy
+/// transmission of every announcement.
+#[allow(clippy::too_many_arguments)]
+fn shadow_tick(
+    map: &mut HashMap<(u32, u32), (Vec<NodeId>, Tick)>,
+    pending_event_msgs: &mut u64,
+    plane: &FaultPlane,
+    obs: &TickObservation<'_>,
+    policy: ExchangePolicy,
+) -> u64 {
+    let mut msgs = std::mem::take(pending_event_msgs);
+    for i_idx in 0..obs.overlay.node_count() {
+        let i = NodeId::from_index(i_idx);
+        for (announcer, members, sent_at) in plane.take_matured_lists(obs.tick, i) {
+            if !obs.online[i_idx] || !obs.overlay.contains_edge(i, announcer) {
+                continue;
+            }
+            let newer = map.get(&(i.0, announcer.0)).is_none_or(|&(_, at)| at < sent_at);
+            if newer {
+                map.insert((i.0, announcer.0), (members, sent_at));
+                plane.note_late_list_applied();
+            }
+        }
+    }
+    let refresh = match policy {
+        ExchangePolicy::Periodic { minutes } => {
+            obs.tick.wrapping_sub(1).is_multiple_of(minutes.max(1))
+        }
+        ExchangePolicy::EventDriven => true,
+    };
+    if !refresh {
+        return msgs;
+    }
+    let periodic = matches!(policy, ExchangePolicy::Periodic { .. });
+    for j_idx in 0..obs.overlay.node_count() {
+        if !obs.online[j_idx] {
+            continue;
+        }
+        let j = NodeId::from_index(j_idx);
+        if matches!(obs.report_behavior[j_idx], ReportBehavior::Silent) {
+            continue;
+        }
+        let Some(members) = obs.announced_list(j) else { continue };
+        for h in obs.overlay.neighbors(j) {
+            if periodic {
+                msgs += 1;
+            }
+            if let Some(delivered) = plane.transmit_list(obs.tick, j, h.peer, &members) {
+                map.insert((h.peer.0, j.0), (delivered, obs.tick));
+            }
+        }
+    }
+    msgs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Arbitrary interleavings of ticks, adjacency churn, peer resets, and
+    /// online toggles keep the dense views identical — members, announcement
+    /// ticks, message counts, and fault accounting — to the naive map model,
+    /// across every policy and fault mix.
+    #[test]
+    fn dense_views_match_hashmap_shadow(
+        ops in proptest::collection::vec(op_strategy(), 1..80),
+        initial_edges in proptest::collection::vec((0..N as u32, 0..N as u32), 0..12),
+        cfg in fault_strategy(),
+        policy in policy_strategy(),
+        silent_peer in 0..N as u32,
+        padded_peer in 0..N as u32,
+        seed in any::<u64>(),
+    ) {
+        let mut g = DynamicGraph::new(N);
+        for &(u, v) in &initial_edges {
+            g.add_edge(NodeId(u), NodeId(v));
+        }
+        let mut overlay = Overlay::new(g, &[BandwidthClass::Ethernet; N]);
+        let mut online = vec![true; N];
+        let runs = vec![true; N];
+        let mut behavior = vec![ReportBehavior::Honest; N];
+        behavior[silent_peer as usize] = ReportBehavior::Silent;
+        let mut lists = vec![ListBehavior::Truthful; N];
+        lists[padded_peer as usize] = ListBehavior::PadFake { extra: 2 };
+
+        // Twin planes: same config, same seed — identical dice, separate
+        // mailboxes and accounting.
+        let plane_dense = FaultPlane::new(cfg.clone(), seed);
+        let plane_shadow = FaultPlane::new(cfg, seed);
+
+        let mut ex = ExchangeState::new(N);
+        let mut shadow: HashMap<(u32, u32), (Vec<NodeId>, Tick)> = HashMap::new();
+        let mut shadow_pending = 0u64;
+        let mut tick: Tick = 0;
+
+        for op in ops {
+            match op {
+                Op::Tick => {
+                    tick += 1;
+                    plane_dense.begin_tick(tick);
+                    plane_shadow.begin_tick(tick);
+                    let obs_dense = TickObservation {
+                        tick,
+                        overlay: &overlay,
+                        online: &online,
+                        runs_defense: &runs,
+                        report_behavior: &behavior,
+                        list_behavior: &lists,
+                        faults: Some(&plane_dense),
+                    };
+                    let got = ex.on_tick(policy, &obs_dense);
+                    let obs_shadow = TickObservation {
+                        faults: Some(&plane_shadow),
+                        ..obs_dense
+                    };
+                    let want = shadow_tick(
+                        &mut shadow, &mut shadow_pending, &plane_shadow, &obs_shadow, policy,
+                    );
+                    prop_assert_eq!(got, want, "message counts diverged at tick {}", tick);
+                }
+                Op::AddEdge(u, v) => {
+                    if overlay.add_edge(NodeId(u), NodeId(v)) {
+                        let (du, dv) = (overlay.degree(NodeId(u)), overlay.degree(NodeId(v)));
+                        ex.on_adjacency_event(policy, du, dv);
+                        if policy == ExchangePolicy::EventDriven {
+                            shadow_pending += (du + dv) as u64;
+                        }
+                    }
+                }
+                Op::RemoveEdge(u, v) => {
+                    if overlay.remove_edge(NodeId(u), NodeId(v)) {
+                        ex.forget_edge(NodeId(u), NodeId(v));
+                        shadow.remove(&(u, v));
+                        shadow.remove(&(v, u));
+                        let (du, dv) = (overlay.degree(NodeId(u)), overlay.degree(NodeId(v)));
+                        ex.on_adjacency_event(policy, du, dv);
+                        if policy == ExchangePolicy::EventDriven {
+                            shadow_pending += (du + dv) as u64;
+                        }
+                    }
+                }
+                Op::ResetPeer(u) => {
+                    ex.reset_peer(NodeId(u));
+                    shadow.retain(|&(viewer, _), _| viewer != u);
+                }
+                Op::ToggleOnline(u) => {
+                    online[u as usize] = !online[u as usize];
+                }
+            }
+
+            // Snapshot-for-snapshot agreement over the full pair grid.
+            for i in 0..N as u32 {
+                for j in 0..N as u32 {
+                    let dense = ex.snapshot(NodeId(i), NodeId(j));
+                    let model = shadow.get(&(i, j));
+                    match (dense, model) {
+                        (None, None) => {}
+                        (Some(s), Some((members, taken_at))) => {
+                            prop_assert_eq!(&s.members, members, "members for ({}, {})", i, j);
+                            prop_assert_eq!(s.taken_at, *taken_at, "taken_at for ({}, {})", i, j);
+                        }
+                        (dense, model) => {
+                            prop_assert!(
+                                false,
+                                "snapshot presence diverged for ({}, {}): dense={:?} model={:?}",
+                                i, j, dense, model
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        // The bulk `lists_sent` accounting of the inert fast path must equal
+        // the per-copy accounting of the naive replay, and on faulty planes
+        // the loss/delay/late counters must agree draw-for-draw.
+        prop_assert_eq!(plane_dense.stats(), plane_shadow.stats());
+    }
+}

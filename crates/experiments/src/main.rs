@@ -13,6 +13,7 @@
 //!   fig12       damage rate over time per cut threshold
 //!   fig13 fig14 errors / recovery time vs cut threshold
 //!   exchange    neighbor-list exchange policy study (§3.7.1)
+//!   scale       throughput sweep over overlay size × attacker fraction
 //!   cheating    report-cheating strategies (§3.4)
 //!   resilience  lossy/delayed control plane sweep (extension)
 //!   collusion   coordinated report-cheating coalitions sweep (extension)
@@ -22,8 +23,14 @@
 
 use ddp_experiments::runners::{self, emit};
 use ddp_experiments::ExpOptions;
+use ddp_metrics::CountingAlloc;
 use std::path::PathBuf;
 use std::process::ExitCode;
+
+// Peak-heap proxy read by the `scale` runner; counting wrapper around the
+// system allocator, negligible overhead for every other command.
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc::new();
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -65,6 +72,7 @@ fn main() -> ExitCode {
             emit(&runners::fig14(&rows), &opts);
         }
         "exchange" => emit(&runners::exchange(&opts), &opts),
+        "scale" => emit(&runners::scale(&opts, opts.smoke, Some(&ALLOC)), &opts),
         "structured" => emit(&runners::structured(&opts), &opts),
         "cheating" => emit(&runners::cheating(&opts), &opts),
         "resilience" => emit(&runners::resilience(&opts), &opts),
@@ -124,7 +132,10 @@ usage: ddp-experiments <command> [options]
 commands:
   table1 fig2 fig5 fig6 fig9 fig10 fig11 consequences
   fig12 fig13 fig14 ct exchange cheating resilience collusion structured
-  ablations all
+  scale ablations all
+
+scale sweeps overlay size × attacker fraction, reporting ticks/sec,
+queries/sec, and a peak-heap proxy, and writes BENCH_scale.json.
 
 options:
   --peers N        overlay size (default 2000)
@@ -134,6 +145,7 @@ options:
   --replicates N   averaged seeds per configuration (default 1)
   --csv DIR        also write each table as DIR/<name>.csv
   --paper-scale    shorthand for --peers 20000 (the paper's §3.5 setting)
+  --smoke          (scale only) tiny grid that just validates the pipeline
 ";
 
 fn parse_options(args: &[String]) -> Result<ExpOptions, String> {
@@ -156,6 +168,7 @@ fn parse_options(args: &[String]) -> Result<ExpOptions, String> {
             }
             "--csv" => opts.csv_dir = Some(PathBuf::from(take(&mut i)?)),
             "--paper-scale" => opts.peers = 20_000,
+            "--smoke" => opts.smoke = true,
             other => return Err(format!("unknown option `{other}`")),
         }
         i += 1;

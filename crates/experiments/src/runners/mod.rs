@@ -5,6 +5,7 @@ mod collusion;
 mod ct;
 mod policy;
 mod resilience;
+mod scale;
 mod static_figs;
 mod structured;
 mod sweep;
@@ -19,6 +20,10 @@ pub use collusion::{
 pub use ct::{ct_sweep, fig12, fig13, fig14, CtRow, CT_GRID};
 pub use policy::{cheating, exchange};
 pub use resilience::{detection_latency, resilience, resilience_grid, ResilienceCell};
+pub use scale::{
+    measure_cell, scale, scale_grid, scale_json, validate_scale_json, ScaleCell, SCALE_CELL_KEYS,
+    SCALE_SCHEMA,
+};
 pub use static_figs::{fig2, fig5, fig6, table1};
 pub use structured::structured;
 pub use sweep::{agent_sweep, consequences, fig10, fig11, fig9, SweepRow};

@@ -1,0 +1,284 @@
+//! `scale` — throughput sweep over overlay size × attacker fraction.
+//!
+//! Reports ticks/sec, queries-processed/sec, and a peak-RSS proxy (heap
+//! high-water mark from the binary's counting allocator) for the DD-POLICE
+//! engine at paper defaults, and emits the machine-readable
+//! `BENCH_scale.json` that tracks the perf trajectory PR-over-PR.
+//!
+//! Construction (topology generation, catalog sampling) is excluded from the
+//! timed region: the number the sweep pins is steady-state ticks/sec of the
+//! step loop, which is what every other experiment pays per data point.
+
+use crate::output::{f, Table};
+use crate::scenario::ExpOptions;
+use ddp_attack::AttackPlan;
+use ddp_metrics::{json_array, CountingAlloc, JsonObj};
+use ddp_police::{DdPolice, DdPoliceConfig};
+use ddp_sim::{SimConfig, Simulation};
+use ddp_topology::{TopologyConfig, TopologyModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// One measured grid cell.
+#[derive(Debug, Clone)]
+pub struct ScaleCell {
+    /// Overlay size.
+    pub peers: usize,
+    /// Attacker fraction of the population.
+    pub attacker_fraction: f64,
+    /// Resulting agent count.
+    pub agents: usize,
+    /// Ticks in the timed step loop.
+    pub ticks: usize,
+    /// Wall-clock of the step loop, seconds.
+    pub elapsed_secs: f64,
+    /// Step-loop throughput.
+    pub ticks_per_sec: f64,
+    /// Query transmissions processed per wall-clock second.
+    pub queries_per_sec: f64,
+    /// Total query-hop transmissions over the timed region.
+    pub query_hops_total: u64,
+    /// Heap high-water mark over construction + step loop (0 when the binary
+    /// has no counting allocator installed).
+    pub peak_alloc_bytes: u64,
+    /// Allocation calls during the step loop (0 without an allocator).
+    pub step_allocations: u64,
+    /// Run sanity: mean success rate (detects a silently-broken engine).
+    pub success_rate_mean: f64,
+    /// Run sanity: attacker disconnections performed.
+    pub attackers_cut: u64,
+}
+
+impl ScaleCell {
+    fn to_json(&self) -> String {
+        JsonObj::new()
+            .u64("peers", self.peers as u64)
+            .f64("attacker_fraction", self.attacker_fraction)
+            .u64("agents", self.agents as u64)
+            .u64("ticks", self.ticks as u64)
+            .f64("elapsed_secs", self.elapsed_secs)
+            .f64("ticks_per_sec", self.ticks_per_sec)
+            .f64("queries_per_sec", self.queries_per_sec)
+            .u64("query_hops_total", self.query_hops_total)
+            .u64("peak_alloc_bytes", self.peak_alloc_bytes)
+            .u64("step_allocations", self.step_allocations)
+            .f64("success_rate_mean", self.success_rate_mean)
+            .u64("attackers_cut", self.attackers_cut)
+            .finish()
+    }
+}
+
+/// Every key a cell object must carry, in emission order (the schema).
+pub const SCALE_CELL_KEYS: [&str; 12] = [
+    "peers",
+    "attacker_fraction",
+    "agents",
+    "ticks",
+    "elapsed_secs",
+    "ticks_per_sec",
+    "queries_per_sec",
+    "query_hops_total",
+    "peak_alloc_bytes",
+    "step_allocations",
+    "success_rate_mean",
+    "attackers_cut",
+];
+
+/// Schema identifier embedded in the emitted JSON.
+pub const SCALE_SCHEMA: &str = "ddp-bench-scale/v1";
+
+/// Measure one cell: build a DD-POLICE-defended simulation, time the step
+/// loop, and collect throughput + allocation numbers.
+pub fn measure_cell(
+    peers: usize,
+    attacker_fraction: f64,
+    ticks: usize,
+    seed: u64,
+    alloc: Option<&'static CountingAlloc>,
+) -> ScaleCell {
+    let agents = ((peers as f64 * attacker_fraction).round() as usize).min(peers / 2);
+    if let Some(a) = alloc {
+        a.reset();
+    }
+    let cfg = SimConfig {
+        topology: TopologyConfig { n: peers, model: TopologyModel::BarabasiAlbert { m: 3 } },
+        ..SimConfig::default()
+    };
+    let police = DdPolice::new(DdPoliceConfig::default(), peers);
+    let mut sim = Simulation::new(cfg, police, seed);
+    if agents > 0 {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xdd05_ee1f);
+        AttackPlan::new(agents).apply(&mut sim, &mut rng);
+    }
+    let allocs_before = alloc.map(|a| a.allocations() as u64).unwrap_or(0);
+    let start = Instant::now();
+    for _ in 0..ticks {
+        sim.step();
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let step_allocations = alloc.map(|a| a.allocations() as u64 - allocs_before).unwrap_or(0);
+    let peak_alloc_bytes = alloc.map(|a| a.peak_bytes() as u64).unwrap_or(0);
+    let result = sim.finish();
+    let query_hops_total: u64 = result.series.traffic.values.iter().map(|&v| v as u64).sum();
+    let safe_elapsed = elapsed.max(1e-9);
+    ScaleCell {
+        peers,
+        attacker_fraction,
+        agents,
+        ticks,
+        elapsed_secs: elapsed,
+        ticks_per_sec: ticks as f64 / safe_elapsed,
+        queries_per_sec: query_hops_total as f64 / safe_elapsed,
+        query_hops_total,
+        peak_alloc_bytes,
+        step_allocations,
+        success_rate_mean: result.summary.success_rate_mean,
+        attackers_cut: result.summary.attackers_cut,
+    }
+}
+
+/// The sweep grid: `(peers, attacker_fraction, ticks)`. Tick counts shrink
+/// with overlay size so the full sweep stays minutes, not hours; throughput
+/// is per-tick steady state, so few ticks suffice at large n.
+pub fn scale_grid(smoke: bool) -> Vec<(usize, f64, usize)> {
+    if smoke {
+        return vec![(300, 0.05, 2)];
+    }
+    vec![
+        (2_000, 0.0, 10),
+        (2_000, 0.01, 10),
+        (2_000, 0.05, 10),
+        (8_000, 0.05, 5),
+        (10_000, 0.05, 4),
+        (100_000, 0.05, 2),
+    ]
+}
+
+/// Render the sweep results as the committed `BENCH_scale.json` document.
+pub fn scale_json(cells: &[ScaleCell], seed: u64) -> String {
+    JsonObj::new()
+        .str("schema", SCALE_SCHEMA)
+        .str("generated_by", "ddp-experiments scale")
+        .u64("seed", seed)
+        .raw("cells", &json_array(cells.iter().map(|c| c.to_json())))
+        .finish()
+}
+
+/// Structural validation of a `BENCH_scale.json` document: schema tag,
+/// balanced nesting, and every cell carrying every schema key. (The
+/// workspace has no JSON parser; this is the CI smoke check.)
+pub fn validate_scale_json(doc: &str) -> Result<(), String> {
+    let doc = doc.trim();
+    if !doc.starts_with(&format!("{{\"schema\":\"{SCALE_SCHEMA}\"")) {
+        return Err(format!("document does not start with the {SCALE_SCHEMA} schema tag"));
+    }
+    if doc.matches('{').count() != doc.matches('}').count()
+        || doc.matches('[').count() != doc.matches(']').count()
+    {
+        return Err("unbalanced braces/brackets".into());
+    }
+    let Some(cells_at) = doc.find("\"cells\":[") else {
+        return Err("missing cells array".into());
+    };
+    let cells = &doc[cells_at + "\"cells\":[".len()..];
+    let n_cells = cells.matches("{\"peers\":").count();
+    if n_cells == 0 {
+        return Err("cells array contains no cell objects".into());
+    }
+    for key in SCALE_CELL_KEYS {
+        let quoted = format!("\"{key}\":");
+        let found = cells.matches(quoted.as_str()).count();
+        if found != n_cells {
+            return Err(format!("key {key} present in {found}/{n_cells} cells"));
+        }
+    }
+    Ok(())
+}
+
+/// Run the sweep, write `BENCH_scale.json` into the current directory, and
+/// return the human-readable table.
+pub fn scale(opts: &ExpOptions, smoke: bool, alloc: Option<&'static CountingAlloc>) -> Table {
+    let grid = scale_grid(smoke);
+    let mut cells = Vec::with_capacity(grid.len());
+    let mut table = Table::new(
+        if smoke { "scale_smoke" } else { "scale" },
+        "Scale sweep: step-loop throughput (DD-POLICE defaults)",
+        &["peers", "attack%", "agents", "ticks", "ticks/sec", "queries/sec", "peak_heap_MiB"],
+    );
+    for (peers, frac, ticks) in grid {
+        eprintln!("[scale] measuring peers={peers} attackers={:.0}% ticks={ticks}", frac * 100.0);
+        let cell = measure_cell(peers, frac, ticks, opts.seed, alloc);
+        table.push_row(vec![
+            cell.peers.to_string(),
+            format!("{:.0}%", cell.attacker_fraction * 100.0),
+            cell.agents.to_string(),
+            cell.ticks.to_string(),
+            f(cell.ticks_per_sec, 3),
+            f(cell.queries_per_sec, 0),
+            f(cell.peak_alloc_bytes as f64 / (1024.0 * 1024.0), 1),
+        ]);
+        cells.push(cell);
+    }
+    let doc = scale_json(&cells, opts.seed);
+    if let Err(e) = validate_scale_json(&doc) {
+        // A document that fails its own schema must never be committed; the
+        // CI smoke run relies on this exit to catch emission drift.
+        eprintln!("[scale] FATAL: emitted JSON failed validation: {e}");
+        std::process::exit(2);
+    }
+    let path = "BENCH_scale.json";
+    match std::fs::write(path, format!("{doc}\n")) {
+        Ok(()) => println!("[scale] wrote {path}"),
+        Err(e) => eprintln!("[scale] failed to write {path}: {e}"),
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake_cell(peers: usize) -> ScaleCell {
+        ScaleCell {
+            peers,
+            attacker_fraction: 0.05,
+            agents: peers / 20,
+            ticks: 4,
+            elapsed_secs: 0.5,
+            ticks_per_sec: 8.0,
+            queries_per_sec: 1000.0,
+            query_hops_total: 500,
+            peak_alloc_bytes: 1 << 20,
+            step_allocations: 42,
+            success_rate_mean: 0.9,
+            attackers_cut: 3,
+        }
+    }
+
+    #[test]
+    fn emitted_json_validates() {
+        let doc = scale_json(&[fake_cell(2000), fake_cell(8000)], 42);
+        validate_scale_json(&doc).unwrap();
+    }
+
+    #[test]
+    fn validation_rejects_drift() {
+        let doc = scale_json(&[fake_cell(2000)], 42);
+        assert!(validate_scale_json(&doc.replace("ticks_per_sec", "tps")).is_err());
+        assert!(validate_scale_json(&doc.replace("ddp-bench-scale/v1", "v2")).is_err());
+        assert!(validate_scale_json("{\"schema\":\"ddp-bench-scale/v1\",\"cells\":[]}").is_err());
+        validate_scale_json(&doc).unwrap();
+    }
+
+    #[test]
+    fn smoke_cell_measures_end_to_end() {
+        let cell = measure_cell(300, 0.05, 2, 42, None);
+        assert_eq!(cell.peers, 300);
+        assert_eq!(cell.agents, 15);
+        assert_eq!(cell.ticks, 2);
+        assert!(cell.ticks_per_sec > 0.0);
+        assert!(cell.query_hops_total > 0, "floods must move traffic");
+        assert!(cell.success_rate_mean > 0.0);
+    }
+}

@@ -271,11 +271,21 @@ pub struct ExpOptions {
     pub replicates: usize,
     /// Where to write CSVs (none = stdout only).
     pub csv_dir: Option<PathBuf>,
+    /// Reduced validation run (only the `scale` runner consults this).
+    pub smoke: bool,
 }
 
 impl Default for ExpOptions {
     fn default() -> Self {
-        ExpOptions { peers: 2_000, ticks: 30, seed: 42, agents: 100, replicates: 1, csv_dir: None }
+        ExpOptions {
+            peers: 2_000,
+            ticks: 30,
+            seed: 42,
+            agents: 100,
+            replicates: 1,
+            csv_dir: None,
+            smoke: false,
+        }
     }
 }
 

@@ -1,0 +1,87 @@
+//! Golden-fixture pin for the `BENCH_scale.json` schema.
+//!
+//! `runners::scale_json` is the only writer of the bench artifact; this test
+//! pins its exact byte layout on fixed fake cells so the schema cannot drift
+//! silently between PRs (the perf trajectory is diffed across commits).
+//! Regenerate after an intentional change with:
+//!
+//! ```text
+//! DDP_BLESS=1 cargo test -p ddp-experiments --test scale_schema
+//! ```
+
+use ddp_experiments::runners::{scale_json, validate_scale_json, ScaleCell};
+
+fn fixture_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/bench_scale.golden.json")
+}
+
+fn fixed_cells() -> Vec<ScaleCell> {
+    vec![
+        ScaleCell {
+            peers: 2000,
+            attacker_fraction: 0.05,
+            agents: 100,
+            ticks: 10,
+            elapsed_secs: 1.25,
+            ticks_per_sec: 8.0,
+            queries_per_sec: 250000.0,
+            query_hops_total: 312500,
+            peak_alloc_bytes: 8 << 20,
+            step_allocations: 12345,
+            success_rate_mean: 0.875,
+            attackers_cut: 90,
+        },
+        ScaleCell {
+            peers: 100000,
+            attacker_fraction: 0.01,
+            agents: 1000,
+            ticks: 2,
+            elapsed_secs: 40.5,
+            ticks_per_sec: 0.04938271,
+            queries_per_sec: 1500000.25,
+            query_hops_total: 60750010,
+            peak_alloc_bytes: 512 << 20,
+            step_allocations: 987654,
+            success_rate_mean: 0.5,
+            attackers_cut: 4321,
+        },
+    ]
+}
+
+#[test]
+fn bench_scale_json_matches_golden_fixture() {
+    let rendered = scale_json(&fixed_cells(), 42);
+    let path = fixture_path();
+    if std::env::var_os("DDP_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, format!("{rendered}\n")).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing fixture {} ({e}); run with DDP_BLESS=1", path.display())
+    });
+    assert_eq!(
+        rendered,
+        golden.trim_end(),
+        "scale_json drifted from the committed BENCH_scale.json schema fixture"
+    );
+}
+
+#[test]
+fn golden_fixture_passes_structural_validation() {
+    // The same validator the `scale --smoke` CI job uses must accept the
+    // fixture, so validator and writer can't drift apart either.
+    let rendered = scale_json(&fixed_cells(), 42);
+    validate_scale_json(&rendered).unwrap();
+}
+
+#[test]
+fn committed_bench_artifact_is_schema_valid() {
+    // The repo-root BENCH_scale.json (committed measurement output) must
+    // always parse against the current schema.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_scale.json");
+    if let Ok(doc) = std::fs::read_to_string(&root) {
+        validate_scale_json(&doc)
+            .unwrap_or_else(|e| panic!("committed BENCH_scale.json invalid: {e}"));
+    }
+}

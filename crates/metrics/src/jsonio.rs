@@ -1,0 +1,147 @@
+//! Minimal hand-rolled JSON emission.
+//!
+//! The workspace's `serde` shim is deliberately inert (no `serde_json`), so
+//! every machine-readable artifact (`BENCH_scale.json`, run-summary dumps) is
+//! written by hand with a **stable field order**. Golden-fixture tests pin the
+//! exact bytes, which is the schema contract: any accidental drift fails CI.
+
+/// Render a finite `f64` with shortest round-trip precision; non-finite values
+/// (which JSON cannot represent) collapse to `0`.
+pub fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        let s = format!("{v:?}");
+        // `{:?}` on f64 always includes a `.` or exponent, so the output is a
+        // valid JSON number as-is.
+        s
+    } else {
+        "0".to_string()
+    }
+}
+
+/// Escape a string for a JSON string literal (quotes not included).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Incremental compact JSON object writer. Fields appear in insertion order,
+/// which is what makes the output byte-stable.
+#[derive(Debug, Default)]
+pub struct JsonObj {
+    buf: String,
+    any: bool,
+}
+
+impl JsonObj {
+    /// Start an empty object.
+    pub fn new() -> Self {
+        JsonObj { buf: String::from("{"), any: false }
+    }
+
+    fn key(&mut self, k: &str) {
+        if self.any {
+            self.buf.push(',');
+        }
+        self.any = true;
+        self.buf.push('"');
+        self.buf.push_str(&json_escape(k));
+        self.buf.push_str("\":");
+    }
+
+    /// Add a float field.
+    pub fn f64(mut self, k: &str, v: f64) -> Self {
+        self.key(k);
+        self.buf.push_str(&json_f64(v));
+        self
+    }
+
+    /// Add an unsigned integer field.
+    pub fn u64(mut self, k: &str, v: u64) -> Self {
+        self.key(k);
+        self.buf.push_str(&v.to_string());
+        self
+    }
+
+    /// Add a string field.
+    pub fn str(mut self, k: &str, v: &str) -> Self {
+        self.key(k);
+        self.buf.push('"');
+        self.buf.push_str(&json_escape(v));
+        self.buf.push('"');
+        self
+    }
+
+    /// Add a pre-rendered JSON value (object, array, ...) verbatim.
+    pub fn raw(mut self, k: &str, v: &str) -> Self {
+        self.key(k);
+        self.buf.push_str(v);
+        self
+    }
+
+    /// Close the object and return the rendered string.
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+/// Render a sequence of pre-rendered JSON values as a compact array.
+pub fn json_array<I: IntoIterator<Item = String>>(items: I) -> String {
+    let mut buf = String::from("[");
+    for (i, item) in items.into_iter().enumerate() {
+        if i > 0 {
+            buf.push(',');
+        }
+        buf.push_str(&item);
+    }
+    buf.push(']');
+    buf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn floats_roundtrip_compactly() {
+        assert_eq!(json_f64(0.5), "0.5");
+        assert_eq!(json_f64(2.0), "2.0");
+        assert_eq!(json_f64(f64::NAN), "0");
+        assert_eq!(json_f64(f64::INFINITY), "0");
+    }
+
+    #[test]
+    fn object_fields_keep_insertion_order() {
+        let s = JsonObj::new().str("a", "x\"y").u64("b", 7).f64("c", 1.25).finish();
+        assert_eq!(s, r#"{"a":"x\"y","b":7,"c":1.25}"#);
+    }
+
+    #[test]
+    fn arrays_and_nesting() {
+        let inner = JsonObj::new().u64("n", 1).finish();
+        let s = JsonObj::new().raw("cells", &json_array([inner])).finish();
+        assert_eq!(s, r#"{"cells":[{"n":1}]}"#);
+    }
+
+    #[test]
+    fn empty_object() {
+        assert_eq!(JsonObj::new().finish(), "{}");
+        assert_eq!(json_array([]), "[]");
+    }
+
+    #[test]
+    fn control_chars_escape() {
+        assert_eq!(json_escape("a\nb\u{1}"), "a\\nb\\u0001");
+    }
+}

@@ -15,9 +15,11 @@
 //! * **damage recovery time** — ticks from `D(t) ≥ 20%` until `D(t) ≤ 15%`
 //!   ([`recovery`]).
 
+pub mod alloc;
 pub mod damage;
 pub mod errors;
 pub mod histogram;
+pub mod jsonio;
 pub mod quantile;
 pub mod recovery;
 pub mod resilience;
@@ -28,9 +30,11 @@ pub mod timeseries;
 pub mod traffic;
 pub mod verdict;
 
+pub use alloc::CountingAlloc;
 pub use damage::damage_rate;
 pub use errors::DetectionErrors;
 pub use histogram::Histogram;
+pub use jsonio::{json_array, json_escape, json_f64, JsonObj};
 pub use quantile::P2Quantile;
 pub use recovery::{recovery_time, RecoveryThresholds};
 pub use resilience::ResilienceSummary;

@@ -1,5 +1,6 @@
 //! Whole-run summary, the unit the experiment harness tabulates.
 
+use crate::jsonio::JsonObj;
 use crate::{DetectionErrors, ResilienceSummary, TimeSeries, VerdictSummary};
 use serde::{Deserialize, Serialize};
 
@@ -37,6 +38,63 @@ pub struct RunSummary {
     pub verdicts: VerdictSummary,
     /// Ticks simulated.
     pub ticks: usize,
+}
+
+impl RunSummary {
+    /// Compact JSON rendering with a fixed field order (the schema contract;
+    /// pinned byte-for-byte by a golden-fixture test). The `serde` shim in
+    /// this workspace is inert, so this is the canonical serialization.
+    pub fn to_json(&self) -> String {
+        let errors = JsonObj::new()
+            .u64("false_negative", self.errors.false_negative)
+            .u64("false_positive", self.errors.false_positive)
+            .finish();
+        let r = &self.resilience;
+        let resilience = JsonObj::new()
+            .u64("reports_requested", r.reports_requested)
+            .u64("reports_fresh", r.reports_fresh)
+            .u64("reports_stale_used", r.reports_stale_used)
+            .u64("reports_refused", r.reports_refused)
+            .u64("reports_assumed_zero", r.reports_assumed_zero)
+            .u64("report_retries", r.report_retries)
+            .u64("lists_sent", r.lists_sent)
+            .u64("lists_lost", r.lists_lost)
+            .u64("lists_delayed", r.lists_delayed)
+            .u64("lists_late_applied", r.lists_late_applied)
+            .u64("crash_restarts", r.crash_restarts)
+            .f64("snapshot_age_mean", r.mean_snapshot_age())
+            .finish();
+        let v = &self.verdicts;
+        let verdicts = JsonObj::new()
+            .u64("transitions", v.transitions)
+            .u64("cuts", v.cuts)
+            .u64("quarantines", v.quarantines)
+            .u64("readmission_probes", v.readmission_probes)
+            .u64("readmissions", v.readmissions)
+            .u64("recuts", v.recuts)
+            .u64("wrongful_cuts", v.wrongful_cuts)
+            .u64("wrongful_cut_ticks_total", v.wrongful_cut_ticks_total)
+            .f64("wrongful_cut_ticks_mean", v.wrongful_cut_ticks_mean)
+            .f64("readmission_latency_mean_ticks", v.readmission_latency_mean_ticks)
+            .finish();
+        JsonObj::new()
+            .str("schema", "ddp-run-summary/v1")
+            .f64("success_rate_mean", self.success_rate_mean)
+            .f64("success_rate_stable", self.success_rate_stable)
+            .f64("response_time_mean_secs", self.response_time_mean_secs)
+            .f64("response_p95_secs", self.response_p95_secs)
+            .f64("traffic_per_tick", self.traffic_per_tick)
+            .f64("control_per_tick", self.control_per_tick)
+            .f64("drop_rate_mean", self.drop_rate_mean)
+            .raw("errors", &errors)
+            .u64("attackers_cut", self.attackers_cut)
+            .u64("attackers_never_cut", self.attackers_never_cut)
+            .u64("good_peers_cut", self.good_peers_cut)
+            .raw("resilience", &resilience)
+            .raw("verdicts", &verdicts)
+            .u64("ticks", self.ticks as u64)
+            .finish()
+    }
 }
 
 /// The per-tick series of one run, for time-resolved figures (Figure 12).

@@ -194,7 +194,29 @@ impl TickObservation<'_> {
         suspect: NodeId,
         attempt: u32,
     ) -> ReportDelivery {
-        let Some(report) = self.request_report(reporter, suspect) else {
+        self.deliver_prepared_report(
+            requester,
+            reporter,
+            suspect,
+            self.request_report(reporter, suspect),
+            attempt,
+        )
+    }
+
+    /// Transport legs of [`request_report_via`](Self::request_report_via)
+    /// with the reporter's answer already computed. The answer depends only
+    /// on `(reporter, suspect)` and the tick's frozen counters, so a caller
+    /// resolving the same pair for many observers may compute it once and
+    /// replay it here; the per-requester fault dice still roll per call.
+    pub fn deliver_prepared_report(
+        &self,
+        requester: NodeId,
+        reporter: NodeId,
+        suspect: NodeId,
+        report: Option<TrafficReport>,
+        attempt: u32,
+    ) -> ReportDelivery {
+        let Some(report) = report else {
             return ReportDelivery::Refused;
         };
         let Some(fp) = self.faults else {
@@ -250,6 +272,16 @@ impl TickObservation<'_> {
     pub fn note_report_outcome(&self, outcome: ReportOutcome) {
         if let Some(fp) = self.faults {
             fp.note_report_outcome(outcome);
+        }
+    }
+
+    /// Bulk form of [`note_report_outcome`](Self::note_report_outcome): `n`
+    /// lookups that all resolved the same way. Counter sums are
+    /// order-independent, so batching is exactly equivalent to `n` single
+    /// notes.
+    pub fn note_report_outcomes(&self, outcome: ReportOutcome, n: u64) {
+        if let Some(fp) = self.faults {
+            fp.note_report_outcomes(outcome, n);
         }
     }
 

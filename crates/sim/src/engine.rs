@@ -100,7 +100,7 @@ pub struct Simulation<D: Defense> {
     /// Open wrongful-cut intervals: `(observer, suspect)` → tick the good
     /// peer's edge was severed. Closed when the pair re-links (any add-edge
     /// path) or either endpoint departs; censored at run end.
-    wrongful_open: HashMap<(u32, u32), Tick>,
+    wrongful_open: HashMap<(NodeId, NodeId), Tick>,
     /// Closed (or censored) wrongful-cut durations, in ticks.
     wrongful_durations: Vec<u32>,
     /// Streaming 95th-percentile response time over the whole run.
@@ -356,7 +356,7 @@ impl<D: Defense> Simulation<D> {
 
     /// The pair re-linked: any matching wrongful-cut interval ends now.
     fn close_wrongful(&mut self, u: NodeId, v: NodeId) {
-        for key in [(u.0, v.0), (v.0, u.0)] {
+        for key in [(u, v), (v, u)] {
             if let Some(start) = self.wrongful_open.remove(&key) {
                 self.wrongful_durations.push(self.tick.saturating_sub(start));
             }
@@ -369,7 +369,7 @@ impl<D: Defense> Simulation<D> {
         let tick = self.tick;
         let durations = &mut self.wrongful_durations;
         self.wrongful_open.retain(|&(a, b), &mut start| {
-            if a == node.0 || b == node.0 {
+            if a == node || b == node {
                 durations.push(tick.saturating_sub(start));
                 false
             } else {
@@ -653,7 +653,7 @@ impl<D: Defense> Simulation<D> {
                 }
             } else {
                 self.good_peers_cut += 1;
-                self.wrongful_open.entry((observer.0, suspect.0)).or_insert(self.tick);
+                self.wrongful_open.entry((observer, suspect)).or_insert(self.tick);
                 // "False negative is the number of good peers that are
                 // wrongly disconnected" — count each peer once, however many
                 // neighbors cut it.
@@ -807,6 +807,44 @@ mod tests {
         assert!(res.summary.good_peers_cut > 0);
         assert!(res.summary.errors.false_negative > 0);
         assert!(res.summary.control_per_tick > 0.0);
+    }
+
+    #[test]
+    fn wrongful_interval_keys_are_node_ids_closing_both_orientations() {
+        let mut cfg = small_cfg(60);
+        cfg.churn = false;
+        let mut sim = Simulation::new(cfg, NoDefense, 3);
+        sim.tick = 7;
+        sim.wrongful_open.insert((NodeId(1), NodeId(2)), 4);
+        sim.wrongful_open.insert((NodeId(5), NodeId(6)), 2);
+        // A re-link observed in the opposite orientation must still close the
+        // interval: the map is keyed by node identity, both directions probed.
+        sim.close_wrongful(NodeId(2), NodeId(1));
+        assert_eq!(sim.wrongful_durations, vec![3]);
+        // A departing endpoint censors its intervals — the churn path.
+        sim.close_wrongful_for(NodeId(6));
+        assert_eq!(sim.wrongful_durations, vec![3, 5]);
+        assert!(sim.wrongful_open.is_empty());
+    }
+
+    #[test]
+    fn wrongful_intervals_survive_churn() {
+        // CutEverything wrongly cuts good peers every tick while churn
+        // departs and rejoins them; every opened interval must close (on
+        // re-link or departure) or be censored at run end — never lost, never
+        // longer than the run.
+        let mut cfg = small_cfg(100);
+        cfg.lifetime = LifetimeModel::Exponential { mean_min: 3.0 };
+        let sim = Simulation::new(cfg, CutEverything, 17);
+        let res = sim.run(10);
+        let v = &res.summary.verdicts;
+        assert!(res.summary.good_peers_cut > 0);
+        assert!(v.wrongful_cuts > 0, "wrongful cuts must be measured under churn");
+        assert!(
+            v.wrongful_cut_ticks_mean <= 10.0,
+            "durations are bounded by the run length, got mean {}",
+            v.wrongful_cut_ticks_mean
+        );
     }
 
     #[test]

@@ -360,6 +360,26 @@ impl FaultPlane {
         }
     }
 
+    /// Bulk form of [`note_report_outcome`](Self::note_report_outcome): `n`
+    /// lookups that all resolved the same way.
+    /// Record `n` list announcements sent in one batch — the bulk mirror of
+    /// the per-copy accounting [`transmit_list`](Self::transmit_list) does,
+    /// for callers that skip per-copy transmission on an inert plane.
+    pub fn note_lists_sent(&self, n: u64) {
+        self.state.borrow_mut().stats.lists_sent += n;
+    }
+
+    pub fn note_report_outcomes(&self, outcome: ReportOutcome, n: u64) {
+        let s = &mut self.state.borrow_mut().stats;
+        s.reports_requested += n;
+        match outcome {
+            ReportOutcome::Fresh => s.reports_fresh += n,
+            ReportOutcome::Stale => s.reports_stale_used += n,
+            ReportOutcome::Refused => s.reports_refused += n,
+            ReportOutcome::AssumedZero => s.reports_assumed_zero += n,
+        }
+    }
+
     /// Record retries spent on one suspect's report round.
     pub fn note_retries(&self, n: u64) {
         self.state.borrow_mut().stats.report_retries += n;

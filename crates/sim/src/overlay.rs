@@ -1,16 +1,34 @@
 //! The live overlay: dynamic graph + per-directed-edge traffic counters.
 //!
 //! DD-POLICE's raw input is `Out_query(i)` / `In_query(i)` — per-minute,
-//! per-neighbor query counts (§3.2). The overlay keeps one `u32` counter per
-//! *directed half-edge*, stored positionally alongside the adjacency list, so
-//! the flooding hot loop updates them without hashing and the defense reads
-//! `Q_{u→v}` in O(1) through the reciprocal index.
+//! per-neighbor query counts (§3.2). The overlay keeps one `[sent, accepted]`
+//! counter pair per *directed half-edge*, stored positionally alongside the
+//! adjacency list, so the flooding hot loop updates them without hashing and
+//! the defense reads `Q_{u→v}` in O(1) through the reciprocal index.
+//!
+//! The pairs live in a flat [`SegVec`] arena mirroring the graph's adjacency
+//! arena row-for-row and slot-for-slot: every structural mutation replays the
+//! same `push`/`swap_remove` sequence on the counter rows, so the positional
+//! mirror survives arbitrary churn. Interleaving `sent` and `accepted` in one
+//! `[u32; 2]` cell halves the number of row lookups in the flood kernel —
+//! `record_send` + `record_accept` for one edge touch one cache line.
 
-use ddp_topology::{DynamicGraph, Half, NodeId};
+use ddp_topology::{DynamicGraph, Half, NodeId, SegVec};
 use ddp_workload::{BandwidthClass, BandwidthModel};
 
 const CLASSES: [BandwidthClass; 4] =
     [BandwidthClass::Dialup, BandwidthClass::Dsl, BandwidthClass::Cable, BandwidthClass::Ethernet];
+
+/// `counters[u][slot][SENT]`: queries sent on the wire from `u` to
+/// `neighbors(u)[slot]` this tick (bandwidth accounting).
+pub(crate) const SENT: usize = 0;
+/// `counters[u][slot][ACCEPTED]`: queries from `u` the neighbor accepted as
+/// *fresh* (first arrival, duplicates excluded) this tick. These are the
+/// `Out_query`/`In_query` volumes DD-POLICE's Definitions 2.1–2.3 are written
+/// for — the paper's §2.2 no-duplication model counts each query on an edge at
+/// most once, and a receiver-side counter naturally filters duplicates through
+/// its seen-GUID table.
+pub(crate) const ACCEPTED: usize = 1;
 
 fn class_index(c: BandwidthClass) -> usize {
     match c {
@@ -25,16 +43,9 @@ fn class_index(c: BandwidthClass) -> usize {
 #[derive(Debug, Clone)]
 pub struct Overlay {
     graph: DynamicGraph,
-    /// `sent[u][slot]`: queries sent on the wire from `u` to
-    /// `graph.neighbors(u)[slot]` in the current tick (bandwidth accounting).
-    sent: Vec<Vec<u32>>,
-    /// `accepted[u][slot]`: queries from `u` the neighbor accepted as *fresh*
-    /// (first arrival, duplicates excluded) this tick. These are the
-    /// `Out_query`/`In_query` volumes DD-POLICE's Definitions 2.1–2.3 are
-    /// written for — the paper's §2.2 no-duplication model counts each query
-    /// on an edge at most once, and a receiver-side counter naturally
-    /// filters duplicates through its seen-GUID table.
-    accepted: Vec<Vec<u32>>,
+    /// Per-directed-half-edge `[sent, accepted]` pairs, positionally mirroring
+    /// `graph`'s adjacency rows (see [`SENT`] / [`ACCEPTED`]).
+    counters: SegVec<[u32; 2]>,
     /// Per-node bandwidth class index into the capacity table.
     class_idx: Vec<u8>,
     /// `cap[sender class][receiver class]` in queries/min.
@@ -45,10 +56,9 @@ impl Overlay {
     /// Wrap a generated graph; `classes` gives each node's bandwidth class.
     pub fn new(graph: DynamicGraph, classes: &[BandwidthClass]) -> Self {
         assert_eq!(graph.node_count(), classes.len());
-        let sent: Vec<Vec<u32>> = (0..graph.node_count())
-            .map(|u| vec![0u32; graph.degree(NodeId::from_index(u))])
-            .collect();
-        let accepted = sent.clone();
+        let lens: Vec<usize> =
+            (0..graph.node_count()).map(|u| graph.degree(NodeId::from_index(u))).collect();
+        let counters = SegVec::from_lens(&lens, [0, 0]);
         let mut cap_table = [[0u32; 4]; 4];
         for (i, &a) in CLASSES.iter().enumerate() {
             for (j, &b) in CLASSES.iter().enumerate() {
@@ -56,7 +66,7 @@ impl Overlay {
             }
         }
         let class_idx = classes.iter().map(|&c| class_index(c) as u8).collect();
-        Overlay { graph, sent, accepted, class_idx, cap_table }
+        Overlay { graph, counters, class_idx, cap_table }
     }
 
     /// Number of node slots.
@@ -109,10 +119,8 @@ impl Overlay {
         if !self.graph.add_edge(u, v) {
             return false;
         }
-        self.sent[u.index()].push(0);
-        self.sent[v.index()].push(0);
-        self.accepted[u.index()].push(0);
-        self.accepted[v.index()].push(0);
+        self.counters.push(u.index(), [0, 0]);
+        self.counters.push(v.index(), [0, 0]);
         true
     }
 
@@ -121,11 +129,9 @@ impl Overlay {
         let Some(slot) = self.graph.slot_of(u, v) else { return false };
         let ridx = self.graph.neighbors(u)[slot].ridx as usize;
         self.graph.remove_edge_at(u, slot);
-        // Mirror the two swap_removes, same order as DynamicGraph.
-        self.sent[v.index()].swap_remove(ridx);
-        self.sent[u.index()].swap_remove(slot);
-        self.accepted[v.index()].swap_remove(ridx);
-        self.accepted[u.index()].swap_remove(slot);
+        // Mirror the two swap_removes, same slot evolution as DynamicGraph.
+        self.counters.swap_remove(v.index(), ridx);
+        self.counters.swap_remove(u.index(), slot);
         true
     }
 
@@ -145,61 +151,54 @@ impl Overlay {
         let ridx = self.graph.neighbors(u)[slot].ridx as usize;
         let peer = self.graph.neighbors(u)[slot].peer;
         self.graph.remove_edge_at(u, slot);
-        self.sent[peer.index()].swap_remove(ridx);
-        self.sent[u.index()].swap_remove(slot);
-        self.accepted[peer.index()].swap_remove(ridx);
-        self.accepted[u.index()].swap_remove(slot);
+        self.counters.swap_remove(peer.index(), ridx);
+        self.counters.swap_remove(u.index(), slot);
     }
 
-    /// Zero all per-tick counters.
+    /// Zero all per-tick counters (single `memset` over the flat arena).
     pub fn reset_tick_counters(&mut self) {
-        for list in &mut self.sent {
-            list.fill(0);
-        }
-        for list in &mut self.accepted {
-            list.fill(0);
-        }
+        self.counters.fill_all([0, 0]);
     }
 
     /// Record `c` queries sent from `u` via adjacency `slot`.
     #[inline]
     pub fn record_send(&mut self, u: NodeId, slot: usize, c: u32) {
-        self.sent[u.index()][slot] += c;
+        self.counters.slice_mut(u.index())[slot][SENT] += c;
     }
 
     /// Queries sent from `u` via adjacency `slot` this tick.
     #[inline]
     pub fn sent_via(&self, u: NodeId, slot: usize) -> u32 {
-        self.sent[u.index()][slot]
+        self.counters.get(u.index(), slot)[SENT]
     }
 
     /// Queries sent from `u` to `v` this tick (O(deg) slot lookup), or 0 if
     /// not connected.
     pub fn sent_between(&self, u: NodeId, v: NodeId) -> u32 {
-        self.graph.slot_of(u, v).map_or(0, |s| self.sent[u.index()][s])
+        self.graph.slot_of(u, v).map_or(0, |s| self.sent_via(u, s))
     }
 
     /// Record `c` queries from `u` via `slot` accepted fresh by the receiver.
     #[inline]
     pub fn record_accept(&mut self, u: NodeId, slot: usize, c: u32) {
-        self.accepted[u.index()][slot] += c;
+        self.counters.slice_mut(u.index())[slot][ACCEPTED] += c;
     }
 
     /// Dup-filtered queries from `u` via adjacency `slot` this tick — the
     /// `Q_{u→v}` volume of Definitions 2.1–2.3.
     #[inline]
     pub fn accepted_via(&self, u: NodeId, slot: usize) -> u32 {
-        self.accepted[u.index()][slot]
+        self.counters.get(u.index(), slot)[ACCEPTED]
     }
 
     /// Dup-filtered queries from `u` to `v` this tick (O(deg) slot lookup).
     pub fn accepted_between(&self, u: NodeId, v: NodeId) -> u32 {
-        self.graph.slot_of(u, v).map_or(0, |s| self.accepted[u.index()][s])
+        self.graph.slot_of(u, v).map_or(0, |s| self.accepted_via(u, s))
     }
 
     /// Total queries `u` sent this tick (its `Out` volume over all links).
     pub fn total_sent(&self, u: NodeId) -> u64 {
-        self.sent[u.index()].iter().map(|&c| c as u64).sum()
+        self.counters.slice(u.index()).iter().map(|c| c[SENT] as u64).sum()
     }
 
     /// Total queries `u` received this tick (its `In` volume), via twins.
@@ -207,20 +206,30 @@ impl Overlay {
         self.graph
             .neighbors(u)
             .iter()
-            .map(|h| self.sent[h.peer.index()][h.ridx as usize] as u64)
+            .map(|h| self.counters.get(h.peer.index(), h.ridx as usize)[SENT] as u64)
             .sum()
+    }
+
+    /// Split-borrow for the flood kernel: read-only graph + class/capacity
+    /// tables alongside the mutable counter arena, so the hot loop can hold a
+    /// neighbor slice and a counter row simultaneously.
+    #[allow(clippy::type_complexity)]
+    #[inline]
+    pub(crate) fn flood_parts(
+        &mut self,
+    ) -> (&DynamicGraph, &mut SegVec<[u32; 2]>, &[u8], &[[u32; 4]; 4]) {
+        let Overlay { graph, counters, class_idx, cap_table } = self;
+        (graph, counters, class_idx.as_slice(), cap_table)
     }
 
     /// Verify the mirror stays aligned with the adjacency (tests).
     pub fn check_invariants(&self) -> Result<(), String> {
         self.graph.check_invariants()?;
         for u in 0..self.node_count() {
-            if self.sent[u].len() != self.graph.degree(NodeId::from_index(u))
-                || self.accepted[u].len() != self.sent[u].len()
-            {
+            if self.counters.len_of(u) != self.graph.degree(NodeId::from_index(u)) {
                 return Err(format!(
                     "counter mirror misaligned at node {u}: {} counters, degree {}",
-                    self.sent[u].len(),
+                    self.counters.len_of(u),
                     self.graph.degree(NodeId::from_index(u))
                 ));
             }
@@ -319,5 +328,29 @@ mod tests {
         let after = o.link_capacity(NodeId(0), NodeId(1));
         assert!(after < before);
         assert_eq!(o.class_of(NodeId(0)), BandwidthClass::Dialup);
+    }
+
+    #[test]
+    fn interleaved_pairs_mirror_graph_under_churn() {
+        // Grow, count, churn, and verify counters stay slot-aligned while the
+        // flat arena relocates rows underneath.
+        let mut o = overlay(8, &[]);
+        for u in 0..8u32 {
+            for d in 1..4u32 {
+                o.add_edge(NodeId(u), NodeId((u + d) % 8));
+            }
+        }
+        o.check_invariants().unwrap();
+        for u in 0..8u32 {
+            for slot in 0..o.degree(NodeId(u)) {
+                o.record_send(NodeId(u), slot, u * 10 + slot as u32);
+                o.record_accept(NodeId(u), slot, 1);
+            }
+        }
+        let before = o.sent_between(NodeId(2), NodeId(3));
+        o.isolate(NodeId(0));
+        o.check_invariants().unwrap();
+        assert_eq!(o.sent_between(NodeId(2), NodeId(3)), before);
+        assert_eq!(o.accepted_between(NodeId(2), NodeId(3)), 1);
     }
 }

@@ -8,8 +8,15 @@
 //! crucially for the simulator — lets per-directed-edge traffic counters be
 //! stored positionally (`counter[u][slot]`) and accessed from either side of
 //! the edge without hashing.
+//!
+//! Adjacency rows live in a single flat [`SegVec`] arena rather than a
+//! `Vec<Vec<Half>>`: the flooding hot loop touches every half-edge of every
+//! frontier node each tick, and one contiguous allocation removes a pointer
+//! chase (and an allocator round-trip per node) from that path. Slot
+//! evolution under `swap_remove` is bit-identical to the nested-`Vec`
+//! layout, so positional counter mirrors remain valid.
 
-use crate::{Graph, NodeId};
+use crate::{Graph, NodeId, SegVec};
 
 /// One directed half of an undirected overlay connection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -20,17 +27,26 @@ pub struct Half {
     pub ridx: u32,
 }
 
+/// Padding value for unused arena headroom; never observable via `neighbors`.
+const HOLE: Half = Half { peer: NodeId(u32::MAX), ridx: u32::MAX };
+
 /// A mutable undirected graph supporting the overlay's churn operations.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct DynamicGraph {
-    adj: Vec<Vec<Half>>,
+    adj: SegVec<Half>,
     edge_count: usize,
+}
+
+impl Default for DynamicGraph {
+    fn default() -> Self {
+        DynamicGraph::new(0)
+    }
 }
 
 impl DynamicGraph {
     /// Create a graph with `n` isolated nodes.
     pub fn new(n: usize) -> Self {
-        DynamicGraph { adj: vec![Vec::new(); n], edge_count: 0 }
+        DynamicGraph { adj: SegVec::new(n, HOLE), edge_count: 0 }
     }
 
     /// Build from an immutable snapshot.
@@ -54,7 +70,7 @@ impl DynamicGraph {
     /// Number of node slots (including isolated / departed nodes).
     #[inline]
     pub fn node_count(&self) -> usize {
-        self.adj.len()
+        self.adj.rows()
     }
 
     /// Number of undirected edges currently present.
@@ -65,32 +81,32 @@ impl DynamicGraph {
 
     /// Append a new isolated node, returning its id.
     pub fn add_node(&mut self) -> NodeId {
-        self.adj.push(Vec::new());
-        NodeId::from_index(self.adj.len() - 1)
+        self.adj.push_row();
+        NodeId::from_index(self.adj.rows() - 1)
     }
 
     /// Adjacency of `u` as half-edges.
     #[inline]
     pub fn neighbors(&self, u: NodeId) -> &[Half] {
-        &self.adj[u.index()]
+        self.adj.slice(u.index())
     }
 
     /// Degree of `u`.
     #[inline]
     pub fn degree(&self, u: NodeId) -> usize {
-        self.adj[u.index()].len()
+        self.adj.len_of(u.index())
     }
 
     /// Slot of `v` inside `u`'s adjacency list, if connected.
     pub fn slot_of(&self, u: NodeId, v: NodeId) -> Option<usize> {
-        self.adj[u.index()].iter().position(|h| h.peer == v)
+        self.neighbors(u).iter().position(|h| h.peer == v)
     }
 
     /// Whether the undirected edge `{u, v}` exists.
     pub fn contains_edge(&self, u: NodeId, v: NodeId) -> bool {
         // Scan the smaller adjacency list.
         let (a, b) = if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
-        self.adj[a.index()].iter().any(|h| h.peer == b)
+        self.neighbors(a).iter().any(|h| h.peer == b)
     }
 
     /// Connect `u` and `v`. Returns `false` (and does nothing) if the edge
@@ -99,10 +115,10 @@ impl DynamicGraph {
         if u == v || self.contains_edge(u, v) {
             return false;
         }
-        let iu = self.adj[u.index()].len() as u32;
-        let iv = self.adj[v.index()].len() as u32;
-        self.adj[u.index()].push(Half { peer: v, ridx: iv });
-        self.adj[v.index()].push(Half { peer: u, ridx: iu });
+        let iu = self.adj.len_of(u.index()) as u32;
+        let iv = self.adj.len_of(v.index()) as u32;
+        self.adj.push(u.index(), Half { peer: v, ridx: iv });
+        self.adj.push(v.index(), Half { peer: u, ridx: iu });
         self.edge_count += 1;
         true
     }
@@ -118,7 +134,7 @@ impl DynamicGraph {
     ///
     /// Returns the peer that was disconnected.
     pub fn remove_edge_at(&mut self, u: NodeId, slot: usize) -> NodeId {
-        let half = self.adj[u.index()][slot];
+        let half = self.adj.get(u.index(), slot);
         self.detach_half(half.peer, half.ridx as usize);
         self.detach_half(u, slot);
         self.edge_count -= 1;
@@ -129,9 +145,10 @@ impl DynamicGraph {
     /// that were disconnected.
     pub fn isolate(&mut self, u: NodeId) -> Vec<NodeId> {
         let mut freed = Vec::with_capacity(self.degree(u));
-        while let Some(&half) = self.adj[u.index()].last() {
+        while self.adj.len_of(u.index()) > 0 {
+            let half = self.adj.get(u.index(), self.adj.len_of(u.index()) - 1);
             self.detach_half(half.peer, half.ridx as usize);
-            self.adj[u.index()].pop();
+            self.adj.pop(u.index());
             self.edge_count -= 1;
             freed.push(half.peer);
         }
@@ -141,21 +158,22 @@ impl DynamicGraph {
     /// swap_remove entry `slot` from `who`'s adjacency and repair the moved
     /// entry's twin pointer.
     fn detach_half(&mut self, who: NodeId, slot: usize) {
-        let list = &mut self.adj[who.index()];
-        list.swap_remove(slot);
-        if slot < list.len() {
+        self.adj.swap_remove(who.index(), slot);
+        if slot < self.adj.len_of(who.index()) {
             // The former last element now lives at `slot`; its twin must be
             // told about the move.
-            let moved = list[slot];
-            self.adj[moved.peer.index()][moved.ridx as usize].ridx = slot as u32;
+            let moved = self.adj.get(who.index(), slot);
+            let mut twin = self.adj.get(moved.peer.index(), moved.ridx as usize);
+            twin.ridx = slot as u32;
+            self.adj.set(moved.peer.index(), moved.ridx as usize, twin);
         }
     }
 
     /// Iterate each undirected edge once, as `(u, v)` with `u < v`.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
-        self.adj.iter().enumerate().flat_map(|(u, list)| {
+        (0..self.node_count()).flat_map(move |u| {
             let u = NodeId::from_index(u);
-            list.iter().filter(move |h| u < h.peer).map(move |h| (u, h.peer))
+            self.neighbors(u).iter().filter(move |h| u < h.peer).map(move |h| (u, h.peer))
         })
     }
 
@@ -169,13 +187,14 @@ impl DynamicGraph {
     /// self loops, no duplicate edges). Intended for tests and debug builds.
     pub fn check_invariants(&self) -> Result<(), String> {
         let mut counted = 0usize;
-        for (u, list) in self.adj.iter().enumerate() {
+        for u in 0..self.node_count() {
             let u = NodeId::from_index(u);
+            let list = self.neighbors(u);
             for (slot, h) in list.iter().enumerate() {
                 if h.peer == u {
                     return Err(format!("self loop at {u}"));
                 }
-                let twin_list = &self.adj[h.peer.index()];
+                let twin_list = self.neighbors(h.peer);
                 let Some(twin) = twin_list.get(h.ridx as usize) else {
                     return Err(format!("{u} slot {slot}: twin index {} out of range", h.ridx));
                 };
@@ -292,5 +311,28 @@ mod tests {
         let peer = g.remove_edge_at(nid(0), 0);
         assert_eq!(peer, nid(2));
         assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn heavy_churn_keeps_invariants_over_flat_arena() {
+        // Repeated add/remove/isolate cycles force row relocations and
+        // compaction inside the SegVec arena; twin pointers must survive.
+        let mut g = DynamicGraph::new(64);
+        let mut toggle = 0u64;
+        for round in 0..50u32 {
+            for u in 0..64u32 {
+                let v = (u * 7 + round) % 64;
+                toggle = toggle.wrapping_mul(6364136223846793005).wrapping_add(round as u64);
+                if toggle & 1 == 0 {
+                    g.add_edge(nid(u), nid(v));
+                } else {
+                    g.remove_edge(nid(u), nid(v));
+                }
+            }
+            if round % 7 == 0 {
+                g.isolate(nid(round % 64));
+            }
+            g.check_invariants().unwrap();
+        }
     }
 }

@@ -22,11 +22,13 @@
 pub mod dynamic;
 pub mod generate;
 pub mod graph;
+pub mod segvec;
 pub mod stats;
 
 pub use dynamic::{DynamicGraph, Half};
 pub use generate::{TopologyConfig, TopologyModel};
 pub use graph::Graph;
+pub use segvec::SegVec;
 
 /// Identifier of a peer (node) in the overlay.
 ///

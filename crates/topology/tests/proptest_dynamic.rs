@@ -28,6 +28,71 @@ fn key(u: NodeId, v: NodeId) -> (u32, u32) {
     (u.0.min(v.0), u.0.max(v.0))
 }
 
+/// Slot-exact shadow of the adjacency layout: the same half-edge/twin
+/// semantics replayed on plain per-node `Vec`s. Where the set model above
+/// checks *membership*, this one pins the arena's *layout* — every peer and
+/// reciprocal index in every slot — so any divergence in `SegVec`'s segment
+/// growth, relocation, or swap_remove handling shows up as a slot mismatch.
+struct ShadowAdj {
+    adj: Vec<Vec<(u32, u32)>>,
+}
+
+impl ShadowAdj {
+    fn new(n: usize) -> Self {
+        ShadowAdj { adj: vec![Vec::new(); n] }
+    }
+
+    fn contains(&self, u: u32, v: u32) -> bool {
+        self.adj[u as usize].iter().any(|&(p, _)| p == v)
+    }
+
+    fn add_edge(&mut self, u: u32, v: u32) -> bool {
+        if u == v || self.contains(u, v) {
+            return false;
+        }
+        let iu = self.adj[u as usize].len() as u32;
+        let iv = self.adj[v as usize].len() as u32;
+        self.adj[u as usize].push((v, iv));
+        self.adj[v as usize].push((u, iu));
+        true
+    }
+
+    fn detach_half(&mut self, who: u32, slot: usize) {
+        self.adj[who as usize].swap_remove(slot);
+        if slot < self.adj[who as usize].len() {
+            let (p, r) = self.adj[who as usize][slot];
+            self.adj[p as usize][r as usize].1 = slot as u32;
+        }
+    }
+
+    fn remove_edge_at(&mut self, u: u32, slot: usize) -> u32 {
+        let (peer, ridx) = self.adj[u as usize][slot];
+        self.detach_half(peer, ridx as usize);
+        self.detach_half(u, slot);
+        peer
+    }
+
+    fn remove_edge(&mut self, u: u32, v: u32) -> bool {
+        match self.adj[u as usize].iter().position(|&(p, _)| p == v) {
+            Some(slot) => {
+                self.remove_edge_at(u, slot);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn isolate(&mut self, u: u32) -> Vec<u32> {
+        let mut freed = Vec::new();
+        while let Some(&(peer, ridx)) = self.adj[u as usize].last() {
+            self.detach_half(peer, ridx as usize);
+            self.adj[u as usize].pop();
+            freed.push(peer);
+        }
+        freed
+    }
+}
+
 proptest! {
     /// Any interleaving of add/remove/remove-at/isolate keeps twin pointers,
     /// edge counts, and dedup invariants intact.
@@ -103,6 +168,50 @@ proptest! {
             }
             for &(a, b) in &model {
                 prop_assert!(g.contains_edge(NodeId(a), NodeId(b)));
+            }
+        }
+    }
+
+    /// The segmented arena matches the plain-`Vec` shadow slot-for-slot —
+    /// peers *and* reciprocal indices — after every operation. This is the
+    /// layout-level contract the per-edge counter arrays in the overlay rely
+    /// on: a slot in the adjacency is a stable key for the tick's duration,
+    /// and swap_remove slot evolution is identical to the naive layout.
+    #[test]
+    fn flat_adjacency_matches_slot_exact_shadow(
+        ops in proptest::collection::vec(op_strategy(16), 1..150)
+    ) {
+        const N: usize = 16;
+        let mut g = DynamicGraph::new(N);
+        let mut shadow = ShadowAdj::new(N);
+        for op in ops {
+            match op {
+                Op::AddEdge(u, v) => {
+                    prop_assert_eq!(g.add_edge(NodeId(u), NodeId(v)), shadow.add_edge(u, v));
+                }
+                Op::RemoveEdge(u, v) => {
+                    prop_assert_eq!(g.remove_edge(NodeId(u), NodeId(v)), shadow.remove_edge(u, v));
+                }
+                Op::RemoveEdgeAt(u, s) => {
+                    let deg = g.degree(NodeId(u));
+                    if deg > 0 {
+                        let slot = s % deg;
+                        let freed = g.remove_edge_at(NodeId(u), slot);
+                        prop_assert_eq!(freed.0, shadow.remove_edge_at(u, slot));
+                    }
+                }
+                Op::Isolate(u) => {
+                    let freed: Vec<u32> = g.isolate(NodeId(u)).iter().map(|p| p.0).collect();
+                    prop_assert_eq!(freed, shadow.isolate(u), "isolate order must match");
+                }
+            }
+            for i in 0..N {
+                let got: Vec<(u32, u32)> =
+                    g.neighbors(NodeId(i as u32)).iter().map(|h| (h.peer.0, h.ridx)).collect();
+                prop_assert_eq!(
+                    &got, &shadow.adj[i],
+                    "adjacency row {} diverged from the slot-exact shadow", i
+                );
             }
         }
     }

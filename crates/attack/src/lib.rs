@@ -21,7 +21,9 @@
 pub mod cheat;
 pub mod collusion;
 pub mod plan;
+pub mod whitewash;
 
 pub use cheat::{CheatFactors, CheatStrategy};
 pub use collusion::{CollusionMode, CollusionOutcome, CollusionPlan};
 pub use plan::AttackPlan;
+pub use whitewash::WhitewashPlan;

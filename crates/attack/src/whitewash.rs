@@ -1,0 +1,129 @@
+//! Whitewashing: cut agents shed their identity and rejoin clean.
+//!
+//! The paper concedes that "no mechanism can prevent the DDoS agent from
+//! joining the system again"; its rejoin model keeps the agent's *identity*
+//! (same address, so a quarantine clock can recognize it). A whitewashing
+//! agent is strictly nastier: once DD-POLICE has fully isolated it, it dwells
+//! offline for a few minutes, then rejoins under a brand-new `NodeId` with a
+//! spotless record — every verdict, counter, and snapshot keyed to the old
+//! identity is useless against the new one. Optionally it lies low after
+//! rejoining (`quiet_ticks`) so bootstrap neighbors accumulate a benign
+//! history before the flood resumes.
+//!
+//! Detection must therefore start over from the warning threshold; the churn
+//! sweep measures that *re-detection latency* against readmission policy.
+
+use crate::cheat::{CheatFactors, CheatStrategy};
+use ddp_sim::{Defense, Simulation, WhitewashConfig};
+use ddp_topology::NodeId;
+use rand::Rng;
+
+/// An attack scenario where every agent whitewashes after being isolated.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WhitewashPlan {
+    /// Number of compromised peers.
+    pub agents: usize,
+    /// How agents answer Neighbor_Traffic requests (before and after the
+    /// identity change — the compromise travels with the operator).
+    pub cheat: CheatStrategy,
+    /// Distortion magnitudes for the lying strategies.
+    pub factors: CheatFactors,
+    /// Ticks a fully-isolated agent stays dark before rejoining fresh.
+    pub dwell_ticks: u32,
+    /// Ticks the reborn identity stays dormant (no flood) after rejoining,
+    /// building an innocuous traffic history first. 0 = flood immediately.
+    pub quiet_ticks: u32,
+}
+
+impl WhitewashPlan {
+    /// `agents` honest-reporting agents that rejoin `dwell_ticks` after
+    /// being isolated and flood again immediately.
+    pub fn new(agents: usize, dwell_ticks: u32) -> Self {
+        WhitewashPlan {
+            agents,
+            cheat: CheatStrategy::Honest,
+            factors: CheatFactors::default(),
+            dwell_ticks,
+            quiet_ticks: 0,
+        }
+    }
+
+    /// Same plan with a post-rejoin dormancy period.
+    pub fn with_quiet(self, quiet_ticks: u32) -> Self {
+        WhitewashPlan { quiet_ticks, ..self }
+    }
+
+    /// Same plan with a different cheating strategy.
+    pub fn with_cheat(self, cheat: CheatStrategy) -> Self {
+        WhitewashPlan { cheat, ..self }
+    }
+
+    /// Apply the plan: compromise `agents` random peers and arm the engine's
+    /// whitewash machinery. Returns the *initial* agent ids; rebirths are
+    /// reported by `Simulation::whitewash_log` as they happen.
+    pub fn apply<D: Defense, R: Rng + ?Sized>(
+        &self,
+        sim: &mut Simulation<D>,
+        rng: &mut R,
+    ) -> Vec<NodeId> {
+        let agents =
+            crate::AttackPlan { agents: self.agents, cheat: self.cheat, factors: self.factors }
+                .apply(sim, rng);
+        sim.enable_whitewash(WhitewashConfig {
+            dwell_ticks: self.dwell_ticks,
+            quiet_ticks: self.quiet_ticks,
+        });
+        agents
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddp_police::{DdPolice, DdPoliceConfig};
+    use ddp_sim::SimConfig;
+    use ddp_topology::{TopologyConfig, TopologyModel};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn builder_threads_every_knob() {
+        let p = WhitewashPlan::new(7, 3).with_quiet(2).with_cheat(CheatStrategy::Silent);
+        assert_eq!(p.agents, 7);
+        assert_eq!(p.dwell_ticks, 3);
+        assert_eq!(p.quiet_ticks, 2);
+        assert_eq!(p.cheat, CheatStrategy::Silent);
+    }
+
+    /// End-to-end: an isolated agent is reborn under a fresh id and the
+    /// defense has to detect — and cut — the new identity from scratch.
+    #[test]
+    fn cut_agents_are_reborn_and_recut() {
+        let n = 200;
+        let cfg = SimConfig {
+            topology: TopologyConfig { n, model: TopologyModel::BarabasiAlbert { m: 3 } },
+            churn: false,
+            ..SimConfig::default()
+        };
+        let mut sim = Simulation::new(cfg, DdPolice::new(DdPoliceConfig::default(), n), 42);
+        let mut rng = StdRng::seed_from_u64(42);
+        let agents = WhitewashPlan::new(3, 1).apply(&mut sim, &mut rng);
+        assert_eq!(agents.len(), 3);
+        for _ in 0..20 {
+            sim.step();
+        }
+        let log = sim.whitewash_log().to_vec();
+        assert!(!log.is_empty(), "at least one agent was cut and reborn");
+        for rec in &log {
+            assert!(rec.new.index() >= n, "rebirth grows a fresh slot, never recycles");
+            assert!(agents.contains(&rec.old) || log.iter().any(|r| r.new == rec.old));
+        }
+        // Some reborn identity flooded again and was re-isolated (or is at
+        // least being policed): the defense got a second chance and took it.
+        let recut = log
+            .iter()
+            .filter(|r| log.iter().any(|later| later.old == r.new) || !sim.is_online(r.new))
+            .count();
+        assert!(recut > 0, "no reborn agent was ever re-cut: {log:?}");
+    }
+}

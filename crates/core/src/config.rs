@@ -69,6 +69,16 @@ pub struct DdPoliceConfig {
     /// Quarantine/probation lifecycle after a cut. Disabled by default: the
     /// paper's disconnect is permanent.
     pub readmission: ReadmissionPolicy,
+    /// Garbage-collection horizon for verdict state, in ticks. Under churn a
+    /// suspect can leave before its lifecycle clocks mature; without a sweep
+    /// those entries (and entries about long-departed identities) accumulate
+    /// forever. When set, each observer drops (a) `Watching` entries about
+    /// offline suspects, (b) matured quarantine/probation clocks whose
+    /// suspect is gone, and (c) online entries whose deadline is more than
+    /// this many ticks overdue. `u32::MAX` (the default) disables the sweep
+    /// — the paper's static-membership behavior, byte-identical to before
+    /// the field existed.
+    pub suspect_ttl_ticks: u32,
 }
 
 impl Default for DdPoliceConfig {
@@ -87,6 +97,7 @@ impl Default for DdPoliceConfig {
             hysteresis: Hysteresis::default(),
             aggregation: AggregationPolicy::default(),
             readmission: ReadmissionPolicy::default(),
+            suspect_ttl_ticks: u32::MAX,
         }
     }
 }
@@ -132,5 +143,6 @@ mod tests {
         assert_eq!(c.hysteresis, Hysteresis { required: 1, window: 1 });
         assert_eq!(c.aggregation, AggregationPolicy::Sum);
         assert!(!c.readmission.enabled, "the paper's cut is permanent");
+        assert_eq!(c.suspect_ttl_ticks, u32::MAX, "expiry sweep is opt-in");
     }
 }

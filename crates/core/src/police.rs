@@ -120,6 +120,13 @@ impl DdPolice {
         &self.verdicts
     }
 
+    /// `(verdict entries, exchanged snapshots)` currently held — the two
+    /// per-identity stores that grow under churn. The bounded-memory
+    /// regression asserts this stays flat over long sessions.
+    pub fn state_footprint(&self) -> (usize, usize) {
+        (self.verdicts.total_entries(), self.exchange.total_snapshots())
+    }
+
     /// Resolve one member's `Neighbor_Traffic` report over the (possibly
     /// faulty) transport. Transport failures are retried up to the bounded
     /// budget (each retry charged one control message via `retry_msgs`),
@@ -245,6 +252,17 @@ impl Defense for DdPolice {
                 continue;
             }
             let observer = NodeId::from_index(i);
+            if self.cfg.suspect_ttl_ticks != u32::MAX {
+                // Sweep before the lifecycle clocks: a probe about a suspect
+                // that already left must be collected, not fired into a dead
+                // slot (the recycled identity would inherit the probation).
+                self.verdicts.expire_stale(
+                    observer,
+                    obs.tick,
+                    self.cfg.suspect_ttl_ticks,
+                    obs.online,
+                );
+            }
             if self.cfg.readmission.enabled {
                 // Lifecycle clocks first: probations that survived their
                 // window readmit; quarantines whose backoff matured re-dial
@@ -438,6 +456,35 @@ impl Defense for DdPolice {
     fn on_peer_reset(&mut self, node: NodeId) {
         self.exchange.reset_peer(node);
         self.verdicts.reset_observer(node);
+    }
+
+    fn on_peer_departed(&mut self, node: NodeId) {
+        // The identity is gone for good (leave/crash, not a defensive cut):
+        // both what the slot knew and what everyone knew *about* it must die
+        // before the slot is recycled, or the next occupant inherits a
+        // stranger's snapshots, grace streaks, and quarantine clocks.
+        self.exchange.reset_peer(node);
+        self.exchange.forget_about(node);
+        self.verdicts.reset_observer(node);
+        self.verdicts.forget_suspect(node);
+    }
+
+    fn on_nodes_grown(&mut self, n: usize) {
+        self.exchange.ensure_slots(n);
+        self.verdicts.ensure_slots(n);
+        if self.exchanged_stamp.len() < n {
+            self.exchanged_stamp.resize(n, 0);
+        }
+        if self.suspect_cache.len() < n {
+            self.suspect_cache.resize(n, SuspectTickCache::default());
+        }
+    }
+
+    fn forbids_link(&self, u: NodeId, v: NodeId) -> bool {
+        // Bootstrap rewiring must honor open quarantines/probations in both
+        // directions — otherwise churn's self-healing immediately re-links
+        // exactly the edges the defense just severed.
+        self.verdicts.blocks_link(u, v) || self.verdicts.blocks_link(v, u)
     }
 
     fn on_edge_added(&mut self, _u: NodeId, _v: NodeId, deg_u: usize, deg_v: usize) {

@@ -279,8 +279,10 @@ impl VerdictMachine {
         for s in due {
             let entry = self.entries[observer.index()].get_mut(&s).expect("just listed");
             let SuspectState::Quarantined { backoff, .. } = entry.state else { unreachable!() };
-            entry.state =
-                SuspectState::Probation { until: tick + readmission.probation_ticks, backoff };
+            entry.state = SuspectState::Probation {
+                until: tick.saturating_add(readmission.probation_ticks),
+                backoff,
+            };
             let suspect = NodeId(s);
             actions.reconnect(observer, suspect);
             actions.transition(VerdictTransition {
@@ -433,7 +435,10 @@ impl VerdictMachine {
             let backoff = next_backoff.unwrap_or(readmission.base_backoff_ticks).max(1);
             let entry =
                 self.entries[observer.index()].entry(suspect.0).or_insert_with(SuspectEntry::fresh);
-            entry.state = SuspectState::Quarantined { until: tick + backoff, backoff };
+            // Saturating: near the end of a u32 tick space the probe simply
+            // never fires (a wrapped deadline would fire immediately).
+            entry.state =
+                SuspectState::Quarantined { until: tick.saturating_add(backoff), backoff };
             entry.list_streak = 0;
         } else {
             // Permanent cut (the paper): nothing left to track.
@@ -460,6 +465,85 @@ impl VerdictMachine {
     /// verdicts about `node` — identity is positional in this simulator).
     pub fn reset_observer(&mut self, node: NodeId) {
         self.entries[node.index()].clear();
+    }
+
+    /// `suspect` departed the overlay for good (graceful leave, or its slot
+    /// is about to be recycled): every observer drops whatever verdict it
+    /// holds about that identity — including quarantine, since there is
+    /// nobody left to probe and a future occupant of the address must not
+    /// inherit the sentence.
+    pub fn forget_suspect(&mut self, suspect: NodeId) {
+        for map in &mut self.entries {
+            if !map.is_empty() {
+                map.remove(&suspect.0);
+            }
+        }
+    }
+
+    /// Grow to at least `n` observer slots (session-model node growth).
+    pub fn ensure_slots(&mut self, n: usize) {
+        if self.entries.len() < n {
+            self.entries.resize_with(n, HashMap::new);
+        }
+    }
+
+    /// Churn hardening: age out entries whose suspect can no longer be
+    /// judged. A suspect that is offline (departed or crashed — `online` is
+    /// the engine's ground truth for "the address stopped responding") is
+    /// dropped from Watching immediately and from Quarantine/Probation once
+    /// its clock is due: the probe or readmission it was waiting for can
+    /// never happen. For *online* suspects, clocked states additionally
+    /// expire once they sit `ttl` ticks past due — the leak backstop for
+    /// probes that never fired (e.g. the observer stopped running defense).
+    /// Returns how many entries were dropped.
+    pub fn expire_stale(
+        &mut self,
+        observer: NodeId,
+        tick: Tick,
+        ttl: Tick,
+        online: &[bool],
+    ) -> usize {
+        let map = &mut self.entries[observer.index()];
+        if map.is_empty() {
+            return 0;
+        }
+        let before = map.len();
+        map.retain(|&s, e| {
+            let gone = !online.get(s as usize).copied().unwrap_or(false);
+            match e.state {
+                SuspectState::Watching { .. } => !gone,
+                SuspectState::Quarantined { until, .. } | SuspectState::Probation { until, .. } => {
+                    if gone {
+                        tick < until
+                    } else {
+                        tick <= until.saturating_add(ttl)
+                    }
+                }
+            }
+        });
+        before - map.len()
+    }
+
+    /// Whether `observer` holds a live quarantine or probation verdict about
+    /// `suspect` — the self-healing rewiring's veto predicate.
+    pub fn blocks_link(&self, observer: NodeId, suspect: NodeId) -> bool {
+        matches!(
+            self.entries.get(observer.index()).and_then(|m| m.get(&suspect.0)),
+            Some(SuspectEntry {
+                state: SuspectState::Quarantined { .. } | SuspectState::Probation { .. },
+                ..
+            })
+        )
+    }
+
+    /// Total live entries across all observers (bounded-memory diagnostics).
+    pub fn total_entries(&self) -> usize {
+        self.entries.iter().map(|m| m.len()).sum()
+    }
+
+    /// How many observers hold an entry about `suspect` (diagnostics).
+    pub fn entries_about(&self, suspect: NodeId) -> usize {
+        self.entries.iter().filter(|m| m.contains_key(&suspect.0)).count()
     }
 }
 
@@ -641,6 +725,147 @@ mod tests {
         ));
         m.forget_edge(obs, other);
         assert_eq!(m.entry(obs, other), None);
+    }
+
+    #[test]
+    fn backoff_schedule_saturates_near_tick_space_end() {
+        // A cut at a tick near u32::MAX must not wrap the probe deadline
+        // (wrapped deadlines fire immediately, turning quarantine into a
+        // revolving door on very long runs).
+        let (mut m, obs, sus) = machine1();
+        let r = ReadmissionPolicy {
+            enabled: true,
+            base_backoff_ticks: u32::MAX,
+            max_backoff_ticks: u32::MAX,
+            probation_ticks: u32::MAX,
+        };
+        let mut actions = Actions::default();
+        let late = u32::MAX - 2;
+        assert!(m.judged(obs, sus, true, late, Hysteresis::default(), r, &mut actions));
+        let SuspectState::Quarantined { until, backoff } = m.entry(obs, sus).unwrap().state else {
+            panic!("cut must quarantine");
+        };
+        assert_eq!(until, u32::MAX, "deadline clamps instead of wrapping");
+        assert_eq!(backoff, u32::MAX);
+        // The probe never matures before the end of time — and when it does
+        // fire at u32::MAX, the probation deadline clamps too.
+        m.fire_probes(obs, late, r, &mut actions);
+        assert!(actions.reconnects.is_empty());
+        m.fire_probes(obs, u32::MAX, r, &mut actions);
+        assert_eq!(actions.reconnects, vec![(obs, sus)]);
+        let SuspectState::Probation { until, .. } = m.entry(obs, sus).unwrap().state else {
+            panic!("probe must move to probation");
+        };
+        assert_eq!(until, u32::MAX);
+    }
+
+    #[test]
+    fn repeated_recuts_clamp_backoff_at_the_cap() {
+        let (mut m, obs, sus) = machine1();
+        let h = Hysteresis::default();
+        let r = ReadmissionPolicy {
+            enabled: true,
+            base_backoff_ticks: 1 << 30,
+            max_backoff_ticks: u32::MAX,
+            probation_ticks: 1,
+        };
+        let mut actions = Actions::default();
+        let mut tick = 1;
+        assert!(m.judged(obs, sus, true, tick, h, r, &mut actions));
+        // Re-cut on probation repeatedly: 2^30 → 2^31 → saturates at MAX
+        // instead of overflowing to 0 (a zero backoff would probe instantly).
+        for _ in 0..4 {
+            let SuspectState::Quarantined { until, .. } = m.entry(obs, sus).unwrap().state else {
+                panic!("expected quarantine");
+            };
+            if until == u32::MAX {
+                break;
+            }
+            tick = until;
+            m.fire_probes(obs, tick, r, &mut actions);
+            assert!(m.on_probation(obs, sus));
+            assert!(m.judged(obs, sus, true, tick, h, r, &mut actions));
+        }
+        let SuspectState::Quarantined { backoff, .. } = m.entry(obs, sus).unwrap().state else {
+            panic!("expected quarantine");
+        };
+        assert_eq!(backoff, u32::MAX, "doubling saturates at the cap");
+    }
+
+    #[test]
+    fn forget_suspect_drops_every_observers_verdict() {
+        let mut m = VerdictMachine::new(3);
+        let sus = NodeId(2);
+        let r = ReadmissionPolicy { enabled: true, ..ReadmissionPolicy::default() };
+        let mut actions = Actions::default();
+        for obs in [NodeId(0), NodeId(1)] {
+            assert!(m.judged(obs, sus, true, 1, Hysteresis::default(), r, &mut actions));
+        }
+        assert_eq!(m.entries_about(sus), 2);
+        m.forget_suspect(sus);
+        assert_eq!(m.entries_about(sus), 0);
+        assert_eq!(m.total_entries(), 0);
+    }
+
+    #[test]
+    fn expire_stale_collects_departed_and_overdue_suspects() {
+        let mut m = VerdictMachine::new(4);
+        let obs = NodeId(0);
+        let r = ReadmissionPolicy { enabled: true, ..ReadmissionPolicy::default() };
+        let h = Hysteresis { required: 2, window: 3 };
+        let mut actions = Actions::default();
+        // NodeId(1): quarantined at tick 1 (until = 5). NodeId(2): watching.
+        assert!(m.judged(obs, NodeId(1), true, 1, Hysteresis::default(), r, &mut actions));
+        assert!(!m.judged(obs, NodeId(2), true, 1, h, r, &mut actions));
+        let all_online = vec![true; 4];
+        // Everyone online, nothing overdue: nothing expires.
+        assert_eq!(m.expire_stale(obs, 2, 8, &all_online), 0);
+        // Suspect 2 departs: its Watching entry is meaningless and drops;
+        // suspect 1's quarantine clock (until 5) has not matured, so it
+        // stays pending for now.
+        let mut online = all_online.clone();
+        online[2] = false;
+        assert_eq!(m.expire_stale(obs, 2, 8, &online), 1);
+        assert!(m.entry(obs, NodeId(2)).is_none());
+        assert!(m.entry(obs, NodeId(1)).is_some());
+        // Suspect 1 departs too; once its probe comes due there is nobody to
+        // probe — the entry is collected instead of cycling forever.
+        online[1] = false;
+        assert_eq!(m.expire_stale(obs, 4, 8, &online), 0, "not due yet");
+        assert_eq!(m.expire_stale(obs, 5, 8, &online), 1, "due + departed → dropped");
+        assert_eq!(m.total_entries(), 0);
+        // Online but ttl-overdue: the backstop for probes that never fired.
+        assert!(m.judged(obs, NodeId(3), true, 10, Hysteresis::default(), r, &mut actions));
+        assert_eq!(m.expire_stale(obs, 22, 8, &all_online), 0, "until 14 + ttl 8 = 22: kept");
+        assert_eq!(m.expire_stale(obs, 23, 8, &all_online), 1, "past the ttl backstop");
+    }
+
+    #[test]
+    fn blocks_link_vetoes_quarantine_and_probation_only() {
+        let (mut m, obs, sus) = machine1();
+        let r = ReadmissionPolicy { enabled: true, ..ReadmissionPolicy::default() };
+        let mut actions = Actions::default();
+        assert!(!m.blocks_link(obs, sus));
+        assert!(m.judged(obs, sus, true, 1, Hysteresis::default(), r, &mut actions));
+        assert!(m.blocks_link(obs, sus), "quarantine vetoes re-linking");
+        assert!(!m.blocks_link(sus, obs), "the veto is directional per observer");
+        m.fire_probes(obs, 5, r, &mut actions);
+        assert!(m.blocks_link(obs, sus), "probation still vetoes bootstrap rewiring");
+        m.expire_probations(obs, 8, &mut actions);
+        assert!(!m.blocks_link(obs, sus), "readmission clears the veto");
+        // Out-of-range ids (pre-growth) never veto.
+        assert!(!m.blocks_link(NodeId(900), sus));
+    }
+
+    #[test]
+    fn ensure_slots_grows_idempotently() {
+        let mut m = VerdictMachine::new(2);
+        m.ensure_slots(5);
+        m.ensure_slots(3); // never shrinks
+        let r = ReadmissionPolicy { enabled: true, ..ReadmissionPolicy::default() };
+        let mut actions = Actions::default();
+        assert!(m.judged(NodeId(4), NodeId(0), true, 1, Hysteresis::default(), r, &mut actions));
+        assert_eq!(m.entries_about(NodeId(0)), 1);
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //!   fig13 fig14 errors / recovery time vs cut threshold
 //!   exchange    neighbor-list exchange policy study (§3.7.1)
 //!   scale       throughput sweep over overlay size × attacker fraction
+//!   churn       session-model churn × whitewashing attackers (extension)
 //!   cheating    report-cheating strategies (§3.4)
 //!   resilience  lossy/delayed control plane sweep (extension)
 //!   collusion   coordinated report-cheating coalitions sweep (extension)
@@ -73,6 +74,7 @@ fn main() -> ExitCode {
         }
         "exchange" => emit(&runners::exchange(&opts), &opts),
         "scale" => emit(&runners::scale(&opts, opts.smoke, Some(&ALLOC)), &opts),
+        "churn" => emit(&runners::churn(&opts, opts.smoke), &opts),
         "structured" => emit(&runners::structured(&opts), &opts),
         "cheating" => emit(&runners::cheating(&opts), &opts),
         "resilience" => emit(&runners::resilience(&opts), &opts),
@@ -132,10 +134,15 @@ usage: ddp-experiments <command> [options]
 commands:
   table1 fig2 fig5 fig6 fig9 fig10 fig11 consequences
   fig12 fig13 fig14 ct exchange cheating resilience collusion structured
-  scale ablations all
+  scale churn ablations all
 
 scale sweeps overlay size × attacker fraction, reporting ticks/sec,
 queries/sec, and a peak-heap proxy, and writes BENCH_scale.json.
+
+churn sweeps session-model churn (arrival rate × session-length
+distribution) × whitewash dwell × readmission policy, reporting detection
+and re-detection latency, wrongful-cut rate, and residual damage, and
+writes BENCH_churn.json.
 
 options:
   --peers N        overlay size (default 2000)
@@ -145,7 +152,7 @@ options:
   --replicates N   averaged seeds per configuration (default 1)
   --csv DIR        also write each table as DIR/<name>.csv
   --paper-scale    shorthand for --peers 20000 (the paper's §3.5 setting)
-  --smoke          (scale only) tiny grid that just validates the pipeline
+  --smoke          (scale/churn only) tiny grid that just validates the pipeline
 ";
 
 fn parse_options(args: &[String]) -> Result<ExpOptions, String> {

@@ -1,6 +1,7 @@
 //! One runner per paper table/figure, plus ablations.
 
 mod ablations;
+mod churn;
 mod collusion;
 mod ct;
 mod policy;
@@ -13,6 +14,10 @@ mod sweep;
 pub use ablations::{
     ablate_clamp, ablate_forwarding, ablate_lists, ablate_radius, ablate_rejoin, ablate_topology,
     ablate_warning,
+};
+pub use churn::{
+    churn, churn_grid, churn_grid_params, churn_json, redetection_stats, validate_churn_json,
+    ChurnCell, CHURN_CELL_KEYS, CHURN_SCHEMA, DWELLS, MEAN_SESSIONS, SESSION_MODELS,
 };
 pub use collusion::{
     collusion, collusion_grid, readmission, readmission_grid, CollusionCell, ReadmissionCell,

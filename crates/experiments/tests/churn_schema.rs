@@ -1,0 +1,97 @@
+//! Golden-fixture pin for the `BENCH_churn.json` schema.
+//!
+//! `runners::churn_json` is the only writer of the churn bench artifact;
+//! this test pins its exact byte layout on fixed fake cells so the schema
+//! cannot drift silently between PRs. Regenerate after an intentional
+//! change with:
+//!
+//! ```text
+//! DDP_BLESS=1 cargo test -p ddp-experiments --test churn_schema
+//! ```
+
+use ddp_experiments::runners::{churn_json, validate_churn_json, ChurnCell};
+
+fn fixture_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/bench_churn.golden.json")
+}
+
+fn fixed_cells() -> Vec<ChurnCell> {
+    vec![
+        ChurnCell {
+            peers: 2000,
+            ticks: 30,
+            agents: 100,
+            mean_session_ticks: 10.0,
+            session_model: "exponential".into(),
+            dwell_ticks: 1,
+            readmission: false,
+            joins: 5980.0,
+            departures: 5940.0,
+            rebirths: 120.5,
+            detection_latency: 3.75,
+            redetected: 101.0,
+            redetection_latency: 4.25,
+            redetection_rate: 0.838174,
+            cuts_total: 1450.0,
+            wrongful_cut_rate: 0.0310344,
+            residual_damage: 0.042,
+        },
+        ChurnCell {
+            peers: 2000,
+            ticks: 30,
+            agents: 100,
+            mean_session_ticks: 5.0,
+            session_model: "lognormal".into(),
+            dwell_ticks: 3,
+            readmission: true,
+            joins: 11875.0,
+            departures: 11800.0,
+            rebirths: 85.0,
+            detection_latency: 4.1,
+            redetected: 60.0,
+            redetection_latency: 6.5,
+            redetection_rate: 0.705882,
+            cuts_total: 2100.5,
+            wrongful_cut_rate: 0.051,
+            residual_damage: 0.0975,
+        },
+    ]
+}
+
+#[test]
+fn bench_churn_json_matches_golden_fixture() {
+    let rendered = churn_json(&fixed_cells(), 42);
+    let path = fixture_path();
+    if std::env::var_os("DDP_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, format!("{rendered}\n")).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing fixture {} ({e}); run with DDP_BLESS=1", path.display())
+    });
+    assert_eq!(
+        rendered,
+        golden.trim_end(),
+        "churn_json drifted from the committed BENCH_churn.json schema fixture"
+    );
+}
+
+#[test]
+fn golden_fixture_passes_structural_validation() {
+    // The same validator the `churn --smoke` CI job uses must accept the
+    // fixture, so validator and writer can't drift apart either.
+    let rendered = churn_json(&fixed_cells(), 42);
+    validate_churn_json(&rendered).unwrap();
+}
+
+#[test]
+fn committed_bench_artifact_is_schema_valid() {
+    // The repo-root BENCH_churn.json (committed measurement output) must
+    // always parse against the current schema.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_churn.json");
+    if let Ok(doc) = std::fs::read_to_string(&root) {
+        validate_churn_json(&doc)
+            .unwrap_or_else(|e| panic!("committed BENCH_churn.json invalid: {e}"));
+    }
+}

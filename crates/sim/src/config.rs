@@ -1,6 +1,7 @@
 //! Simulation configuration.
 
 use crate::faults::FaultConfig;
+use crate::session::SessionConfig;
 use ddp_topology::TopologyConfig;
 use ddp_workload::content::ContentConfig;
 use ddp_workload::{BandwidthModel, LifetimeModel, QueryArrivals};
@@ -77,6 +78,12 @@ pub struct SimConfig {
     /// crash-restarting peers). Inert by default — the reliable-transport
     /// setting the paper assumes.
     pub faults: FaultConfig,
+    /// Open-membership session model: Poisson arrivals of brand-new peers,
+    /// permanent leave/crash departures, and arena growth. `None` (the
+    /// default) keeps the legacy fixed-slot churn above and reproduces every
+    /// pre-session run tick-for-tick; when set, it supersedes the `churn` /
+    /// `lifetime` / `rejoin_delay_ticks` recycling model for good peers.
+    pub session: Option<SessionConfig>,
 }
 
 impl Default for SimConfig {
@@ -101,6 +108,7 @@ impl Default for SimConfig {
             fair_share_factor: 2.0,
             response_timeout_secs: 60.0,
             faults: FaultConfig::default(),
+            session: None,
         }
     }
 }
@@ -184,6 +192,16 @@ impl SimConfig {
             )));
         }
         self.faults.validate().map_err(ConfigError)?;
+        if let Some(session) = &self.session {
+            session.validate().map_err(ConfigError)?;
+            if session.max_peers < self.peers() {
+                return Err(ConfigError(format!(
+                    "session max_peers {} below the starting population {}",
+                    session.max_peers,
+                    self.peers()
+                )));
+            }
+        }
         Ok(())
     }
 }
@@ -220,5 +238,23 @@ mod validate_tests {
             ..SimConfig::default()
         };
         assert!(c.validate().unwrap_err().0.contains("loss"));
+
+        let mut bad_session = SessionConfig::steady_state(100, 5.0);
+        bad_session.crash_fraction = -0.1;
+        let c = SimConfig { session: Some(bad_session), ..SimConfig::default() };
+        assert!(c.validate().unwrap_err().0.contains("crash_fraction"));
+
+        // A cap below the starting population strands the event stream.
+        let c = SimConfig {
+            session: Some(SessionConfig { max_peers: 10, ..SessionConfig::steady_state(100, 5.0) }),
+            ..SimConfig::default()
+        };
+        assert!(c.validate().unwrap_err().0.contains("max_peers"));
+
+        let c = SimConfig {
+            session: Some(SessionConfig::steady_state(2_000, 10.0)),
+            ..SimConfig::default()
+        };
+        assert_eq!(c.validate(), Ok(()));
     }
 }

@@ -366,6 +366,27 @@ pub trait Defense {
     /// The engine removed an overlay connection (departure or cut).
     /// `deg_u` / `deg_v` are the endpoints' degrees *after* the removal.
     fn on_edge_removed(&mut self, _u: NodeId, _v: NodeId, _deg_u: usize, _deg_v: usize) {}
+
+    /// A peer left the overlay for good (session-model graceful departure,
+    /// or its slot is being recycled for a newcomer). Unlike
+    /// [`on_peer_reset`](Self::on_peer_reset) — which clears what the *slot
+    /// itself* remembers — this must drop state *about* the departed
+    /// identity held anywhere in the defense, so a future occupant of the
+    /// same address inherits no counters, views, or verdicts.
+    fn on_peer_departed(&mut self, _node: NodeId) {}
+
+    /// The engine grew the overlay to `n` node slots (session-model joins or
+    /// whitewash rebirths). Per-node defense state must be extended before
+    /// any other hook references the new ids.
+    fn on_nodes_grown(&mut self, _n: usize) {}
+
+    /// Whether the self-healing rewiring may NOT connect `u` and `v`: true
+    /// when either endpoint holds a live quarantine/probation verdict about
+    /// the other. The session-model bootstrap dialing consults this so churn
+    /// repair cannot silently undo a defensive cut.
+    fn forbids_link(&self, _u: NodeId, _v: NodeId) -> bool {
+        false
+    }
 }
 
 impl<D: Defense + ?Sized> Defense for Box<D> {
@@ -383,6 +404,15 @@ impl<D: Defense + ?Sized> Defense for Box<D> {
     }
     fn on_edge_removed(&mut self, u: NodeId, v: NodeId, deg_u: usize, deg_v: usize) {
         (**self).on_edge_removed(u, v, deg_u, deg_v)
+    }
+    fn on_peer_departed(&mut self, node: NodeId) {
+        (**self).on_peer_departed(node)
+    }
+    fn on_nodes_grown(&mut self, n: usize) {
+        (**self).on_nodes_grown(n)
+    }
+    fn forbids_link(&self, u: NodeId, v: NodeId) -> bool {
+        (**self).forbids_link(u, v)
     }
 }
 

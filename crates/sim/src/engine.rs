@@ -6,6 +6,7 @@ use crate::faults::FaultPlane;
 use crate::flood::{FirstHop, FloodEngine, FloodEnv};
 use crate::node::{ListBehavior, NodeState, ReportBehavior, Role};
 use crate::overlay::Overlay;
+use crate::session::{sample_poisson, SessionStats, WhitewashConfig, WhitewashRecord};
 use crate::Tick;
 use ddp_metrics::summary::{RunSeries, RunSummary};
 use ddp_metrics::{
@@ -68,8 +69,25 @@ pub struct Simulation<D: Defense> {
     tick: Tick,
     rng_workload: StdRng,
     rng_churn: StdRng,
+    /// Session-model / whitewash stream (stream 6): every draw the open
+    /// membership model makes comes from here, so enabling it never perturbs
+    /// the topology, content, workload, legacy-churn, or fault streams.
+    rng_session: StdRng,
     /// Control-plane transport (inert unless `cfg.faults` injects faults).
     fault_plane: FaultPlane,
+
+    // Session-model state (inert unless `cfg.session` is set).
+    /// Slots of permanently departed peers, available for recycling.
+    free_slots: Vec<usize>,
+    /// Membership-dynamics totals.
+    session_stats: SessionStats,
+
+    // Whitewash state (inert unless `enable_whitewash` was called).
+    whitewash: Option<WhitewashConfig>,
+    /// `(old slot, rebirth tick)` for cut agents dwelling offline.
+    whitewash_pending: Vec<(usize, Tick)>,
+    /// Completed identity changes, in order.
+    whitewash_log: Vec<WhitewashRecord>,
 
     // Per-tick scratch, refreshed from `nodes` each tick.
     node_used: Vec<u32>,
@@ -134,6 +152,7 @@ impl<D: Defense> Simulation<D> {
         let rng_workload = StdRng::seed_from_u64(derive_seed(seed, 3));
         let mut rng_churn = StdRng::seed_from_u64(derive_seed(seed, 4));
         let fault_plane = FaultPlane::new(cfg.faults.clone(), derive_seed(seed, 5));
+        let rng_session = StdRng::seed_from_u64(derive_seed(seed, 6));
 
         let graph = cfg.topology.generate(&mut rng_topo);
         let classes: Vec<_> = (0..n).map(|_| cfg.bandwidth.sample(&mut rng_churn)).collect();
@@ -179,7 +198,13 @@ impl<D: Defense> Simulation<D> {
             defense,
             rng_workload,
             rng_churn,
+            rng_session,
             fault_plane,
+            free_slots: Vec::new(),
+            session_stats: SessionStats::default(),
+            whitewash: None,
+            whitewash_pending: Vec::new(),
+            whitewash_log: Vec::new(),
         }
     }
 
@@ -227,6 +252,36 @@ impl<D: Defense> Simulation<D> {
     /// Current tick.
     pub fn tick(&self) -> Tick {
         self.tick
+    }
+
+    /// Current number of node slots (grows under the session model).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The defense, for post-run inspection (diagnostics, bounded-memory
+    /// assertions).
+    pub fn defense(&self) -> &D {
+        &self.defense
+    }
+
+    /// Membership-dynamics totals (all zero outside the session model).
+    pub fn session_stats(&self) -> SessionStats {
+        self.session_stats
+    }
+
+    /// Arm whitewashing: a defensively isolated (fully cut) attacker dwells
+    /// offline for `dwell_ticks`, then rejoins under a brand-new `NodeId`
+    /// with a clean record, optionally lying dormant for `quiet_ticks`
+    /// before flooding again. The abandoned slot stays offline forever.
+    pub fn enable_whitewash(&mut self, cfg: WhitewashConfig) {
+        self.whitewash = Some(cfg);
+    }
+
+    /// Completed identity changes, in order (empty unless whitewashing was
+    /// enabled and at least one agent was cut and reborn).
+    pub fn whitewash_log(&self) -> &[WhitewashRecord] {
+        &self.whitewash_log
     }
 
     /// Advance the simulation by one tick (one minute).
@@ -311,25 +366,45 @@ impl<D: Defense> Simulation<D> {
     }
 
     fn churn_step(&mut self) {
-        // Departures and rejoins.
+        self.whitewash_rebirths();
+        let session_on = self.cfg.session.is_some();
+        // Departures and rejoins. Note the loop bound is the population at
+        // tick start: slots grown by arrivals below are not revisited until
+        // the next tick.
         for i in 0..self.nodes.len() {
             let node = NodeId::from_index(i);
             if self.nodes[i].online {
                 if self.nodes[i].role.is_attacker() {
+                    if self.whitewash.is_some() && self.nodes[i].defensively_isolated {
+                        // Whitewash owns the comeback: schedule a rebirth
+                        // under a fresh identity instead of the slot-rejoin
+                        // policy.
+                        self.whitewash_schedule(node);
+                        continue;
+                    }
                     // Dedicated agents do not churn; they only re-connect
                     // after being cut off (handled below).
                     self.try_reconnect_attacker(node);
                     continue;
                 }
-                if self.cfg.churn {
+                if session_on {
+                    // Open membership: a finished session leaves for good.
+                    self.nodes[i].lifetime_left = self.nodes[i].lifetime_left.saturating_sub(1);
+                    if self.nodes[i].lifetime_left == 0 {
+                        self.depart_permanently(node);
+                    }
+                } else if self.cfg.churn {
                     self.nodes[i].lifetime_left = self.nodes[i].lifetime_left.saturating_sub(1);
                     if self.nodes[i].lifetime_left == 0 {
                         self.depart(node);
                     }
                 }
-            } else if self.tick >= self.nodes[i].rejoin_at {
+            } else if !session_on && self.tick >= self.nodes[i].rejoin_at {
                 self.rejoin(node);
             }
+        }
+        if session_on {
+            self.session_arrivals();
         }
         // Connectivity maintenance: peers that lost links (departed
         // neighbors, defensive cuts) seek replacements, as real servents do.
@@ -386,8 +461,172 @@ impl<D: Defense> Simulation<D> {
         self.close_wrongful_for(node);
         let s = &mut self.nodes[node.index()];
         s.online = false;
-        s.rejoin_at = self.tick + self.cfg.rejoin_delay_ticks;
+        s.rejoin_at = self.tick.saturating_add(self.cfg.rejoin_delay_ticks);
         self.defense.on_peer_reset(node);
+    }
+
+    /// Session-model departure: the peer leaves for good. A graceful leave
+    /// lets neighbors purge everything keyed by the departed identity
+    /// ([`Defense::on_peer_departed`]); a crash sends no goodbye — stale
+    /// defense state about the dead address must be TTL-expired instead.
+    /// Either way the slot enters the free list for a future arrival.
+    fn depart_permanently(&mut self, node: NodeId) {
+        let crash_fraction = self.cfg.session.as_ref().map_or(0.0, |s| s.crash_fraction);
+        let crashed = self.rng_session.gen::<f64>() < crash_fraction;
+        let freed = self.overlay.isolate(node);
+        for peer in freed {
+            self.defense.on_edge_removed(node, peer, 0, self.overlay.degree(peer));
+        }
+        self.close_wrongful_for(node);
+        let s = &mut self.nodes[node.index()];
+        s.online = false;
+        s.rejoin_at = u32::MAX; // this incarnation never returns
+        self.defense.on_peer_reset(node);
+        if crashed {
+            self.session_stats.crashes += 1;
+        } else {
+            self.session_stats.leaves += 1;
+            self.defense.on_peer_departed(node);
+        }
+        self.free_slots.push(node.index());
+    }
+
+    /// Poisson arrivals of brand-new peers: each pops a free slot (recycling
+    /// a permanently departed address) or grows the arena, up to the
+    /// configured cap.
+    fn session_arrivals(&mut self) {
+        let Some(sess) = self.cfg.session.as_ref() else { return };
+        let (rate, max_peers, lifetime_model) =
+            (sess.arrival_rate_per_tick, sess.max_peers, sess.session_length);
+        let arrivals = sample_poisson(&mut self.rng_session, rate);
+        for _ in 0..arrivals {
+            let slot = match self.free_slots.pop() {
+                Some(slot) => {
+                    // Recycled address: even after a crash (which sent no
+                    // goodbye), the defense must shed every counter and
+                    // verdict keyed by the previous incarnation before the
+                    // newcomer takes the slot.
+                    self.defense.on_peer_departed(NodeId::from_index(slot));
+                    slot
+                }
+                None if self.nodes.len() < max_peers => self.grow_one_slot(),
+                None => {
+                    self.session_stats.joins_skipped += 1;
+                    continue;
+                }
+            };
+            let lifetime = lifetime_model.sample_minutes(&mut self.rng_session).max(1);
+            self.spawn_peer(NodeId::from_index(slot), lifetime);
+            self.session_stats.joins += 1;
+        }
+    }
+
+    /// Grow every per-node structure by one slot; returns the new index.
+    /// The bandwidth class is a placeholder — [`spawn_peer`](Self::spawn_peer)
+    /// samples the real one.
+    fn grow_one_slot(&mut self) -> usize {
+        let node = self.overlay.add_node(ddp_workload::BandwidthClass::Cable);
+        debug_assert_eq!(node.index(), self.nodes.len());
+        self.nodes.push(NodeState::good(
+            ddp_workload::BandwidthClass::Cable,
+            self.cfg.good_capacity_qpm,
+            1,
+        ));
+        self.node_used.push(0);
+        self.online.push(true);
+        self.capacity.push(self.cfg.good_capacity_qpm);
+        self.prev_util.push(0.0);
+        self.runs_defense.push(true);
+        self.report_behavior.push(ReportBehavior::Honest);
+        self.list_behavior.push(ListBehavior::Truthful);
+        self.ever_cut.push(false);
+        self.counted_wrongly_cut.push(false);
+        self.flood.resize(self.nodes.len());
+        self.defense.on_nodes_grown(self.nodes.len());
+        self.session_stats.grown_slots += 1;
+        node.index()
+    }
+
+    /// (Re)initialize `node` as a brand-new good peer from the session
+    /// stream, then dial `join_degree` bootstrap connections honoring the
+    /// defense's quarantine veto.
+    fn spawn_peer(&mut self, node: NodeId, lifetime: u32) {
+        let bw = self.cfg.bandwidth.sample(&mut self.rng_session);
+        let capacity = sample_capacity(&self.cfg, &mut self.rng_session);
+        self.nodes[node.index()] = NodeState::good(bw, capacity, lifetime);
+        self.overlay.set_class(node, bw);
+        self.catalog.regenerate_library(
+            node,
+            self.cfg.content.objects_per_peer,
+            &mut self.rng_session,
+        );
+        self.prev_util[node.index()] = 0.0;
+        self.ever_cut[node.index()] = false; // brand-new peer, clean record
+        self.counted_wrongly_cut[node.index()] = false;
+        self.defense.on_peer_reset(node);
+        for _ in 0..self.cfg.join_degree {
+            if let Some(peer) = self.pick_bootstrap_peer(node) {
+                if self.overlay.add_edge(node, peer) {
+                    self.defense.on_edge_added(
+                        node,
+                        peer,
+                        self.overlay.degree(node),
+                        self.overlay.degree(peer),
+                    );
+                    self.close_wrongful(node, peer);
+                }
+            }
+        }
+    }
+
+    /// Record that the isolated attacker `node` will shed its identity once
+    /// the dwell expires (idempotent across ticks).
+    fn whitewash_schedule(&mut self, node: NodeId) {
+        let Some(ww) = self.whitewash else { return };
+        if self.whitewash_pending.iter().any(|&(slot, _)| slot == node.index()) {
+            return;
+        }
+        self.whitewash_pending.push((node.index(), self.tick.saturating_add(ww.dwell_ticks)));
+    }
+
+    /// Execute due identity changes: the old slot goes dark forever; a
+    /// freshly grown slot joins as an apparently ordinary newcomer, turns
+    /// attacker, and (optionally) lies dormant through its quiet window.
+    fn whitewash_rebirths(&mut self) {
+        let Some(ww) = self.whitewash else { return };
+        if self.whitewash_pending.is_empty() {
+            return;
+        }
+        let tick = self.tick;
+        let mut due: Vec<usize> = self
+            .whitewash_pending
+            .iter()
+            .filter(|&&(_, at)| at <= tick)
+            .map(|&(slot, _)| slot)
+            .collect();
+        self.whitewash_pending.retain(|&(_, at)| at > tick);
+        due.sort_unstable(); // deterministic rebirth order
+        for old_idx in due {
+            let old = NodeId::from_index(old_idx);
+            let Role::Attacker { rate_qpm, report } = self.nodes[old_idx].role else {
+                continue;
+            };
+            // The old identity vanishes for good; its slot is never recycled
+            // (a whitewasher does not hand its burned address back to the
+            // bootstrap system).
+            {
+                let s = &mut self.nodes[old_idx];
+                s.online = false;
+                s.rejoin_at = u32::MAX;
+            }
+            self.defense.on_peer_reset(old);
+            let new = NodeId::from_index(self.grow_one_slot());
+            self.spawn_peer(new, 1); // lifetime irrelevant: attackers never leave
+            let s = &mut self.nodes[new.index()];
+            s.make_attacker(rate_qpm, report);
+            s.dormant_until = tick.saturating_add(ww.quiet_ticks);
+            self.whitewash_log.push(WhitewashRecord { tick, old, new });
+        }
     }
 
     fn rejoin(&mut self, node: NodeId) {
@@ -463,13 +702,21 @@ impl<D: Defense> Simulation<D> {
     }
 
     fn maintain_connectivity(&mut self) {
+        let session_on = self.cfg.session.is_some();
         for i in 0..self.nodes.len() {
             let node = NodeId::from_index(i);
             if !self.nodes[i].online || self.nodes[i].role.is_attacker() {
                 continue;
             }
             while self.overlay.degree(node) < self.cfg.join_degree {
-                match self.pick_online_peer(node) {
+                let picked = if session_on {
+                    // Open-membership repair honors the quarantine veto so
+                    // self-healing cannot silently undo a defensive cut.
+                    self.pick_bootstrap_peer(node)
+                } else {
+                    self.pick_online_peer(node)
+                };
+                match picked {
                     Some(peer) => {
                         if self.overlay.add_edge(node, peer) {
                             self.defense.on_edge_added(
@@ -509,6 +756,27 @@ impl<D: Defense> Simulation<D> {
         None
     }
 
+    /// [`pick_online_peer`](Self::pick_online_peer) for the session-model
+    /// paths: drawn from the session stream (so legacy-churn draws are
+    /// untouched) and honoring the defense's quarantine veto — a bootstrap
+    /// list would not advertise, and a defended peer would not accept, a
+    /// pairing one side has quarantined or on probation.
+    fn pick_bootstrap_peer(&mut self, not: NodeId) -> Option<NodeId> {
+        let n = self.nodes.len();
+        for _ in 0..32 {
+            let i = self.rng_session.gen_range(0..n);
+            let cand = NodeId::from_index(i);
+            if i != not.index()
+                && self.nodes[i].online
+                && self.overlay.degree(cand) > 0
+                && !self.defense.forbids_link(not, cand)
+            {
+                return Some(cand);
+            }
+        }
+        None
+    }
+
     fn build_emissions(&mut self) {
         self.emissions.clear();
         for i in 0..self.nodes.len() {
@@ -525,6 +793,12 @@ impl<D: Defense> Simulation<D> {
                     }
                 }
                 Role::Attacker { rate_qpm, .. } => {
+                    if self.tick < self.nodes[i].dormant_until {
+                        // A whitewashed agent lying low through its quiet
+                        // window emits nothing — indistinguishable from a
+                        // silent newcomer.
+                        continue;
+                    }
                     // Distinct queries per link (Figure 1): one batch per
                     // adjacency slot; Q_d = min(rate, link) enforced by the
                     // flood's link budget.
@@ -867,5 +1141,147 @@ mod tests {
             sim.step();
         }
         assert!(sim.overlay().degree(NodeId(7)) > 0);
+    }
+
+    #[test]
+    fn huge_rejoin_delay_saturates_instead_of_overflowing() {
+        // rejoin_at = tick + delay must clamp, not wrap (a wrapped schedule
+        // would resurrect the peer immediately).
+        let mut cfg = small_cfg(80);
+        cfg.lifetime = LifetimeModel::Exponential { mean_min: 1.0 };
+        cfg.rejoin_delay_ticks = u32::MAX;
+        let mut sim = Simulation::new(cfg, NoDefense, 9);
+        for _ in 0..5 {
+            sim.step();
+        }
+        let offline = (0..80).filter(|&i| !sim.is_online(NodeId(i))).count();
+        assert!(offline > 0, "1-minute lifetimes must drive departures");
+        // Nobody scheduled at u32::MAX ever returns.
+        for i in 0..80u32 {
+            if !sim.is_online(NodeId(i)) {
+                assert_eq!(sim.nodes[i as usize].rejoin_at, u32::MAX);
+            }
+        }
+    }
+
+    #[test]
+    fn session_model_sustains_population_with_fresh_arrivals() {
+        use crate::session::SessionConfig;
+        let mut cfg = small_cfg(120);
+        cfg.session = Some(SessionConfig::steady_state(120, 4.0));
+        let mut sim = Simulation::new(cfg, NoDefense, 21);
+        for _ in 0..15 {
+            sim.step();
+            sim.overlay().check_invariants().unwrap();
+        }
+        let stats = sim.session_stats();
+        assert!(stats.joins > 0, "arrivals must occur");
+        assert!(stats.leaves + stats.crashes > 0, "departures must occur");
+        assert!(stats.crashes > 0, "a 0.25 crash fraction must crash someone in 15 ticks");
+        let online =
+            (0..sim.node_count()).filter(|&i| sim.is_online(NodeId::from_index(i))).count();
+        assert!(
+            (60..=240).contains(&online),
+            "steady-state arrivals should hold the population near 120, got {online}"
+        );
+        // Departed slots recycle before the arena grows past the cap.
+        assert!(sim.node_count() <= 240);
+    }
+
+    #[test]
+    fn session_zero_arrivals_drains_the_overlay() {
+        use crate::session::SessionConfig;
+        let mut cfg = small_cfg(100);
+        cfg.session = Some(SessionConfig {
+            arrival_rate_per_tick: 0.0,
+            ..SessionConfig::steady_state(100, 2.0)
+        });
+        let mut sim = Simulation::new(cfg, NoDefense, 33);
+        for _ in 0..14 {
+            sim.step();
+        }
+        let online =
+            (0..sim.node_count()).filter(|&i| sim.is_online(NodeId::from_index(i))).count();
+        assert!(online < 40, "2-tick sessions with no arrivals must drain, got {online}");
+        assert_eq!(sim.session_stats().joins, 0);
+        sim.overlay().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn inert_session_model_reproduces_the_legacy_run() {
+        // Churn rate 0: a session model that never fires (no arrivals, no
+        // departures) must be tick-for-tick identical to session: None.
+        use crate::session::SessionConfig;
+        let mut cfg = small_cfg(150);
+        cfg.churn = false;
+        cfg.lifetime = LifetimeModel::Immortal;
+        let legacy = Simulation::new(cfg.clone(), NoDefense, 77).run(8);
+        cfg.session = Some(SessionConfig {
+            arrival_rate_per_tick: 0.0,
+            ..SessionConfig::steady_state(150, 10.0)
+        });
+        let sessioned = Simulation::new(cfg, NoDefense, 77).run(8);
+        assert_eq!(legacy.series.success_rate, sessioned.series.success_rate);
+        assert_eq!(legacy.series.traffic, sessioned.series.traffic);
+        assert_eq!(legacy.summary, sessioned.summary);
+    }
+
+    /// Cuts every link of one ground-truth target each tick — drives the
+    /// target to defensive isolation without a real detection protocol.
+    struct CutTarget(NodeId);
+    impl Defense for CutTarget {
+        fn name(&self) -> &'static str {
+            "cut-target"
+        }
+        fn on_tick(&mut self, obs: &TickObservation<'_>, actions: &mut Actions) {
+            let peers: Vec<_> = obs.overlay.neighbors(self.0).iter().map(|h| h.peer).collect();
+            for p in peers {
+                actions.cut(p, self.0);
+            }
+        }
+    }
+
+    #[test]
+    fn whitewash_rebirth_grows_a_fresh_identity() {
+        let mut cfg = small_cfg(80);
+        cfg.churn = false;
+        let initial_n = cfg.peers();
+        let mut sim = Simulation::new(cfg, CutTarget(NodeId(7)), 13);
+        sim.make_attacker(NodeId(7), ReportBehavior::Honest);
+        sim.enable_whitewash(WhitewashConfig { dwell_ticks: 1, quiet_ticks: 2 });
+        for _ in 0..6 {
+            sim.step();
+            sim.overlay().check_invariants().unwrap();
+        }
+        let log = sim.whitewash_log().to_vec();
+        assert_eq!(log.len(), 1, "the cut agent must be reborn exactly once");
+        let rec = log[0];
+        assert_eq!(rec.old, NodeId(7));
+        assert!(rec.new.index() >= initial_n, "rebirth must use a freshly grown slot");
+        assert!(!sim.is_online(rec.old), "the burned identity stays dark");
+        assert!(sim.is_online(rec.new));
+        assert!(sim.role(rec.new).is_attacker());
+        assert!(sim.overlay().degree(rec.new) > 0, "the newcomer re-dialed bootstrap links");
+        assert_eq!(sim.nodes[rec.new.index()].dormant_until, rec.tick + 2);
+        assert_eq!(sim.node_count(), initial_n + 1);
+    }
+
+    #[test]
+    fn dormant_attackers_emit_no_flood_traffic() {
+        let mut cfg = small_cfg(100);
+        cfg.churn = false;
+        let mut active = Simulation::new(cfg.clone(), NoDefense, 41);
+        active.make_attacker(NodeId(9), ReportBehavior::Honest);
+        let mut dormant = Simulation::new(cfg, NoDefense, 41);
+        dormant.make_attacker(NodeId(9), ReportBehavior::Honest);
+        dormant.nodes[9].dormant_until = u32::MAX;
+        let a = active.run(4);
+        let d = dormant.run(4);
+        assert!(
+            d.summary.traffic_per_tick < a.summary.traffic_per_tick / 2.0,
+            "dormant agent must not flood: {} vs {}",
+            d.summary.traffic_per_tick,
+            a.summary.traffic_per_tick
+        );
     }
 }

@@ -40,6 +40,7 @@ pub mod faults;
 pub mod flood;
 pub mod node;
 pub mod overlay;
+pub mod session;
 
 pub use config::{ForwardingPolicy, SimConfig};
 pub use defense::{Actions, Defense, NoDefense, ReportDelivery, TickObservation, TrafficReport};
@@ -48,6 +49,7 @@ pub use faults::{FaultConfig, FaultPlane, ReportOutcome};
 pub use flood::{FloodEngine, FloodOutcome};
 pub use node::{ListBehavior, NodeState, ReportBehavior, Role};
 pub use overlay::Overlay;
+pub use session::{SessionConfig, SessionStats, WhitewashConfig, WhitewashRecord};
 
 /// Simulation time: one tick is one minute.
 pub type Tick = u32;

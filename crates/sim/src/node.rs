@@ -114,6 +114,9 @@ pub struct NodeState {
     /// isolated may only return per the rejoin policy; natural churn losses
     /// are re-dialed immediately).
     pub defensively_isolated: bool,
+    /// First tick this peer emits traffic (whitewashed agents lie low for a
+    /// quiet window after rejoining; 0 = active from the start).
+    pub dormant_until: u32,
     /// How this peer answers the neighbor-list exchange.
     pub list_behavior: ListBehavior,
 }
@@ -131,6 +134,7 @@ impl NodeState {
             prev_utilization: 0.0,
             runs_defense: true,
             defensively_isolated: false,
+            dormant_until: 0,
             list_behavior: ListBehavior::Truthful,
         }
     }

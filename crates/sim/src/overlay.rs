@@ -75,6 +75,16 @@ impl Overlay {
         self.graph.node_count()
     }
 
+    /// Append a fresh, degree-zero node slot with the given bandwidth class
+    /// (the session-model join path). The counter arena grows an empty row in
+    /// lockstep with the adjacency arena. Returns the new node's id.
+    pub fn add_node(&mut self, class: BandwidthClass) -> NodeId {
+        let id = self.graph.add_node();
+        self.counters.push_row();
+        self.class_idx.push(class_index(class) as u8);
+        id
+    }
+
     /// Number of live undirected edges.
     #[inline]
     pub fn edge_count(&self) -> usize {
@@ -291,6 +301,23 @@ mod tests {
         o.check_invariants().unwrap();
         assert_eq!(o.edge_count(), 1);
         assert_eq!(o.total_received(NodeId(1)), 0);
+    }
+
+    #[test]
+    fn add_node_grows_an_empty_aligned_row() {
+        let mut o = overlay(3, &[(0, 1), (1, 2)]);
+        let id = o.add_node(BandwidthClass::Dialup);
+        assert_eq!(id, NodeId(3));
+        assert_eq!(o.node_count(), 4);
+        assert_eq!(o.degree(id), 0);
+        assert_eq!(o.class_of(id), BandwidthClass::Dialup);
+        o.check_invariants().unwrap();
+        // The new slot participates in normal edge life immediately.
+        assert!(o.add_edge(id, NodeId(0)));
+        let slot = o.graph().slot_of(id, NodeId(0)).unwrap();
+        o.record_send(id, slot, 9);
+        assert_eq!(o.total_received(NodeId(0)), 9);
+        o.check_invariants().unwrap();
     }
 
     #[test]

@@ -1,0 +1,177 @@
+//! Session-model churn: a seeded join/leave/crash event stream.
+//!
+//! The legacy churn knob (`SimConfig::churn` + `rejoin_delay_ticks`) recycles
+//! a fixed population of node *slots*: a departed slot waits offline and then
+//! rejoins as a "new" peer under the same positional identity. That keeps the
+//! arenas static but cannot express the open-membership dynamics the paper's
+//! Gnutella setting actually has — peers that arrive for the first time,
+//! leave for good, or crash without a goodbye, with the overlay growing to
+//! accommodate newcomers.
+//!
+//! [`SessionConfig`] switches the engine to that open model: per-tick Poisson
+//! arrivals of brand-new peers (fresh `NodeId`s once the free list runs dry),
+//! permanent departures when a session expires, and a configurable fraction
+//! of departures that are silent crashes. All randomness for the session
+//! stream comes from its own derived RNG stream, so *enabling* the session
+//! model never perturbs topology, content, workload, or legacy-churn draws —
+//! and leaving it `None` reproduces the legacy engine tick-for-tick.
+
+use crate::Tick;
+use ddp_topology::NodeId;
+use ddp_workload::LifetimeModel;
+use rand::Rng;
+
+/// Configuration of the session-model churn engine.
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// Expected number of brand-new peer arrivals per tick (Poisson).
+    pub arrival_rate_per_tick: f64,
+    /// Session-length distribution for arriving peers (minutes == ticks).
+    pub session_length: LifetimeModel,
+    /// Fraction of departures that are crashes: the crashed peer's links die
+    /// (its neighbors see the edges vanish) but no graceful goodbye is sent,
+    /// so defense state keyed by the dead identity must be TTL-expired
+    /// rather than purged by a departure notice.
+    pub crash_fraction: f64,
+    /// Hard cap on the number of node slots the overlay may grow to. An
+    /// arrival finding no free slot and no growth headroom is turned away.
+    pub max_peers: usize,
+}
+
+impl SessionConfig {
+    /// A steady-state stream for an overlay of `n` peers with the given mean
+    /// session length: arrivals balance expected departures, crashes take a
+    /// quarter of the exits, and the arena may grow to twice the start size.
+    pub fn steady_state(n: usize, mean_session_ticks: f64) -> Self {
+        SessionConfig {
+            arrival_rate_per_tick: n as f64 / mean_session_ticks.max(1.0),
+            session_length: LifetimeModel::Exponential { mean_min: mean_session_ticks },
+            crash_fraction: 0.25,
+            max_peers: n.saturating_mul(2),
+        }
+    }
+
+    /// Check for values that would make the event stream meaningless.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.arrival_rate_per_tick.is_finite() || self.arrival_rate_per_tick < 0.0 {
+            return Err(format!(
+                "session arrival_rate_per_tick {} must be finite and >= 0",
+                self.arrival_rate_per_tick
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.crash_fraction) {
+            return Err(format!("session crash_fraction {} outside [0, 1]", self.crash_fraction));
+        }
+        if self.max_peers == 0 {
+            return Err("session max_peers 0 forbids every arrival".into());
+        }
+        Ok(())
+    }
+}
+
+/// Whitewashing support in the engine: a defensively isolated attacker sheds
+/// its identity and returns under a fresh `NodeId` (see `ddp-attack`'s
+/// `WhitewashPlan` for the attack-side wiring).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WhitewashConfig {
+    /// Ticks a fully-cut agent dwells offline before rejoining under a fresh
+    /// identity.
+    pub dwell_ticks: u32,
+    /// Ticks the reborn agent stays dormant (no flooding) after rejoining —
+    /// a burst attacker waits out the monitoring window before flooding
+    /// again; 0 floods immediately.
+    pub quiet_ticks: u32,
+}
+
+/// One completed identity change: at `tick`, the cut agent `old` came back
+/// as the brand-new node `new`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WhitewashRecord {
+    /// Tick the fresh identity joined the overlay.
+    pub tick: Tick,
+    /// The abandoned (cut) identity; its slot stays offline forever.
+    pub old: NodeId,
+    /// The fresh identity (always a newly grown slot).
+    pub new: NodeId,
+}
+
+/// Membership-dynamics totals over a session-model run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Brand-new peers that joined.
+    pub joins: u64,
+    /// Graceful session-end departures.
+    pub leaves: u64,
+    /// Silent crash departures.
+    pub crashes: u64,
+    /// Arrivals turned away because the arena was at `max_peers` with no
+    /// free slot.
+    pub joins_skipped: u64,
+    /// Node slots grown beyond the initial population.
+    pub grown_slots: u64,
+}
+
+/// Knuth's product-of-uniforms Poisson sampler. Exact for the per-tick
+/// arrival rates the session model uses (runtime is O(λ) draws per call).
+pub(crate) fn sample_poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u32 {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    let limit = (-lambda).exp();
+    let mut k = 0u32;
+    let mut p = 1.0f64;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= limit {
+            return k;
+        }
+        k += 1;
+        if k >= 100_000 {
+            return k; // guard against pathological λ; unreachable in practice
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn steady_state_balances_arrivals_and_departures() {
+        let s = SessionConfig::steady_state(300, 10.0);
+        assert!((s.arrival_rate_per_tick - 30.0).abs() < 1e-9);
+        assert_eq!(s.max_peers, 600);
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_nonsense() {
+        let mut s = SessionConfig::steady_state(100, 5.0);
+        s.crash_fraction = 1.5;
+        assert!(s.validate().unwrap_err().contains("crash_fraction"));
+        let mut s = SessionConfig::steady_state(100, 5.0);
+        s.arrival_rate_per_tick = f64::NAN;
+        assert!(s.validate().is_err());
+        let mut s = SessionConfig::steady_state(100, 5.0);
+        s.max_peers = 0;
+        assert!(s.validate().unwrap_err().contains("max_peers"));
+    }
+
+    #[test]
+    fn poisson_mean_tracks_lambda() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for &lambda in &[0.5, 3.0, 20.0] {
+            let n = 4000;
+            let total: u64 = (0..n).map(|_| sample_poisson(&mut rng, lambda) as u64).sum();
+            let mean = total as f64 / n as f64;
+            assert!(
+                (mean - lambda).abs() < lambda.max(1.0) * 0.15,
+                "poisson({lambda}) sample mean {mean} too far off"
+            );
+        }
+        assert_eq!(sample_poisson(&mut rng, 0.0), 0);
+        assert_eq!(sample_poisson(&mut rng, -1.0), 0);
+    }
+}

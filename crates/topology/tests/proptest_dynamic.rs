@@ -12,14 +12,20 @@ enum Op {
     /// current degree at execution time (no-op at degree 0).
     RemoveEdgeAt(u32, usize),
     Isolate(u32),
+    /// Append a fresh isolated node (churn join / whitewash rebirth path).
+    AddNode,
 }
 
+/// Raw node indices are drawn from `0..2n` and reduced modulo the *current*
+/// node count at execution time, so ops land on appended nodes too once
+/// `AddNode` has grown the graph past its initial size.
 fn op_strategy(n: u32) -> impl Strategy<Value = Op> {
     prop_oneof![
-        4 => (0..n, 0..n).prop_map(|(u, v)| Op::AddEdge(u, v)),
-        2 => (0..n, 0..n).prop_map(|(u, v)| Op::RemoveEdge(u, v)),
-        2 => (0..n, 0..64usize).prop_map(|(u, s)| Op::RemoveEdgeAt(u, s)),
-        1 => (0..n).prop_map(Op::Isolate),
+        4 => (0..2 * n, 0..2 * n).prop_map(|(u, v)| Op::AddEdge(u, v)),
+        2 => (0..2 * n, 0..2 * n).prop_map(|(u, v)| Op::RemoveEdge(u, v)),
+        2 => (0..2 * n, 0..64usize).prop_map(|(u, s)| Op::RemoveEdgeAt(u, s)),
+        1 => (0..2 * n).prop_map(Op::Isolate),
+        1 => Just(Op::AddNode),
     ]
 }
 
@@ -91,42 +97,58 @@ impl ShadowAdj {
         }
         freed
     }
+
+    /// Append an isolated node, returning its index (mirrors
+    /// `DynamicGraph::add_node`).
+    fn add_node(&mut self) -> u32 {
+        self.adj.push(Vec::new());
+        (self.adj.len() - 1) as u32
+    }
 }
 
 proptest! {
-    /// Any interleaving of add/remove/remove-at/isolate keeps twin pointers,
-    /// edge counts, and dedup invariants intact.
+    /// Any interleaving of add/remove/remove-at/isolate/add-node keeps twin
+    /// pointers, edge counts, and dedup invariants intact.
     #[test]
     fn dynamic_graph_invariants_hold(ops in proptest::collection::vec(op_strategy(24), 1..200)) {
         let mut g = DynamicGraph::new(24);
         for op in ops {
+            let n = g.node_count() as u32;
             match op {
-                Op::AddEdge(u, v) => { g.add_edge(NodeId(u), NodeId(v)); }
-                Op::RemoveEdge(u, v) => { g.remove_edge(NodeId(u), NodeId(v)); }
+                Op::AddEdge(u, v) => { g.add_edge(NodeId(u % n), NodeId(v % n)); }
+                Op::RemoveEdge(u, v) => { g.remove_edge(NodeId(u % n), NodeId(v % n)); }
                 Op::RemoveEdgeAt(u, s) => {
+                    let u = u % n;
                     let deg = g.degree(NodeId(u));
                     if deg > 0 {
                         g.remove_edge_at(NodeId(u), s % deg);
                     }
                 }
-                Op::Isolate(u) => { g.isolate(NodeId(u)); }
+                Op::Isolate(u) => { g.isolate(NodeId(u % n)); }
+                Op::AddNode => {
+                    let id = g.add_node();
+                    prop_assert_eq!(id.index(), n as usize, "add_node must append");
+                    prop_assert_eq!(g.degree(id), 0, "a fresh node starts isolated");
+                }
             }
             prop_assert!(g.check_invariants().is_ok(), "{:?}", g.check_invariants());
         }
     }
 
     /// The graph agrees with a shadow set-of-edges model after every single
-    /// operation: membership, per-node degrees, and the edge count.
+    /// operation: membership, per-node degrees, and the edge count — across
+    /// node insertions as well as edge churn.
     #[test]
     fn dynamic_graph_matches_shadow_model(
         ops in proptest::collection::vec(op_strategy(16), 1..150)
     ) {
-        const N: u32 = 16;
-        let mut g = DynamicGraph::new(N as usize);
+        let mut g = DynamicGraph::new(16);
         let mut model: HashSet<(u32, u32)> = HashSet::new();
         for op in ops {
+            let n = g.node_count() as u32;
             match op {
                 Op::AddEdge(u, v) => {
+                    let (u, v) = (u % n, v % n);
                     let added = g.add_edge(NodeId(u), NodeId(v));
                     prop_assert_eq!(
                         added,
@@ -135,6 +157,7 @@ proptest! {
                     );
                 }
                 Op::RemoveEdge(u, v) => {
+                    let (u, v) = (u % n, v % n);
                     let removed = g.remove_edge(NodeId(u), NodeId(v));
                     prop_assert_eq!(
                         removed,
@@ -143,6 +166,7 @@ proptest! {
                     );
                 }
                 Op::RemoveEdgeAt(u, s) => {
+                    let u = u % n;
                     let deg = g.degree(NodeId(u));
                     if deg > 0 {
                         let slot = s % deg;
@@ -153,6 +177,7 @@ proptest! {
                     }
                 }
                 Op::Isolate(u) => {
+                    let u = u % n;
                     let freed = g.isolate(NodeId(u));
                     for v in &freed {
                         prop_assert!(model.remove(&key(NodeId(u), *v)));
@@ -160,9 +185,13 @@ proptest! {
                     prop_assert_eq!(g.degree(NodeId(u)), 0);
                     prop_assert!(!model.iter().any(|&(a, b)| a == u || b == u));
                 }
+                Op::AddNode => {
+                    let id = g.add_node();
+                    prop_assert_eq!(id.0, n, "add_node must return the next index");
+                }
             }
             prop_assert_eq!(g.edge_count(), model.len());
-            for u in 0..N {
+            for u in 0..g.node_count() as u32 {
                 let deg_model = model.iter().filter(|&&(a, b)| a == u || b == u).count();
                 prop_assert_eq!(g.degree(NodeId(u)), deg_model, "degree mismatch at node {}", u);
             }
@@ -181,18 +210,21 @@ proptest! {
     fn flat_adjacency_matches_slot_exact_shadow(
         ops in proptest::collection::vec(op_strategy(16), 1..150)
     ) {
-        const N: usize = 16;
-        let mut g = DynamicGraph::new(N);
-        let mut shadow = ShadowAdj::new(N);
+        let mut g = DynamicGraph::new(16);
+        let mut shadow = ShadowAdj::new(16);
         for op in ops {
+            let n = g.node_count() as u32;
             match op {
                 Op::AddEdge(u, v) => {
+                    let (u, v) = (u % n, v % n);
                     prop_assert_eq!(g.add_edge(NodeId(u), NodeId(v)), shadow.add_edge(u, v));
                 }
                 Op::RemoveEdge(u, v) => {
+                    let (u, v) = (u % n, v % n);
                     prop_assert_eq!(g.remove_edge(NodeId(u), NodeId(v)), shadow.remove_edge(u, v));
                 }
                 Op::RemoveEdgeAt(u, s) => {
+                    let u = u % n;
                     let deg = g.degree(NodeId(u));
                     if deg > 0 {
                         let slot = s % deg;
@@ -201,11 +233,16 @@ proptest! {
                     }
                 }
                 Op::Isolate(u) => {
+                    let u = u % n;
                     let freed: Vec<u32> = g.isolate(NodeId(u)).iter().map(|p| p.0).collect();
                     prop_assert_eq!(freed, shadow.isolate(u), "isolate order must match");
                 }
+                Op::AddNode => {
+                    prop_assert_eq!(g.add_node().0, shadow.add_node(), "append index must match");
+                }
             }
-            for i in 0..N {
+            prop_assert_eq!(g.node_count(), shadow.adj.len());
+            for i in 0..g.node_count() {
                 let got: Vec<(u32, u32)> =
                     g.neighbors(NodeId(i as u32)).iter().map(|h| (h.peer.0, h.ridx)).collect();
                 prop_assert_eq!(
@@ -216,27 +253,32 @@ proptest! {
         }
     }
 
-    /// The CSR snapshot agrees with the dynamic graph on every edge.
+    /// The CSR snapshot agrees with the dynamic graph on every edge, for
+    /// graphs that have grown past their initial node count.
     #[test]
     fn snapshot_agrees(ops in proptest::collection::vec(op_strategy(16), 1..100)) {
         let mut g = DynamicGraph::new(16);
         for op in ops {
+            let n = g.node_count() as u32;
             match op {
-                Op::AddEdge(u, v) => { g.add_edge(NodeId(u), NodeId(v)); }
-                Op::RemoveEdge(u, v) => { g.remove_edge(NodeId(u), NodeId(v)); }
+                Op::AddEdge(u, v) => { g.add_edge(NodeId(u % n), NodeId(v % n)); }
+                Op::RemoveEdge(u, v) => { g.remove_edge(NodeId(u % n), NodeId(v % n)); }
                 Op::RemoveEdgeAt(u, s) => {
+                    let u = u % n;
                     let deg = g.degree(NodeId(u));
                     if deg > 0 {
                         g.remove_edge_at(NodeId(u), s % deg);
                     }
                 }
-                Op::Isolate(u) => { g.isolate(NodeId(u)); }
+                Op::Isolate(u) => { g.isolate(NodeId(u % n)); }
+                Op::AddNode => { g.add_node(); }
             }
         }
         let csr = g.to_graph();
+        prop_assert_eq!(csr.node_count(), g.node_count());
         prop_assert_eq!(csr.edge_count(), g.edge_count());
-        for u in 0..16u32 {
-            for v in 0..16u32 {
+        for u in 0..g.node_count() as u32 {
+            for v in 0..g.node_count() as u32 {
                 if u == v { continue; }
                 prop_assert_eq!(
                     csr.contains_edge(NodeId(u), NodeId(v)),

@@ -34,7 +34,7 @@ pub mod verdict;
 pub use baselines::NaiveRateLimit;
 pub use config::DdPoliceConfig;
 pub use exchange::ExchangePolicy;
-pub use police::{group_traffic_sums, DdPolice};
+pub use police::{group_traffic_sums, DdPolice, JudgmentTrace};
 pub use verdict::{
     aggregate_group_traffic, AggregationPolicy, Hysteresis, ReadmissionPolicy, SuspectEntry,
     SuspectState, VerdictMachine,

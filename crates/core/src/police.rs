@@ -45,6 +45,23 @@ pub fn group_traffic_sums(
     (out_of_suspect, into_suspect)
 }
 
+/// One `(g, s)` judgment actually computed, recorded when tracing is on.
+/// The differential harness compares these against the reference oracle's
+/// transcription of the paper's equations, within 1 ulp.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JudgmentTrace {
+    /// Tick the judgment happened in.
+    pub tick: Tick,
+    /// The judging peer.
+    pub observer: NodeId,
+    /// The peer being judged.
+    pub suspect: NodeId,
+    /// General Indicator `g(j,t)` as computed.
+    pub g: f64,
+    /// Single Indicator `s(j,t,i)` as computed.
+    pub s: f64,
+}
+
 /// The DD-POLICE defense.
 #[derive(Debug)]
 pub struct DdPolice {
@@ -73,6 +90,13 @@ pub struct DdPolice {
     /// the sums for its own membership in O(1) instead of re-resolving every
     /// member. Entries are stamped per tick; a stale stamp means "rebuild".
     suspect_cache: Vec<SuspectTickCache>,
+    /// When `Some`, every `(g, s)` judgment is appended here (differential
+    /// testing against the reference oracle). Off by default: zero cost.
+    trace: Option<Vec<JudgmentTrace>>,
+    /// Test-only sabotage switch: take the shared-judgment fast path even
+    /// when its exactness preconditions do not hold. The differential
+    /// harness's mutation check flips this to prove divergence is caught.
+    force_fast_path: bool,
 }
 
 /// See [`DdPolice::suspect_cache`].
@@ -107,6 +131,8 @@ impl DdPolice {
             exchanged_stamp: vec![0; n],
             report_memo: HashMap::new(),
             suspect_cache: vec![SuspectTickCache::default(); n],
+            trace: None,
+            force_fast_path: false,
         }
     }
 
@@ -118,6 +144,38 @@ impl DdPolice {
     /// The suspicion state machines (for tests and diagnostics).
     pub fn verdicts(&self) -> &VerdictMachine {
         &self.verdicts
+    }
+
+    /// The neighbor-list exchange state (for tests and diagnostics).
+    pub fn exchange(&self) -> &ExchangeState {
+        &self.exchange
+    }
+
+    /// Start (or stop) recording every `(g, s)` judgment computed.
+    pub fn set_tracing(&mut self, on: bool) {
+        self.trace = if on { Some(Vec::new()) } else { None };
+    }
+
+    /// Drain the judgments recorded since the last call (empty when tracing
+    /// is off). Tracing stays enabled.
+    pub fn take_trace(&mut self) -> Vec<JudgmentTrace> {
+        self.trace.as_mut().map(std::mem::take).unwrap_or_default()
+    }
+
+    /// Force the shared-judgment fast path regardless of its exactness
+    /// preconditions. This deliberately *breaks* the defense under configs
+    /// the fast path cannot handle (per-link clamping, robust aggregation,
+    /// faulty transport) — it exists solely so the differential harness can
+    /// prove it catches such breakage. Never set this outside tests.
+    #[doc(hidden)]
+    pub fn set_force_fast_path(&mut self, on: bool) {
+        self.force_fast_path = on;
+    }
+
+    fn record_trace(&mut self, tick: Tick, observer: NodeId, suspect: NodeId, g: f64, s: f64) {
+        if let Some(t) = self.trace.as_mut() {
+            t.push(JudgmentTrace { tick, observer, suspect, g, s });
+        }
     }
 
     /// `(verdict entries, exchanged snapshots)` currently held — the two
@@ -244,9 +302,10 @@ impl Defense for DdPolice {
         // a suspect computes the same per-member terms: reliable transport
         // (no per-observer fault dice), plain summation (integer-valued f64
         // sums are order-independent below 2^53), and no per-link clamping.
-        let fast = self.cfg.aggregation == AggregationPolicy::Sum
-            && !self.cfg.clamp_reports_to_link
-            && obs.faults.is_none_or(|f| f.config().is_inert());
+        let fast = self.force_fast_path
+            || (self.cfg.aggregation == AggregationPolicy::Sum
+                && !self.cfg.clamp_reports_to_link
+                && obs.faults.is_none_or(|f| f.config().is_inert()));
         for i in 0..n {
             if !obs.runs_defense[i] {
                 continue;
@@ -306,6 +365,7 @@ impl Defense for DdPolice {
                             self.cfg.q_qpm,
                         );
                         let s = single_indicator(q_ji as f64, 0.0, self.cfg.q_qpm);
+                        self.record_trace(obs.tick, observer, suspect, g, s);
                         if self.verdicts.judged(
                             observer,
                             suspect,
@@ -384,6 +444,7 @@ impl Defense for DdPolice {
                         sum_in - own.sent_to_suspect as f64,
                         self.cfg.q_qpm,
                     );
+                    self.record_trace(obs.tick, observer, suspect, g, s);
                     if self.verdicts.judged(
                         observer,
                         suspect,
@@ -435,6 +496,7 @@ impl Defense for DdPolice {
                 };
                 let (g, s, retry_msgs) = self.judge(observer, &group, own, q_ji, obs, &mut memo);
                 actions.control_msgs += retry_msgs;
+                self.record_trace(obs.tick, observer, suspect, g, s);
                 let over_ct = is_bad(g, s, self.cfg.cut_threshold);
                 if self.verdicts.judged(
                     observer,

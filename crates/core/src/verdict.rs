@@ -545,6 +545,19 @@ impl VerdictMachine {
     pub fn entries_about(&self, suspect: NodeId) -> usize {
         self.entries.iter().filter(|m| m.contains_key(&suspect.0)).count()
     }
+
+    /// Every entry `observer` holds, sorted by suspect id — the canonical
+    /// enumeration equivalence checks (differential harness) compare through,
+    /// since `HashMap` iteration order is not observable.
+    pub fn entries_of(&self, observer: NodeId) -> Vec<(u32, SuspectEntry)> {
+        let mut out: Vec<(u32, SuspectEntry)> = self
+            .entries
+            .get(observer.index())
+            .map(|m| m.iter().map(|(&s, &e)| (s, e)).collect())
+            .unwrap_or_default();
+        out.sort_unstable_by_key(|&(s, _)| s);
+        out
+    }
 }
 
 #[cfg(test)]

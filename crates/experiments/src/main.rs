@@ -15,6 +15,7 @@
 //!   exchange    neighbor-list exchange policy study (§3.7.1)
 //!   scale       throughput sweep over overlay size × attacker fraction
 //!   churn       session-model churn × whitewashing attackers (extension)
+//!   fuzz        differential fuzz: engine vs naive reference oracle
 //!   cheating    report-cheating strategies (§3.4)
 //!   resilience  lossy/delayed control plane sweep (extension)
 //!   collusion   coordinated report-cheating coalitions sweep (extension)
@@ -73,8 +74,9 @@ fn main() -> ExitCode {
             emit(&runners::fig14(&rows), &opts);
         }
         "exchange" => emit(&runners::exchange(&opts), &opts),
-        "scale" => emit(&runners::scale(&opts, opts.smoke, Some(&ALLOC)), &opts),
-        "churn" => emit(&runners::churn(&opts, opts.smoke), &opts),
+        "scale" => emit(&runners::scale(&opts, Some(&ALLOC)), &opts),
+        "churn" => emit(&runners::churn(&opts), &opts),
+        "fuzz" => emit(&runners::fuzz(&opts), &opts),
         "structured" => emit(&runners::structured(&opts), &opts),
         "cheating" => emit(&runners::cheating(&opts), &opts),
         "resilience" => emit(&runners::resilience(&opts), &opts),
@@ -134,10 +136,14 @@ usage: ddp-experiments <command> [options]
 commands:
   table1 fig2 fig5 fig6 fig9 fig10 fig11 consequences
   fig12 fig13 fig14 ct exchange cheating resilience collusion structured
-  scale churn ablations all
+  scale churn fuzz ablations all
 
 scale sweeps overlay size × attacker fraction, reporting ticks/sec,
 queries/sec, and a peak-heap proxy, and writes BENCH_scale.json.
+
+fuzz runs seeded random scenarios through the engine/oracle differential
+harness; on divergence it shrinks the scenario, writes a replayable JSON
+reproducer under tests/repro/, and exits nonzero.
 
 churn sweeps session-model churn (arrival rate × session-length
 distribution) × whitewash dwell × readmission policy, reporting detection
@@ -152,7 +158,7 @@ options:
   --replicates N   averaged seeds per configuration (default 1)
   --csv DIR        also write each table as DIR/<name>.csv
   --paper-scale    shorthand for --peers 20000 (the paper's §3.5 setting)
-  --smoke          (scale/churn only) tiny grid that just validates the pipeline
+  --smoke          (scale/churn/fuzz) reduced grid that just validates the pipeline
 ";
 
 fn parse_options(args: &[String]) -> Result<ExpOptions, String> {

@@ -252,9 +252,8 @@ fn residual_damage(attacked: &[f64], baseline: &[f64]) -> f64 {
 #[allow(clippy::type_complexity)]
 pub fn churn_grid_params(
     opts: &ExpOptions,
-    smoke: bool,
 ) -> Vec<(usize, usize, usize, f64, &'static str, u32, bool)> {
-    if smoke {
+    if opts.smoke {
         return vec![
             (300, 15, 6, 5.0, "exponential", 1, false),
             (300, 15, 6, 5.0, "exponential", 1, true),
@@ -283,8 +282,8 @@ pub fn churn_grid_params(
 
 /// Run the full grid. Exposed separately from [`churn`] so tests can assert
 /// on the numbers rather than on formatted strings.
-pub fn churn_grid(opts: &ExpOptions, smoke: bool) -> Vec<ChurnCell> {
-    let grid = churn_grid_params(opts, smoke);
+pub fn churn_grid(opts: &ExpOptions) -> Vec<ChurnCell> {
+    let grid = churn_grid_params(opts);
     grid.par_iter()
         .enumerate()
         .map(|(c, &(peers, ticks, agents, mean, model, dwell, readmission))| {
@@ -396,10 +395,10 @@ pub fn validate_churn_json(doc: &str) -> Result<(), String> {
 
 /// Run the sweep, write `BENCH_churn.json` into the current directory, and
 /// return the human-readable table.
-pub fn churn(opts: &ExpOptions, smoke: bool) -> Table {
-    let cells = churn_grid(opts, smoke);
+pub fn churn(opts: &ExpOptions) -> Table {
+    let cells = churn_grid(opts);
     let mut table = Table::new(
-        if smoke { "churn_smoke" } else { "churn" },
+        if opts.smoke { "churn_smoke" } else { "churn" },
         "Churn x whitewash sweep: detection and re-detection under open membership",
         &[
             "model",
@@ -513,8 +512,8 @@ mod tests {
     /// re-detection latency.
     #[test]
     fn smoke_cells_show_rebirth_and_redetection_under_both_policies() {
-        let opts = ExpOptions { seed: 42, ..ExpOptions::default() };
-        let cells = churn_grid(&opts, true);
+        let opts = ExpOptions { seed: 42, smoke: true, ..ExpOptions::default() };
+        let cells = churn_grid(&opts);
         assert_eq!(cells.len(), 2);
         assert!(cells.iter().any(|c| c.readmission) && cells.iter().any(|c| !c.readmission));
         for c in &cells {

@@ -4,6 +4,7 @@ mod ablations;
 mod churn;
 mod collusion;
 mod ct;
+mod fuzz;
 mod policy;
 mod resilience;
 mod scale;
@@ -23,6 +24,7 @@ pub use collusion::{
     collusion, collusion_grid, readmission, readmission_grid, CollusionCell, ReadmissionCell,
 };
 pub use ct::{ct_sweep, fig12, fig13, fig14, CtRow, CT_GRID};
+pub use fuzz::{fuzz, fuzz_seed_range, FUZZ_SMOKE_SCENARIOS};
 pub use policy::{cheating, exchange};
 pub use resilience::{detection_latency, resilience, resilience_grid, ResilienceCell};
 pub use scale::{

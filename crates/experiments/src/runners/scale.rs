@@ -198,7 +198,8 @@ pub fn validate_scale_json(doc: &str) -> Result<(), String> {
 
 /// Run the sweep, write `BENCH_scale.json` into the current directory, and
 /// return the human-readable table.
-pub fn scale(opts: &ExpOptions, smoke: bool, alloc: Option<&'static CountingAlloc>) -> Table {
+pub fn scale(opts: &ExpOptions, alloc: Option<&'static CountingAlloc>) -> Table {
+    let smoke = opts.smoke;
     let grid = scale_grid(smoke);
     let mut cells = Vec::with_capacity(grid.len());
     let mut table = Table::new(

@@ -271,7 +271,9 @@ pub struct ExpOptions {
     pub replicates: usize,
     /// Where to write CSVs (none = stdout only).
     pub csv_dir: Option<PathBuf>,
-    /// Reduced validation run (only the `scale` runner consults this).
+    /// Reduced validation run. Runners with an expensive full grid (`scale`,
+    /// `churn`, `fuzz`) read this directly; new runners inherit the flag
+    /// with no per-runner plumbing.
     pub smoke: bool,
 }
 

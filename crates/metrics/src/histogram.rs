@@ -19,8 +19,13 @@ impl Histogram {
         Histogram { bucket_width, counts: vec![0; buckets], overflow: 0, total: 0 }
     }
 
-    /// Record a value (negative values clamp into the first bucket).
+    /// Record a value (negative values clamp into the first bucket;
+    /// non-finite values are rejected without touching any count — a NaN
+    /// would otherwise be silently binned at zero through `NaN.max(0.0)`).
     pub fn record(&mut self, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
         self.total += 1;
         let idx = (v.max(0.0) / self.bucket_width) as usize;
         if idx < self.counts.len() {

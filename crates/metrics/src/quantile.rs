@@ -53,8 +53,13 @@ impl P2Quantile {
         self.count
     }
 
-    /// Feed one observation.
+    /// Feed one observation. Non-finite values are rejected without
+    /// touching any state: a NaN would poison the marker ordering (every
+    /// comparison below is false for NaN) and skew every later estimate.
     pub fn record(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
         if self.count < 5 {
             self.heights[self.count as usize] = x;
             self.count += 1;

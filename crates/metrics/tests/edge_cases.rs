@@ -1,0 +1,112 @@
+//! Degenerate-input behavior of the streaming estimators, pinned.
+//!
+//! Empty, single-sample, all-equal, and non-finite inputs are exactly the
+//! shapes a short or broken simulation run produces (no responses, one
+//! response, a constant series, a `0.0 / 0.0` rate). Each case has one
+//! defensible answer; these tests pin it so a refactor cannot drift the
+//! estimators silently.
+
+use ddp_metrics::{Histogram, P2Quantile};
+
+// ----- P² quantile ------------------------------------------------------
+
+#[test]
+fn quantile_empty_input_estimates_zero() {
+    let est = P2Quantile::new(0.5);
+    assert_eq!(est.count(), 0);
+    assert_eq!(est.estimate(), 0.0);
+}
+
+#[test]
+fn quantile_single_sample_is_exact_for_every_q() {
+    for q in [0.01, 0.5, 0.95, 0.99] {
+        let mut est = P2Quantile::new(q);
+        est.record(7.25);
+        assert_eq!(est.count(), 1);
+        assert_eq!(est.estimate(), 7.25, "one sample is every quantile (q = {q})");
+    }
+}
+
+#[test]
+fn quantile_all_equal_samples_estimate_that_value() {
+    // Both the exact (< 5 samples) and the marker-based (>= 5) regimes.
+    for n in [2u64, 4, 5, 100] {
+        let mut est = P2Quantile::new(0.9);
+        for _ in 0..n {
+            est.record(3.5);
+        }
+        assert_eq!(est.count(), n);
+        assert_eq!(est.estimate(), 3.5, "constant stream of {n} samples");
+    }
+}
+
+#[test]
+fn quantile_rejects_non_finite_samples() {
+    let mut est = P2Quantile::new(0.5);
+    for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+        est.record(bad);
+    }
+    assert_eq!(est.count(), 0, "non-finite samples must not count");
+    assert_eq!(est.estimate(), 0.0);
+
+    // A NaN in the middle of a real stream neither counts nor perturbs.
+    let mut clean = P2Quantile::new(0.5);
+    let mut dirty = P2Quantile::new(0.5);
+    for i in 0..50 {
+        let x = f64::from(i % 10);
+        clean.record(x);
+        dirty.record(x);
+        dirty.record(f64::NAN);
+    }
+    assert_eq!(dirty.count(), clean.count());
+    assert_eq!(dirty.estimate().to_bits(), clean.estimate().to_bits());
+}
+
+// ----- histogram --------------------------------------------------------
+
+#[test]
+fn histogram_empty_input_has_zero_mass_and_zero_quantiles() {
+    let h = Histogram::new(1.0, 4);
+    assert_eq!(h.total(), 0);
+    assert_eq!(h.overflow(), 0);
+    assert_eq!(h.quantile(0.0), 0.0);
+    assert_eq!(h.quantile(1.0), 0.0);
+}
+
+#[test]
+fn histogram_single_sample_owns_every_quantile() {
+    let mut h = Histogram::new(2.0, 8);
+    h.record(5.0); // bucket 2, upper edge 6.0
+    assert_eq!(h.total(), 1);
+    for q in [0.01, 0.5, 1.0] {
+        assert_eq!(h.quantile(q), 6.0, "the only bucket's upper edge (q = {q})");
+    }
+}
+
+#[test]
+fn histogram_all_equal_samples_land_in_one_bucket() {
+    let mut h = Histogram::new(1.0, 4);
+    for _ in 0..100 {
+        h.record(2.5);
+    }
+    assert_eq!(h.total(), 100);
+    assert_eq!(h.bucket(2), 100);
+    assert_eq!(h.overflow(), 0);
+    assert_eq!(h.quantile(0.5), 3.0);
+}
+
+#[test]
+fn histogram_rejects_non_finite_values() {
+    let mut h = Histogram::new(1.0, 4);
+    h.record(f64::NAN);
+    h.record(f64::INFINITY);
+    h.record(f64::NEG_INFINITY);
+    assert_eq!(h.total(), 0, "non-finite values must not count");
+    assert_eq!(h.bucket(0), 0, "NaN must not masquerade as zero");
+    assert_eq!(h.overflow(), 0, "infinity must not masquerade as overflow");
+
+    h.record(0.5);
+    h.record(f64::NAN);
+    assert_eq!(h.total(), 1);
+    assert_eq!(h.bucket(0), 1);
+}

@@ -1,0 +1,501 @@
+//! [`ScenarioSpec`] — a flat, replayable description of one differential
+//! fuzz scenario.
+//!
+//! Every knob the harness varies is a scalar, so a spec serializes to a
+//! single flat JSON object (hand-rolled — the workspace has no JSON
+//! dependency) and shrinks by mutating one field at a time. The same spec
+//! instantiates the optimized engine and the naive oracle from the same
+//! seed, so any observable difference between the twins is the defense's
+//! fault, not the scenario's.
+
+use ddp_attack::{AttackPlan, CheatFactors, CheatStrategy, CollusionPlan, WhitewashPlan};
+use ddp_police::exchange::ExchangePolicy;
+use ddp_police::{AggregationPolicy, DdPoliceConfig, Hysteresis, ReadmissionPolicy};
+use ddp_sim::{Defense, FaultConfig, ListBehavior, SessionConfig, SimConfig, Simulation};
+use ddp_topology::{NodeId, TopologyConfig, TopologyModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One fuzz scenario: topology + attack wiring + fault plane + protocol
+/// knobs, all scalars.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// Peers in the Barabási–Albert (m = 3) starting overlay.
+    pub peers: usize,
+    /// Ticks to run in lockstep.
+    pub ticks: u32,
+    /// Master seed: engine RNG, oracle RNG, and attack selection all derive
+    /// from it identically.
+    pub seed: u64,
+    /// Plain flooding agents (ignored when a collusion mode is set).
+    pub agents: usize,
+    /// Cheat strategy for plain agents: 0 Honest, 1 InflateSent,
+    /// 2 DeflateSent, 3 Silent.
+    pub cheat: u8,
+    /// Inflation factor for `cheat == 1`.
+    pub inflate: f64,
+    /// Deflation factor for `cheat == 2`.
+    pub deflate: f64,
+    /// List behavior applied to every agent: 0 Truthful, 1 Omit, 2 Refuse,
+    /// 3 PadFake.
+    pub lists: u8,
+    /// Phantom members per announcement for `lists == 3`.
+    pub pad_extra: u8,
+    /// Control-plane loss probability.
+    pub loss: f64,
+    /// Control-plane delay probability.
+    pub delay_prob: f64,
+    /// Delay length in ticks when a message is delayed.
+    pub delay_ticks: u32,
+    /// Per-node crash-restart probability per tick.
+    pub crash_prob: f64,
+    /// Collusion mode: 0 none, 1 shield (adjacent cluster), 2 frame.
+    pub collusion: u8,
+    /// Shield mode: fellow-colluder deflation factor.
+    pub shield_deflate: f64,
+    /// Frame mode: fraction of the victim's neighbors compromised.
+    pub frame_fraction: f64,
+    /// Frame mode: inflation factor against the victim.
+    pub frame_inflate: f64,
+    /// Legacy fixed-slot churn on/off.
+    pub churn: bool,
+    /// Session model mean lifetime in minutes; `0.0` disables the session
+    /// model.
+    pub session_mean: f64,
+    /// Whitewashing: rebirth dwell in ticks; `0` disables whitewashing.
+    pub whitewash_dwell: u32,
+    /// Whitewashing: post-rejoin quiet period in ticks.
+    pub whitewash_quiet: u32,
+    /// Protocol `CT`.
+    pub cut_threshold: f64,
+    /// Exchange period in minutes; `0` selects the event-driven policy.
+    pub exchange_minutes: u32,
+    /// Buddy-Group radius.
+    pub radius: u8,
+    /// §3.1 membership verification on/off.
+    pub verify_lists: bool,
+    /// Clamp claimed traffic at link capacity on/off.
+    pub clamp_reports: bool,
+    /// Aggregation: 0 Sum, 1 Median, 2 TrimmedMean.
+    pub aggregation: u8,
+    /// Trim fraction for `aggregation == 2`.
+    pub trim: f64,
+    /// Hysteresis: required over-CT windows.
+    pub hys_required: u8,
+    /// Hysteresis: window length.
+    pub hys_window: u8,
+    /// Readmission lifecycle on/off (engine defaults for the clocks).
+    pub readmission: bool,
+    /// Verdict-state TTL in ticks; `u32::MAX` disables the sweep.
+    pub suspect_ttl: u32,
+    /// Force the engine down its fast path even when the gate says no —
+    /// the mutation-check lever; always `false` for honest fuzzing.
+    pub force_fast_path: bool,
+}
+
+impl Default for ScenarioSpec {
+    fn default() -> Self {
+        ScenarioSpec {
+            peers: 48,
+            ticks: 10,
+            seed: 1,
+            agents: 3,
+            cheat: 0,
+            inflate: 50.0,
+            deflate: 0.02,
+            lists: 0,
+            pad_extra: 4,
+            loss: 0.0,
+            delay_prob: 0.0,
+            delay_ticks: 1,
+            crash_prob: 0.0,
+            collusion: 0,
+            shield_deflate: 0.02,
+            frame_fraction: 0.6,
+            frame_inflate: 50.0,
+            churn: false,
+            session_mean: 0.0,
+            whitewash_dwell: 0,
+            whitewash_quiet: 0,
+            cut_threshold: 5.0,
+            exchange_minutes: 2,
+            radius: 1,
+            verify_lists: true,
+            clamp_reports: false,
+            aggregation: 0,
+            trim: 0.2,
+            hys_required: 1,
+            hys_window: 1,
+            readmission: false,
+            suspect_ttl: u32::MAX,
+            force_fast_path: false,
+        }
+    }
+}
+
+/// SplitMix64 step — the spec generator's only entropy source (`Date::now`
+/// has no place in a replayable fuzzer).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn pick(state: &mut u64, lo: u64, hi: u64) -> u64 {
+    lo + splitmix64(state) % (hi - lo + 1)
+}
+
+fn chance(state: &mut u64, prob_percent: u64) -> bool {
+    pick(state, 0, 99) < prob_percent
+}
+
+impl ScenarioSpec {
+    /// A random scenario derived deterministically from `fuzz_seed`. Biased
+    /// toward the paper's defaults (most knobs stay put per scenario) so
+    /// single-feature interactions stay likely while the tail still covers
+    /// feature products.
+    pub fn random(fuzz_seed: u64) -> Self {
+        let mut st = fuzz_seed ^ 0x0dd5_ca1e_0dd5_ca1e;
+        // Warm the stream so consecutive seeds decorrelate.
+        let _ = splitmix64(&mut st);
+        let mut spec = ScenarioSpec {
+            peers: pick(&mut st, 24, 80) as usize,
+            ticks: pick(&mut st, 6, 16) as u32,
+            seed: splitmix64(&mut st),
+            agents: pick(&mut st, 0, 6) as usize,
+            ..ScenarioSpec::default()
+        };
+        spec.cheat = pick(&mut st, 0, 3) as u8;
+        if chance(&mut st, 40) {
+            spec.lists = pick(&mut st, 0, 3) as u8;
+        }
+        if chance(&mut st, 40) {
+            spec.loss = pick(&mut st, 1, 30) as f64 / 100.0;
+            spec.delay_prob = pick(&mut st, 0, 30) as f64 / 100.0;
+            spec.delay_ticks = pick(&mut st, 1, 3) as u32;
+        }
+        if chance(&mut st, 20) {
+            spec.crash_prob = pick(&mut st, 1, 5) as f64 / 100.0;
+        }
+        if chance(&mut st, 25) {
+            spec.collusion = pick(&mut st, 1, 2) as u8;
+        }
+        spec.churn = chance(&mut st, 30);
+        if chance(&mut st, 20) {
+            spec.session_mean = pick(&mut st, 4, 20) as f64;
+        }
+        if chance(&mut st, 15) {
+            spec.whitewash_dwell = pick(&mut st, 1, 3) as u32;
+            spec.whitewash_quiet = pick(&mut st, 0, 2) as u32;
+        }
+        if chance(&mut st, 30) {
+            spec.cut_threshold = pick(&mut st, 1, 12) as f64;
+        }
+        if chance(&mut st, 25) {
+            spec.exchange_minutes = pick(&mut st, 0, 3) as u32;
+        }
+        if chance(&mut st, 20) {
+            spec.radius = 2;
+        }
+        spec.verify_lists = chance(&mut st, 80);
+        spec.clamp_reports = chance(&mut st, 25);
+        if chance(&mut st, 25) {
+            spec.aggregation = pick(&mut st, 1, 2) as u8;
+            spec.trim = pick(&mut st, 0, 40) as f64 / 100.0;
+        }
+        if chance(&mut st, 25) {
+            spec.hys_window = pick(&mut st, 1, 4) as u8;
+            spec.hys_required = pick(&mut st, 1, spec.hys_window as u64) as u8;
+        }
+        spec.readmission = chance(&mut st, 25);
+        if chance(&mut st, 20) {
+            spec.suspect_ttl = pick(&mut st, 2, 8) as u32;
+        }
+        spec
+    }
+
+    /// The simulation configuration both twins share.
+    pub fn sim_config(&self) -> SimConfig {
+        SimConfig {
+            topology: TopologyConfig {
+                n: self.peers,
+                model: TopologyModel::BarabasiAlbert { m: 3 },
+            },
+            churn: self.churn,
+            faults: FaultConfig {
+                loss: self.loss,
+                delay_prob: self.delay_prob,
+                delay_ticks: self.delay_ticks,
+                crash_prob: self.crash_prob,
+            },
+            session: if self.session_mean > 0.0 {
+                Some(SessionConfig::steady_state(self.peers, self.session_mean))
+            } else {
+                None
+            },
+            ..SimConfig::default()
+        }
+    }
+
+    /// The protocol configuration both twins share.
+    pub fn police_config(&self) -> DdPoliceConfig {
+        DdPoliceConfig {
+            cut_threshold: self.cut_threshold,
+            exchange: if self.exchange_minutes == 0 {
+                ExchangePolicy::EventDriven
+            } else {
+                ExchangePolicy::Periodic { minutes: self.exchange_minutes }
+            },
+            radius: self.radius,
+            verify_lists: self.verify_lists,
+            clamp_reports_to_link: self.clamp_reports,
+            aggregation: match self.aggregation {
+                0 => AggregationPolicy::Sum,
+                1 => AggregationPolicy::Median,
+                _ => AggregationPolicy::TrimmedMean { trim: self.trim },
+            },
+            hysteresis: Hysteresis { required: self.hys_required, window: self.hys_window },
+            readmission: ReadmissionPolicy {
+                enabled: self.readmission,
+                ..ReadmissionPolicy::default()
+            },
+            suspect_ttl_ticks: self.suspect_ttl,
+            ..DdPoliceConfig::default()
+        }
+    }
+
+    fn cheat_strategy(&self) -> CheatStrategy {
+        match self.cheat {
+            0 => CheatStrategy::Honest,
+            1 => CheatStrategy::InflateSent,
+            2 => CheatStrategy::DeflateSent,
+            _ => CheatStrategy::Silent,
+        }
+    }
+
+    fn list_behavior(&self) -> ListBehavior {
+        match self.lists {
+            0 => ListBehavior::Truthful,
+            1 => ListBehavior::Omit,
+            2 => ListBehavior::Refuse,
+            _ => ListBehavior::PadFake { extra: self.pad_extra },
+        }
+    }
+
+    /// Build one simulation around `defense` with the attack fully wired.
+    /// Called once per twin with the same spec, so both receive identical
+    /// agent selections, collusion clusters, and whitewash arming.
+    pub fn instantiate<D: Defense>(&self, defense: D) -> Simulation<D> {
+        let mut sim = Simulation::new(self.sim_config(), defense, self.seed);
+        let agents: Vec<NodeId> = if self.whitewash_dwell > 0 {
+            let mut rng = StdRng::seed_from_u64(self.seed ^ 0xdd05_ee1f);
+            WhitewashPlan::new(self.agents, self.whitewash_dwell)
+                .with_quiet(self.whitewash_quiet)
+                .with_cheat(self.cheat_strategy())
+                .apply(&mut sim, &mut rng)
+        } else if self.collusion == 1 {
+            let mut rng = StdRng::seed_from_u64(self.seed ^ 0x0c01_10de);
+            CollusionPlan::shield(self.agents.max(1), self.shield_deflate)
+                .apply(&mut sim, &mut rng)
+                .colluders
+        } else if self.collusion == 2 {
+            let mut rng = StdRng::seed_from_u64(self.seed ^ 0x0c01_10de);
+            CollusionPlan::frame(self.frame_fraction, self.frame_inflate)
+                .apply(&mut sim, &mut rng)
+                .colluders
+        } else if self.agents > 0 {
+            let mut rng = StdRng::seed_from_u64(self.seed ^ 0xdd05_ee1f);
+            AttackPlan::new(self.agents)
+                .with_cheat(self.cheat_strategy())
+                .with_factors(CheatFactors { inflate: self.inflate, deflate: self.deflate })
+                .apply(&mut sim, &mut rng)
+        } else {
+            Vec::new()
+        };
+        let behavior = self.list_behavior();
+        if behavior != ListBehavior::Truthful {
+            for &a in &agents {
+                sim.set_list_behavior(a, behavior);
+            }
+        }
+        sim
+    }
+
+    // ----- flat JSON (hand-rolled; the workspace carries no JSON dep) ----
+
+    /// Serialize to a flat JSON object, one key per field.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        let mut field = |key: &str, value: String| {
+            s.push_str(&format!("  \"{key}\": {value},\n"));
+        };
+        field("peers", self.peers.to_string());
+        field("ticks", self.ticks.to_string());
+        field("seed", self.seed.to_string());
+        field("agents", self.agents.to_string());
+        field("cheat", self.cheat.to_string());
+        field("inflate", fmt_f64(self.inflate));
+        field("deflate", fmt_f64(self.deflate));
+        field("lists", self.lists.to_string());
+        field("pad_extra", self.pad_extra.to_string());
+        field("loss", fmt_f64(self.loss));
+        field("delay_prob", fmt_f64(self.delay_prob));
+        field("delay_ticks", self.delay_ticks.to_string());
+        field("crash_prob", fmt_f64(self.crash_prob));
+        field("collusion", self.collusion.to_string());
+        field("shield_deflate", fmt_f64(self.shield_deflate));
+        field("frame_fraction", fmt_f64(self.frame_fraction));
+        field("frame_inflate", fmt_f64(self.frame_inflate));
+        field("churn", self.churn.to_string());
+        field("session_mean", fmt_f64(self.session_mean));
+        field("whitewash_dwell", self.whitewash_dwell.to_string());
+        field("whitewash_quiet", self.whitewash_quiet.to_string());
+        field("cut_threshold", fmt_f64(self.cut_threshold));
+        field("exchange_minutes", self.exchange_minutes.to_string());
+        field("radius", self.radius.to_string());
+        field("verify_lists", self.verify_lists.to_string());
+        field("clamp_reports", self.clamp_reports.to_string());
+        field("aggregation", self.aggregation.to_string());
+        field("trim", fmt_f64(self.trim));
+        field("hys_required", self.hys_required.to_string());
+        field("hys_window", self.hys_window.to_string());
+        field("readmission", self.readmission.to_string());
+        field("suspect_ttl", self.suspect_ttl.to_string());
+        field("force_fast_path", self.force_fast_path.to_string());
+        // Trim the trailing comma to stay valid JSON.
+        let end = s.trim_end_matches([',', '\n']).len();
+        s.truncate(end);
+        s.push_str("\n}\n");
+        s
+    }
+
+    /// Parse a flat JSON object produced by [`Self::to_json`] (or edited by
+    /// hand — key order and whitespace are free; unknown keys are errors so
+    /// a typo cannot silently replay a different scenario).
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let mut spec = ScenarioSpec::default();
+        let inner = text
+            .trim()
+            .strip_prefix('{')
+            .and_then(|t| t.strip_suffix('}'))
+            .ok_or("not a JSON object")?;
+        for part in inner.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (key, value) = part.split_once(':').ok_or_else(|| format!("bad pair {part:?}"))?;
+            let key = key.trim().trim_matches('"');
+            let value = value.trim();
+            let as_u64 = || -> Result<u64, String> {
+                value.parse::<u64>().map_err(|e| format!("{key}: {e}"))
+            };
+            let as_f64 = || -> Result<f64, String> {
+                value.parse::<f64>().map_err(|e| format!("{key}: {e}"))
+            };
+            let as_bool = || -> Result<bool, String> {
+                value.parse::<bool>().map_err(|e| format!("{key}: {e}"))
+            };
+            match key {
+                "peers" => spec.peers = as_u64()? as usize,
+                "ticks" => spec.ticks = as_u64()? as u32,
+                "seed" => spec.seed = as_u64()?,
+                "agents" => spec.agents = as_u64()? as usize,
+                "cheat" => spec.cheat = as_u64()? as u8,
+                "inflate" => spec.inflate = as_f64()?,
+                "deflate" => spec.deflate = as_f64()?,
+                "lists" => spec.lists = as_u64()? as u8,
+                "pad_extra" => spec.pad_extra = as_u64()? as u8,
+                "loss" => spec.loss = as_f64()?,
+                "delay_prob" => spec.delay_prob = as_f64()?,
+                "delay_ticks" => spec.delay_ticks = as_u64()? as u32,
+                "crash_prob" => spec.crash_prob = as_f64()?,
+                "collusion" => spec.collusion = as_u64()? as u8,
+                "shield_deflate" => spec.shield_deflate = as_f64()?,
+                "frame_fraction" => spec.frame_fraction = as_f64()?,
+                "frame_inflate" => spec.frame_inflate = as_f64()?,
+                "churn" => spec.churn = as_bool()?,
+                "session_mean" => spec.session_mean = as_f64()?,
+                "whitewash_dwell" => spec.whitewash_dwell = as_u64()? as u32,
+                "whitewash_quiet" => spec.whitewash_quiet = as_u64()? as u32,
+                "cut_threshold" => spec.cut_threshold = as_f64()?,
+                "exchange_minutes" => spec.exchange_minutes = as_u64()? as u32,
+                "radius" => spec.radius = as_u64()? as u8,
+                "verify_lists" => spec.verify_lists = as_bool()?,
+                "clamp_reports" => spec.clamp_reports = as_bool()?,
+                "aggregation" => spec.aggregation = as_u64()? as u8,
+                "trim" => spec.trim = as_f64()?,
+                "hys_required" => spec.hys_required = as_u64()? as u8,
+                "hys_window" => spec.hys_window = as_u64()? as u8,
+                "readmission" => spec.readmission = as_bool()?,
+                "suspect_ttl" => spec.suspect_ttl = as_u64()? as u32,
+                "force_fast_path" => spec.force_fast_path = as_bool()?,
+                other => return Err(format!("unknown key {other:?}")),
+            }
+        }
+        Ok(spec)
+    }
+}
+
+/// `f64` to JSON without losing bits: integers print plainly, everything
+/// else via `{:?}` (shortest round-trip representation).
+fn fmt_f64(v: f64) -> String {
+    format!("{v:?}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_roundtrips_exactly() {
+        for fuzz_seed in 0..50 {
+            let spec = ScenarioSpec::random(fuzz_seed);
+            let json = spec.to_json();
+            let back = ScenarioSpec::from_json(&json).expect("own output parses");
+            assert_eq!(back, spec, "roundtrip drift for fuzz seed {fuzz_seed}:\n{json}");
+        }
+    }
+
+    #[test]
+    fn json_roundtrips_extreme_scalars() {
+        let spec = ScenarioSpec {
+            seed: u64::MAX,
+            suspect_ttl: u32::MAX,
+            loss: 0.1 + 0.2, // not exactly 0.3; must survive the round trip
+            ..ScenarioSpec::default()
+        };
+        let back = ScenarioSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(back, spec);
+        assert_eq!(back.loss.to_bits(), spec.loss.to_bits());
+    }
+
+    #[test]
+    fn unknown_keys_are_rejected() {
+        assert!(ScenarioSpec::from_json("{\"peerz\": 10}").is_err());
+        assert!(ScenarioSpec::from_json("nonsense").is_err());
+    }
+
+    #[test]
+    fn random_specs_are_deterministic_and_varied() {
+        assert_eq!(ScenarioSpec::random(7), ScenarioSpec::random(7));
+        let distinct: std::collections::HashSet<String> =
+            (0..50).map(|s| ScenarioSpec::random(s).to_json()).collect();
+        assert!(distinct.len() >= 45, "only {} distinct specs in 50", distinct.len());
+        for s in 0..50 {
+            let spec = ScenarioSpec::random(s);
+            assert!(!spec.force_fast_path, "honest fuzzing never forces the fast path");
+            assert!(spec.sim_config().validate().is_ok(), "seed {s} generates invalid config");
+        }
+    }
+
+    #[test]
+    fn both_twins_receive_identical_attack_wiring() {
+        let spec = ScenarioSpec { agents: 4, cheat: 1, ..ScenarioSpec::default() };
+        let a = spec.instantiate(ddp_sim::NoDefense);
+        let b = spec.instantiate(ddp_sim::NoDefense);
+        assert_eq!(a.attackers(), b.attackers());
+    }
+}

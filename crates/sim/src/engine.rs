@@ -284,6 +284,28 @@ impl<D: Defense> Simulation<D> {
         &self.whitewash_log
     }
 
+    /// The defense, mutably (differential harnesses flip tracing knobs
+    /// between ticks).
+    pub fn defense_mut(&mut self) -> &mut D {
+        &mut self.defense
+    }
+
+    /// Every defensive disconnection decided so far, in order (the live view
+    /// of the final [`RunResult::cut_log`]).
+    pub fn cut_log(&self) -> &[CutRecord] {
+        &self.cut_log
+    }
+
+    /// Every verdict-lifecycle transition recorded so far, in order.
+    pub fn verdict_log(&self) -> &[VerdictTransition] {
+        &self.verdict_ledger.log
+    }
+
+    /// Per-tick series accumulated so far.
+    pub fn series(&self) -> &RunSeries {
+        &self.series
+    }
+
     /// Advance the simulation by one tick (one minute).
     pub fn step(&mut self) {
         self.tick += 1;

@@ -15,6 +15,7 @@
 //! | [`sim`]      | `ddp-sim` | the discrete-time overlay flooding simulator |
 //! | [`attack`]   | `ddp-attack` | overlay DDoS agent models and cheating strategies |
 //! | [`police`]   | `ddp-police` | **the paper's contribution**: DD-POLICE plus baseline defenses |
+//! | [`oracle`]   | `ddp-oracle` | naive reference model of DD-POLICE + differential fuzz harness |
 //! | [`testbed`]  | `ddp-testbed` | the §2.3 single-peer capacity testbed (Figures 5–6) |
 //! | [`dht`] | `ddp-dht` | Chord-like structured overlay (the paper's §5 future work) |
 //! | [`servent`] | `ddp-servent` | protocol-level reference peer: wire messages on every hop |
@@ -41,6 +42,7 @@ pub use ddp_attack as attack;
 pub use ddp_dht as dht;
 pub use ddp_experiments as experiments;
 pub use ddp_metrics as metrics;
+pub use ddp_oracle as oracle;
 pub use ddp_police as police;
 pub use ddp_protocol as protocol;
 pub use ddp_servent as servent;

@@ -78,6 +78,38 @@ impl CheatStrategy {
     }
 }
 
+impl ddp_snapshot::Snapshottable for CheatStrategy {
+    fn save(&self, enc: &mut ddp_snapshot::Enc) {
+        enc.u8(match self {
+            CheatStrategy::Honest => 0,
+            CheatStrategy::InflateSent => 1,
+            CheatStrategy::DeflateSent => 2,
+            CheatStrategy::Silent => 3,
+        });
+    }
+
+    fn load(dec: &mut ddp_snapshot::Dec<'_>) -> Result<Self, ddp_snapshot::SnapshotError> {
+        Ok(match dec.u8()? {
+            0 => CheatStrategy::Honest,
+            1 => CheatStrategy::InflateSent,
+            2 => CheatStrategy::DeflateSent,
+            3 => CheatStrategy::Silent,
+            _ => return Err(ddp_snapshot::SnapshotError::Corrupt { what: "cheat strategy tag" }),
+        })
+    }
+}
+
+impl ddp_snapshot::Snapshottable for CheatFactors {
+    fn save(&self, enc: &mut ddp_snapshot::Enc) {
+        enc.f64(self.inflate);
+        enc.f64(self.deflate);
+    }
+
+    fn load(dec: &mut ddp_snapshot::Dec<'_>) -> Result<Self, ddp_snapshot::SnapshotError> {
+        Ok(CheatFactors { inflate: dec.f64()?, deflate: dec.f64()? })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -110,6 +110,61 @@ impl CollusionPlan {
     }
 }
 
+impl ddp_snapshot::Snapshottable for CollusionMode {
+    fn save(&self, enc: &mut ddp_snapshot::Enc) {
+        match *self {
+            CollusionMode::Shield { agents, deflate } => {
+                enc.u8(0);
+                enc.usize(agents);
+                enc.f64(deflate);
+            }
+            CollusionMode::Frame { fraction, inflate } => {
+                enc.u8(1);
+                enc.f64(fraction);
+                enc.f64(inflate);
+            }
+        }
+    }
+
+    fn load(dec: &mut ddp_snapshot::Dec<'_>) -> Result<Self, ddp_snapshot::SnapshotError> {
+        Ok(match dec.u8()? {
+            0 => CollusionMode::Shield { agents: dec.usize()?, deflate: dec.f64()? },
+            1 => CollusionMode::Frame { fraction: dec.f64()?, inflate: dec.f64()? },
+            _ => return Err(ddp_snapshot::SnapshotError::Corrupt { what: "collusion mode tag" }),
+        })
+    }
+}
+
+impl ddp_snapshot::Snapshottable for CollusionPlan {
+    fn save(&self, enc: &mut ddp_snapshot::Enc) {
+        enc.put(&self.mode);
+    }
+
+    fn load(dec: &mut ddp_snapshot::Dec<'_>) -> Result<Self, ddp_snapshot::SnapshotError> {
+        Ok(CollusionPlan { mode: dec.get()? })
+    }
+}
+
+impl ddp_snapshot::Snapshottable for CollusionOutcome {
+    fn save(&self, enc: &mut ddp_snapshot::Enc) {
+        enc.put(&self.victim.map(|v| v.0));
+        enc.usize(self.colluders.len());
+        for c in &self.colluders {
+            enc.u32(c.0);
+        }
+    }
+
+    fn load(dec: &mut ddp_snapshot::Dec<'_>) -> Result<Self, ddp_snapshot::SnapshotError> {
+        let victim = dec.get::<Option<u32>>()?.map(NodeId);
+        let n = dec.len("collusion colluders")?;
+        let mut colluders = Vec::with_capacity(n);
+        for _ in 0..n {
+            colluders.push(NodeId(dec.u32()?));
+        }
+        Ok(CollusionOutcome { victim, colluders })
+    }
+}
+
 /// The highest-degree online good peer (lowest id on ties): deterministic
 /// per simulation, so paired-seed sweeps frame the same victim.
 fn highest_degree_good_peer<D: Defense>(sim: &Simulation<D>) -> Option<NodeId> {

@@ -60,6 +60,18 @@ impl AttackPlan {
     }
 }
 
+impl ddp_snapshot::Snapshottable for AttackPlan {
+    fn save(&self, enc: &mut ddp_snapshot::Enc) {
+        enc.usize(self.agents);
+        enc.put(&self.cheat);
+        enc.put(&self.factors);
+    }
+
+    fn load(dec: &mut ddp_snapshot::Dec<'_>) -> Result<Self, ddp_snapshot::SnapshotError> {
+        Ok(AttackPlan { agents: dec.usize()?, cheat: dec.get()?, factors: dec.get()? })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -102,6 +114,34 @@ mod tests {
             assert!(sim.role(*a).is_attacker());
         }
         assert_eq!(sim.attackers().len(), 10);
+    }
+
+    #[test]
+    fn plan_descriptors_snapshot_roundtrip_exactly() {
+        use ddp_snapshot::{Dec, Enc, Snapshottable};
+        fn roundtrip<T: Snapshottable + PartialEq + std::fmt::Debug>(v: &T) {
+            let mut enc = Enc::new();
+            enc.put(v);
+            let bytes = enc.into_bytes();
+            let mut dec = Dec::new(&bytes);
+            assert_eq!(&dec.get::<T>().unwrap(), v);
+            dec.finish().unwrap();
+        }
+        for cheat in CheatStrategy::all() {
+            roundtrip(
+                &AttackPlan::new(37)
+                    .with_cheat(cheat)
+                    .with_factors(CheatFactors { inflate: 12.5, deflate: 0.125 }),
+            );
+        }
+        roundtrip(&crate::WhitewashPlan::new(5, 3).with_quiet(2));
+        roundtrip(&crate::CollusionPlan::shield(8, 0.02));
+        roundtrip(&crate::CollusionPlan::frame(0.5, 40.0));
+        roundtrip(&crate::CollusionOutcome {
+            victim: Some(NodeId(9)),
+            colluders: vec![NodeId(1), NodeId(4)],
+        });
+        roundtrip(&crate::CollusionOutcome { victim: None, colluders: Vec::new() });
     }
 
     #[test]

@@ -77,6 +77,26 @@ impl WhitewashPlan {
     }
 }
 
+impl ddp_snapshot::Snapshottable for WhitewashPlan {
+    fn save(&self, enc: &mut ddp_snapshot::Enc) {
+        enc.usize(self.agents);
+        enc.put(&self.cheat);
+        enc.put(&self.factors);
+        enc.u32(self.dwell_ticks);
+        enc.u32(self.quiet_ticks);
+    }
+
+    fn load(dec: &mut ddp_snapshot::Dec<'_>) -> Result<Self, ddp_snapshot::SnapshotError> {
+        Ok(WhitewashPlan {
+            agents: dec.usize()?,
+            cheat: dec.get()?,
+            factors: dec.get()?,
+            dwell_ticks: dec.u32()?,
+            quiet_ticks: dec.u32()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -160,6 +160,21 @@ impl SeedableRng for StdRng {
     }
 }
 
+impl StdRng {
+    /// The raw xoshiro256** state words — the checkpointing hook. Together
+    /// with [`StdRng::from_state`] this captures and resumes a stream at its
+    /// exact position.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuild a generator mid-stream from words captured by
+    /// [`StdRng::state`].
+    pub fn from_state(s: [u64; 4]) -> Self {
+        StdRng { s }
+    }
+}
+
 impl RngCore for StdRng {
     fn next_u64(&mut self) -> u64 {
         let s = &mut self.s;
@@ -322,6 +337,18 @@ mod tests {
         assert!(v.choose(&mut rng).is_some());
         let empty: &[u32] = &[];
         assert!(empty.choose(&mut rng).is_none());
+    }
+
+    #[test]
+    fn state_capture_resumes_mid_stream() {
+        let mut a = StdRng::seed_from_u64(21);
+        for _ in 0..100 {
+            a.next_u64();
+        }
+        let mut b = StdRng::from_state(a.state());
+        let xs: Vec<u64> = (0..32).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..32).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys, "restored stream must continue at the exact position");
     }
 
     #[test]

@@ -57,6 +57,30 @@ impl Defense for NaiveRateLimit {
             }
         }
     }
+
+    fn snapshot_support(&self) -> bool {
+        true
+    }
+
+    fn save_state(&self, enc: &mut ddp_snapshot::Enc) {
+        // Stateless across ticks; the threshold is recorded only so a resume
+        // under a differently-configured limiter is refused.
+        enc.u32(self.threshold_qpm);
+    }
+
+    fn restore_state(
+        &mut self,
+        dec: &mut ddp_snapshot::Dec<'_>,
+    ) -> Result<(), ddp_snapshot::SnapshotError> {
+        let found = dec.u32()?;
+        if found != self.threshold_qpm {
+            return Err(ddp_snapshot::SnapshotError::ContextMismatch {
+                expected: self.threshold_qpm as u64,
+                found: found as u64,
+            });
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -562,6 +562,48 @@ impl Defense for DdPolice {
         // its own cut (it owns the readmission clock).
         self.verdicts.forget_edge(u, v);
     }
+
+    fn snapshot_support(&self) -> bool {
+        true
+    }
+
+    fn save_state(&self, enc: &mut ddp_snapshot::Enc) {
+        // The engine's context fingerprint covers `SimConfig` and the master
+        // seed but knows nothing about the defense's own knobs: embed a
+        // digest so resuming under a different `DdPoliceConfig` is refused
+        // instead of silently diverging.
+        enc.u64(ddp_snapshot::fnv1a64(format!("{:?}", self.cfg).as_bytes()));
+        self.exchange.save_state(enc);
+        self.verdicts.save_state(enc);
+        enc.put(&self.exchanged_stamp);
+        enc.bool(self.force_fast_path);
+        enc.bool(self.trace.is_some());
+        // Deliberately absent: `report_memo` and `suspect_cache` are per-tick
+        // memos rebuilt from scratch at the top of `on_tick` (stamp != tick),
+        // and `trace` contents are drained each tick by the harness — at a
+        // tick boundary both are empty/stale by construction.
+    }
+
+    fn restore_state(
+        &mut self,
+        dec: &mut ddp_snapshot::Dec<'_>,
+    ) -> Result<(), ddp_snapshot::SnapshotError> {
+        let expected = ddp_snapshot::fnv1a64(format!("{:?}", self.cfg).as_bytes());
+        let found = dec.u64()?;
+        if found != expected {
+            return Err(ddp_snapshot::SnapshotError::ContextMismatch { expected, found });
+        }
+        self.exchange = ExchangeState::load_state(dec)?;
+        self.verdicts = VerdictMachine::load_state(dec)?;
+        self.exchanged_stamp = dec.get()?;
+        self.force_fast_path = dec.bool()?;
+        let tracing = dec.bool()?;
+        self.trace = if tracing { Some(Vec::new()) } else { None };
+        let n = self.exchange.len().max(self.exchanged_stamp.len());
+        self.report_memo = HashMap::new();
+        self.suspect_cache = vec![SuspectTickCache::default(); n];
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -720,5 +762,85 @@ mod tests {
     fn defense_name_is_stable() {
         let p = DdPolice::new(DdPoliceConfig::default(), 10);
         assert_eq!(p.name(), "dd-police");
+    }
+
+    /// Police config exercising every piece of live verdict state: hysteresis
+    /// histories, quarantine/probation clocks, and the TTL sweep.
+    fn lifecycle_cfg() -> DdPoliceConfig {
+        DdPoliceConfig {
+            hysteresis: crate::verdict::Hysteresis { required: 2, window: 3 },
+            readmission: crate::verdict::ReadmissionPolicy {
+                enabled: true,
+                base_backoff_ticks: 2,
+                max_backoff_ticks: 16,
+                probation_ticks: 2,
+            },
+            ..DdPoliceConfig::default()
+        }
+    }
+
+    fn lifecycle_sim(n: usize, seed: u64) -> ddp_sim::Simulation<DdPolice> {
+        let mut sim = Simulation::new(cfg(n), DdPolice::new(lifecycle_cfg(), n), seed);
+        for a in [5u32, 77, 123] {
+            sim.make_attacker(NodeId(a), ReportBehavior::Honest);
+        }
+        sim
+    }
+
+    #[test]
+    fn dd_police_snapshot_resume_is_tick_for_tick_identical() {
+        let mut reference = lifecycle_sim(200, 42);
+        for _ in 0..12 {
+            reference.step();
+        }
+
+        // Snapshot at tick 5: with a 2-tick backoff and 2-of-3 hysteresis the
+        // machines hold Watching histories and live quarantine/probation
+        // clocks mid-lifecycle right here.
+        let mut writer = lifecycle_sim(200, 42);
+        for _ in 0..5 {
+            writer.step();
+        }
+        let bytes = writer.save_snapshot().unwrap();
+        let mut resumed = lifecycle_sim(200, 42);
+        resumed.restore_snapshot(&bytes).unwrap();
+
+        // Internal defense state must round-trip exactly, compared through
+        // the canonical enumerations.
+        let (a, b) = (writer.defense(), resumed.defense());
+        assert_eq!(a.exchange().all_snapshots(), b.exchange().all_snapshots());
+        for i in 0..200 {
+            assert_eq!(a.verdicts().entries_of(NodeId(i)), b.verdicts().entries_of(NodeId(i)));
+        }
+
+        for _ in 0..7 {
+            resumed.step();
+        }
+        let a = reference.finish();
+        let b = resumed.finish();
+        assert_eq!(a.series, b.series);
+        assert_eq!(a.summary, b.summary);
+        assert_eq!(a.cut_log, b.cut_log);
+    }
+
+    #[test]
+    fn dd_police_snapshot_rejects_changed_police_config() {
+        let mut writer = lifecycle_sim(200, 42);
+        writer.step();
+        let bytes = writer.save_snapshot().unwrap();
+        // Same SimConfig and seed, different DdPoliceConfig: the defense's
+        // embedded config digest must refuse the restore.
+        let mut other = Simulation::new(
+            cfg(200),
+            DdPolice::new(DdPoliceConfig::with_cut_threshold(9.0), 200),
+            42,
+        );
+        for a in [5u32, 77, 123] {
+            other.make_attacker(NodeId(a), ReportBehavior::Honest);
+        }
+        match other.restore_snapshot(&bytes) {
+            Err(ddp_snapshot::SnapshotError::ContextMismatch { .. }) => {}
+            other => panic!("expected ContextMismatch, got {other:?}"),
+        }
     }
 }

@@ -214,6 +214,47 @@ impl SuspectEntry {
     }
 }
 
+impl ddp_snapshot::Snapshottable for SuspectState {
+    fn save(&self, enc: &mut ddp_snapshot::Enc) {
+        match *self {
+            SuspectState::Watching { history } => {
+                enc.u8(0);
+                enc.u8(history);
+            }
+            SuspectState::Quarantined { until, backoff } => {
+                enc.u8(1);
+                enc.u32(until);
+                enc.u32(backoff);
+            }
+            SuspectState::Probation { until, backoff } => {
+                enc.u8(2);
+                enc.u32(until);
+                enc.u32(backoff);
+            }
+        }
+    }
+
+    fn load(dec: &mut ddp_snapshot::Dec<'_>) -> Result<Self, ddp_snapshot::SnapshotError> {
+        Ok(match dec.u8()? {
+            0 => SuspectState::Watching { history: dec.u8()? },
+            1 => SuspectState::Quarantined { until: dec.u32()?, backoff: dec.u32()? },
+            2 => SuspectState::Probation { until: dec.u32()?, backoff: dec.u32()? },
+            _ => return Err(ddp_snapshot::SnapshotError::Corrupt { what: "suspect state tag" }),
+        })
+    }
+}
+
+impl ddp_snapshot::Snapshottable for SuspectEntry {
+    fn save(&self, enc: &mut ddp_snapshot::Enc) {
+        enc.put(&self.state);
+        enc.u8(self.list_streak);
+    }
+
+    fn load(dec: &mut ddp_snapshot::Dec<'_>) -> Result<Self, ddp_snapshot::SnapshotError> {
+        Ok(SuspectEntry { state: dec.get()?, list_streak: dec.u8()? })
+    }
+}
+
 /// All observers' suspicion state machines.
 #[derive(Debug)]
 pub struct VerdictMachine {
@@ -544,6 +585,41 @@ impl VerdictMachine {
     /// How many observers hold an entry about `suspect` (diagnostics).
     pub fn entries_about(&self, suspect: NodeId) -> usize {
         self.entries.iter().filter(|m| m.contains_key(&suspect.0)).count()
+    }
+
+    /// Serialize every observer's entries, each map sorted by suspect id —
+    /// the canonical order, since `HashMap` iteration order is never
+    /// observable (every decision path sorts or does keyed lookups).
+    pub fn save_state(&self, enc: &mut ddp_snapshot::Enc) {
+        enc.usize(self.entries.len());
+        for map in &self.entries {
+            let mut sorted: Vec<(u32, SuspectEntry)> = map.iter().map(|(&s, &e)| (s, e)).collect();
+            sorted.sort_unstable_by_key(|&(s, _)| s);
+            enc.usize(sorted.len());
+            for (s, e) in sorted {
+                enc.u32(s);
+                enc.put(&e);
+            }
+        }
+    }
+
+    /// Rebuild a verdict machine saved by [`VerdictMachine::save_state`].
+    pub fn load_state(
+        dec: &mut ddp_snapshot::Dec<'_>,
+    ) -> Result<Self, ddp_snapshot::SnapshotError> {
+        let n = dec.len("verdict observers")?;
+        let mut entries = Vec::with_capacity(n);
+        for _ in 0..n {
+            let k = dec.len("verdict entries")?;
+            let mut map = HashMap::with_capacity(k);
+            for _ in 0..k {
+                let s = dec.u32()?;
+                let e: SuspectEntry = dec.get()?;
+                map.insert(s, e);
+            }
+            entries.push(map);
+        }
+        Ok(VerdictMachine { entries })
     }
 
     /// Every entry `observer` holds, sorted by suspect id — the canonical

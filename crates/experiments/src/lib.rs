@@ -21,5 +21,5 @@ pub mod output;
 pub mod runners;
 pub mod scenario;
 
-pub use output::Table;
+pub use output::{ensure_writable_dir, OutputError, Table};
 pub use scenario::{DamageReport, DefenseKind, ExpOptions, Scenario, ScenarioReport};

@@ -1,7 +1,51 @@
 //! Tabular output: aligned stdout rendering and CSV export.
 
 use std::fmt::Write as _;
-use std::path::Path;
+use std::path::{Path, PathBuf};
+
+/// A file-output failure that names the offending path — the one thing a
+/// user staring at a failed overnight campaign actually needs to know.
+#[derive(Debug)]
+pub struct OutputError {
+    /// What failed: `"create directory"` or `"write"`.
+    pub op: &'static str,
+    /// The path that could not be created/written.
+    pub path: PathBuf,
+    /// Underlying OS error.
+    pub source: std::io::Error,
+}
+
+impl std::fmt::Display for OutputError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "could not {} {}: {}", self.op, self.path.display(), self.source)
+    }
+}
+
+impl std::error::Error for OutputError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+/// Create `dir` (and parents) and prove it is writable by round-tripping a
+/// probe file. Runners call this *before* hours of simulation so an
+/// unwritable output directory fails in milliseconds, not at the final
+/// write.
+pub fn ensure_writable_dir(dir: &Path) -> Result<(), OutputError> {
+    std::fs::create_dir_all(dir).map_err(|source| OutputError {
+        op: "create directory",
+        path: dir.to_path_buf(),
+        source,
+    })?;
+    let probe = dir.join(".ddp-write-probe");
+    std::fs::write(&probe, b"probe").map_err(|source| OutputError {
+        op: "write",
+        path: probe.clone(),
+        source,
+    })?;
+    let _ = std::fs::remove_file(&probe);
+    Ok(())
+}
 
 /// A named table of string cells.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -77,11 +121,19 @@ impl Table {
         out
     }
 
-    /// Write `<dir>/<name>.csv`.
-    pub fn write_csv(&self, dir: &Path) -> std::io::Result<std::path::PathBuf> {
-        std::fs::create_dir_all(dir)?;
+    /// Write `<dir>/<name>.csv`. Failures name the path they tripped on.
+    pub fn write_csv(&self, dir: &Path) -> Result<PathBuf, OutputError> {
+        std::fs::create_dir_all(dir).map_err(|source| OutputError {
+            op: "create directory",
+            path: dir.to_path_buf(),
+            source,
+        })?;
         let path = dir.join(format!("{}.csv", self.name));
-        std::fs::write(&path, self.to_csv())?;
+        std::fs::write(&path, self.to_csv()).map_err(|source| OutputError {
+            op: "write",
+            path: path.clone(),
+            source,
+        })?;
         Ok(path)
     }
 }
@@ -154,5 +206,36 @@ mod tests {
     fn float_helpers() {
         assert_eq!(f(1.23456, 2), "1.23");
         assert_eq!(pct(0.4567), "45.7%");
+    }
+
+    #[test]
+    fn write_csv_failure_names_the_offending_path() {
+        // A directory cannot be created below a regular file.
+        let file = std::env::temp_dir().join(format!("ddp_not_a_dir_{}", std::process::id()));
+        std::fs::write(&file, b"x").unwrap();
+        let below = file.join("sub");
+        let err = sample().write_csv(&below).unwrap_err();
+        assert_eq!(err.op, "create directory");
+        assert_eq!(err.path, below);
+        assert!(err.to_string().contains(&below.display().to_string()));
+        let _ = std::fs::remove_file(&file);
+    }
+
+    #[test]
+    fn ensure_writable_dir_probes_and_cleans_up() {
+        let dir = std::env::temp_dir().join(format!("ddp_probe_{}", std::process::id()));
+        ensure_writable_dir(&dir).unwrap();
+        assert!(dir.is_dir());
+        assert!(!dir.join(".ddp-write-probe").exists(), "probe must be removed");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn ensure_writable_dir_rejects_unwritable_target() {
+        let file = std::env::temp_dir().join(format!("ddp_probe_file_{}", std::process::id()));
+        std::fs::write(&file, b"x").unwrap();
+        let err = ensure_writable_dir(&file.join("sub")).unwrap_err();
+        assert_eq!(err.op, "create directory");
+        let _ = std::fs::remove_file(&file);
     }
 }

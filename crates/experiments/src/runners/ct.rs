@@ -32,7 +32,9 @@ fn ct_scenario(opts: &ExpOptions, ct: f64, seed: u64) -> Scenario {
 }
 
 /// Sweep the cut threshold with `opts.agents` attackers, averaging
-/// `opts.replicates` seeds per point.
+/// `opts.replicates` seeds per point. With `--checkpoint-every` set, each
+/// (CT, replicate) pair checkpoints under a deterministic stem so a killed
+/// sweep resumes with `--resume` — to bit-identical rows.
 pub fn ct_sweep(opts: &ExpOptions, cts: &[f64]) -> Vec<CtRow> {
     // Paired comparison: every CT value sees the same topologies, workloads
     // and churn (seed depends only on the replicate), so the curves isolate
@@ -44,7 +46,15 @@ pub fn ct_sweep(opts: &ExpOptions, cts: &[f64]) -> Vec<CtRow> {
             let mut damages = 0.0;
             let mut recoveries = Vec::new();
             for r in 0..opts.replicates {
-                let dr = ct_scenario(opts, ct, opts.seed_for(0, r)).run_with_damage();
+                let scenario = ct_scenario(opts, ct, opts.seed_for(0, r));
+                let dr = match opts.checkpoint_stem(&format!("ct{ct}_r{r}")) {
+                    Some(stem) => scenario.run_with_damage_checkpointed(
+                        &stem,
+                        opts.checkpoint_every,
+                        opts.resume,
+                    ),
+                    None => scenario.run_with_damage(),
+                };
                 fneg += dr.attacked.summary.errors.false_negative as f64;
                 fpos += dr.attacked.summary.errors.false_positive as f64;
                 damages += dr.stable_damage();
@@ -77,19 +87,25 @@ pub fn fig12(opts: &ExpOptions) -> Table {
     let cts = [3.0, 7.0, 10.0];
     let mut runs: Vec<(String, Vec<f64>)> = Vec::new();
     // Undefended reference.
+    let run_pair = |scenario: &Scenario, name: &str| match opts.checkpoint_stem(name) {
+        Some(stem) => {
+            scenario.run_with_damage_checkpointed(&stem, opts.checkpoint_every, opts.resume)
+        }
+        None => scenario.run_with_damage(),
+    };
     let undefended = Scenario::builder()
         .peers(opts.peers)
         .ticks(opts.ticks)
         .attackers(opts.agents)
         .defense(DefenseKind::None)
         .seed(opts.seed)
-        .build()
-        .run_with_damage();
+        .build();
+    let undefended = run_pair(&undefended, "fig12_undefended");
     runs.push(("no DD-POLICE".to_string(), undefended.damage.values.clone()));
     let defended: Vec<(String, Vec<f64>)> = cts
         .par_iter()
         .map(|&ct| {
-            let dr = ct_scenario(opts, ct, opts.seed).run_with_damage();
+            let dr = run_pair(&ct_scenario(opts, ct, opts.seed), &format!("fig12_ct{ct}"));
             (format!("DD-POLICE-{ct:.0}"), dr.damage.values.clone())
         })
         .collect();
@@ -183,5 +199,20 @@ mod tests {
         let rows = ct_sweep(&tiny_opts(), &[5.0]);
         assert_eq!(fig13(&rows).rows.len(), 1);
         assert_eq!(fig14(&rows).rows.len(), 1);
+    }
+
+    #[test]
+    fn checkpointed_ct_sweep_matches_plain_sweep() {
+        let mut opts = tiny_opts();
+        let plain = ct_sweep(&opts, &[5.0]);
+        let dir = std::env::temp_dir().join(format!("ddp-ct-ckpt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        opts.checkpoint_every = 3;
+        opts.checkpoint_dir = Some(dir.clone());
+        let checkpointed = ct_sweep(&opts, &[5.0]);
+        assert_eq!(plain, checkpointed, "checkpointing must not change the numbers");
+        assert!(dir.join("ct5_r0-defended.snap").exists());
+        assert!(dir.join("ct5_r0-baseline.snap").exists());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

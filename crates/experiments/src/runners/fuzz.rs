@@ -64,6 +64,28 @@ pub fn fuzz(opts: &ExpOptions) -> Table {
             Ok(()) => eprintln!("[fuzz] wrote reproducer {path} — commit it with the fix"),
             Err(e) => eprintln!("[fuzz] could not write {path} ({e}); reproducer spec:\n{json}"),
         }
+        // Engine state one tick *before* the divergence, next to the JSON:
+        // restore it and single-step straight into the failing tick instead
+        // of replaying the whole run under a debugger.
+        if repro.divergence.tick > 1 {
+            let snap_path = format!("tests/repro/fuzz_{fuzz_seed}.snap");
+            let mut engine = repro.spec.instantiate(ddp_police::DdPolice::new(
+                repro.spec.police_config(),
+                repro.spec.peers,
+            ));
+            engine.defense_mut().set_tracing(true);
+            engine.defense_mut().set_force_fast_path(repro.spec.force_fast_path);
+            while engine.tick() + 1 < repro.divergence.tick {
+                engine.step();
+            }
+            match engine.write_snapshot_file(std::path::Path::new(&snap_path)) {
+                Ok(()) => eprintln!(
+                    "[fuzz] wrote pre-divergence snapshot {snap_path} (tick {})",
+                    engine.tick()
+                ),
+                Err(e) => eprintln!("[fuzz] could not write {snap_path}: {e}"),
+            }
+        }
         std::process::exit(1);
     }
 

@@ -44,7 +44,7 @@ pub fn emit(table: &Table, opts: &ExpOptions) {
     if let Some(dir) = &opts.csv_dir {
         match table.write_csv(dir) {
             Ok(path) => println!("[csv] {}", path.display()),
-            Err(e) => eprintln!("[csv] failed to write {}: {e}", table.name),
+            Err(e) => eprintln!("[csv] {}: {e}", table.name),
         }
     }
     println!();

@@ -13,7 +13,7 @@ use ddp_sim::{
 use ddp_topology::{TopologyConfig, TopologyModel};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 /// Which defense a scenario deploys.
 #[derive(Debug, Clone, PartialEq)]
@@ -69,8 +69,10 @@ impl Scenario {
         ScenarioBuilder::default()
     }
 
-    /// Run the scenario.
-    pub fn run(&self) -> ScenarioReport {
+    /// Instantiate the fully wired simulation at tick 0 — the exact engine
+    /// `run` executes, exposed so checkpoint/resume can rebuild an identical
+    /// starting state before fast-forwarding from a snapshot.
+    pub fn build_sim(&self) -> Simulation<Box<dyn Defense>> {
         let mut sim_cfg = self.sim.clone();
         if matches!(self.defense, DefenseKind::FairShare) {
             sim_cfg.forwarding = ForwardingPolicy::FairShare;
@@ -95,7 +97,66 @@ impl Scenario {
                 sim.set_list_behavior(a, self.lists);
             }
         }
-        let result = sim.run(self.ticks);
+        sim
+    }
+
+    /// Run the scenario.
+    pub fn run(&self) -> ScenarioReport {
+        let result = self.build_sim().run(self.ticks);
+        ScenarioReport {
+            defense: self.defense.label(),
+            summary: result.summary,
+            series: result.series,
+            cut_log: result.cut_log,
+        }
+    }
+
+    /// Run the scenario with crash-safe checkpointing: every `every` ticks
+    /// the full engine state is atomically written to `checkpoint`, and when
+    /// `resume` is set a valid checkpoint fast-forwards the run to its tick.
+    ///
+    /// The outputs are bit-identical to [`Scenario::run`] in every case:
+    /// resuming replays the exact state an uninterrupted run would hold at
+    /// the checkpoint tick, and a missing/corrupt/foreign checkpoint simply
+    /// degrades to a full rerun from tick 0 (with a warning — a campaign
+    /// must never die, or produce different numbers, because a checkpoint
+    /// file did). Checkpoint *write* failures likewise warn and continue.
+    pub fn run_checkpointed(
+        &self,
+        checkpoint: &Path,
+        every: usize,
+        resume: bool,
+    ) -> ScenarioReport {
+        let mut sim = self.build_sim();
+        if resume && checkpoint.exists() {
+            match sim.resume_from_file(checkpoint) {
+                Ok(()) => eprintln!(
+                    "[checkpoint] resumed {} at tick {}",
+                    checkpoint.display(),
+                    sim.tick()
+                ),
+                Err(e) => {
+                    eprintln!(
+                        "[checkpoint] ignoring {} (rerunning from tick 0): {e}",
+                        checkpoint.display()
+                    );
+                    sim = self.build_sim();
+                }
+            }
+        }
+        while (sim.tick() as usize) < self.ticks {
+            sim.step();
+            let t = sim.tick() as usize;
+            if every > 0 && t.is_multiple_of(every) && t < self.ticks {
+                if let Err(e) = sim.write_snapshot_file(checkpoint) {
+                    eprintln!(
+                        "[checkpoint] could not write {} at tick {t}: {e}",
+                        checkpoint.display()
+                    );
+                }
+            }
+        }
+        let result = sim.finish();
         ScenarioReport {
             defense: self.defense.label(),
             summary: result.summary,
@@ -108,9 +169,43 @@ impl Scenario {
     /// topology, no agents, no defense), yielding the damage-rate series
     /// `D(t) = (S(t) − S'(t)) / S(t)` of §3.7.2.
     pub fn run_with_damage(&self) -> DamageReport {
+        self.damage_report(|s, _| s.run())
+    }
+
+    /// [`Scenario::run_with_damage`] with both runs checkpointed: the
+    /// attacked run writes `<stem>-defended.snap`, the baseline
+    /// `<stem>-baseline.snap`. Outputs are bit-identical to the
+    /// uncheckpointed pair.
+    pub fn run_with_damage_checkpointed(
+        &self,
+        stem: &Path,
+        every: usize,
+        resume: bool,
+    ) -> DamageReport {
+        let snap = |suffix: &str| {
+            let mut name = stem.file_name().map(|s| s.to_os_string()).unwrap_or_default();
+            name.push(suffix);
+            name.push(".snap");
+            stem.with_file_name(name)
+        };
+        self.damage_report(|s, which| {
+            let suffix = match which {
+                DamageRun::Attacked => "-defended",
+                DamageRun::Baseline => "-baseline",
+            };
+            s.run_checkpointed(&snap(suffix), every, resume)
+        })
+    }
+
+    /// Shared damage arithmetic: run the baseline twin and the attacked run
+    /// through `runner`, then derive `D(t)` and the recovery time.
+    fn damage_report(
+        &self,
+        mut runner: impl FnMut(&Scenario, DamageRun) -> ScenarioReport,
+    ) -> DamageReport {
         let baseline_scenario = Scenario { defense: DefenseKind::None, agents: 0, ..self.clone() };
-        let baseline = baseline_scenario.run();
-        let attacked = self.run();
+        let baseline = runner(&baseline_scenario, DamageRun::Baseline);
+        let attacked = runner(self, DamageRun::Attacked);
         let mut damage = TimeSeries::new("damage_rate");
         for t in 0..attacked.series.success_rate.len() {
             let s0 = baseline.series.success_rate.values.get(t).copied().unwrap_or(1.0);
@@ -237,6 +332,13 @@ pub struct ScenarioReport {
     pub cut_log: Vec<CutRecord>,
 }
 
+/// Which half of a damage pair a runner callback is executing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DamageRun {
+    Baseline,
+    Attacked,
+}
+
 /// An attacked run paired with its no-attack baseline.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DamageReport {
@@ -275,6 +377,13 @@ pub struct ExpOptions {
     /// `churn`, `fuzz`) read this directly; new runners inherit the flag
     /// with no per-runner plumbing.
     pub smoke: bool,
+    /// Write a full engine checkpoint every N ticks (0 = off).
+    pub checkpoint_every: usize,
+    /// Where checkpoint files go (default: alongside the CSVs, or the
+    /// current directory when no `--out` is given).
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Resume interrupted runs from their checkpoints when present.
+    pub resume: bool,
 }
 
 impl Default for ExpOptions {
@@ -287,6 +396,9 @@ impl Default for ExpOptions {
             replicates: 1,
             csv_dir: None,
             smoke: false,
+            checkpoint_every: 0,
+            checkpoint_dir: None,
+            resume: false,
         }
     }
 }
@@ -298,6 +410,21 @@ impl ExpOptions {
             .wrapping_mul(0x9e37_79b9_7f4a_7c15)
             .wrapping_add((c as u64) << 32)
             .wrapping_add(r as u64)
+    }
+
+    /// Checkpoint stem (directory + basename, no extension) for a named unit
+    /// of work, or `None` when checkpointing is off. The directory defaults
+    /// to the CSV output directory, then the current directory.
+    pub fn checkpoint_stem(&self, name: &str) -> Option<PathBuf> {
+        if self.checkpoint_every == 0 {
+            return None;
+        }
+        let dir = self
+            .checkpoint_dir
+            .clone()
+            .or_else(|| self.csv_dir.clone())
+            .unwrap_or_else(|| PathBuf::from("."));
+        Some(dir.join(name))
     }
 }
 
@@ -390,5 +517,88 @@ mod tests {
         let o = ExpOptions::default();
         assert_ne!(o.seed_for(0, 0), o.seed_for(0, 1));
         assert_ne!(o.seed_for(0, 0), o.seed_for(1, 0));
+    }
+
+    #[test]
+    fn checkpoint_stem_resolution() {
+        let mut o = ExpOptions::default();
+        assert_eq!(o.checkpoint_stem("ct5_r0"), None, "off by default");
+        o.checkpoint_every = 3;
+        assert_eq!(o.checkpoint_stem("x"), Some(PathBuf::from("./x")));
+        o.csv_dir = Some(PathBuf::from("out"));
+        assert_eq!(o.checkpoint_stem("x"), Some(PathBuf::from("out/x")));
+        o.checkpoint_dir = Some(PathBuf::from("ckpt"));
+        assert_eq!(o.checkpoint_stem("x"), Some(PathBuf::from("ckpt/x")));
+    }
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ddp-ckpt-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn checkpointable_scenario() -> Scenario {
+        Scenario::builder()
+            .peers(200)
+            .ticks(8)
+            .attackers(5)
+            .defense(DefenseKind::DdPolice { cut_threshold: 5.0 })
+            .seed(11)
+            .build()
+    }
+
+    #[test]
+    fn checkpointed_run_is_bit_identical_to_plain_run() {
+        let s = checkpointable_scenario();
+        let dir = scratch_dir("plain");
+        let ckpt = dir.join("run.snap");
+        let plain = s.run();
+        let checkpointed = s.run_checkpointed(&ckpt, 3, false);
+        assert_eq!(plain, checkpointed);
+        assert!(ckpt.exists(), "periodic checkpoint must have been written");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_from_mid_run_checkpoint_matches_uninterrupted_run() {
+        let s = checkpointable_scenario();
+        let dir = scratch_dir("resume");
+        let ckpt = dir.join("run.snap");
+        // Simulate a crash: run only to tick 5, leaving the tick-3 checkpoint.
+        let mut partial = s.build_sim();
+        while (partial.tick() as usize) < 5 {
+            partial.step();
+            if partial.tick() == 3 {
+                partial.write_snapshot_file(&ckpt).unwrap();
+            }
+        }
+        drop(partial);
+        let resumed = s.run_checkpointed(&ckpt, 3, true);
+        assert_eq!(s.run(), resumed, "resume must reproduce the uninterrupted run bit-for-bit");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_checkpoint_degrades_to_full_rerun() {
+        let s = checkpointable_scenario();
+        let dir = scratch_dir("corrupt");
+        let ckpt = dir.join("run.snap");
+        std::fs::write(&ckpt, b"not a snapshot").unwrap();
+        let report = s.run_checkpointed(&ckpt, 0, true);
+        assert_eq!(s.run(), report, "a corrupt checkpoint must not change the numbers");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpointed_damage_pair_matches_plain_pair() {
+        let s = checkpointable_scenario();
+        let dir = scratch_dir("damage");
+        let stem = dir.join("pair");
+        let plain = s.run_with_damage();
+        let checkpointed = s.run_with_damage_checkpointed(&stem, 4, false);
+        assert_eq!(plain, checkpointed);
+        assert!(dir.join("pair-defended.snap").exists());
+        assert!(dir.join("pair-baseline.snap").exists());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -43,6 +43,17 @@ impl DetectionErrors {
     }
 }
 
+impl ddp_snapshot::Snapshottable for DetectionErrors {
+    fn save(&self, enc: &mut ddp_snapshot::Enc) {
+        enc.u64(self.false_negative);
+        enc.u64(self.false_positive);
+    }
+
+    fn load(dec: &mut ddp_snapshot::Dec<'_>) -> Result<Self, ddp_snapshot::SnapshotError> {
+        Ok(DetectionErrors { false_negative: dec.u64()?, false_positive: dec.u64()? })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

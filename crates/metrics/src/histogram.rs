@@ -70,6 +70,27 @@ impl Histogram {
     }
 }
 
+/// Snapshot support (fields are private, so the impl lives here). `load`
+/// re-validates the invariants [`Histogram::new`] asserts, surfacing corrupt
+/// bytes as typed errors instead of panics.
+impl ddp_snapshot::Snapshottable for Histogram {
+    fn save(&self, enc: &mut ddp_snapshot::Enc) {
+        enc.f64(self.bucket_width);
+        enc.put(&self.counts);
+        enc.u64(self.overflow);
+        enc.u64(self.total);
+    }
+
+    fn load(dec: &mut ddp_snapshot::Dec<'_>) -> Result<Self, ddp_snapshot::SnapshotError> {
+        let bucket_width = dec.f64()?;
+        let counts: Vec<u64> = dec.get()?;
+        if !(bucket_width > 0.0 && bucket_width.is_finite()) || counts.is_empty() {
+            return Err(ddp_snapshot::SnapshotError::Corrupt { what: "Histogram shape" });
+        }
+        Ok(Histogram { bucket_width, counts, overflow: dec.u64()?, total: dec.u64()? })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -136,6 +136,44 @@ impl P2Quantile {
     }
 }
 
+/// Snapshot support: P² is pure accumulated state — all five marker arrays
+/// and the count serialize verbatim (bit-for-bit f64s) so a restored
+/// estimator continues producing identical estimates. Fields are private, so
+/// the impl lives here.
+impl ddp_snapshot::Snapshottable for P2Quantile {
+    fn save(&self, enc: &mut ddp_snapshot::Enc) {
+        enc.f64(self.q);
+        for arr in [&self.heights, &self.positions, &self.desired, &self.increments] {
+            for &v in arr {
+                enc.f64(v);
+            }
+        }
+        enc.u64(self.count);
+    }
+
+    fn load(dec: &mut ddp_snapshot::Dec<'_>) -> Result<Self, ddp_snapshot::SnapshotError> {
+        fn arr5(dec: &mut ddp_snapshot::Dec<'_>) -> Result<[f64; 5], ddp_snapshot::SnapshotError> {
+            let mut a = [0.0; 5];
+            for v in &mut a {
+                *v = dec.f64()?;
+            }
+            Ok(a)
+        }
+        let q = dec.f64()?;
+        if !(q > 0.0 && q < 1.0) {
+            return Err(ddp_snapshot::SnapshotError::Corrupt { what: "P2Quantile q" });
+        }
+        Ok(P2Quantile {
+            q,
+            heights: arr5(dec)?,
+            positions: arr5(dec)?,
+            desired: arr5(dec)?,
+            increments: arr5(dec)?,
+            count: dec.u64()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -203,5 +241,27 @@ mod tests {
     #[should_panic(expected = "quantile must be in")]
     fn invalid_quantile_panics() {
         let _ = P2Quantile::new(1.0);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_continues_identically() {
+        use ddp_snapshot::{Dec, Enc, Snapshottable};
+        let mut orig = P2Quantile::new(0.95);
+        for i in 0..137 {
+            orig.record((i as f64 * 31.7) % 100.0);
+        }
+        let mut enc = Enc::new();
+        orig.save(&mut enc);
+        let bytes = enc.into_bytes();
+        let mut dec = Dec::new(&bytes);
+        let mut restored = P2Quantile::load(&mut dec).unwrap();
+        dec.finish().unwrap();
+        assert_eq!(restored, orig);
+        for i in 0..50 {
+            let x = (i as f64 * 13.3) % 100.0;
+            orig.record(x);
+            restored.record(x);
+        }
+        assert_eq!(restored.estimate().to_bits(), orig.estimate().to_bits());
     }
 }

@@ -102,6 +102,44 @@ impl ResilienceSummary {
     }
 }
 
+impl ddp_snapshot::Snapshottable for ResilienceSummary {
+    fn save(&self, enc: &mut ddp_snapshot::Enc) {
+        for v in [
+            self.reports_requested,
+            self.reports_fresh,
+            self.reports_stale_used,
+            self.reports_refused,
+            self.reports_assumed_zero,
+            self.report_retries,
+            self.lists_sent,
+            self.lists_lost,
+            self.lists_delayed,
+            self.lists_late_applied,
+            self.crash_restarts,
+        ] {
+            enc.u64(v);
+        }
+        enc.put(&self.snapshot_age);
+    }
+
+    fn load(dec: &mut ddp_snapshot::Dec<'_>) -> Result<Self, ddp_snapshot::SnapshotError> {
+        Ok(ResilienceSummary {
+            reports_requested: dec.u64()?,
+            reports_fresh: dec.u64()?,
+            reports_stale_used: dec.u64()?,
+            reports_refused: dec.u64()?,
+            reports_assumed_zero: dec.u64()?,
+            report_retries: dec.u64()?,
+            lists_sent: dec.u64()?,
+            lists_lost: dec.u64()?,
+            lists_delayed: dec.u64()?,
+            lists_late_applied: dec.u64()?,
+            crash_restarts: dec.u64()?,
+            snapshot_age: dec.get()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

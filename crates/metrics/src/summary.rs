@@ -157,6 +157,26 @@ impl RunSeries {
     }
 }
 
+impl ddp_snapshot::Snapshottable for RunSeries {
+    fn save(&self, enc: &mut ddp_snapshot::Enc) {
+        enc.put(&self.success_rate);
+        enc.put(&self.response_time);
+        enc.put(&self.traffic);
+        enc.put(&self.control_traffic);
+        enc.put(&self.drop_rate);
+    }
+
+    fn load(dec: &mut ddp_snapshot::Dec<'_>) -> Result<Self, ddp_snapshot::SnapshotError> {
+        Ok(RunSeries {
+            success_rate: dec.get()?,
+            response_time: dec.get()?,
+            traffic: dec.get()?,
+            control_traffic: dec.get()?,
+            drop_rate: dec.get()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -70,6 +70,17 @@ impl TimeSeries {
     }
 }
 
+impl ddp_snapshot::Snapshottable for TimeSeries {
+    fn save(&self, enc: &mut ddp_snapshot::Enc) {
+        enc.put(&self.name);
+        enc.put(&self.values);
+    }
+
+    fn load(dec: &mut ddp_snapshot::Dec<'_>) -> Result<Self, ddp_snapshot::SnapshotError> {
+        Ok(TimeSeries { name: dec.get()?, values: dec.get()? })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

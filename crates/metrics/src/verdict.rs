@@ -160,6 +160,61 @@ pub struct VerdictSummary {
     pub readmission_latency_mean_ticks: f64,
 }
 
+impl ddp_snapshot::Snapshottable for PeerVerdict {
+    fn save(&self, enc: &mut ddp_snapshot::Enc) {
+        enc.u8(match self {
+            PeerVerdict::Normal => 0,
+            PeerVerdict::Suspicious => 1,
+            PeerVerdict::Cut => 2,
+            PeerVerdict::Quarantined => 3,
+            PeerVerdict::Probation => 4,
+            PeerVerdict::Readmitted => 5,
+        });
+    }
+
+    fn load(dec: &mut ddp_snapshot::Dec<'_>) -> Result<Self, ddp_snapshot::SnapshotError> {
+        Ok(match dec.u8()? {
+            0 => PeerVerdict::Normal,
+            1 => PeerVerdict::Suspicious,
+            2 => PeerVerdict::Cut,
+            3 => PeerVerdict::Quarantined,
+            4 => PeerVerdict::Probation,
+            5 => PeerVerdict::Readmitted,
+            _ => return Err(ddp_snapshot::SnapshotError::Corrupt { what: "PeerVerdict tag" }),
+        })
+    }
+}
+
+impl ddp_snapshot::Snapshottable for VerdictTransition {
+    fn save(&self, enc: &mut ddp_snapshot::Enc) {
+        enc.u32(self.tick);
+        enc.u32(self.observer);
+        enc.u32(self.suspect);
+        enc.put(&self.from);
+        enc.put(&self.to);
+    }
+
+    fn load(dec: &mut ddp_snapshot::Dec<'_>) -> Result<Self, ddp_snapshot::SnapshotError> {
+        Ok(VerdictTransition {
+            tick: dec.u32()?,
+            observer: dec.u32()?,
+            suspect: dec.u32()?,
+            from: dec.get()?,
+            to: dec.get()?,
+        })
+    }
+}
+
+impl ddp_snapshot::Snapshottable for VerdictLedger {
+    fn save(&self, enc: &mut ddp_snapshot::Enc) {
+        enc.put(&self.log);
+    }
+
+    fn load(dec: &mut ddp_snapshot::Dec<'_>) -> Result<Self, ddp_snapshot::SnapshotError> {
+        Ok(VerdictLedger { log: dec.get()? })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -89,6 +89,48 @@ pub fn run_lockstep(spec: &ScenarioSpec) -> Result<LockstepStats, Divergence> {
     Ok(stats)
 }
 
+/// Like [`run_lockstep`], but the engine twin is torn down mid-run: at the
+/// start of tick `snapshot_tick + 1` it is serialized, a **fresh** engine is
+/// built from the spec and restored from those bytes, and the lockstep
+/// continues on the replacement. The oracle never notices — any state the
+/// snapshot fails to carry (RNG positions, mailboxes, verdict clocks,
+/// exchange views, quantile estimators) surfaces as an ordinary
+/// [`Divergence`] on the very next compared tick. A snapshot/restore failure
+/// is reported as a divergence at the snapshot tick.
+pub fn run_lockstep_with_restore(
+    spec: &ScenarioSpec,
+    snapshot_tick: Tick,
+) -> Result<LockstepStats, Divergence> {
+    let build_engine = || {
+        let mut e = spec.instantiate(DdPolice::new(spec.police_config(), spec.peers));
+        e.defense_mut().set_tracing(true);
+        e.defense_mut().set_force_fast_path(spec.force_fast_path);
+        e
+    };
+    let mut engine = build_engine();
+    let mut oracle = spec.instantiate(OracleDdPolice::new(spec.police_config()));
+
+    let mut stats = LockstepStats::default();
+    for _ in 0..spec.ticks {
+        if engine.tick() == snapshot_tick {
+            let snap = |what: String| Divergence { tick: snapshot_tick, what };
+            let bytes =
+                engine.save_snapshot().map_err(|e| snap(format!("snapshot save failed: {e}")))?;
+            let mut fresh = build_engine();
+            fresh
+                .restore_snapshot(&bytes)
+                .map_err(|e| snap(format!("snapshot restore failed: {e}")))?;
+            engine = fresh;
+        }
+        engine.step();
+        oracle.step();
+        stats.ticks += 1;
+        stats.judgments += compare_tick(&mut engine, &mut oracle)?;
+    }
+    stats.cuts = engine.cut_log().len();
+    Ok(stats)
+}
+
 /// One post-tick comparison sweep. Returns the number of judgments checked.
 fn compare_tick(
     engine: &mut Simulation<DdPolice>,
@@ -268,5 +310,46 @@ mod tests {
         let stats = run_lockstep(&spec).unwrap_or_else(|d| panic!("diverged: {d}"));
         assert_eq!(stats.ticks, spec.ticks);
         assert!(stats.judgments > 0, "a flooded overlay must produce judgments");
+    }
+
+    /// The nastiest spec the snapshot has to survive: faulty control plane
+    /// (in-flight mail), churn + whitewashing (free lists, dwell counters,
+    /// grown slots), readmission + TTL sweep (verdict clocks), and hysteresis
+    /// (Watching histories) — all live at once.
+    fn adversarial_spec() -> ScenarioSpec {
+        ScenarioSpec {
+            peers: 60,
+            ticks: 14,
+            seed: 7,
+            agents: 5,
+            loss: 0.1,
+            delay_prob: 0.2,
+            delay_ticks: 2,
+            crash_prob: 0.02,
+            churn: true,
+            whitewash_dwell: 2,
+            whitewash_quiet: 1,
+            hys_required: 2,
+            hys_window: 3,
+            readmission: true,
+            suspect_ttl: 6,
+            ..ScenarioSpec::default()
+        }
+    }
+
+    #[test]
+    fn restore_mid_lockstep_is_invisible_to_the_oracle() {
+        let spec = adversarial_spec();
+        // The reference run must be clean before the restore variant means
+        // anything.
+        run_lockstep(&spec).unwrap_or_else(|d| panic!("reference diverged: {d}"));
+        // Adversarially chosen boundary: tick 5 sits after the first cuts
+        // and whitewash dwells begin but before readmission probes fire, so
+        // every clock is mid-flight. Sweep a few neighbors of it too.
+        for snapshot_tick in [1, 5, spec.ticks - 1] {
+            let stats = run_lockstep_with_restore(&spec, snapshot_tick)
+                .unwrap_or_else(|d| panic!("diverged after restore at {snapshot_tick}: {d}"));
+            assert_eq!(stats.ticks, spec.ticks);
+        }
     }
 }

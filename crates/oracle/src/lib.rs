@@ -24,7 +24,7 @@ pub mod model;
 pub mod shrink;
 pub mod spec;
 
-pub use harness::{run_lockstep, Divergence, LockstepStats};
+pub use harness::{run_lockstep, run_lockstep_with_restore, Divergence, LockstepStats};
 pub use model::OracleDdPolice;
 pub use shrink::{shrink, ShrunkRepro};
 pub use spec::ScenarioSpec;

@@ -24,6 +24,17 @@ pub struct TrafficReport {
     pub received_from_suspect: u32,
 }
 
+impl ddp_snapshot::Snapshottable for TrafficReport {
+    fn save(&self, enc: &mut ddp_snapshot::Enc) {
+        enc.u32(self.sent_to_suspect);
+        enc.u32(self.received_from_suspect);
+    }
+
+    fn load(dec: &mut ddp_snapshot::Dec<'_>) -> Result<Self, ddp_snapshot::SnapshotError> {
+        Ok(TrafficReport { sent_to_suspect: dec.u32()?, received_from_suspect: dec.u32()? })
+    }
+}
+
 /// Read-only view of one finished tick.
 pub struct TickObservation<'a> {
     /// The tick that just completed.
@@ -387,6 +398,31 @@ pub trait Defense {
     fn forbids_link(&self, _u: NodeId, _v: NodeId) -> bool {
         false
     }
+
+    /// Whether this defense implements [`save_state`](Self::save_state) /
+    /// [`restore_state`](Self::restore_state). The engine refuses to write a
+    /// snapshot around a defense that cannot come back — a half-checkpointed
+    /// engine would silently diverge on resume.
+    fn snapshot_support(&self) -> bool {
+        false
+    }
+
+    /// Append every piece of cross-tick defense state to the snapshot
+    /// payload. Only called when [`snapshot_support`](Self::snapshot_support)
+    /// is true.
+    fn save_state(&self, _enc: &mut ddp_snapshot::Enc) {}
+
+    /// Rebuild cross-tick defense state from a snapshot payload written by
+    /// [`save_state`](Self::save_state). Must reject corrupt bytes with a
+    /// typed error, never a panic.
+    fn restore_state(
+        &mut self,
+        _dec: &mut ddp_snapshot::Dec<'_>,
+    ) -> Result<(), ddp_snapshot::SnapshotError> {
+        Err(ddp_snapshot::SnapshotError::Unsupported {
+            what: "this defense implements no snapshot state",
+        })
+    }
 }
 
 impl<D: Defense + ?Sized> Defense for Box<D> {
@@ -414,6 +450,18 @@ impl<D: Defense + ?Sized> Defense for Box<D> {
     fn forbids_link(&self, u: NodeId, v: NodeId) -> bool {
         (**self).forbids_link(u, v)
     }
+    fn snapshot_support(&self) -> bool {
+        (**self).snapshot_support()
+    }
+    fn save_state(&self, enc: &mut ddp_snapshot::Enc) {
+        (**self).save_state(enc)
+    }
+    fn restore_state(
+        &mut self,
+        dec: &mut ddp_snapshot::Dec<'_>,
+    ) -> Result<(), ddp_snapshot::SnapshotError> {
+        (**self).restore_state(dec)
+    }
 }
 
 /// The undefended baseline: observes nothing, cuts nothing.
@@ -426,6 +474,18 @@ impl Defense for NoDefense {
     }
 
     fn on_tick(&mut self, _obs: &TickObservation<'_>, _actions: &mut Actions) {}
+
+    /// Stateless: snapshotting is trivially supported with an empty payload.
+    fn snapshot_support(&self) -> bool {
+        true
+    }
+
+    fn restore_state(
+        &mut self,
+        _dec: &mut ddp_snapshot::Dec<'_>,
+    ) -> Result<(), ddp_snapshot::SnapshotError> {
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -13,12 +13,14 @@ use ddp_metrics::{
     DetectionErrors, P2Quantile, ResponseStats, SuccessStats, TrafficAccumulator, VerdictLedger,
     VerdictTransition,
 };
-use ddp_topology::NodeId;
+use ddp_snapshot::{Dec, Enc, SnapshotError, Snapshottable};
+use ddp_topology::{DynamicGraph, Half, NodeId};
 use ddp_workload::ContentCatalog;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
+use std::path::Path;
 
 /// One defensive disconnection, for observability and post-hoc analysis.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -67,6 +69,9 @@ pub struct Simulation<D: Defense> {
     flood: FloodEngine,
     defense: D,
     tick: Tick,
+    /// The master seed the run was built from; part of the snapshot context
+    /// fingerprint so a checkpoint cannot be resumed under a different seed.
+    master_seed: u64,
     rng_workload: StdRng,
     rng_churn: StdRng,
     /// Session-model / whitewash stream (stream 6): every draw the open
@@ -191,6 +196,7 @@ impl<D: Defense> Simulation<D> {
             wrongful_durations: Vec::new(),
             response_p95: P2Quantile::new(0.95),
             tick: 0,
+            master_seed: seed,
             cfg,
             overlay,
             nodes,
@@ -978,6 +984,276 @@ impl<D: Defense> Simulation<D> {
     }
 }
 
+impl Snapshottable for CutRecord {
+    fn save(&self, enc: &mut Enc) {
+        enc.u32(self.tick);
+        enc.u32(self.observer.0);
+        enc.u32(self.suspect.0);
+        enc.bool(self.suspect_was_attacker);
+    }
+
+    fn load(dec: &mut Dec<'_>) -> Result<Self, SnapshotError> {
+        Ok(CutRecord {
+            tick: dec.u32()?,
+            observer: NodeId(dec.u32()?),
+            suspect: NodeId(dec.u32()?),
+            suspect_was_attacker: dec.bool()?,
+        })
+    }
+}
+
+fn save_rng(enc: &mut Enc, rng: &StdRng) {
+    for w in rng.state() {
+        enc.u64(w);
+    }
+}
+
+fn load_rng(dec: &mut Dec<'_>) -> Result<StdRng, SnapshotError> {
+    let mut s = [0u64; 4];
+    for w in &mut s {
+        *w = dec.u64()?;
+    }
+    Ok(StdRng::from_state(s))
+}
+
+/// Crash-safe checkpointing: serialize the complete engine state at a tick
+/// boundary and rebuild a tick-for-tick byte-identical continuation from it.
+///
+/// A snapshot captures everything that persists across ticks — node states,
+/// the overlay's adjacency arena *verbatim* (slot order is observable:
+/// attack emissions index by slot), content libraries, the positions of every
+/// RNG stream, the fault plane's in-flight mailboxes, whitewash/session
+/// bookkeeping, all metrics accumulators, and the defense's own state via
+/// [`Defense::save_state`]. Per-tick scratch (flood visited stamps, emission
+/// buffers, the refreshed observation slices) is rebuilt to defaults: at a
+/// tick boundary it is dead state, fully overwritten before the next read.
+///
+/// On any restore error the simulation may be partially overwritten and must
+/// be discarded — callers rebuild via [`Simulation::new`] and retry or rerun.
+impl<D: Defense> Simulation<D> {
+    /// Fingerprint binding a snapshot to the run that wrote it: the full
+    /// configuration (via its `Debug` rendering, which covers every field)
+    /// and the master seed. Resuming under a different config or seed would
+    /// silently diverge, so it is refused up front.
+    fn context_fingerprint(&self) -> u64 {
+        let text = format!("{:?}|seed={}", self.cfg, self.master_seed);
+        ddp_snapshot::fnv1a64(text.as_bytes())
+    }
+
+    fn save_payload(&self) -> Vec<u8> {
+        let mut enc = Enc::new();
+        enc.u32(self.tick);
+        enc.put(&self.nodes);
+        // Adjacency rows verbatim: slot order and twin indices are observable
+        // (attack emissions and counter mirrors are positional), so the rows
+        // must survive byte-for-byte, never canonicalized.
+        let n = self.nodes.len();
+        enc.usize(n);
+        for u in 0..n {
+            let row = self.overlay.neighbors(NodeId::from_index(u));
+            enc.usize(row.len());
+            for h in row {
+                enc.u32(h.peer.0);
+                enc.u32(h.ridx);
+            }
+        }
+        enc.put(&self.catalog.libraries().to_vec());
+        save_rng(&mut enc, &self.rng_workload);
+        save_rng(&mut enc, &self.rng_churn);
+        save_rng(&mut enc, &self.rng_session);
+        self.fault_plane.save_state(&mut enc);
+        enc.put(&self.free_slots);
+        enc.put(&self.session_stats);
+        enc.put(&self.whitewash);
+        enc.put(&self.whitewash_pending);
+        enc.put(&self.whitewash_log);
+        enc.put(&self.prev_util);
+        enc.put(&self.series);
+        enc.put(&self.errors);
+        enc.u64(self.attackers_cut);
+        enc.u64(self.good_peers_cut);
+        enc.put(&self.ever_cut);
+        enc.put(&self.counted_wrongly_cut);
+        enc.put(&self.cut_log);
+        enc.put(&self.verdict_ledger);
+        // HashMap iteration order is nondeterministic; serialize sorted.
+        let mut wrongful: Vec<((u32, u32), Tick)> =
+            self.wrongful_open.iter().map(|(&(a, b), &t)| ((a.0, b.0), t)).collect();
+        wrongful.sort_unstable();
+        enc.usize(wrongful.len());
+        for ((a, b), t) in wrongful {
+            enc.u32(a);
+            enc.u32(b);
+            enc.u32(t);
+        }
+        enc.put(&self.wrongful_durations);
+        enc.put(&self.response_p95);
+        self.defense.save_state(&mut enc);
+        enc.into_bytes()
+    }
+
+    fn restore_payload(&mut self, dec: &mut Dec<'_>) -> Result<(), SnapshotError> {
+        let tick = dec.u32()?;
+        let nodes: Vec<NodeState> = dec.get()?;
+        let n = nodes.len();
+        let row_count = dec.len("adjacency row count")?;
+        if row_count != n {
+            return Err(SnapshotError::Corrupt { what: "adjacency row count" });
+        }
+        let mut rows: Vec<Vec<Half>> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let deg = dec.len("adjacency row")?;
+            let mut row = Vec::with_capacity(deg);
+            for _ in 0..deg {
+                row.push(Half { peer: NodeId(dec.u32()?), ridx: dec.u32()? });
+            }
+            rows.push(row);
+        }
+        // Bounds-check every half before handing the rows to the arena, so
+        // corrupt bytes surface as typed errors instead of index panics.
+        for row in &rows {
+            for h in row {
+                if h.peer.index() >= n || rows[h.peer.index()].len() <= h.ridx as usize {
+                    return Err(SnapshotError::Corrupt { what: "adjacency half out of bounds" });
+                }
+            }
+        }
+        let graph = DynamicGraph::from_rows(&rows);
+        let classes: Vec<_> = nodes.iter().map(|s| s.bandwidth).collect();
+        let overlay = Overlay::new(graph, &classes);
+        overlay
+            .check_invariants()
+            .map_err(|_| SnapshotError::Corrupt { what: "overlay invariants" })?;
+        let libraries: Vec<Vec<u32>> = dec.get()?;
+        if libraries.len() != n {
+            return Err(SnapshotError::Corrupt { what: "library count" });
+        }
+        let catalog = ContentCatalog::from_libraries(libraries, &self.cfg.content);
+        let rng_workload = load_rng(dec)?;
+        let rng_churn = load_rng(dec)?;
+        let rng_session = load_rng(dec)?;
+        self.fault_plane.restore_state(dec)?;
+        let free_slots: Vec<usize> = dec.get()?;
+        let session_stats: crate::session::SessionStats = dec.get()?;
+        let whitewash: Option<crate::session::WhitewashConfig> = dec.get()?;
+        let whitewash_pending: Vec<(usize, Tick)> = dec.get()?;
+        let whitewash_log: Vec<crate::session::WhitewashRecord> = dec.get()?;
+        let prev_util: Vec<f32> = dec.get()?;
+        let series: RunSeries = dec.get()?;
+        let errors: DetectionErrors = dec.get()?;
+        let attackers_cut = dec.u64()?;
+        let good_peers_cut = dec.u64()?;
+        let ever_cut: Vec<bool> = dec.get()?;
+        let counted_wrongly_cut: Vec<bool> = dec.get()?;
+        if prev_util.len() != n || ever_cut.len() != n || counted_wrongly_cut.len() != n {
+            return Err(SnapshotError::Corrupt { what: "per-node vector length" });
+        }
+        let cut_log: Vec<CutRecord> = dec.get()?;
+        let verdict_ledger: VerdictLedger = dec.get()?;
+        let wrongful_n = dec.len("wrongful_open")?;
+        let mut wrongful_open = HashMap::with_capacity(wrongful_n);
+        for _ in 0..wrongful_n {
+            let a = NodeId(dec.u32()?);
+            let b = NodeId(dec.u32()?);
+            let t = dec.u32()?;
+            wrongful_open.insert((a, b), t);
+        }
+        let wrongful_durations: Vec<u32> = dec.get()?;
+        let response_p95: P2Quantile = dec.get()?;
+        self.defense.restore_state(dec)?;
+
+        self.tick = tick;
+        self.nodes = nodes;
+        self.overlay = overlay;
+        self.catalog = catalog;
+        self.flood = FloodEngine::new(n);
+        self.rng_workload = rng_workload;
+        self.rng_churn = rng_churn;
+        self.rng_session = rng_session;
+        self.free_slots = free_slots;
+        self.session_stats = session_stats;
+        self.whitewash = whitewash;
+        self.whitewash_pending = whitewash_pending;
+        self.whitewash_log = whitewash_log;
+        self.prev_util = prev_util;
+        self.series = series;
+        self.errors = errors;
+        self.attackers_cut = attackers_cut;
+        self.good_peers_cut = good_peers_cut;
+        self.ever_cut = ever_cut;
+        self.counted_wrongly_cut = counted_wrongly_cut;
+        self.cut_log = cut_log;
+        self.verdict_ledger = verdict_ledger;
+        self.wrongful_open = wrongful_open;
+        self.wrongful_durations = wrongful_durations;
+        self.response_p95 = response_p95;
+        // Per-tick scratch: dead at a tick boundary, rebuilt to defaults and
+        // fully refreshed before the next read.
+        self.node_used = vec![0; n];
+        self.online = vec![true; n];
+        self.capacity = vec![0; n];
+        self.runs_defense = vec![true; n];
+        self.report_behavior = vec![ReportBehavior::Honest; n];
+        self.list_behavior = vec![ListBehavior::Truthful; n];
+        self.emissions.clear();
+        Ok(())
+    }
+
+    /// Serialize the complete engine state into a self-validating container.
+    ///
+    /// Fails with [`SnapshotError::Unsupported`] when the active defense does
+    /// not implement snapshot state — a checkpoint that silently omitted the
+    /// defense would diverge on resume.
+    pub fn save_snapshot(&self) -> Result<Vec<u8>, SnapshotError> {
+        if !self.defense.snapshot_support() {
+            return Err(SnapshotError::Unsupported {
+                what: "active defense has no snapshot support",
+            });
+        }
+        Ok(ddp_snapshot::encode_container(self.context_fingerprint(), &self.save_payload()))
+    }
+
+    /// Rebuild this simulation from [`save_snapshot`](Self::save_snapshot)
+    /// bytes. `self` must have been built by [`Simulation::new`] with the
+    /// same configuration and master seed as the writer (enforced via the
+    /// context fingerprint). On error the simulation state is unspecified
+    /// and must be discarded.
+    pub fn restore_snapshot(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
+        let (context, payload) = ddp_snapshot::decode_container(bytes, Path::new("<memory>"))?;
+        let expected = self.context_fingerprint();
+        if context != expected {
+            return Err(SnapshotError::ContextMismatch { expected, found: context });
+        }
+        let mut dec = Dec::new(&payload);
+        self.restore_payload(&mut dec)?;
+        dec.finish()
+    }
+
+    /// Write a checkpoint crash-safely (temp file + fsync + atomic rename).
+    pub fn write_snapshot_file(&self, path: &Path) -> Result<(), SnapshotError> {
+        if !self.defense.snapshot_support() {
+            return Err(SnapshotError::Unsupported {
+                what: "active defense has no snapshot support",
+            });
+        }
+        ddp_snapshot::write_snapshot(path, self.context_fingerprint(), &self.save_payload())
+    }
+
+    /// Resume from a checkpoint written by
+    /// [`write_snapshot_file`](Self::write_snapshot_file). Same contract as
+    /// [`restore_snapshot`](Self::restore_snapshot).
+    pub fn resume_from_file(&mut self, path: &Path) -> Result<(), SnapshotError> {
+        let (context, payload) = ddp_snapshot::read_snapshot(path)?;
+        let expected = self.context_fingerprint();
+        if context != expected {
+            return Err(SnapshotError::ContextMismatch { expected, found: context });
+        }
+        let mut dec = Dec::new(&payload);
+        self.restore_payload(&mut dec)?;
+        dec.finish()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1286,6 +1562,85 @@ mod tests {
         assert!(sim.overlay().degree(rec.new) > 0, "the newcomer re-dialed bootstrap links");
         assert_eq!(sim.nodes[rec.new.index()].dormant_until, rec.tick + 2);
         assert_eq!(sim.node_count(), initial_n + 1);
+    }
+
+    /// Build a stressful scenario: churn, faults, attackers, whitewash.
+    fn busy_sim(seed: u64) -> Simulation<NoDefense> {
+        let mut cfg = small_cfg(150);
+        cfg.lifetime = LifetimeModel::Exponential { mean_min: 5.0 };
+        cfg.faults =
+            crate::FaultConfig { loss: 0.1, delay_prob: 0.2, delay_ticks: 2, crash_prob: 0.01 };
+        let mut sim = Simulation::new(cfg, NoDefense, seed);
+        for i in 0..8u32 {
+            sim.make_attacker(NodeId(i * 17 + 2), ReportBehavior::Honest);
+        }
+        sim.enable_whitewash(WhitewashConfig { dwell_ticks: 2, quiet_ticks: 1 });
+        sim
+    }
+
+    #[test]
+    fn snapshot_resume_is_tick_for_tick_identical() {
+        let mut reference = busy_sim(123);
+        for _ in 0..12 {
+            reference.step();
+        }
+
+        let mut writer = busy_sim(123);
+        for _ in 0..5 {
+            writer.step();
+        }
+        let bytes = writer.save_snapshot().unwrap();
+        let mut resumed = busy_sim(123);
+        resumed.restore_snapshot(&bytes).unwrap();
+        assert_eq!(resumed.tick(), 5);
+        for _ in 0..7 {
+            resumed.step();
+        }
+
+        let a = reference.finish();
+        let b = resumed.finish();
+        assert_eq!(a.series, b.series);
+        assert_eq!(a.summary, b.summary);
+        assert_eq!(a.cut_log, b.cut_log);
+    }
+
+    #[test]
+    fn snapshot_rejects_mismatched_run_identity() {
+        let mut writer = busy_sim(123);
+        writer.step();
+        let bytes = writer.save_snapshot().unwrap();
+        // Different seed: same config, different run — must be refused.
+        let mut other = busy_sim(124);
+        match other.restore_snapshot(&bytes) {
+            Err(SnapshotError::ContextMismatch { .. }) => {}
+            other => panic!("expected ContextMismatch, got {other:?}"),
+        }
+        // Different config likewise.
+        let mut cfg_changed = Simulation::new(small_cfg(151), NoDefense, 123);
+        match cfg_changed.restore_snapshot(&bytes) {
+            Err(SnapshotError::ContextMismatch { .. }) => {}
+            other => panic!("expected ContextMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupt_snapshot_bytes_are_typed_errors_not_panics() {
+        let mut writer = busy_sim(9);
+        for _ in 0..3 {
+            writer.step();
+        }
+        let bytes = writer.save_snapshot().unwrap();
+        // Every truncation of the container must fail cleanly.
+        for cut in [0, 10, bytes.len() / 2, bytes.len() - 1] {
+            let mut sim = busy_sim(9);
+            assert!(sim.restore_snapshot(&bytes[..cut]).is_err());
+        }
+        // A bit flip anywhere must be rejected (checksum or typed decode).
+        let mut flipped = bytes.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x40;
+        let mut sim = busy_sim(9);
+        assert!(sim.restore_snapshot(&flipped).is_err());
     }
 
     #[test]

@@ -394,6 +394,79 @@ impl FaultPlane {
     pub fn stats(&self) -> ResilienceSummary {
         self.state.borrow().stats.clone()
     }
+
+    /// Append the mailboxes and accounting to a snapshot payload. `cfg` and
+    /// `seed` are not serialized — the engine recreates the plane from the
+    /// run configuration, so only the mutable state crosses the checkpoint.
+    pub fn save_state(&self, enc: &mut ddp_snapshot::Enc) {
+        let st = self.state.borrow();
+        enc.put(&st.lists);
+        enc.put(&st.reports);
+        enc.put(&st.stats);
+    }
+
+    /// Rebuild the mailboxes and accounting from a snapshot payload.
+    pub fn restore_state(
+        &self,
+        dec: &mut ddp_snapshot::Dec<'_>,
+    ) -> Result<(), ddp_snapshot::SnapshotError> {
+        let lists = dec.get()?;
+        let reports = dec.get()?;
+        let stats = dec.get()?;
+        let mut st = self.state.borrow_mut();
+        st.lists = lists;
+        st.reports = reports;
+        st.stats = stats;
+        Ok(())
+    }
+}
+
+impl ddp_snapshot::Snapshottable for DelayedList {
+    fn save(&self, enc: &mut ddp_snapshot::Enc) {
+        enc.u32(self.deliver_at);
+        enc.u32(self.receiver.0);
+        enc.u32(self.announcer.0);
+        enc.usize(self.members.len());
+        for m in &self.members {
+            enc.u32(m.0);
+        }
+        enc.u32(self.sent_at);
+    }
+
+    fn load(dec: &mut ddp_snapshot::Dec<'_>) -> Result<Self, ddp_snapshot::SnapshotError> {
+        let deliver_at = dec.u32()?;
+        let receiver = NodeId(dec.u32()?);
+        let announcer = NodeId(dec.u32()?);
+        let n = dec.len("DelayedList members")?;
+        let mut members = Vec::with_capacity(n);
+        for _ in 0..n {
+            members.push(NodeId(dec.u32()?));
+        }
+        let sent_at = dec.u32()?;
+        Ok(DelayedList { deliver_at, receiver, announcer, members, sent_at })
+    }
+}
+
+impl ddp_snapshot::Snapshottable for DelayedReport {
+    fn save(&self, enc: &mut ddp_snapshot::Enc) {
+        enc.u32(self.deliver_at);
+        enc.u32(self.requester.0);
+        enc.u32(self.reporter.0);
+        enc.u32(self.suspect.0);
+        enc.put(&self.report);
+        enc.u32(self.sent_at);
+    }
+
+    fn load(dec: &mut ddp_snapshot::Dec<'_>) -> Result<Self, ddp_snapshot::SnapshotError> {
+        Ok(DelayedReport {
+            deliver_at: dec.u32()?,
+            requester: NodeId(dec.u32()?),
+            reporter: NodeId(dec.u32()?),
+            suspect: NodeId(dec.u32()?),
+            report: dec.get()?,
+            sent_at: dec.u32()?,
+        })
+    }
 }
 
 /// How one report lookup was ultimately resolved.
@@ -521,6 +594,33 @@ mod tests {
         assert!(p
             .take_stale_report(2 + MAIL_GC_TICKS + 1, NodeId(1), NodeId(2), NodeId(9))
             .is_none());
+    }
+
+    #[test]
+    fn mailbox_snapshot_roundtrip_preserves_in_flight_mail() {
+        let p = plane(0.0, 1.0, 2);
+        p.transmit_list(5, NodeId(1), NodeId(2), &[NodeId(7), NodeId(8)]);
+        let r = TrafficReport { sent_to_suspect: 11, received_from_suspect: 3 };
+        p.deliver_reply(5, NodeId(1), NodeId(2), NodeId(9), r, 0);
+        p.note_retries(3);
+
+        let mut enc = ddp_snapshot::Enc::new();
+        p.save_state(&mut enc);
+        let bytes = enc.into_bytes();
+
+        let q = plane(0.0, 1.0, 2);
+        let mut dec = ddp_snapshot::Dec::new(&bytes);
+        q.restore_state(&mut dec).unwrap();
+        dec.finish().unwrap();
+
+        // The restored plane delivers the same mail on the same schedule.
+        assert!(q.take_matured_lists(6, NodeId(2)).is_empty());
+        let got = q.take_matured_lists(7, NodeId(2));
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].1, vec![NodeId(7), NodeId(8)]);
+        let (stale, sent_at) = q.take_stale_report(7, NodeId(1), NodeId(2), NodeId(9)).unwrap();
+        assert_eq!((stale, sent_at), (r, 5));
+        assert_eq!(q.stats().report_retries, 3);
     }
 
     #[test]

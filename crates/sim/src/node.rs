@@ -150,6 +150,142 @@ impl NodeState {
     }
 }
 
+impl ddp_snapshot::Snapshottable for ReportBehavior {
+    fn save(&self, enc: &mut ddp_snapshot::Enc) {
+        match *self {
+            ReportBehavior::Honest => enc.u8(0),
+            ReportBehavior::Inflate(f) => {
+                enc.u8(1);
+                enc.f64(f);
+            }
+            ReportBehavior::Deflate(f) => {
+                enc.u8(2);
+                enc.f64(f);
+            }
+            ReportBehavior::Silent => enc.u8(3),
+            ReportBehavior::ShieldColluders { factor } => {
+                enc.u8(4);
+                enc.f64(factor);
+            }
+            ReportBehavior::FrameVictim { victim, inflate } => {
+                enc.u8(5);
+                enc.u32(victim.0);
+                enc.f64(inflate);
+            }
+        }
+    }
+
+    fn load(dec: &mut ddp_snapshot::Dec<'_>) -> Result<Self, ddp_snapshot::SnapshotError> {
+        Ok(match dec.u8()? {
+            0 => ReportBehavior::Honest,
+            1 => ReportBehavior::Inflate(dec.f64()?),
+            2 => ReportBehavior::Deflate(dec.f64()?),
+            3 => ReportBehavior::Silent,
+            4 => ReportBehavior::ShieldColluders { factor: dec.f64()? },
+            5 => ReportBehavior::FrameVictim { victim: NodeId(dec.u32()?), inflate: dec.f64()? },
+            _ => return Err(ddp_snapshot::SnapshotError::Corrupt { what: "ReportBehavior tag" }),
+        })
+    }
+}
+
+impl ddp_snapshot::Snapshottable for ListBehavior {
+    fn save(&self, enc: &mut ddp_snapshot::Enc) {
+        match *self {
+            ListBehavior::Truthful => enc.u8(0),
+            ListBehavior::PadFake { extra } => {
+                enc.u8(1);
+                enc.u8(extra);
+            }
+            ListBehavior::Omit => enc.u8(2),
+            ListBehavior::Refuse => enc.u8(3),
+        }
+    }
+
+    fn load(dec: &mut ddp_snapshot::Dec<'_>) -> Result<Self, ddp_snapshot::SnapshotError> {
+        Ok(match dec.u8()? {
+            0 => ListBehavior::Truthful,
+            1 => ListBehavior::PadFake { extra: dec.u8()? },
+            2 => ListBehavior::Omit,
+            3 => ListBehavior::Refuse,
+            _ => return Err(ddp_snapshot::SnapshotError::Corrupt { what: "ListBehavior tag" }),
+        })
+    }
+}
+
+impl ddp_snapshot::Snapshottable for Role {
+    fn save(&self, enc: &mut ddp_snapshot::Enc) {
+        match *self {
+            Role::Good => enc.u8(0),
+            Role::Attacker { rate_qpm, report } => {
+                enc.u8(1);
+                enc.u32(rate_qpm);
+                enc.put(&report);
+            }
+        }
+    }
+
+    fn load(dec: &mut ddp_snapshot::Dec<'_>) -> Result<Self, ddp_snapshot::SnapshotError> {
+        Ok(match dec.u8()? {
+            0 => Role::Good,
+            1 => Role::Attacker { rate_qpm: dec.u32()?, report: dec.get()? },
+            _ => return Err(ddp_snapshot::SnapshotError::Corrupt { what: "Role tag" }),
+        })
+    }
+}
+
+/// `BandwidthClass` lives in `ddp-workload`, which stays snapshot-free; the
+/// class index is encoded here instead.
+fn bandwidth_tag(c: BandwidthClass) -> u8 {
+    match c {
+        BandwidthClass::Dialup => 0,
+        BandwidthClass::Dsl => 1,
+        BandwidthClass::Cable => 2,
+        BandwidthClass::Ethernet => 3,
+    }
+}
+
+fn bandwidth_from_tag(tag: u8) -> Result<BandwidthClass, ddp_snapshot::SnapshotError> {
+    Ok(match tag {
+        0 => BandwidthClass::Dialup,
+        1 => BandwidthClass::Dsl,
+        2 => BandwidthClass::Cable,
+        3 => BandwidthClass::Ethernet,
+        _ => return Err(ddp_snapshot::SnapshotError::Corrupt { what: "BandwidthClass tag" }),
+    })
+}
+
+impl ddp_snapshot::Snapshottable for NodeState {
+    fn save(&self, enc: &mut ddp_snapshot::Enc) {
+        enc.bool(self.online);
+        enc.put(&self.role);
+        enc.u8(bandwidth_tag(self.bandwidth));
+        enc.u32(self.capacity_qpm);
+        enc.u32(self.lifetime_left);
+        enc.u32(self.rejoin_at);
+        enc.f32(self.prev_utilization);
+        enc.bool(self.runs_defense);
+        enc.bool(self.defensively_isolated);
+        enc.u32(self.dormant_until);
+        enc.put(&self.list_behavior);
+    }
+
+    fn load(dec: &mut ddp_snapshot::Dec<'_>) -> Result<Self, ddp_snapshot::SnapshotError> {
+        Ok(NodeState {
+            online: dec.bool()?,
+            role: dec.get()?,
+            bandwidth: bandwidth_from_tag(dec.u8()?)?,
+            capacity_qpm: dec.u32()?,
+            lifetime_left: dec.u32()?,
+            rejoin_at: dec.u32()?,
+            prev_utilization: dec.f32()?,
+            runs_defense: dec.bool()?,
+            defensively_isolated: dec.bool()?,
+            dormant_until: dec.u32()?,
+            list_behavior: dec.get()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -161,6 +297,49 @@ mod tests {
         assert!(!n.role.is_attacker());
         assert_eq!(n.role.report_behavior(), ReportBehavior::Honest);
         assert!(n.runs_defense);
+    }
+
+    #[test]
+    fn node_state_snapshot_roundtrip_covers_every_variant() {
+        let mut states = vec![NodeState::good(BandwidthClass::Dsl, 950, 17)];
+        for report in [
+            ReportBehavior::Honest,
+            ReportBehavior::Inflate(3.0),
+            ReportBehavior::Deflate(0.25),
+            ReportBehavior::Silent,
+            ReportBehavior::ShieldColluders { factor: 0.1 },
+            ReportBehavior::FrameVictim { victim: NodeId(42), inflate: 5.0 },
+        ] {
+            let mut s = NodeState::good(BandwidthClass::Ethernet, 1000, 9);
+            s.make_attacker(20_000, report);
+            s.dormant_until = 7;
+            states.push(s);
+        }
+        for list in [
+            ListBehavior::Truthful,
+            ListBehavior::PadFake { extra: 4 },
+            ListBehavior::Omit,
+            ListBehavior::Refuse,
+        ] {
+            let mut s = NodeState::good(BandwidthClass::Dialup, 800, 3);
+            s.list_behavior = list;
+            states.push(s);
+        }
+        let mut enc = ddp_snapshot::Enc::new();
+        enc.put(&states);
+        let bytes = enc.into_bytes();
+        let mut dec = ddp_snapshot::Dec::new(&bytes);
+        let back: Vec<NodeState> = dec.get().unwrap();
+        dec.finish().unwrap();
+        for (a, b) in states.iter().zip(&back) {
+            assert_eq!(a.online, b.online);
+            assert_eq!(a.role, b.role);
+            assert_eq!(a.bandwidth, b.bandwidth);
+            assert_eq!(a.capacity_qpm, b.capacity_qpm);
+            assert_eq!(a.lifetime_left, b.lifetime_left);
+            assert_eq!(a.rejoin_at, b.rejoin_at);
+            assert_eq!(a.list_behavior, b.list_behavior);
+        }
     }
 
     #[test]

@@ -111,6 +111,49 @@ pub struct SessionStats {
     pub grown_slots: u64,
 }
 
+impl ddp_snapshot::Snapshottable for WhitewashConfig {
+    fn save(&self, enc: &mut ddp_snapshot::Enc) {
+        enc.u32(self.dwell_ticks);
+        enc.u32(self.quiet_ticks);
+    }
+
+    fn load(dec: &mut ddp_snapshot::Dec<'_>) -> Result<Self, ddp_snapshot::SnapshotError> {
+        Ok(WhitewashConfig { dwell_ticks: dec.u32()?, quiet_ticks: dec.u32()? })
+    }
+}
+
+impl ddp_snapshot::Snapshottable for WhitewashRecord {
+    fn save(&self, enc: &mut ddp_snapshot::Enc) {
+        enc.u32(self.tick);
+        enc.u32(self.old.0);
+        enc.u32(self.new.0);
+    }
+
+    fn load(dec: &mut ddp_snapshot::Dec<'_>) -> Result<Self, ddp_snapshot::SnapshotError> {
+        Ok(WhitewashRecord { tick: dec.u32()?, old: NodeId(dec.u32()?), new: NodeId(dec.u32()?) })
+    }
+}
+
+impl ddp_snapshot::Snapshottable for SessionStats {
+    fn save(&self, enc: &mut ddp_snapshot::Enc) {
+        enc.u64(self.joins);
+        enc.u64(self.leaves);
+        enc.u64(self.crashes);
+        enc.u64(self.joins_skipped);
+        enc.u64(self.grown_slots);
+    }
+
+    fn load(dec: &mut ddp_snapshot::Dec<'_>) -> Result<Self, ddp_snapshot::SnapshotError> {
+        Ok(SessionStats {
+            joins: dec.u64()?,
+            leaves: dec.u64()?,
+            crashes: dec.u64()?,
+            joins_skipped: dec.u64()?,
+            grown_slots: dec.u64()?,
+        })
+    }
+}
+
 /// Knuth's product-of-uniforms Poisson sampler. Exact for the per-tick
 /// arrival rates the session model uses (runtime is O(λ) draws per call).
 pub(crate) fn sample_poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u32 {

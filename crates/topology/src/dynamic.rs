@@ -67,6 +67,22 @@ impl DynamicGraph {
         dg
     }
 
+    /// Rebuild a graph from explicit per-node adjacency rows, preserving
+    /// slot order and twin indices verbatim — the snapshot-restore
+    /// constructor. Slot order is observable engine state (emissions and
+    /// positional counter mirrors index by slot), so this must NOT
+    /// canonicalize; callers restoring untrusted bytes should follow up with
+    /// [`DynamicGraph::check_invariants`].
+    pub fn from_rows(rows: &[Vec<Half>]) -> Self {
+        let lens: Vec<usize> = rows.iter().map(Vec::len).collect();
+        let mut adj = SegVec::from_lens(&lens, HOLE);
+        for (i, row) in rows.iter().enumerate() {
+            adj.slice_mut(i).copy_from_slice(row);
+        }
+        let halves: usize = lens.iter().sum();
+        DynamicGraph { adj, edge_count: halves / 2 }
+    }
+
     /// Number of node slots (including isolated / departed nodes).
     #[inline]
     pub fn node_count(&self) -> usize {
@@ -311,6 +327,27 @@ mod tests {
         let peer = g.remove_edge_at(nid(0), 0);
         assert_eq!(peer, nid(2));
         assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn from_rows_preserves_slot_order_and_twins() {
+        // Drive a graph through churn (so swap_remove scrambled slot order),
+        // then rebuild from its rows: every row must match verbatim.
+        let mut g = DynamicGraph::new(6);
+        for (u, v) in [(0, 1), (0, 2), (0, 3), (1, 2), (2, 4), (3, 5)] {
+            g.add_edge(nid(u), nid(v));
+        }
+        g.remove_edge(nid(0), nid(1));
+        g.isolate(nid(4));
+        let rows: Vec<Vec<Half>> =
+            (0..g.node_count()).map(|u| g.neighbors(NodeId::from_index(u)).to_vec()).collect();
+        let rebuilt = DynamicGraph::from_rows(&rows);
+        rebuilt.check_invariants().unwrap();
+        assert_eq!(rebuilt.edge_count(), g.edge_count());
+        for u in 0..g.node_count() {
+            let u = NodeId::from_index(u);
+            assert_eq!(rebuilt.neighbors(u), g.neighbors(u), "row {u} must match verbatim");
+        }
     }
 
     #[test]

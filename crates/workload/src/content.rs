@@ -68,6 +68,24 @@ impl ContentCatalog {
         lib
     }
 
+    /// Rebuild a catalog from explicit per-peer libraries — the
+    /// snapshot-restore constructor. The popularity law carries no mutable
+    /// state (queries draw from the engine's RNG streams), so it is
+    /// reconstructed from `cfg` exactly as [`ContentCatalog::generate`]
+    /// builds it.
+    pub fn from_libraries(libraries: Vec<Vec<u32>>, cfg: &ContentConfig) -> Self {
+        ContentCatalog {
+            libraries,
+            query_popularity: Zipf::new(cfg.num_objects, cfg.alpha),
+            num_objects: cfg.num_objects,
+        }
+    }
+
+    /// Per-peer libraries, indexed by node — the snapshot-save accessor.
+    pub fn libraries(&self) -> &[Vec<u32>] {
+        &self.libraries
+    }
+
     /// Generate the library for one newly joined peer, replacing `node`'s.
     pub fn regenerate_library<R: Rng + ?Sized>(&mut self, node: NodeId, size: usize, rng: &mut R) {
         let lib = Self::sample_library(&self.query_popularity, size, rng);

@@ -19,6 +19,7 @@
 //! | [`testbed`]  | `ddp-testbed` | the §2.3 single-peer capacity testbed (Figures 5–6) |
 //! | [`dht`] | `ddp-dht` | Chord-like structured overlay (the paper's §5 future work) |
 //! | [`servent`] | `ddp-servent` | protocol-level reference peer: wire messages on every hop |
+//! | [`snapshot`] | `ddp-snapshot` | crash-safe checkpoint container + byte codec |
 //! | [`experiments`] | `ddp-experiments` | one runner per paper table/figure |
 //!
 //! ## Quickstart
@@ -47,6 +48,7 @@ pub use ddp_police as police;
 pub use ddp_protocol as protocol;
 pub use ddp_servent as servent;
 pub use ddp_sim as sim;
+pub use ddp_snapshot as snapshot;
 pub use ddp_testbed as testbed;
 pub use ddp_topology as topology;
 pub use ddp_workload as workload;

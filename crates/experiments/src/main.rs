@@ -87,6 +87,13 @@ fn main() -> ExitCode {
         "churn" => emit(&runners::churn(&opts), &opts),
         "fuzz" => emit(&runners::fuzz(&opts), &opts),
         "structured" => emit(&runners::structured(&opts), &opts),
+        "testbed" => match runners::testbed(&opts) {
+            Ok(t) => emit(&t, &opts),
+            Err(e) => {
+                eprintln!("testbed: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
         "cheating" => emit(&runners::cheating(&opts), &opts),
         "resilience" => emit(&runners::resilience(&opts), &opts),
         "collusion" => {
@@ -145,7 +152,7 @@ usage: ddp-experiments <command> [options]
 commands:
   table1 fig2 fig5 fig6 fig9 fig10 fig11 consequences
   fig12 fig13 fig14 ct exchange cheating resilience collusion structured
-  scale churn fuzz ablations all
+  scale churn fuzz ablations testbed all
 
 scale sweeps overlay size × attacker fraction, reporting ticks/sec,
 queries/sec, and a peak-heap proxy, and writes BENCH_scale.json.
@@ -167,7 +174,13 @@ options:
   --replicates N   averaged seeds per configuration (default 1)
   --csv DIR        also write each table as DIR/<name>.csv
   --paper-scale    shorthand for --peers 20000 (the paper's §3.5 setting)
-  --smoke          (scale/churn/fuzz) reduced grid that just validates the pipeline
+  --smoke          (scale/churn/fuzz/testbed) reduced grid that just validates the pipeline
+
+testbed runs the sim-vs-wire cross-validation: the same topology and attack
+through the in-memory simulator, a mesh of real ddp-servent processes over
+loopback TCP, and the same mesh with a SIGKILL'd servent and a socket
+severed mid-frame. Needs the ddp-servent binary (same profile, or set
+DDP_SERVENT_BIN). --smoke shrinks it to 10 servents x 3 minutes.
 
 checkpointing (currently honored by ct/fig12/fig13/fig14):
   --checkpoint-every N   snapshot full engine state every N ticks (default 0 = off)

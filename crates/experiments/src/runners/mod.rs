@@ -11,6 +11,7 @@ mod scale;
 mod static_figs;
 mod structured;
 mod sweep;
+mod testbed;
 
 pub use ablations::{
     ablate_clamp, ablate_forwarding, ablate_lists, ablate_radius, ablate_rejoin, ablate_topology,
@@ -34,6 +35,7 @@ pub use scale::{
 pub use static_figs::{fig2, fig5, fig6, table1};
 pub use structured::structured;
 pub use sweep::{agent_sweep, consequences, fig10, fig11, fig9, SweepRow};
+pub use testbed::testbed;
 
 use crate::output::Table;
 use crate::scenario::ExpOptions;

@@ -1,0 +1,147 @@
+//! Connection-lifecycle counters for the wire deployment.
+//!
+//! The socket runtime in `ddp-servent` supervises every TCP connection
+//! (handshake deadlines, reconnect backoff, idle timeouts, bounded send
+//! queues); this struct is the plain, serializable tally of what that
+//! supervision observed over a run. It lives here so the multi-process
+//! testbed can aggregate it next to the simulator's [`RunSummary`]
+//! resilience counters without depending on the runtime itself.
+//!
+//! [`RunSummary`]: crate::summary::RunSummary
+
+/// Per-servent connection and backpressure telemetry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ConnCounters {
+    /// Outbound dials that completed the handshake.
+    pub dials_ok: u64,
+    /// Outbound dials that failed (connect refused/timed out, handshake
+    /// deadline missed, bad hello).
+    pub dials_failed: u64,
+    /// Inbound connections that completed the handshake.
+    pub accepts: u64,
+    /// Inbound connections dropped before completing the handshake.
+    pub handshake_failures: u64,
+    /// Successful re-establishments of a previously live link.
+    pub reconnects: u64,
+    /// Connections closed because the peer sent nothing for the idle
+    /// horizon (feeds the assume-zero path).
+    pub idle_closes: u64,
+    /// Connections closed because the peer sent malformed or oversized
+    /// bytes (hostile input disconnects, never panics).
+    pub codec_disconnects: u64,
+    /// Frames written to a socket.
+    pub frames_sent: u64,
+    /// Bytes written to a socket.
+    pub bytes_sent: u64,
+    /// Frames fully reassembled and validated off a socket.
+    pub frames_received: u64,
+    /// Bytes read off sockets.
+    pub bytes_received: u64,
+    /// Frames evicted from a bounded send queue under backpressure
+    /// (drop-oldest policy; the overlay's loss path, never OOM).
+    pub frames_dropped: u64,
+    /// Frames addressed to a peer with no known transport address.
+    pub frames_unroutable: u64,
+}
+
+impl ConnCounters {
+    /// Element-wise sum — aggregate counters across servents.
+    pub fn merge(&self, other: &ConnCounters) -> ConnCounters {
+        ConnCounters {
+            dials_ok: self.dials_ok + other.dials_ok,
+            dials_failed: self.dials_failed + other.dials_failed,
+            accepts: self.accepts + other.accepts,
+            handshake_failures: self.handshake_failures + other.handshake_failures,
+            reconnects: self.reconnects + other.reconnects,
+            idle_closes: self.idle_closes + other.idle_closes,
+            codec_disconnects: self.codec_disconnects + other.codec_disconnects,
+            frames_sent: self.frames_sent + other.frames_sent,
+            bytes_sent: self.bytes_sent + other.bytes_sent,
+            frames_received: self.frames_received + other.frames_received,
+            bytes_received: self.bytes_received + other.bytes_received,
+            frames_dropped: self.frames_dropped + other.frames_dropped,
+            frames_unroutable: self.frames_unroutable + other.frames_unroutable,
+        }
+    }
+
+    /// `(name, value)` pairs in a stable order — the serialization the
+    /// testbed's summary files and tables use.
+    pub fn fields(&self) -> [(&'static str, u64); 14] {
+        [
+            ("dials_ok", self.dials_ok),
+            ("dials_failed", self.dials_failed),
+            ("accepts", self.accepts),
+            ("handshake_failures", self.handshake_failures),
+            ("reconnects", self.reconnects),
+            ("idle_closes", self.idle_closes),
+            ("codec_disconnects", self.codec_disconnects),
+            ("frames_sent", self.frames_sent),
+            ("bytes_sent", self.bytes_sent),
+            ("frames_received", self.frames_received),
+            ("bytes_received", self.bytes_received),
+            ("frames_dropped", self.frames_dropped),
+            ("frames_unroutable", self.frames_unroutable),
+            ("conn_end", 0),
+        ]
+    }
+
+    /// Set the field with the given [`ConnCounters::fields`] name.
+    /// Returns `false` for an unknown name (forward compatibility: parsers
+    /// skip what they do not know).
+    pub fn set_field(&mut self, name: &str, value: u64) -> bool {
+        match name {
+            "dials_ok" => self.dials_ok = value,
+            "dials_failed" => self.dials_failed = value,
+            "accepts" => self.accepts = value,
+            "handshake_failures" => self.handshake_failures = value,
+            "reconnects" => self.reconnects = value,
+            "idle_closes" => self.idle_closes = value,
+            "codec_disconnects" => self.codec_disconnects = value,
+            "frames_sent" => self.frames_sent = value,
+            "bytes_sent" => self.bytes_sent = value,
+            "frames_received" => self.frames_received = value,
+            "bytes_received" => self.bytes_received = value,
+            "frames_dropped" => self.frames_dropped = value,
+            "frames_unroutable" => self.frames_unroutable = value,
+            "conn_end" => {}
+            _ => return false,
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_is_elementwise_sum() {
+        let a =
+            ConnCounters { dials_ok: 1, frames_sent: 10, bytes_sent: 100, ..Default::default() };
+        let b = ConnCounters { dials_ok: 2, frames_dropped: 5, ..Default::default() };
+        let m = a.merge(&b);
+        assert_eq!(m.dials_ok, 3);
+        assert_eq!(m.frames_sent, 10);
+        assert_eq!(m.bytes_sent, 100);
+        assert_eq!(m.frames_dropped, 5);
+    }
+
+    #[test]
+    fn fields_roundtrip_through_set_field() {
+        let mut src = ConnCounters::default();
+        // Give every field a distinct value via the accessor table itself.
+        for (i, (name, _)) in ConnCounters::default().fields().iter().enumerate() {
+            assert!(src.set_field(name, (i as u64 + 1) * 7), "unknown field {name}");
+        }
+        let mut back = ConnCounters::default();
+        for (name, value) in src.fields() {
+            assert!(back.set_field(name, value));
+        }
+        assert_eq!(src, back);
+    }
+
+    #[test]
+    fn unknown_field_is_rejected_not_panicked() {
+        assert!(!ConnCounters::default().set_field("no_such_counter", 1));
+    }
+}

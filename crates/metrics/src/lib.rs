@@ -16,6 +16,7 @@
 //!   ([`recovery`]).
 
 pub mod alloc;
+pub mod conn;
 pub mod damage;
 pub mod errors;
 pub mod histogram;
@@ -31,6 +32,7 @@ pub mod traffic;
 pub mod verdict;
 
 pub use alloc::CountingAlloc;
+pub use conn::ConnCounters;
 pub use damage::damage_rate;
 pub use errors::DetectionErrors;
 pub use histogram::Histogram;

@@ -34,7 +34,7 @@ pub mod routing;
 pub use codec::{decode_message, encode_message};
 pub use error::ProtocolError;
 pub use guid::Guid;
-pub use header::{Header, PayloadKind, HEADER_LEN};
+pub use header::{Header, PayloadKind, HEADER_LEN, MAX_PAYLOAD_LEN};
 pub use message::{
     Bye, Message, NeighborList, NeighborTraffic, Payload, PeerAddr, Ping, Pong, Query, QueryHit,
     QueryHitResult, Receipt,

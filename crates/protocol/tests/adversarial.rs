@@ -1,0 +1,139 @@
+//! Adversarial-input hardening for the wire codec: hostile bytes must come
+//! back as a typed [`ProtocolError`] — never a panic, never an allocation
+//! sized by an attacker-controlled length field.
+//!
+//! Complements `proptest_codec.rs` (roundtrip properties) with targeted
+//! attacks: lying length fields, oversized claims, bit-flipped valid frames,
+//! and header-field extremes.
+
+use bytes::Bytes;
+use ddp_protocol::*;
+use proptest::prelude::*;
+
+/// A syntactically perfect header whose fields we control, followed by
+/// `body` bytes.
+fn frame(kind: u8, ttl: u8, hops: u8, payload_len: u32, body: &[u8]) -> Bytes {
+    let mut raw = Vec::with_capacity(23 + body.len());
+    raw.extend_from_slice(&[0xAAu8; 16]); // GUID
+    raw.push(kind);
+    raw.push(ttl);
+    raw.push(hops);
+    raw.extend_from_slice(&payload_len.to_le_bytes());
+    raw.extend_from_slice(body);
+    Bytes::from(raw)
+}
+
+#[test]
+fn oversized_length_claim_is_rejected_without_allocating() {
+    // u32::MAX length claim: the decoder must reject from the header alone.
+    // If it tried to allocate or wait for 4 GiB this test would OOM/hang.
+    let mut wire = frame(0x80, 5, 0, u32::MAX, b"");
+    match decode_message(&mut wire) {
+        Err(ProtocolError::OversizedPayload { len, cap }) => {
+            assert_eq!(len, u32::MAX as usize);
+            assert_eq!(cap, MAX_PAYLOAD_LEN);
+        }
+        other => panic!("expected OversizedPayload, got {other:?}"),
+    }
+}
+
+#[test]
+fn length_just_over_the_cap_is_rejected_and_at_the_cap_is_not_oversized() {
+    let over = frame(0x80, 5, 0, (MAX_PAYLOAD_LEN + 1) as u32, b"");
+    assert!(matches!(
+        decode_message(&mut over.clone()),
+        Err(ProtocolError::OversizedPayload { .. })
+    ));
+    // Exactly at the cap the length field is legal; with no body present the
+    // error must be TruncatedPayload (the length passed the sanity check).
+    let mut at = frame(0x80, 5, 0, MAX_PAYLOAD_LEN as u32, b"");
+    assert!(matches!(
+        decode_message(&mut at),
+        Err(ProtocolError::TruncatedPayload { want, .. }) if want == MAX_PAYLOAD_LEN
+    ));
+}
+
+#[test]
+fn lying_length_field_is_a_typed_truncation_error() {
+    // Header claims 100 bytes, only 3 arrive.
+    let mut wire = frame(0x00, 1, 0, 100, b"abc");
+    assert!(matches!(
+        decode_message(&mut wire),
+        Err(ProtocolError::TruncatedPayload { want: 100, have: 3 })
+    ));
+}
+
+#[test]
+fn unknown_kind_bytes_are_typed_errors() {
+    for kind in [0x03u8, 0x40, 0x7f, 0x82, 0x84, 0x87, 0xff] {
+        let mut wire = frame(kind, 1, 0, 0, b"");
+        assert!(
+            matches!(decode_message(&mut wire), Err(ProtocolError::UnknownPayloadKind(k)) if k == kind),
+            "kind 0x{kind:02x} must be rejected as unknown"
+        );
+    }
+}
+
+#[test]
+fn ttl_and_hops_extremes_decode_and_forwarding_saturates() {
+    // 255/255 is hostile but syntactically fine — the codec accepts it and
+    // the forwarding rule saturates instead of wrapping.
+    let mut wire = frame(0x00, 255, 255, 0, b"");
+    let msg = decode_message(&mut wire).expect("extreme TTL/hops still decode");
+    assert_eq!((msg.header.ttl, msg.header.hops), (255, 255));
+    let fwd = msg.header.forwarded().expect("ttl 255 forwards");
+    assert_eq!((fwd.ttl, fwd.hops), (254, 255), "hops must saturate, not wrap");
+}
+
+proptest! {
+    /// Any header field combination with a lying length yields a typed error,
+    /// never a panic.
+    #[test]
+    fn arbitrary_headers_with_lying_lengths_never_panic(
+        kind in any::<u8>(),
+        ttl in any::<u8>(),
+        hops in any::<u8>(),
+        claimed in 1u32..u32::MAX,
+        body in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        prop_assume!(body.len() < claimed as usize);
+        let mut wire = frame(kind, ttl, hops, claimed, &body);
+        prop_assert!(decode_message(&mut wire).is_err());
+    }
+
+    /// Flipping any single bit of a valid frame is either rejected with a
+    /// typed error or decodes into a message that re-encodes cleanly — the
+    /// decoder never panics and never tears.
+    #[test]
+    fn single_bit_flips_never_panic(bit in 0usize..((23 + 10) * 8), seq in any::<u64>()) {
+        let msg = Message::new(
+            Guid::derived(9, seq),
+            5,
+            Payload::Query(Query { min_speed: 0, criteria: "flipme".into() }),
+        );
+        let wire = encode_message(&msg);
+        prop_assume!(bit / 8 < wire.len());
+        let mut raw = wire.to_vec();
+        raw[bit / 8] ^= 1 << (bit % 8);
+        let mut mutated = Bytes::from(raw);
+        if let Ok(decoded) = decode_message(&mut mutated) {
+            let mut rewire = encode_message(&decoded);
+            prop_assert!(decode_message(&mut rewire).is_ok());
+        }
+    }
+
+    /// Byte soup prefixed with a valid-looking kind byte still never panics
+    /// or over-allocates (capacity is bounded by the input, not the header).
+    #[test]
+    fn byte_soup_with_plausible_kind_never_panics(
+        kind in prop_oneof![Just(0x00u8), Just(0x01), Just(0x02), Just(0x80),
+                            Just(0x81), Just(0x83), Just(0x85), Just(0x86)],
+        soup in proptest::collection::vec(any::<u8>(), 0..200),
+    ) {
+        let mut raw = vec![0u8; 16];
+        raw.push(kind);
+        raw.extend_from_slice(&soup);
+        let mut wire = Bytes::from(raw);
+        let _ = decode_message(&mut wire); // must return, Ok or Err
+    }
+}

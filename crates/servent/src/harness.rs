@@ -20,6 +20,10 @@ pub struct HarnessConfig {
     pub query_rate_qpm: f64,
     /// One-way frame latency, seconds.
     pub latency_secs: u64,
+    /// Bound on frames in flight (`None` = unbounded, the historical
+    /// default). Under a flood the bound sheds the oldest frames and counts
+    /// them, like the wire runtime's send queues.
+    pub network_capacity: Option<usize>,
 }
 
 impl Default for HarnessConfig {
@@ -30,6 +34,7 @@ impl Default for HarnessConfig {
             items_per_peer: 8,
             query_rate_qpm: 2.0,
             latency_secs: 1,
+            network_capacity: None,
         }
     }
 }
@@ -49,6 +54,8 @@ pub struct HarnessReport {
     pub frames: u64,
     /// Total bytes the network carried.
     pub bytes: u64,
+    /// Frames the bounded network shed (0 when unbounded).
+    pub frames_dropped: u64,
 }
 
 /// The protocol-level test harness.
@@ -108,14 +115,11 @@ impl Harness {
                 servent.connect(h.peer);
             }
         }
-        let mut harness = Harness {
-            servents,
-            network: InMemNetwork::new(cfg.latency_secs),
-            cfg,
-            rng,
-            now: 0,
-            issued: 0,
+        let network = match cfg.network_capacity {
+            Some(cap) => InMemNetwork::bounded(cfg.latency_secs, cap),
+            None => InMemNetwork::new(cfg.latency_secs),
         };
+        let mut harness = Harness { servents, network, cfg, rng, now: 0, issued: 0 };
         // Connect-time neighbor-list exchange: "a joining peer creates its
         // BG membership after its first neighbor list exchanging operation"
         // (§3.1) — servents announce immediately on connecting, so Buddy
@@ -227,6 +231,7 @@ impl Harness {
             cuts,
             frames: self.network.frames_sent,
             bytes: self.network.bytes_sent,
+            frames_dropped: self.network.frames_dropped,
         }
     }
 }

@@ -27,7 +27,9 @@
 pub mod harness;
 pub mod network;
 pub mod servent;
+pub mod wire;
 
 pub use harness::{Harness, HarnessConfig, HarnessReport};
 pub use network::InMemNetwork;
 pub use servent::{Servent, ServentConfig, ServentRole};
+pub use wire::{WireConfig, WireServent, WireSummary};

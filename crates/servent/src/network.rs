@@ -22,22 +22,40 @@ pub struct InMemNetwork {
     queue: VecDeque<InFlight>,
     /// One-way latency in seconds.
     pub latency_secs: u64,
+    /// Bound on frames in flight; `None` keeps the historical unbounded
+    /// behavior (and byte-identical results for existing experiments).
+    pub capacity: Option<usize>,
     /// Total frames ever sent (telemetry).
     pub frames_sent: u64,
     /// Total bytes ever sent (telemetry).
     pub bytes_sent: u64,
+    /// Frames evicted because the in-flight bound was hit (drop-oldest,
+    /// mirroring the wire runtime's send-queue policy).
+    pub frames_dropped: u64,
 }
 
 impl InMemNetwork {
-    /// Network with the given one-way latency (seconds).
+    /// Network with the given one-way latency (seconds), unbounded.
     pub fn new(latency_secs: u64) -> Self {
         InMemNetwork { latency_secs, ..Default::default() }
+    }
+
+    /// Network with at most `capacity` frames in flight; the oldest frame
+    /// is dropped (and counted) to admit a new one beyond that.
+    pub fn bounded(latency_secs: u64, capacity: usize) -> Self {
+        InMemNetwork { latency_secs, capacity: Some(capacity.max(1)), ..Default::default() }
     }
 
     /// Enqueue a frame from `from` to `to` at time `now`.
     pub fn send(&mut self, now: u64, from: NodeId, to: NodeId, frame: Bytes) {
         self.frames_sent += 1;
         self.bytes_sent += frame.len() as u64;
+        if let Some(cap) = self.capacity {
+            while self.queue.len() >= cap {
+                self.queue.pop_front();
+                self.frames_dropped += 1;
+            }
+        }
         self.queue.push_back(InFlight { deliver_at: now + self.latency_secs, from, to, frame });
     }
 
@@ -85,6 +103,34 @@ mod tests {
         net.send(5, NodeId(0), NodeId(1), Bytes::from_static(b"xyz"));
         assert_eq!(net.frames_sent, 1);
         assert_eq!(net.bytes_sent, 3);
+        assert_eq!(net.frames_dropped, 0);
         assert_eq!(net.deliveries(5).len(), 1);
+    }
+
+    #[test]
+    fn bounded_network_drops_oldest_and_counts() {
+        let mut net = InMemNetwork::bounded(1, 2);
+        net.send(0, NodeId(1), NodeId(2), Bytes::from_static(b"a"));
+        net.send(0, NodeId(1), NodeId(2), Bytes::from_static(b"b"));
+        net.send(0, NodeId(1), NodeId(2), Bytes::from_static(b"c"));
+        assert_eq!(net.frames_dropped, 1);
+        assert_eq!(net.in_flight(), 2);
+        let due = net.deliveries(1);
+        // Oldest ("a") was evicted; send order is preserved for the rest.
+        assert_eq!(due.len(), 2);
+        assert_eq!(due[0].2.as_ref(), b"b");
+        assert_eq!(due[1].2.as_ref(), b"c");
+        // frames_sent still counts every attempted send.
+        assert_eq!(net.frames_sent, 3);
+    }
+
+    #[test]
+    fn unbounded_network_never_drops() {
+        let mut net = InMemNetwork::new(0);
+        for i in 0..10_000u32 {
+            net.send(0, NodeId(1), NodeId(2), Bytes::from(i.to_le_bytes().to_vec()));
+        }
+        assert_eq!(net.frames_dropped, 0);
+        assert_eq!(net.in_flight(), 10_000);
     }
 }

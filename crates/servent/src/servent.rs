@@ -160,6 +160,31 @@ impl Servent {
         self.missing_list_strikes.remove(&peer.0);
     }
 
+    /// Send the current neighbor list to every neighbor, immediately.
+    ///
+    /// The in-memory harness announces by running `on_minute(0, 0)` at build
+    /// time; transports where links come up (or back) asynchronously call
+    /// this when overlay membership changes so Buddy Groups re-form without
+    /// waiting for the next exchange period. Respects the role's
+    /// announcement policy (a stonewalling agent stays silent).
+    pub fn announce_neighbor_list(&mut self, out: &mut Outbox) {
+        let announces = match self.role {
+            ServentRole::Good => true,
+            ServentRole::FloodingAgent { respond_reports, .. } => respond_reports,
+        };
+        if !announces {
+            return;
+        }
+        let list = NeighborList {
+            neighbors: self.neighbors().iter().map(|p| PeerAddr::from_node_index(p.0)).collect(),
+        };
+        let msg = Message::new(self.next_guid(), 1, Payload::NeighborList(list));
+        let frame = self.frame(&msg);
+        for peer in self.neighbors() {
+            out.push((peer, frame.clone()));
+        }
+    }
+
     fn next_guid(&mut self) -> Guid {
         self.guid_seq += 1;
         Guid::derived(self.id.0, self.guid_seq)

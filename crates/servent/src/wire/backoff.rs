@@ -1,0 +1,110 @@
+//! Capped exponential reconnect backoff with deterministic jitter.
+//!
+//! Reconnect storms are the classic way a recovering overlay finishes the
+//! attacker's job. Every supervised connection retries on a schedule that
+//! doubles from `base_ms` up to `cap_ms`, with *equal jitter* (half fixed,
+//! half uniform-random) drawn from the servent's own seeded RNG — runs are
+//! reproducible given the seed, yet no two peers synchronize their dials.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// The reconnect schedule parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Backoff {
+    /// First-retry delay, milliseconds.
+    pub base_ms: u64,
+    /// Hard ceiling on the exponential term, milliseconds.
+    pub cap_ms: u64,
+}
+
+impl Backoff {
+    /// Delay before attempt `attempt` (0-based: the delay *after* the first
+    /// failure has `attempt == 0`).
+    ///
+    /// `delay = exp/2 + uniform(0 ..= exp/2)` where
+    /// `exp = min(base * 2^attempt, cap)` — so the delay is always within
+    /// `[exp/2, exp]`, grows exponentially, and saturates at `cap_ms`
+    /// without overflow for any attempt count.
+    pub fn delay_ms(&self, attempt: u32, rng: &mut StdRng) -> u64 {
+        let exp = self.exp_ms(attempt);
+        let half = exp / 2;
+        half + rng.gen_range(0..half.max(1) + 1)
+    }
+
+    /// The un-jittered exponential term for `attempt`.
+    pub fn exp_ms(&self, attempt: u32) -> u64 {
+        let doubled = match 1u64.checked_shl(attempt) {
+            Some(f) => self.base_ms.saturating_mul(f),
+            None => u64::MAX,
+        };
+        doubled.min(self.cap_ms).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    const B: Backoff = Backoff { base_ms: 100, cap_ms: 3_000 };
+
+    #[test]
+    fn exponential_growth_until_the_cap() {
+        assert_eq!(B.exp_ms(0), 100);
+        assert_eq!(B.exp_ms(1), 200);
+        assert_eq!(B.exp_ms(2), 400);
+        assert_eq!(B.exp_ms(4), 1_600);
+        assert_eq!(B.exp_ms(5), 3_000, "capped");
+        assert_eq!(B.exp_ms(6), 3_000);
+    }
+
+    #[test]
+    fn cap_holds_for_absurd_attempt_counts_without_overflow() {
+        for attempt in [10, 32, 63, 64, 65, 1_000, u32::MAX] {
+            assert_eq!(B.exp_ms(attempt), 3_000, "attempt {attempt}");
+            let mut rng = StdRng::seed_from_u64(attempt as u64);
+            let d = B.delay_ms(attempt, &mut rng);
+            assert!((1_500..=3_000).contains(&d), "attempt {attempt}: delay {d}");
+        }
+    }
+
+    #[test]
+    fn jitter_stays_in_the_equal_jitter_window() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for attempt in 0..12 {
+            let exp = B.exp_ms(attempt);
+            for _ in 0..50 {
+                let d = B.delay_ms(attempt, &mut rng);
+                assert!(
+                    d >= exp / 2 && d <= exp,
+                    "attempt {attempt}: {d} not in [{}, {exp}]",
+                    exp / 2
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn jitter_is_deterministic_for_a_seed() {
+        let a: Vec<u64> = {
+            let mut rng = StdRng::seed_from_u64(42);
+            (0..8).map(|i| B.delay_ms(i, &mut rng)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut rng = StdRng::seed_from_u64(42);
+            (0..8).map(|i| B.delay_ms(i, &mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn degenerate_base_still_progresses() {
+        let z = Backoff { base_ms: 0, cap_ms: 10 };
+        let mut rng = StdRng::seed_from_u64(1);
+        // base 0 clamps to 1 ms — the schedule never divides by zero or
+        // busy-loops at 0 ms.
+        assert_eq!(z.exp_ms(0), 1);
+        assert!(z.delay_ms(0, &mut rng) <= 1);
+    }
+}

@@ -1,0 +1,28 @@
+//! Real-socket deployment of the servent: the same [`Servent`] state
+//! machine the in-memory harness drives, bound to `std::net` TCP with a
+//! threaded reactor (no async runtime — the whole workspace is offline,
+//! dependency-free Rust).
+//!
+//! Layering, bottom up:
+//!
+//! * [`framing`] — stream-to-frame reassembly with hostile-input hardening;
+//! * [`backoff`] — capped exponential reconnect schedule with deterministic
+//!   jitter;
+//! * [`conn`] — handshake, bounded drop-oldest send queues, per-connection
+//!   reader/writer threads;
+//! * [`runtime`] — the supervised core loop ([`WireServent`]);
+//! * [`summary`] — the per-process result file the testbed collects.
+//!
+//! [`Servent`]: crate::servent::Servent
+
+pub mod backoff;
+pub mod conn;
+pub mod framing;
+pub mod runtime;
+pub mod summary;
+
+pub use backoff::Backoff;
+pub use conn::{CloseReason, HandshakeError, SendQueue, WireStats};
+pub use framing::{FrameBuffer, MAX_FRAME_LEN};
+pub use runtime::{WireConfig, WireRunReport, WireServent};
+pub use summary::{WireIoError, WireSummary, SUMMARY_MAGIC};

@@ -1,0 +1,713 @@
+//! The threaded socket runtime: one [`Servent`] state machine driven by real
+//! TCP connections.
+//!
+//! Thread model (see DESIGN.md "Wire deployment"):
+//!
+//! * **core loop** (the thread that calls [`WireServent::run`]) — owns the
+//!   state machine, the link table, and all supervision decisions; receives
+//!   every frame/close/dial/accept event over one bounded channel;
+//! * **acceptor** — nonblocking `accept` poll; hands each socket to a
+//!   one-shot handshake thread so a slow-lorising dialer cannot stall the
+//!   listen queue;
+//! * **per-connection reader/writer** — see [`super::conn`];
+//! * **one-shot dial threads** — a dial in progress never blocks the tick.
+//!
+//! Protocol time is decoupled from wall time: tick `t` (one protocol second)
+//! fires at `start + t * tick_ms`, so a whole four-minute experiment runs in
+//! seconds of wall clock while timeouts keep their protocol-relative
+//! meaning.
+
+use super::backoff::Backoff;
+use super::conn::{self, CloseReason, ConnEvent, HandshakeError, SendQueue, WireStats};
+use crate::servent::{Outbox, Servent, ServentRole};
+use bytes::Bytes;
+use ddp_metrics::ConnCounters;
+use ddp_topology::NodeId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{HashMap, VecDeque};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, RecvTimeoutError, SyncSender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Knobs of the socket runtime. All timeouts that supervise *protocol*
+/// behavior are in ticks (protocol seconds) so they scale with time
+/// compression; transport-level deadlines are wall milliseconds.
+#[derive(Debug, Clone)]
+pub struct WireConfig {
+    /// Wall milliseconds per protocol second.
+    pub tick_ms: u64,
+    /// TCP connect deadline, wall ms.
+    pub connect_timeout_ms: u64,
+    /// Hello exchange deadline, wall ms (half-open peers die here).
+    pub handshake_timeout_ms: u64,
+    /// Reader poll granularity, wall ms.
+    pub read_timeout_ms: u64,
+    /// Per-frame write deadline, wall ms (a stalled peer trips this).
+    pub write_timeout_ms: u64,
+    /// Close a link heard from nothing for this many ticks; the silent
+    /// neighbor then feeds the assume-zero report path.
+    pub idle_timeout_ticks: u64,
+    /// Logically disconnect an overlay neighbor whose transport has been
+    /// down this long (SIGKILL'd process, unreachable host).
+    pub peer_death_ticks: u64,
+    /// Reconnect backoff base, wall ms.
+    pub reconnect_base_ms: u64,
+    /// Reconnect backoff cap, wall ms.
+    pub reconnect_cap_ms: u64,
+    /// Bounded send-queue capacity, frames (drop-oldest beyond).
+    pub send_queue_frames: usize,
+    /// Wall-clock budget for the graceful drain at shutdown.
+    pub drain_timeout_ms: u64,
+    /// Wall-clock head start for establishing the initial overlay links
+    /// before protocol tick 0.
+    pub connect_grace_ms: u64,
+}
+
+impl Default for WireConfig {
+    fn default() -> Self {
+        WireConfig {
+            tick_ms: 50,
+            connect_timeout_ms: 1_000,
+            handshake_timeout_ms: 1_000,
+            read_timeout_ms: 50,
+            write_timeout_ms: 1_000,
+            idle_timeout_ticks: 180,
+            peer_death_ticks: 300,
+            reconnect_base_ms: 100,
+            reconnect_cap_ms: 3_000,
+            send_queue_frames: 1_024,
+            drain_timeout_ms: 2_000,
+            connect_grace_ms: 500,
+        }
+    }
+}
+
+/// End-of-run transport telemetry (the state machine's own logs live on the
+/// [`Servent`] the runtime hands back).
+#[derive(Debug, Clone)]
+pub struct WireRunReport {
+    /// Protocol seconds the run covered.
+    pub protocol_secs: u64,
+    /// Queries issued by this servent (Good role only).
+    pub issued: u64,
+    /// Connection-lifecycle counters.
+    pub conn: ConnCounters,
+}
+
+/// One live transport connection.
+struct Link {
+    /// Generation tag: events from a replaced connection carry a stale gen
+    /// and are ignored.
+    gen: u64,
+    queue: Arc<SendQueue>,
+    reader: JoinHandle<()>,
+    writer: JoinHandle<()>,
+    last_heard_tick: u64,
+    /// A Bye is queued; the writer flushes and closes, and supervision is
+    /// abandoned — do not reconnect to a peer we cut.
+    close_after_drain: bool,
+}
+
+/// Supervision state for one peer (outlives any individual connection).
+struct Sup {
+    /// Overlay neighbor (reconnect proactively, peer-death applies) versus
+    /// Buddy-Group direct link (dialed on demand, dropped when idle).
+    overlay: bool,
+    /// Consecutive failed/lost connections since the last success.
+    attempts: u32,
+    next_dial_at: Option<Instant>,
+    dialing: bool,
+    /// Frames waiting for a transport, bounded like a send queue.
+    pending: VecDeque<Bytes>,
+    /// Supervision is over: we cut them, they cut us, or they died.
+    abandoned: bool,
+    ever_connected: bool,
+    /// Last tick a connection to this peer existed (for peer-death).
+    last_link_tick: u64,
+}
+
+impl Sup {
+    fn new(overlay: bool) -> Self {
+        Sup {
+            overlay,
+            attempts: 0,
+            next_dial_at: None,
+            dialing: false,
+            pending: VecDeque::new(),
+            abandoned: false,
+            ever_connected: false,
+            last_link_tick: 0,
+        }
+    }
+}
+
+/// A [`Servent`] bound to a real TCP listener.
+pub struct WireServent {
+    /// The protocol state machine (read its logs after [`run`](Self::run)).
+    pub servent: Servent,
+    my_id: u32,
+    listen_port: u16,
+    listener: Option<TcpListener>,
+    cfg: WireConfig,
+    backoff: Backoff,
+    /// peer id -> transport address (driver-provided; hello fills gaps).
+    book: HashMap<u32, SocketAddr>,
+    links: HashMap<u32, Link>,
+    sups: HashMap<u32, Sup>,
+    gen_counter: u64,
+    stats: Arc<WireStats>,
+    shutdown: Arc<AtomicBool>,
+    rng: StdRng,
+    catalog: Vec<String>,
+    query_rate_qpm: f64,
+    issued: u64,
+    /// Joined at shutdown: threads of replaced/closed connections.
+    graveyard: Vec<JoinHandle<()>>,
+}
+
+impl WireServent {
+    /// Bind the servent to `listener`. `overlay` lists overlay neighbors
+    /// (the servent connects them logically up front, exactly like the
+    /// in-memory harness, and supervises their transports); `book` maps
+    /// every reachable peer id to an address — Buddy-Group members are
+    /// dialed from it on demand.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        mut servent: Servent,
+        listener: TcpListener,
+        book: HashMap<u32, SocketAddr>,
+        overlay: &[u32],
+        cfg: WireConfig,
+        catalog: Vec<String>,
+        query_rate_qpm: f64,
+        seed: u64,
+    ) -> std::io::Result<Self> {
+        let listen_port = listener.local_addr()?.port();
+        let my_id = servent.id.0;
+        let mut sups = HashMap::new();
+        for &peer in overlay {
+            servent.connect(NodeId(peer));
+            sups.insert(peer, Sup::new(true));
+        }
+        Ok(WireServent {
+            servent,
+            my_id,
+            listen_port,
+            listener: Some(listener),
+            backoff: Backoff { base_ms: cfg.reconnect_base_ms, cap_ms: cfg.reconnect_cap_ms },
+            cfg,
+            book,
+            links: HashMap::new(),
+            sups,
+            gen_counter: 0,
+            stats: Arc::new(WireStats::default()),
+            shutdown: Arc::new(AtomicBool::new(false)),
+            rng: StdRng::seed_from_u64(seed),
+            catalog,
+            query_rate_qpm,
+            issued: 0,
+            graveyard: Vec::new(),
+        })
+    }
+
+    /// Whether this side owns (re)dialing the link to `peer`: overlay links
+    /// are dialed by the lower id; direct links by whoever has frames.
+    fn i_dial(&self, peer: u32, sup: &Sup) -> bool {
+        if sup.overlay {
+            self.my_id < peer
+        } else {
+            !sup.pending.is_empty()
+        }
+    }
+
+    /// Drive the servent for `minutes` protocol minutes, then drain.
+    pub fn run(&mut self, minutes: u64) -> WireRunReport {
+        let total_secs = minutes * 60;
+        let (tx, rx) = sync_channel::<ConnEvent>(4_096);
+        let acceptor = self.spawn_acceptor(tx.clone());
+
+        // Connection grace: dial the overlay links we own before tick 0 so
+        // minute 0 counts over (mostly) live links — the harness's links
+        // exist from t=0 too.
+        self.sweep_dials(tx.clone());
+        let grace_end = Instant::now() + Duration::from_millis(self.cfg.connect_grace_ms);
+        self.pump_events_until(&rx, &tx, grace_end, 0);
+
+        let start = Instant::now();
+        for t in 0..=total_secs {
+            self.do_tick(t, &tx);
+            let deadline = start + Duration::from_millis((t + 1) * self.cfg.tick_ms);
+            self.pump_events_until(&rx, &tx, deadline, t);
+        }
+
+        // Graceful drain: stop pushing, let writers flush their queues.
+        for link in self.links.values() {
+            link.queue.finish();
+        }
+        let drain_end = Instant::now() + Duration::from_millis(self.cfg.drain_timeout_ms);
+        while !self.links.is_empty() && Instant::now() < drain_end {
+            let left = drain_end.saturating_duration_since(Instant::now());
+            match rx.recv_timeout(left.max(Duration::from_millis(1))) {
+                Ok(ConnEvent::Closed { peer, conn_gen, .. }) => {
+                    if self.links.get(&peer).is_some_and(|l| l.gen == conn_gen) {
+                        let link = self.links.remove(&peer).expect("just checked");
+                        self.graveyard.push(link.reader);
+                        self.graveyard.push(link.writer);
+                    }
+                }
+                Ok(_) => {} // late frames/dials: no longer relevant
+                Err(_) => break,
+            }
+        }
+        self.shutdown.store(true, Ordering::Relaxed);
+        for (_, link) in self.links.drain() {
+            self.stats.frames_dropped.fetch_add(link.queue.len() as u64, Ordering::Relaxed);
+            link.queue.abort();
+            self.graveyard.push(link.reader);
+            self.graveyard.push(link.writer);
+        }
+        // Unblock any thread parked on a full event channel, then join.
+        drop(tx);
+        drop(rx);
+        for h in self.graveyard.drain(..) {
+            let _ = h.join();
+        }
+        let _ = acceptor.join();
+
+        WireRunReport {
+            protocol_secs: total_secs,
+            issued: self.issued,
+            conn: self.stats.counters(),
+        }
+    }
+
+    /// Process connection events until `deadline`.
+    fn pump_events_until(
+        &mut self,
+        rx: &std::sync::mpsc::Receiver<ConnEvent>,
+        tx: &SyncSender<ConnEvent>,
+        deadline: Instant,
+        cur_tick: u64,
+    ) {
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                return;
+            }
+            match rx.recv_timeout(deadline - now) {
+                Ok(ev) => self.handle_event(ev, tx, cur_tick),
+                Err(RecvTimeoutError::Timeout) => return,
+                Err(RecvTimeoutError::Disconnected) => return,
+            }
+        }
+    }
+
+    fn handle_event(&mut self, ev: ConnEvent, tx: &SyncSender<ConnEvent>, cur_tick: u64) {
+        match ev {
+            ConnEvent::Accepted { stream, peer_id, peer_port } => {
+                self.stats.accepts.fetch_add(1, Ordering::Relaxed);
+                // Learn addresses from the hello, but never overwrite the
+                // driver-provided book — chaos proxies route through it.
+                if let Ok(peer_sock) = stream.peer_addr() {
+                    self.book
+                        .entry(peer_id)
+                        .or_insert_with(|| SocketAddr::new(peer_sock.ip(), peer_port));
+                }
+                if self.sups.get(&peer_id).is_some_and(|s| s.abandoned) {
+                    // We cut this peer (or it died); refuse the transport.
+                    return;
+                }
+                self.install_link(peer_id, stream, false, tx, cur_tick);
+            }
+            ConnEvent::DialDone { peer, result } => {
+                if let Some(sup) = self.sups.get_mut(&peer) {
+                    sup.dialing = false;
+                }
+                match result {
+                    Ok(stream) => {
+                        self.stats.dials_ok.fetch_add(1, Ordering::Relaxed);
+                        if self.sups.get(&peer).is_some_and(|s| s.abandoned) {
+                            return;
+                        }
+                        self.install_link(peer, stream, true, tx, cur_tick);
+                    }
+                    Err(e) => {
+                        self.stats.dials_failed.fetch_add(1, Ordering::Relaxed);
+                        if !matches!(e, HandshakeError::Connect(_)) {
+                            // TCP worked but the hello did not: half-open or
+                            // hostile listener.
+                            self.stats.handshake_failures.fetch_add(1, Ordering::Relaxed);
+                        }
+                        self.schedule_redial(peer);
+                    }
+                }
+            }
+            ConnEvent::Frame { peer, conn_gen, frame } => {
+                let live = self.links.get_mut(&peer).filter(|l| l.gen == conn_gen);
+                let Some(link) = live else { return };
+                link.last_heard_tick = cur_tick;
+                if let Some(sup) = self.sups.get_mut(&peer) {
+                    sup.last_link_tick = cur_tick;
+                }
+                let kind = frame.get(16).copied();
+                let from = NodeId(peer);
+                // Same admission rule as the in-memory harness: overlay
+                // traffic needs a neighbor link; Bye (0x02), Neighbor_Traffic
+                // (0x83) and BG liveness Ping/Pong (0x00/0x01) run direct.
+                let mut outbox = Outbox::new();
+                if self.servent.is_neighbor(from)
+                    || matches!(kind, Some(0x02) | Some(0x83) | Some(0x00) | Some(0x01))
+                {
+                    self.servent.handle_frame(from, frame, cur_tick, &mut outbox);
+                }
+                self.flush(outbox, tx, cur_tick);
+                if kind == Some(0x02) {
+                    // The peer cut us (Bye): the state machine already
+                    // dropped the neighbor; retire the transport too.
+                    self.abandon(peer);
+                    if let Some(link) = self.links.get_mut(&peer) {
+                        link.close_after_drain = true;
+                        link.queue.finish();
+                    }
+                }
+            }
+            ConnEvent::Closed { peer, conn_gen, reason } => {
+                let stale = self.links.get(&peer).is_none_or(|l| l.gen != conn_gen);
+                if stale {
+                    return;
+                }
+                let link = self.links.remove(&peer).expect("gen matched");
+                self.stats.frames_dropped.fetch_add(link.queue.len() as u64, Ordering::Relaxed);
+                link.queue.abort();
+                self.graveyard.push(link.reader);
+                self.graveyard.push(link.writer);
+                if matches!(reason, CloseReason::Codec(_)) {
+                    self.stats.codec_disconnects.fetch_add(1, Ordering::Relaxed);
+                    // Hostile bytes: treat like a cut — no reconnect.
+                    self.abandon(peer);
+                    return;
+                }
+                if link.close_after_drain {
+                    return; // intentional close; supervision already over
+                }
+                self.schedule_redial(peer);
+            }
+        }
+    }
+
+    /// Put a handshaken connection into service (tie-breaking duplicates:
+    /// the connection dialed by the lower id wins).
+    fn install_link(
+        &mut self,
+        peer: u32,
+        stream: TcpStream,
+        dialed_by_me: bool,
+        tx: &SyncSender<ConnEvent>,
+        cur_tick: u64,
+    ) {
+        if self.links.contains_key(&peer) {
+            let new_dialer = if dialed_by_me { self.my_id } else { peer };
+            let old_dialer = if dialed_by_me { peer } else { self.my_id };
+            if new_dialer > old_dialer {
+                return; // keep the existing connection, drop the new socket
+            }
+            let old = self.links.remove(&peer).expect("just checked");
+            self.stats.frames_dropped.fetch_add(old.queue.len() as u64, Ordering::Relaxed);
+            old.queue.abort();
+            self.graveyard.push(old.reader);
+            self.graveyard.push(old.writer);
+        }
+        let Ok(read_half) = stream.try_clone() else { return };
+        self.gen_counter += 1;
+        let gen = self.gen_counter;
+        let queue = Arc::new(SendQueue::new(self.cfg.send_queue_frames));
+        let reader = conn::spawn_reader(
+            read_half,
+            peer,
+            gen,
+            tx.clone(),
+            self.stats.clone(),
+            self.shutdown.clone(),
+            self.cfg.read_timeout_ms,
+        );
+        let writer = conn::spawn_writer(
+            stream,
+            peer,
+            gen,
+            queue.clone(),
+            tx.clone(),
+            self.stats.clone(),
+            self.cfg.write_timeout_ms,
+        );
+        let sup = self.sups.entry(peer).or_insert_with(|| Sup::new(false));
+        sup.attempts = 0;
+        sup.next_dial_at = None;
+        sup.last_link_tick = cur_tick;
+        if sup.ever_connected {
+            self.stats.reconnects.fetch_add(1, Ordering::Relaxed);
+        }
+        sup.ever_connected = true;
+        let backlog: Vec<Bytes> = sup.pending.drain(..).collect();
+        let was_new_overlay = sup.overlay && !self.servent.is_neighbor(NodeId(peer));
+        self.links.insert(
+            peer,
+            Link {
+                gen,
+                queue: queue.clone(),
+                reader,
+                writer,
+                last_heard_tick: cur_tick,
+                close_after_drain: false,
+            },
+        );
+        for frame in backlog {
+            let evicted = queue.push(frame);
+            self.stats.frames_dropped.fetch_add(evicted, Ordering::Relaxed);
+        }
+        if was_new_overlay {
+            // A supervised overlay link (re)appeared after the state machine
+            // had given the peer up: reattach and re-announce the list.
+            self.servent.connect(NodeId(peer));
+            let mut out = Outbox::new();
+            self.servent.announce_neighbor_list(&mut out);
+            self.flush(out, tx, cur_tick);
+        }
+    }
+
+    /// Supervision is over for `peer`; queued frames are accounted dropped.
+    fn abandon(&mut self, peer: u32) {
+        if let Some(sup) = self.sups.get_mut(&peer) {
+            sup.abandoned = true;
+            sup.next_dial_at = None;
+            self.stats.frames_dropped.fetch_add(sup.pending.len() as u64, Ordering::Relaxed);
+            sup.pending.clear();
+        }
+    }
+
+    fn schedule_redial(&mut self, peer: u32) {
+        let Some(sup) = self.sups.get_mut(&peer) else { return };
+        if sup.abandoned || sup.dialing {
+            return;
+        }
+        let responsible = if sup.overlay { self.my_id < peer } else { !sup.pending.is_empty() };
+        if !responsible {
+            return;
+        }
+        let delay = self.backoff.delay_ms(sup.attempts, &mut self.rng);
+        sup.attempts = sup.attempts.saturating_add(1);
+        sup.next_dial_at = Some(Instant::now() + Duration::from_millis(delay));
+    }
+
+    /// Route one outbound frame: live link, else pending + dial, else count
+    /// it unroutable.
+    fn route(&mut self, to: u32, frame: Bytes, tx: &SyncSender<ConnEvent>) {
+        let is_bye = frame.get(16) == Some(&0x02);
+        if let Some(link) = self.links.get_mut(&to) {
+            if link.close_after_drain {
+                self.stats.frames_dropped.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            let evicted = link.queue.push(frame);
+            self.stats.frames_dropped.fetch_add(evicted, Ordering::Relaxed);
+            if is_bye {
+                // Flush everything queued (the Bye last), then close; never
+                // dial this peer again.
+                link.close_after_drain = true;
+                link.queue.finish();
+                self.abandon(to);
+            }
+            return;
+        }
+        if is_bye {
+            // Cutting a peer we have no transport to: nothing to flush.
+            self.abandon(to);
+            self.stats.frames_dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        if !self.book.contains_key(&to) {
+            self.stats.frames_unroutable.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let cap = self.cfg.send_queue_frames;
+        let sup = self.sups.entry(to).or_insert_with(|| Sup::new(false));
+        if sup.abandoned {
+            self.stats.frames_dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        if sup.pending.len() >= cap {
+            sup.pending.pop_front();
+            self.stats.frames_dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        sup.pending.push_back(frame);
+        if !sup.dialing && sup.next_dial_at.is_none() {
+            sup.next_dial_at = Some(Instant::now());
+        }
+        self.sweep_dials(tx.clone());
+    }
+
+    fn flush(&mut self, outbox: Outbox, tx: &SyncSender<ConnEvent>, _cur_tick: u64) {
+        for (to, frame) in outbox {
+            self.route(to.0, frame, tx);
+        }
+    }
+
+    /// Start every dial that is due and not already in flight.
+    fn sweep_dials(&mut self, tx: SyncSender<ConnEvent>) {
+        let now = Instant::now();
+        let due: Vec<(u32, SocketAddr)> = self
+            .sups
+            .iter()
+            .filter(|(peer, sup)| {
+                !sup.abandoned
+                    && !sup.dialing
+                    && !self.links.contains_key(peer)
+                    && (sup.next_dial_at.is_some_and(|at| at <= now)
+                        || (sup.next_dial_at.is_none() && self.i_dial(**peer, sup)))
+            })
+            .filter_map(|(&peer, _)| self.book.get(&peer).map(|&a| (peer, a)))
+            .collect();
+        for (peer, addr) in due {
+            let sup = self.sups.get_mut(&peer).expect("listed above");
+            sup.dialing = true;
+            sup.next_dial_at = None;
+            let tx = tx.clone();
+            let (my_id, my_port) = (self.my_id, self.listen_port);
+            let (ct, ht) = (self.cfg.connect_timeout_ms, self.cfg.handshake_timeout_ms);
+            std::thread::spawn(move || {
+                let result =
+                    conn::dial(addr, my_id, my_port, ct, ht).and_then(|(stream, peer_id, _)| {
+                        if peer_id == peer {
+                            Ok(stream)
+                        } else {
+                            Err(HandshakeError::Io(format!(
+                                "dialed peer {peer}, got hello from {peer_id}"
+                            )))
+                        }
+                    });
+                let _ = tx.send(ConnEvent::DialDone { peer, result });
+            });
+        }
+    }
+
+    /// One protocol second. Mirrors the in-memory harness's step order:
+    /// (deliveries happen continuously between ticks), query issuance,
+    /// `on_second`, then the minute boundary.
+    fn do_tick(&mut self, t: u64, tx: &SyncSender<ConnEvent>) {
+        if t > 0 {
+            if matches!(self.servent.role(), ServentRole::Good)
+                && !self.catalog.is_empty()
+                && self.rng.gen::<f64>() < self.query_rate_qpm / 60.0
+            {
+                let target = self.catalog[self.rng.gen_range(0..self.catalog.len())].clone();
+                let mut out = Outbox::new();
+                self.servent.issue_query(&target, t, &mut out);
+                self.issued += 1;
+                self.flush(out, tx, t);
+            }
+            let mut out = Outbox::new();
+            self.servent.on_second(t, &mut out);
+            self.flush(out, tx, t);
+        }
+        if t.is_multiple_of(60) {
+            let mut out = Outbox::new();
+            self.servent.on_minute(t, t / 60, &mut out);
+            self.flush(out, tx, t);
+        }
+        self.supervise(t, tx);
+    }
+
+    /// Periodic supervision: idle closes, peer-death, due redials.
+    fn supervise(&mut self, t: u64, tx: &SyncSender<ConnEvent>) {
+        // Idle links: nothing heard for the horizon — close and (if owned)
+        // redial. The silent peer's reports go assume-zero upstream.
+        let idle: Vec<u32> = self
+            .links
+            .iter()
+            .filter(|(_, l)| {
+                !l.close_after_drain
+                    && t.saturating_sub(l.last_heard_tick) > self.cfg.idle_timeout_ticks
+            })
+            .map(|(&p, _)| p)
+            .collect();
+        for peer in idle {
+            let link = self.links.remove(&peer).expect("listed above");
+            self.stats.idle_closes.fetch_add(1, Ordering::Relaxed);
+            self.stats.frames_dropped.fetch_add(link.queue.len() as u64, Ordering::Relaxed);
+            link.queue.abort();
+            self.graveyard.push(link.reader);
+            self.graveyard.push(link.writer);
+            self.schedule_redial(peer);
+        }
+        // Peer death: a supervised overlay transport that has stayed down
+        // past the horizon. The state machine drops the neighbor (its
+        // counters stop mattering) and the membership change is announced.
+        let dead: Vec<u32> = self
+            .sups
+            .iter()
+            .filter(|(peer, sup)| {
+                sup.overlay
+                    && !sup.abandoned
+                    && !self.links.contains_key(peer)
+                    && t.saturating_sub(sup.last_link_tick) > self.cfg.peer_death_ticks
+            })
+            .map(|(&p, _)| p)
+            .collect();
+        for peer in dead {
+            self.abandon(peer);
+            self.servent.disconnect(NodeId(peer));
+            let mut out = Outbox::new();
+            self.servent.announce_neighbor_list(&mut out);
+            self.flush(out, tx, t);
+        }
+        self.sweep_dials(tx.clone());
+    }
+
+    fn spawn_acceptor(&mut self, tx: SyncSender<ConnEvent>) -> JoinHandle<()> {
+        let listener = self.listener.take().expect("run called once");
+        listener.set_nonblocking(true).expect("nonblocking listener");
+        let stats = self.stats.clone();
+        let shutdown = self.shutdown.clone();
+        let (my_id, my_port) = (self.my_id, self.listen_port);
+        let ht = self.cfg.handshake_timeout_ms;
+        std::thread::Builder::new()
+            .name(format!("ddp-accept-{my_id}"))
+            .spawn(move || loop {
+                if shutdown.load(Ordering::Relaxed) {
+                    return;
+                }
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        // One-shot handshake thread: a dialer that connects
+                        // and then stalls only costs its own thread, not the
+                        // accept loop.
+                        let _ = stream.set_nonblocking(false);
+                        let tx = tx.clone();
+                        let stats = stats.clone();
+                        std::thread::spawn(move || {
+                            match conn::accept_hello(stream, my_id, my_port, ht) {
+                                Ok((s, peer_id, peer_port)) => {
+                                    let _ = tx.send(ConnEvent::Accepted {
+                                        stream: s,
+                                        peer_id,
+                                        peer_port,
+                                    });
+                                }
+                                Err(_) => {
+                                    stats.handshake_failures.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                        });
+                    }
+                    Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(10));
+                    }
+                    Err(_) => std::thread::sleep(Duration::from_millis(10)),
+                }
+            })
+            .expect("spawn acceptor thread")
+    }
+}

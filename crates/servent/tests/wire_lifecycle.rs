@@ -1,0 +1,212 @@
+//! Connection-lifecycle edge cases for the supervised wire runtime:
+//! handshake deadlines, backoff capping, half-open peers, and
+//! drain-on-shutdown. Everything here runs over real loopback sockets and
+//! finishes in a few seconds — no ignored tests.
+
+use bytes::Bytes;
+use ddp_protocol::{decode_message, Guid, Message, NeighborTraffic, Payload};
+use ddp_servent::wire::backoff::Backoff;
+use ddp_servent::wire::conn::{dial, spawn_writer, ConnEvent, SendQueue, WireStats};
+use ddp_servent::wire::{HandshakeError, WireConfig, WireServent};
+use ddp_servent::{Servent, ServentConfig, ServentRole};
+use ddp_topology::NodeId;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::io::Read;
+use std::net::{TcpListener, TcpStream};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+/// A listener that accepts connections but never says hello.
+fn mute_listener() -> (std::net::SocketAddr, TcpListener) {
+    let l = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = l.local_addr().unwrap();
+    (addr, l)
+}
+
+#[test]
+fn handshake_against_a_mute_peer_times_out() {
+    let (addr, listener) = mute_listener();
+    // Keep the socket open but silent: accept in the background, hold it.
+    let holder = std::thread::spawn(move || listener.accept().map(|(s, _)| s));
+    let started = Instant::now();
+    let err = dial(addr, 7, 7000, 500, 300).expect_err("mute peer must not handshake");
+    assert!(matches!(err, HandshakeError::Timeout), "got {err:?}");
+    assert!(
+        started.elapsed() < Duration::from_secs(3),
+        "timeout must honor the deadline, took {:?}",
+        started.elapsed()
+    );
+    drop(holder.join());
+}
+
+#[test]
+fn handshake_rejects_garbage_magic() {
+    let (addr, listener) = mute_listener();
+    let h = std::thread::spawn(move || {
+        let (mut s, _) = listener.accept().unwrap();
+        use std::io::Write as _;
+        let _ = s.write_all(b"HTTP/1.1 200 OK\r\n\r\nsixteen bytes pad");
+        s
+    });
+    let err = dial(addr, 7, 7000, 500, 500).expect_err("garbage hello must fail");
+    assert!(matches!(err, HandshakeError::BadMagic), "got {err:?}");
+    drop(h.join());
+}
+
+#[test]
+fn backoff_is_capped_and_deterministic() {
+    let b = Backoff { base_ms: 100, cap_ms: 3_000 };
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut prev_max = 0u64;
+    for attempt in 0..64 {
+        let d = b.delay_ms(attempt, &mut rng);
+        assert!(d <= 3_000, "attempt {attempt}: delay {d} above cap");
+        assert!(d >= 1, "attempt {attempt}: delay must be positive");
+        prev_max = prev_max.max(d);
+    }
+    // Far attempts saturate at the cap's jitter band [cap/2, cap].
+    let mut rng = StdRng::seed_from_u64(2);
+    for attempt in 60..70 {
+        let d = b.delay_ms(attempt, &mut rng);
+        assert!((1_500..=3_000).contains(&d), "saturated attempt {attempt}: {d}");
+    }
+    assert!(prev_max <= 3_000);
+    // Same seed, same sequence: reconnect schedules are reproducible.
+    let (mut r1, mut r2) = (StdRng::seed_from_u64(9), StdRng::seed_from_u64(9));
+    for attempt in 0..16 {
+        assert_eq!(b.delay_ms(attempt, &mut r1), b.delay_ms(attempt, &mut r2));
+    }
+}
+
+/// A half-open peer — in the address book, accepts TCP, never handshakes —
+/// must cost bounded dial attempts (handshake failures + capped backoff),
+/// never a link, and never block the protocol run from completing.
+#[test]
+fn half_open_peer_does_not_stall_the_run() {
+    let (mute_addr, mute) = mute_listener();
+    // Service the mute listener forever: accept and hold, saying nothing.
+    std::thread::spawn(move || {
+        let mut held = Vec::new();
+        while let Ok((s, _)) = mute.accept() {
+            held.push(s);
+        }
+    });
+
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let mut book = HashMap::new();
+    book.insert(2u32, mute_addr);
+    let servent = Servent::new(NodeId(1), ServentRole::Good, ServentConfig::default());
+    let cfg = WireConfig {
+        tick_ms: 20,
+        connect_timeout_ms: 200,
+        handshake_timeout_ms: 100,
+        reconnect_base_ms: 50,
+        reconnect_cap_ms: 200,
+        connect_grace_ms: 100,
+        drain_timeout_ms: 300,
+        ..WireConfig::default()
+    };
+    let mut ws = WireServent::new(
+        servent,
+        listener,
+        book,
+        &[2], // overlay neighbor that will never complete a handshake
+        cfg,
+        vec!["item".into()],
+        0.0,
+        7,
+    )
+    .unwrap();
+    let started = Instant::now();
+    let report = ws.run(1); // one protocol minute, compressed
+    assert!(
+        started.elapsed() < Duration::from_secs(10),
+        "half-open peer stalled the run: {:?}",
+        started.elapsed()
+    );
+    assert_eq!(report.protocol_secs, 60);
+    assert!(
+        report.conn.handshake_failures >= 2,
+        "supervisor should have retried the half-open peer: {:?}",
+        report.conn
+    );
+    assert_eq!(report.conn.dials_ok, 0, "no handshake ever completed");
+    assert_eq!(report.conn.frames_sent, 0, "no link, nothing sent");
+}
+
+/// Drain-on-shutdown: every Neighbor_Traffic frame queued before `finish()`
+/// reaches the peer's socket before the writer closes it.
+#[test]
+fn finish_flushes_queued_neighbor_traffic_before_close() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let reader = std::thread::spawn(move || {
+        let (mut s, _) = listener.accept().unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let mut all = Vec::new();
+        let mut chunk = [0u8; 4096];
+        loop {
+            match s.read(&mut chunk) {
+                Ok(0) => break,
+                Ok(n) => all.extend_from_slice(&chunk[..n]),
+                Err(e) => panic!("reader: {e}"),
+            }
+        }
+        all
+    });
+
+    let stream = TcpStream::connect(addr).unwrap();
+    let queue = Arc::new(SendQueue::new(1_024));
+    let stats = Arc::new(WireStats::default());
+    let (tx, rx) = mpsc::sync_channel::<ConnEvent>(64);
+    let writer = spawn_writer(stream, 9, 1, queue.clone(), tx, stats.clone(), 1_000);
+
+    const N: usize = 50;
+    for i in 0..N {
+        let msg = Message::new(
+            Guid::derived(9, i as u64),
+            1,
+            Payload::NeighborTraffic(NeighborTraffic {
+                source_ip: std::net::Ipv4Addr::new(10, 0, 0, 9),
+                suspect_ip: std::net::Ipv4Addr::new(10, 0, 0, 4),
+                timestamp: i as u32,
+                outgoing_queries: 1_500,
+                incoming_queries: 3,
+            }),
+        );
+        assert_eq!(queue.push(ddp_protocol::encode_message(&msg)), 0, "no eviction");
+    }
+    queue.finish(); // graceful: drain everything, then close
+
+    writer.join().unwrap();
+    let bytes = reader.join().unwrap();
+
+    // The peer got every queued frame, whole, in order.
+    let mut buf = Bytes::from(bytes);
+    let mut got = 0usize;
+    while !buf.is_empty() {
+        let msg = decode_message(&mut buf).expect("whole frames only");
+        match msg.payload {
+            Payload::NeighborTraffic(nt) => {
+                assert_eq!(nt.timestamp as usize, got, "frames in order");
+                got += 1;
+            }
+            other => panic!("unexpected payload {other:?}"),
+        }
+    }
+    assert_eq!(got, N, "drain must flush the entire queue before closing");
+    assert_eq!(queue.dropped(), 0);
+    // The writer reported a graceful close, not an error.
+    let ev = rx.recv_timeout(Duration::from_secs(1)).unwrap();
+    match ev {
+        ConnEvent::Closed { reason, .. } => {
+            assert!(
+                matches!(reason, ddp_servent::wire::CloseReason::Drained),
+                "expected Drained, got {reason:?}"
+            )
+        }
+        other => panic!("expected Closed, got {other:?}"),
+    }
+}

@@ -10,8 +10,10 @@
 //! the same summary statistics, so downstream components (the testbed agent,
 //! examples) can consume an equivalent artifact.
 
+use crate::logfile::{write_log_file, LogError};
 use ddp_workload::trace::{TraceGenerator, TraceRecord};
 use rand::Rng;
+use std::path::Path;
 
 /// Summary of one collection run.
 #[derive(Debug, Clone, PartialEq)]
@@ -78,6 +80,21 @@ impl TraceCollector {
         };
         (records, summary)
     }
+
+    /// Collect for `duration_secs` and persist the log to `path` in the
+    /// replayable format. Failures are typed [`LogError`]s naming the
+    /// operation and path — the monitoring node never panics over a full
+    /// disk or a bad directory.
+    pub fn collect_to_file<R: Rng + ?Sized>(
+        &self,
+        duration_secs: u64,
+        rng: &mut R,
+        path: &Path,
+    ) -> Result<CollectionSummary, LogError> {
+        let (records, summary) = self.collect(duration_secs, rng);
+        write_log_file(&records, path)?;
+        Ok(summary)
+    }
 }
 
 #[cfg(test)]
@@ -119,6 +136,30 @@ mod tests {
     #[test]
     fn collection_has_ten_connections_like_the_paper() {
         assert_eq!(TraceCollector::paper_setup().connections, 10);
+    }
+
+    #[test]
+    fn collect_to_file_writes_a_replayable_log() {
+        let dir = std::env::temp_dir().join("ddp-collector-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("collected.log");
+        let c = TraceCollector::paper_setup();
+        let mut rng = StdRng::seed_from_u64(6);
+        let summary = c.collect_to_file(10, &mut rng, &path).unwrap();
+        let back = crate::logfile::read_log_file(&path).unwrap();
+        assert_eq!(back.len() as u64, summary.queries);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn collect_to_bad_path_is_a_typed_error() {
+        let c = TraceCollector::paper_setup();
+        let mut rng = StdRng::seed_from_u64(7);
+        let err =
+            c.collect_to_file(1, &mut rng, std::path::Path::new("/no/such/dir/x.log")).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.starts_with("create "), "op named: {msg}");
+        assert!(msg.contains("/no/such/dir/x.log"), "path named: {msg}");
     }
 
     #[test]

@@ -18,10 +18,22 @@
 //! [`ChainExperiment`] replays the A→B→C sweep to regenerate Figures 5 and 6.
 //! [`collector`] emulates the trace-collection super-node.
 
+//!
+//! Beyond the §2.3 reproduction, this crate is also the **multi-process
+//! chaos driver** for the wire deployment: [`wire`] launches a mesh of
+//! `ddp-servent` processes over loopback TCP, [`proxy`] interposes
+//! controllable TCP relays (stall, sever mid-frame) on chosen edges, and the
+//! collector in [`wire`] gathers per-servent summaries for sim-vs-wire
+//! cross-validation.
+
 pub mod chain;
 pub mod collector;
 pub mod logfile;
+pub mod proxy;
+pub mod wire;
 
 pub use chain::{ChainExperiment, ChainPoint, PeerCapacityModel};
 pub use collector::TraceCollector;
-pub use logfile::{parse_log, write_log, ReplayAgent};
+pub use logfile::{parse_log, read_log_file, write_log, write_log_file, LogError, ReplayAgent};
+pub use proxy::ChaosProxy;
+pub use wire::{locate_servent_bin, MeshReport, MeshSpec, NodeSpec, WireMesh};

@@ -8,55 +8,122 @@
 //!
 //! The format is one record per line: `<epoch-seconds>\t<query-string>`.
 //! Parsing is strict (a malformed line is an error, not a silent skip) so a
-//! corrupted log cannot silently distort an experiment.
+//! corrupted log cannot silently distort an experiment. Every failure is a
+//! typed [`LogError`] that names the operation and the path — the same
+//! convention as `ddp-snapshot` and the experiment CSV writers; nothing in
+//! this module panics on bad input.
 
 use ddp_workload::trace::TraceRecord;
 use std::fmt;
-use std::io::{BufRead, Write};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
 
-/// A query-log parsing error, with the offending line number.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct LogParseError {
-    pub line: usize,
-    pub reason: String,
+/// Path label used for in-memory readers (no file involved).
+pub const MEMORY_PATH: &str = "<memory>";
+
+/// Any failure to produce or consume a query log.
+#[derive(Debug)]
+pub enum LogError {
+    /// The filesystem operation failed.
+    Io { op: &'static str, path: PathBuf, source: std::io::Error },
+    /// The log content is malformed at `line` (1-based).
+    Parse { path: PathBuf, line: usize, reason: String },
+    /// The log parsed but holds zero records — a replay agent cannot cycle
+    /// an empty log.
+    Empty { path: PathBuf },
 }
 
-impl fmt::Display for LogParseError {
+impl fmt::Display for LogError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "query log line {}: {}", self.line, self.reason)
+        match self {
+            LogError::Io { op, path, source } => {
+                write!(f, "{op} {}: {source}", path.display())
+            }
+            LogError::Parse { path, line, reason } => {
+                write!(f, "query log {}:{line}: {reason}", path.display())
+            }
+            LogError::Empty { path } => {
+                write!(f, "query log {}: empty log (nothing to replay)", path.display())
+            }
+        }
     }
 }
 
-impl std::error::Error for LogParseError {}
+impl std::error::Error for LogError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LogError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
 
-/// Serialize trace records into the log format.
-pub fn write_log<W: Write>(records: &[TraceRecord], mut out: W) -> std::io::Result<()> {
+/// Serialize trace records into the log format (in-memory writer; errors
+/// carry the [`MEMORY_PATH`] label).
+pub fn write_log<W: Write>(records: &[TraceRecord], mut out: W) -> Result<(), LogError> {
     for r in records {
-        writeln!(out, "{}\t{}", r.at_secs, r.query)?;
+        writeln!(out, "{}\t{}", r.at_secs, r.query).map_err(|e| LogError::Io {
+            op: "write",
+            path: PathBuf::from(MEMORY_PATH),
+            source: e,
+        })?;
     }
     Ok(())
 }
 
-/// Parse a query log.
-pub fn parse_log<R: BufRead>(input: R) -> Result<Vec<TraceRecord>, LogParseError> {
+/// Serialize trace records to a file on disk.
+pub fn write_log_file(records: &[TraceRecord], path: &Path) -> Result<(), LogError> {
+    let file = std::fs::File::create(path).map_err(|e| LogError::Io {
+        op: "create",
+        path: path.to_path_buf(),
+        source: e,
+    })?;
+    let mut out = BufWriter::new(file);
+    for r in records {
+        writeln!(out, "{}\t{}", r.at_secs, r.query).map_err(|e| LogError::Io {
+            op: "write",
+            path: path.to_path_buf(),
+            source: e,
+        })?;
+    }
+    out.flush().map_err(|e| LogError::Io { op: "flush", path: path.to_path_buf(), source: e })
+}
+
+fn parse_log_named<R: BufRead>(input: R, path: &Path) -> Result<Vec<TraceRecord>, LogError> {
     let mut out = Vec::new();
     for (idx, line) in input.lines().enumerate() {
-        let line = line.map_err(|e| LogParseError { line: idx + 1, reason: e.to_string() })?;
+        let line =
+            line.map_err(|e| LogError::Io { op: "read", path: path.to_path_buf(), source: e })?;
         if line.is_empty() {
             continue; // trailing newline
         }
+        let perr =
+            |reason: String| LogError::Parse { path: path.to_path_buf(), line: idx + 1, reason };
         let Some((ts, query)) = line.split_once('\t') else {
-            return Err(LogParseError { line: idx + 1, reason: "missing tab separator".into() });
+            return Err(perr("missing tab separator".into()));
         };
-        let at_secs: u64 = ts
-            .parse()
-            .map_err(|e| LogParseError { line: idx + 1, reason: format!("bad timestamp: {e}") })?;
+        let at_secs: u64 = ts.parse().map_err(|e| perr(format!("bad timestamp: {e}")))?;
         if query.is_empty() {
-            return Err(LogParseError { line: idx + 1, reason: "empty query string".into() });
+            return Err(perr("empty query string".into()));
         }
         out.push(TraceRecord { at_secs, query: query.to_string() });
     }
     Ok(out)
+}
+
+/// Parse a query log from an in-memory reader.
+pub fn parse_log<R: BufRead>(input: R) -> Result<Vec<TraceRecord>, LogError> {
+    parse_log_named(input, Path::new(MEMORY_PATH))
+}
+
+/// Read and parse a query-log file; errors name the path.
+pub fn read_log_file(path: &Path) -> Result<Vec<TraceRecord>, LogError> {
+    let file = std::fs::File::open(path).map_err(|e| LogError::Io {
+        op: "open",
+        path: path.to_path_buf(),
+        source: e,
+    })?;
+    parse_log_named(BufReader::new(file), path)
 }
 
 /// The DDoS-agent prototype's replay loop: reads a log and emits queries in
@@ -71,10 +138,21 @@ pub struct ReplayAgent {
 }
 
 impl ReplayAgent {
-    /// Agent over a parsed log.
-    pub fn new(log: Vec<TraceRecord>, rate_qpm: u32) -> Self {
-        assert!(!log.is_empty(), "cannot replay an empty log");
-        ReplayAgent { log, cursor: 0, rate_qpm }
+    /// Agent over a parsed log. An empty log is a typed error, not a panic.
+    pub fn new(log: Vec<TraceRecord>, rate_qpm: u32) -> Result<Self, LogError> {
+        if log.is_empty() {
+            return Err(LogError::Empty { path: PathBuf::from(MEMORY_PATH) });
+        }
+        Ok(ReplayAgent { log, cursor: 0, rate_qpm })
+    }
+
+    /// Agent over a log file on disk.
+    pub fn from_file(path: &Path, rate_qpm: u32) -> Result<Self, LogError> {
+        let log = read_log_file(path)?;
+        if log.is_empty() {
+            return Err(LogError::Empty { path: path.to_path_buf() });
+        }
+        Ok(ReplayAgent { log, cursor: 0, rate_qpm })
     }
 
     /// The next minute's batch of query strings.
@@ -117,19 +195,46 @@ mod tests {
     }
 
     #[test]
+    fn file_roundtrip_and_replay_from_file() {
+        let dir = std::env::temp_dir().join("ddp-logfile-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.log");
+        let records = sample_records();
+        write_log_file(&records, &path).unwrap();
+        let parsed = read_log_file(&path).unwrap();
+        assert_eq!(parsed, records);
+        let agent = ReplayAgent::from_file(&path, 100).unwrap();
+        assert_eq!(agent.log_len(), records.len());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_file_error_names_op_and_path() {
+        let err = read_log_file(Path::new("/no/such/ddp-trace.log")).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.starts_with("open "), "op named: {msg}");
+        assert!(msg.contains("/no/such/ddp-trace.log"), "path named: {msg}");
+    }
+
+    #[test]
     fn missing_tab_is_an_error_with_line_number() {
         let bad = b"12\tq000001\nno-separator-here\n".to_vec();
         let err = parse_log(&bad[..]).unwrap_err();
-        assert_eq!(err.line, 2);
-        assert!(err.reason.contains("tab"));
+        match err {
+            LogError::Parse { line, ref reason, .. } => {
+                assert_eq!(line, 2);
+                assert!(reason.contains("tab"));
+            }
+            other => panic!("want Parse, got {other:?}"),
+        }
     }
 
     #[test]
     fn bad_timestamp_is_an_error() {
         let bad = b"notanumber\tq1\n".to_vec();
         let err = parse_log(&bad[..]).unwrap_err();
-        assert_eq!(err.line, 1);
-        assert!(err.reason.contains("timestamp"));
+        assert!(err.to_string().contains("timestamp"));
+        assert!(err.to_string().contains(MEMORY_PATH), "in-memory label: {err}");
     }
 
     #[test]
@@ -145,13 +250,20 @@ mod tests {
     }
 
     #[test]
+    fn empty_log_is_a_typed_error_not_a_panic() {
+        let err = ReplayAgent::new(Vec::new(), 10).unwrap_err();
+        assert!(matches!(err, LogError::Empty { .. }));
+        assert!(err.to_string().contains("empty log"));
+    }
+
+    #[test]
     fn replay_agent_emits_at_the_configured_rate_and_cycles() {
         let records = vec![
             TraceRecord { at_secs: 0, query: "a".into() },
             TraceRecord { at_secs: 1, query: "b".into() },
             TraceRecord { at_secs: 2, query: "c".into() },
         ];
-        let mut agent = ReplayAgent::new(records, 5);
+        let mut agent = ReplayAgent::new(records, 5).unwrap();
         let first = agent.next_minute();
         assert_eq!(first, vec!["a", "b", "c", "a", "b"]);
         let second: Vec<String> = agent.next_minute().into_iter().map(str::to_string).collect();
@@ -166,7 +278,7 @@ mod tests {
         let mut buf = Vec::new();
         write_log(&records, &mut buf).unwrap();
         let parsed = parse_log(&buf[..]).unwrap();
-        let mut agent = ReplayAgent::new(parsed, crate::chain::AGENT_MAX_RATE_QPM);
+        let mut agent = ReplayAgent::new(parsed, crate::chain::AGENT_MAX_RATE_QPM).unwrap();
         let minute = agent.next_minute();
         assert_eq!(minute.len(), 29_000);
         let point = crate::ChainExperiment::default().point(minute.len() as u32);

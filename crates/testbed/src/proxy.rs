@@ -1,0 +1,338 @@
+//! A controllable TCP relay for chaos injection.
+//!
+//! The driver places a [`ChaosProxy`] on chosen mesh edges: the dialing
+//! servent's address book points at the proxy, which pipes bytes to the real
+//! listener. Mid-run the driver can:
+//!
+//! * [`stall`](ChaosProxy::stall) — stop forwarding (bytes queue in kernel
+//!   buffers; the victim's write side eventually times out, the read side
+//!   goes idle → assume-zero);
+//! * [`resume`](ChaosProxy::resume) — forward again;
+//! * [`sever`](ChaosProxy::sever) — cut the live relayed connections, with
+//!   `mid_frame` optionally leaking half of the in-flight chunk first so the
+//!   victim's reassembly buffer is left holding a torn frame.
+//!
+//! A severed proxy keeps accepting **new** connections, so supervised
+//! reconnect (capped backoff) heals the edge through the same address.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Forward,
+    Stalled,
+}
+
+#[derive(Debug, Default)]
+struct Control {
+    mode: Mutex<ModeCell>,
+    cv: Condvar,
+}
+
+#[derive(Debug)]
+struct ModeCell {
+    mode: Mode,
+    /// Bumped on every sever: relay loops for an older epoch cut themselves.
+    epoch: u64,
+    /// Next sever should leak half a chunk before cutting.
+    sever_mid_frame: bool,
+}
+
+impl Default for ModeCell {
+    fn default() -> Self {
+        ModeCell { mode: Mode::Forward, epoch: 0, sever_mid_frame: false }
+    }
+}
+
+/// One chaos relay bound to an ephemeral loopback port.
+pub struct ChaosProxy {
+    listen_addr: SocketAddr,
+    control: Arc<Control>,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+    /// Bytes relayed in each direction (telemetry).
+    pub bytes_relayed: Arc<AtomicU64>,
+}
+
+impl ChaosProxy {
+    /// Start a relay to `target`. Connections to [`addr`](Self::addr) are
+    /// piped to a fresh connection to `target`.
+    pub fn start(target: SocketAddr) -> std::io::Result<ChaosProxy> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let listen_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let control = Arc::new(Control::default());
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let bytes_relayed = Arc::new(AtomicU64::new(0));
+        let accept_thread = {
+            let control = control.clone();
+            let shutdown = shutdown.clone();
+            let bytes_relayed = bytes_relayed.clone();
+            std::thread::spawn(move || loop {
+                if shutdown.load(Ordering::Relaxed) {
+                    return;
+                }
+                match listener.accept() {
+                    Ok((client, _)) => {
+                        let Ok(upstream) =
+                            TcpStream::connect_timeout(&target, Duration::from_millis(1_000))
+                        else {
+                            let _ = client.shutdown(Shutdown::Both);
+                            continue;
+                        };
+                        let epoch = control.mode.lock().expect("proxy lock").epoch;
+                        let _ = client.set_nodelay(true);
+                        let _ = upstream.set_nodelay(true);
+                        spawn_relay(
+                            client.try_clone().ok(),
+                            upstream.try_clone().ok(),
+                            control.clone(),
+                            epoch,
+                            bytes_relayed.clone(),
+                        );
+                        spawn_relay(
+                            Some(upstream),
+                            Some(client),
+                            control.clone(),
+                            epoch,
+                            bytes_relayed.clone(),
+                        );
+                    }
+                    Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(_) => std::thread::sleep(Duration::from_millis(5)),
+                }
+            })
+        };
+        Ok(ChaosProxy {
+            listen_addr,
+            control,
+            shutdown,
+            accept_thread: Some(accept_thread),
+            bytes_relayed,
+        })
+    }
+
+    /// The address dialers should use instead of the real target.
+    pub fn addr(&self) -> SocketAddr {
+        self.listen_addr
+    }
+
+    /// Stop forwarding bytes (connections stay up, traffic freezes).
+    pub fn stall(&self) {
+        let mut cell = self.control.mode.lock().expect("proxy lock");
+        cell.mode = Mode::Stalled;
+        self.control.cv.notify_all();
+    }
+
+    /// Resume forwarding after a [`stall`](Self::stall).
+    pub fn resume(&self) {
+        let mut cell = self.control.mode.lock().expect("proxy lock");
+        cell.mode = Mode::Forward;
+        self.control.cv.notify_all();
+    }
+
+    /// Cut every currently-relayed connection. With `mid_frame`, each relay
+    /// direction first forwards *half* of its next chunk, so the victim's
+    /// frame reassembly is abandoned mid-frame. New connections still relay.
+    pub fn sever(&self, mid_frame: bool) {
+        let mut cell = self.control.mode.lock().expect("proxy lock");
+        cell.epoch += 1;
+        cell.sever_mid_frame = mid_frame;
+        cell.mode = Mode::Forward; // un-stall so relays notice the epoch bump
+        self.control.cv.notify_all();
+    }
+}
+
+impl Drop for ChaosProxy {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        let mut cell = self.control.mode.lock().expect("proxy lock");
+        cell.epoch += 1; // cut live relays
+        cell.mode = Mode::Forward;
+        drop(cell);
+        self.control.cv.notify_all();
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// One relay direction. Exits when its epoch is severed, the proxy drops,
+/// or either socket dies.
+fn spawn_relay(
+    src: Option<TcpStream>,
+    dst: Option<TcpStream>,
+    control: Arc<Control>,
+    epoch: u64,
+    bytes_relayed: Arc<AtomicU64>,
+) {
+    let (Some(mut src), Some(mut dst)) = (src, dst) else { return };
+    std::thread::spawn(move || {
+        let _ = src.set_read_timeout(Some(Duration::from_millis(50)));
+        let mut buf = [0u8; 4096];
+        loop {
+            // Honor stall/sever before touching the sockets.
+            {
+                let mut cell = control.mode.lock().expect("proxy lock");
+                loop {
+                    if cell.epoch != epoch {
+                        // Severed: optionally leak half a pending chunk to
+                        // tear a frame, then cut hard.
+                        let leak_half = cell.sever_mid_frame;
+                        drop(cell);
+                        if leak_half {
+                            if let Ok(n) = src.read(&mut buf) {
+                                if n > 1 {
+                                    let _ = dst.write_all(&buf[..n / 2]);
+                                }
+                            }
+                        }
+                        let _ = src.shutdown(Shutdown::Both);
+                        let _ = dst.shutdown(Shutdown::Both);
+                        return;
+                    }
+                    if cell.mode == Mode::Forward {
+                        break;
+                    }
+                    let (guard, _) = control
+                        .cv
+                        .wait_timeout(cell, Duration::from_millis(100))
+                        .expect("proxy lock");
+                    cell = guard;
+                }
+            }
+            match src.read(&mut buf) {
+                Ok(0) => {
+                    let _ = dst.shutdown(Shutdown::Both);
+                    return;
+                }
+                Ok(n) => {
+                    if dst.write_all(&buf[..n]).is_err() {
+                        let _ = src.shutdown(Shutdown::Both);
+                        return;
+                    }
+                    bytes_relayed.fetch_add(n as u64, Ordering::Relaxed);
+                }
+                Err(ref e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    continue
+                }
+                Err(ref e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    let _ = dst.shutdown(Shutdown::Both);
+                    return;
+                }
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Echo server for the relay tests: accepts one connection, echoes.
+    fn echo_server() -> (SocketAddr, std::thread::JoinHandle<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let h = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                let Ok(mut s) = stream else { return };
+                std::thread::spawn(move || {
+                    let mut buf = [0u8; 1024];
+                    while let Ok(n) = s.read(&mut buf) {
+                        if n == 0 || s.write_all(&buf[..n]).is_err() {
+                            return;
+                        }
+                    }
+                });
+            }
+        });
+        (addr, h)
+    }
+
+    #[test]
+    fn relays_bytes_both_ways() {
+        let (target, _h) = echo_server();
+        let proxy = ChaosProxy::start(target).unwrap();
+        let mut c = TcpStream::connect(proxy.addr()).unwrap();
+        c.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        c.write_all(b"ping-through-proxy").unwrap();
+        let mut buf = [0u8; 64];
+        let n = c.read(&mut buf).unwrap();
+        assert_eq!(&buf[..n], b"ping-through-proxy");
+        assert!(proxy.bytes_relayed.load(Ordering::Relaxed) >= 18);
+    }
+
+    #[test]
+    fn sever_cuts_live_connections_but_new_ones_relay() {
+        let (target, _h) = echo_server();
+        let proxy = ChaosProxy::start(target).unwrap();
+        let mut c1 = TcpStream::connect(proxy.addr()).unwrap();
+        c1.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+        c1.write_all(b"hello").unwrap();
+        let mut buf = [0u8; 16];
+        let n = c1.read(&mut buf).unwrap();
+        assert_eq!(&buf[..n], b"hello");
+
+        proxy.sever(false);
+        // The severed connection dies: reads see EOF/reset soon.
+        let died = (0..100).any(|_| match c1.read(&mut buf) {
+            Ok(0) => true,
+            Ok(_) => false,
+            Err(ref e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                std::thread::sleep(Duration::from_millis(20));
+                false
+            }
+            Err(_) => true,
+        });
+        assert!(died, "severed connection must die");
+
+        // A fresh connection through the same proxy works (reconnect path).
+        let mut c2 = TcpStream::connect(proxy.addr()).unwrap();
+        c2.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        c2.write_all(b"again").unwrap();
+        let n = c2.read(&mut buf).unwrap();
+        assert_eq!(&buf[..n], b"again");
+    }
+
+    #[test]
+    fn stall_freezes_traffic_until_resume() {
+        let (target, _h) = echo_server();
+        let proxy = ChaosProxy::start(target).unwrap();
+        let mut c = TcpStream::connect(proxy.addr()).unwrap();
+        c.set_read_timeout(Some(Duration::from_millis(300))).unwrap();
+        // Prove the path works, then stall it.
+        c.write_all(b"warm").unwrap();
+        let mut buf = [0u8; 16];
+        let n = c.read(&mut buf).unwrap();
+        assert_eq!(&buf[..n], b"warm");
+
+        proxy.stall();
+        std::thread::sleep(Duration::from_millis(100));
+        c.write_all(b"frozen?").unwrap();
+        let stalled = matches!(
+            c.read(&mut buf),
+            Err(ref e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut
+        );
+        assert!(stalled, "no echo while stalled");
+
+        proxy.resume();
+        c.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let n = c.read(&mut buf).unwrap();
+        assert_eq!(&buf[..n], b"frozen?");
+    }
+}

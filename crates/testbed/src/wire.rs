@@ -1,0 +1,346 @@
+//! Multi-process chaos driver: a mesh of real `ddp-servent` processes over
+//! loopback TCP.
+//!
+//! The driver launches one OS process per servent, optionally routes chosen
+//! edges through [`ChaosProxy`] relays, and injects faults mid-run:
+//! [`kill`](WireMesh::kill) (SIGKILL — the process vanishes without a
+//! goodbye), [`sever`](WireMesh::sever) (cut sockets, optionally mid-frame),
+//! [`stall`](WireMesh::stall)/[`resume`](WireMesh::resume). At the end,
+//! [`collect`](WireMesh::collect) reaps every child under a wall-clock
+//! deadline (a hang is a reported failure, never a stuck driver) and parses
+//! the per-servent [`WireSummary`] files for cross-validation against the
+//! in-memory simulator.
+
+use crate::proxy::ChaosProxy;
+use ddp_servent::wire::WireSummary;
+use ddp_servent::ServentRole;
+use std::collections::{BTreeMap, HashMap};
+use std::net::{SocketAddr, TcpListener};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// One servent in the mesh.
+#[derive(Debug, Clone, Copy)]
+pub struct NodeSpec {
+    pub id: u32,
+    pub role: ServentRole,
+}
+
+/// The mesh to launch.
+#[derive(Debug, Clone)]
+pub struct MeshSpec {
+    pub nodes: Vec<NodeSpec>,
+    /// Undirected overlay edges (the lower id dials).
+    pub edges: Vec<(u32, u32)>,
+    /// Edges routed through a chaos proxy (must also be in `edges`).
+    pub proxied_edges: Vec<(u32, u32)>,
+    pub minutes: u64,
+    /// Wall milliseconds per protocol second (time compression).
+    pub tick_ms: u64,
+    pub seed: u64,
+    pub query_rate_qpm: f64,
+    /// Directory for summary and stderr files (created if missing).
+    pub out_dir: PathBuf,
+}
+
+/// What came back from a finished mesh.
+#[derive(Debug)]
+pub struct MeshReport {
+    /// Parsed summaries of servents that exited gracefully.
+    pub summaries: BTreeMap<u32, WireSummary>,
+    /// Servents with no readable summary (crashed or was killed).
+    pub missing: Vec<u32>,
+    /// Servents the driver SIGKILL'd on purpose.
+    pub killed: Vec<u32>,
+    /// Servents still running at the deadline (killed by the reaper).
+    pub hung: Vec<u32>,
+    /// Wall-clock duration of the whole run.
+    pub wall: Duration,
+}
+
+impl MeshReport {
+    /// Earliest protocol second at which any surviving servent cut `suspect`.
+    pub fn first_cut_of(&self, suspect: u32) -> Option<u64> {
+        self.summaries
+            .values()
+            .flat_map(|s| s.cuts.iter())
+            .filter(|&&(_, who)| who == suspect)
+            .map(|&(t, _)| t)
+            .min()
+    }
+
+    /// How many servents cut `suspect`.
+    pub fn cuts_of(&self, suspect: u32) -> usize {
+        self.summaries.values().filter(|s| s.cuts.iter().any(|&(_, who)| who == suspect)).count()
+    }
+
+    /// Whether no surviving servent still lists `suspect` as a neighbor.
+    pub fn isolated(&self, suspect: u32) -> bool {
+        self.summaries
+            .values()
+            .filter(|s| s.id != suspect)
+            .all(|s| !s.neighbors_final.contains(&suspect))
+    }
+
+    /// Aggregate connection counters across surviving servents.
+    pub fn total_conn(&self) -> ddp_metrics::ConnCounters {
+        self.summaries
+            .values()
+            .fold(ddp_metrics::ConnCounters::default(), |acc, s| acc.merge(&s.conn))
+    }
+
+    /// Total queries issued / resolved across surviving good servents.
+    pub fn totals(&self) -> (u64, u64) {
+        self.summaries.values().fold((0, 0), |(i, r), s| (i + s.issued, r + s.resolved))
+    }
+}
+
+/// Find the `ddp-servent` binary: `DDP_SERVENT_BIN` env override, else a
+/// sibling of the current executable (works from `cargo test` and from
+/// `target/{debug,release}` binaries).
+pub fn locate_servent_bin() -> std::io::Result<PathBuf> {
+    if let Ok(p) = std::env::var("DDP_SERVENT_BIN") {
+        let p = PathBuf::from(p);
+        if p.is_file() {
+            return Ok(p);
+        }
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::NotFound,
+            format!("DDP_SERVENT_BIN points at {}, which does not exist", p.display()),
+        ));
+    }
+    let exe = std::env::current_exe()?;
+    let mut dir = exe.parent().map(PathBuf::from).unwrap_or_default();
+    // Test binaries live in target/<profile>/deps/; the servent binary one up.
+    if dir.file_name().is_some_and(|n| n == "deps") {
+        dir.pop();
+    }
+    let candidate = dir.join("ddp-servent");
+    if candidate.is_file() {
+        return Ok(candidate);
+    }
+    Err(std::io::Error::new(
+        std::io::ErrorKind::NotFound,
+        format!(
+            "ddp-servent binary not found at {} (build it: cargo build -p ddp-servent; \
+             or set DDP_SERVENT_BIN)",
+            candidate.display()
+        ),
+    ))
+}
+
+struct ChildProc {
+    id: u32,
+    child: Child,
+    summary_path: PathBuf,
+}
+
+/// A launched mesh of servent processes.
+pub struct WireMesh {
+    spec: MeshSpec,
+    children: Vec<ChildProc>,
+    proxies: HashMap<(u32, u32), ChaosProxy>,
+    killed: Vec<u32>,
+    started: Instant,
+}
+
+impl WireMesh {
+    /// Allocate ports, start proxies, and spawn every servent process.
+    pub fn launch(spec: MeshSpec) -> std::io::Result<WireMesh> {
+        std::fs::create_dir_all(&spec.out_dir)?;
+        let bin = locate_servent_bin()?;
+
+        // Reserve one loopback port per node: bind them all concurrently
+        // (guaranteeing distinctness), then release just before spawning.
+        let mut holders: Vec<(u32, TcpListener)> = Vec::with_capacity(spec.nodes.len());
+        let mut addrs: HashMap<u32, SocketAddr> = HashMap::new();
+        for node in &spec.nodes {
+            let l = TcpListener::bind("127.0.0.1:0")?;
+            addrs.insert(node.id, l.local_addr()?);
+            holders.push((node.id, l));
+        }
+
+        // Adjacency from the undirected edge list.
+        let mut neighbors: HashMap<u32, Vec<u32>> = HashMap::new();
+        for &(u, v) in &spec.edges {
+            neighbors.entry(u).or_default().push(v);
+            neighbors.entry(v).or_default().push(u);
+        }
+
+        // Chaos proxies: the dialer (lower id) of a proxied edge gets the
+        // proxy's address in its book; the proxy targets the real acceptor.
+        let mut proxies: HashMap<(u32, u32), ChaosProxy> = HashMap::new();
+        for &(u, v) in &spec.proxied_edges {
+            let (dialer, acceptor) = (u.min(v), u.max(v));
+            let target = *addrs.get(&acceptor).ok_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    format!("proxied edge ({u},{v}) names unknown node {acceptor}"),
+                )
+            })?;
+            proxies.insert((dialer, acceptor), ChaosProxy::start(target)?);
+        }
+
+        drop(holders); // release the reserved ports for the children
+
+        let mut children = Vec::with_capacity(spec.nodes.len());
+        for node in &spec.nodes {
+            let my_addr = addrs[&node.id];
+            // Per-node address book; proxied edges rewrite the dialer's view.
+            let mut book: Vec<String> = Vec::new();
+            for (&pid, &paddr) in &addrs {
+                let effective = proxies.get(&(node.id, pid)).map(|p| p.addr()).unwrap_or(paddr);
+                book.push(format!("{pid}={effective}"));
+            }
+            book.sort();
+            let neigh: Vec<String> = neighbors
+                .get(&node.id)
+                .map(|ns| ns.iter().map(u32::to_string).collect())
+                .unwrap_or_default();
+            let summary_path = spec.out_dir.join(format!("s{}.summary", node.id));
+            let stderr_path = spec.out_dir.join(format!("s{}.stderr", node.id));
+            let mut cmd = Command::new(&bin);
+            cmd.arg("--id")
+                .arg(node.id.to_string())
+                .arg("--listen")
+                .arg(my_addr.to_string())
+                .arg("--peers")
+                .arg(book.join(","))
+                .arg("--neighbors")
+                .arg(neigh.join(","))
+                .arg("--minutes")
+                .arg(spec.minutes.to_string())
+                .arg("--tick-ms")
+                .arg(spec.tick_ms.to_string())
+                .arg("--seed")
+                .arg(spec.seed.to_string())
+                .arg("--query-rate-qpm")
+                .arg(spec.query_rate_qpm.to_string())
+                .arg("--out")
+                .arg(&summary_path);
+            match node.role {
+                ServentRole::Good => {
+                    cmd.arg("--role").arg("good");
+                }
+                ServentRole::FloodingAgent { rate_qpm, respond_reports } => {
+                    cmd.arg("--role").arg("agent").arg("--rate-qpm").arg(rate_qpm.to_string());
+                    if respond_reports {
+                        cmd.arg("--respond-reports");
+                    }
+                }
+            }
+            cmd.stdin(Stdio::null())
+                .stdout(Stdio::null())
+                .stderr(std::fs::File::create(&stderr_path)?);
+            let child = cmd.spawn()?;
+            children.push(ChildProc { id: node.id, child, summary_path });
+        }
+
+        Ok(WireMesh { spec, children, proxies, killed: Vec::new(), started: Instant::now() })
+    }
+
+    /// SIGKILL a servent process mid-run (no goodbye, no summary).
+    pub fn kill(&mut self, id: u32) -> std::io::Result<()> {
+        for c in &mut self.children {
+            if c.id == id {
+                c.child.kill()?;
+                self.killed.push(id);
+                return Ok(());
+            }
+        }
+        Err(std::io::Error::new(
+            std::io::ErrorKind::NotFound,
+            format!("no servent with id {id} in the mesh"),
+        ))
+    }
+
+    fn proxy_for(&self, edge: (u32, u32)) -> std::io::Result<&ChaosProxy> {
+        let key = (edge.0.min(edge.1), edge.0.max(edge.1));
+        self.proxies.get(&key).ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::NotFound,
+                format!("edge ({}, {}) is not proxied", edge.0, edge.1),
+            )
+        })
+    }
+
+    /// Cut the live sockets on a proxied edge; `mid_frame` tears a frame.
+    pub fn sever(&self, edge: (u32, u32), mid_frame: bool) -> std::io::Result<()> {
+        self.proxy_for(edge)?.sever(mid_frame);
+        Ok(())
+    }
+
+    /// Freeze traffic on a proxied edge.
+    pub fn stall(&self, edge: (u32, u32)) -> std::io::Result<()> {
+        self.proxy_for(edge)?.stall();
+        Ok(())
+    }
+
+    /// Unfreeze traffic on a proxied edge.
+    pub fn resume(&self, edge: (u32, u32)) -> std::io::Result<()> {
+        self.proxy_for(edge)?.resume();
+        Ok(())
+    }
+
+    /// Wall-clock budget for a graceful run: connect grace + every tick +
+    /// drain, plus generous slack for process startup and scheduling.
+    pub fn wall_budget(&self) -> Duration {
+        let ticks = (self.spec.minutes * 60 + 1) * self.spec.tick_ms;
+        Duration::from_millis(ticks + 10_000)
+    }
+
+    /// Reap every child under the wall-clock budget. Children still running
+    /// at the deadline are killed and reported as hung — the driver itself
+    /// never deadlocks on a stuck servent.
+    pub fn collect(mut self) -> MeshReport {
+        let deadline = self.started + self.wall_budget();
+        let mut hung = Vec::new();
+        loop {
+            let mut all_done = true;
+            for c in &mut self.children {
+                match c.child.try_wait() {
+                    Ok(Some(_)) => {}
+                    Ok(None) => all_done = false,
+                    Err(_) => {}
+                }
+            }
+            if all_done {
+                break;
+            }
+            if Instant::now() >= deadline {
+                for c in &mut self.children {
+                    if matches!(c.child.try_wait(), Ok(None)) {
+                        let _ = c.child.kill();
+                        let _ = c.child.wait();
+                        hung.push(c.id);
+                    }
+                }
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        // Final reap for zombies.
+        for c in &mut self.children {
+            let _ = c.child.wait();
+        }
+
+        let mut summaries = BTreeMap::new();
+        let mut missing = Vec::new();
+        for c in &self.children {
+            match WireSummary::read_file(&c.summary_path) {
+                Ok(s) => {
+                    summaries.insert(c.id, s);
+                }
+                Err(_) => missing.push(c.id),
+            }
+        }
+        MeshReport {
+            summaries,
+            missing,
+            killed: self.killed.clone(),
+            hung,
+            wall: self.started.elapsed(),
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Multi-process chaos run: 10 real `ddp-servent` processes over loopback
+//! TCP, one flooding attacker, a SIGKILL'd good servent, and a socket severed
+//! mid-frame. The mesh must still detect and cut the attacker, and the run
+//! must finish inside its wall budget (no deadlock).
+//!
+//! Ignored by default because it needs the `ddp-servent` binary on disk:
+//!
+//! ```sh
+//! cargo build -p ddp-servent
+//! cargo test -p ddp-testbed --test wire_chaos -- --ignored
+//! ```
+//!
+//! (or point `DDP_SERVENT_BIN` at the binary). CI runs this in the
+//! `testbed-smoke` job.
+
+use ddp_servent::ServentRole;
+use ddp_testbed::{MeshSpec, NodeSpec, WireMesh};
+use std::time::Duration;
+
+/// Deterministic preferential-attachment-flavored graph on 10 nodes
+/// (triangle seed, then each newcomer attaches to two earlier nodes).
+fn edges() -> Vec<(u32, u32)> {
+    vec![
+        (0, 1),
+        (0, 2),
+        (1, 2),
+        (3, 0),
+        (3, 1),
+        (4, 0),
+        (4, 2),
+        (5, 0),
+        (5, 1),
+        (6, 2),
+        (6, 3),
+        (7, 0),
+        (7, 4),
+        (8, 1),
+        (8, 5),
+        (9, 0),
+        (9, 6),
+    ]
+}
+
+#[test]
+#[ignore = "spawns ddp-servent processes; run with --ignored after building the binary"]
+fn chaos_mesh_survives_sigkill_and_severed_socket() {
+    const ATTACKER: u32 = 4;
+    const VICTIM: u32 = 9; // good, peripheral: killing it must not stall the rest
+    const PROXIED: (u32, u32) = (1, 5); // good-good edge we sever mid-frame
+
+    let out_dir = std::env::temp_dir().join(format!("ddp-chaos-{}", std::process::id()));
+    let nodes: Vec<NodeSpec> = (0..10u32)
+        .map(|id| NodeSpec {
+            id,
+            role: if id == ATTACKER {
+                ServentRole::FloodingAgent { rate_qpm: 1_500, respond_reports: true }
+            } else {
+                ServentRole::Good
+            },
+        })
+        .collect();
+    let spec = MeshSpec {
+        nodes,
+        edges: edges(),
+        proxied_edges: vec![PROXIED],
+        minutes: 3,
+        tick_ms: 30,
+        seed: 42,
+        query_rate_qpm: 2.0,
+        out_dir: out_dir.clone(),
+    };
+
+    let mut mesh = WireMesh::launch(spec).expect("launch mesh");
+
+    // Protocol second t lands at roughly startup + grace + t*tick_ms wall.
+    // Detection needs two report rounds (~t=110); inject faults before that.
+    std::thread::sleep(Duration::from_millis(2_500)); // ~t=60
+    mesh.kill(VICTIM).expect("SIGKILL victim");
+    std::thread::sleep(Duration::from_millis(600)); // ~t=80
+    mesh.sever(PROXIED, true).expect("sever proxied edge mid-frame");
+
+    let report = mesh.collect();
+
+    assert!(report.hung.is_empty(), "servents hung past the wall budget: {:?}", report.hung);
+    assert_eq!(report.killed, vec![VICTIM]);
+    assert!(
+        report.missing.contains(&VICTIM),
+        "SIGKILL'd servent must have no (complete) summary; missing = {:?}",
+        report.missing
+    );
+    // Everyone else came back with a parseable summary.
+    for id in 0..10u32 {
+        if id != VICTIM {
+            assert!(
+                report.summaries.contains_key(&id),
+                "servent {id} wrote no summary; missing = {:?}",
+                report.missing
+            );
+        }
+    }
+
+    // The attacker was detected and cut despite the chaos.
+    let first_cut = report.first_cut_of(ATTACKER);
+    assert!(first_cut.is_some(), "attacker was never cut; report: {report:?}");
+    assert!(report.isolated(ATTACKER), "surviving servents still list the attacker as a neighbor");
+
+    // The severed edge healed through supervised reconnect: at least one
+    // endpoint re-dialed through the proxy.
+    let reconnects: u64 = [PROXIED.0, PROXIED.1]
+        .iter()
+        .filter_map(|id| report.summaries.get(id))
+        .map(|s| s.conn.reconnects)
+        .sum();
+    assert!(reconnects >= 1, "severed edge never reconnected");
+
+    let _ = std::fs::remove_dir_all(&out_dir);
+}

@@ -35,7 +35,7 @@ fn main() {
     println!("log file: {} bytes, parsed back losslessly", log.len());
 
     // 3. Replay at the agent's maximum against peer B's capacity model.
-    let mut agent = ReplayAgent::new(parsed, 29_000);
+    let mut agent = ReplayAgent::new(parsed, 29_000).expect("non-empty log");
     let minute = agent.next_minute();
     let point = ChainExperiment::default().point(minute.len() as u32);
     println!(

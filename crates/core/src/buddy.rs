@@ -11,7 +11,7 @@
 //! §3.1's consistency check), which removes staleness at extra message cost.
 
 use crate::exchange::ExchangeState;
-use ddp_sim::TickObservation;
+use ddp_sim::{FrozenTick, TickObservation};
 use ddp_topology::NodeId;
 
 /// The Buddy Group an observer assembled for one suspect.
@@ -90,7 +90,7 @@ pub fn assemble(
 pub fn verified_members(
     suspect: NodeId,
     announced: &[NodeId],
-    obs: &TickObservation<'_>,
+    obs: &FrozenTick<'_>,
     radius: u8,
     verify: bool,
 ) -> Vec<NodeId> {
@@ -100,11 +100,14 @@ pub fn verified_members(
 }
 
 /// [`verified_members`] writing into a caller-owned buffer (cleared first),
-/// so per-tick rebuilds reuse one allocation per suspect.
+/// so per-tick rebuilds reuse one allocation per suspect. Takes the
+/// [`FrozenTick`] view — everything it consults is a pure function of the
+/// tick's frozen counters, so the parallel fast path can call it from any
+/// worker and get the serial answer.
 pub fn verified_members_into(
     suspect: NodeId,
     announced: &[NodeId],
-    obs: &TickObservation<'_>,
+    obs: &FrozenTick<'_>,
     radius: u8,
     verify: bool,
     members: &mut Vec<NodeId>,

@@ -37,5 +37,5 @@ pub use exchange::ExchangePolicy;
 pub use police::{group_traffic_sums, DdPolice, JudgmentTrace};
 pub use verdict::{
     aggregate_group_traffic, AggregationPolicy, Hysteresis, ReadmissionPolicy, SuspectEntry,
-    SuspectState, VerdictMachine,
+    SuspectState, VerdictMachine, VerdictShard,
 };

@@ -20,12 +20,14 @@ use crate::buddy::{assemble, verified_members_into, BuddyGroup};
 use crate::config::DdPoliceConfig;
 use crate::exchange::ExchangeState;
 use crate::indicator::{general_indicator, is_bad, single_indicator};
-use crate::verdict::{aggregate_group_traffic, AggregationPolicy, VerdictMachine};
+use crate::verdict::{aggregate_group_traffic, AggregationPolicy, VerdictMachine, VerdictShard};
 use ddp_sim::{
-    Actions, Defense, ReportDelivery, ReportOutcome, Tick, TickObservation, TrafficReport,
+    Actions, Defense, FrozenTick, ReportDelivery, ReportOutcome, Tick, TickObservation,
+    TrafficReport,
 };
-use ddp_topology::NodeId;
+use ddp_topology::{NodeId, Partition};
 use std::collections::HashMap;
+use std::ops::Range;
 
 /// Sum a Buddy Group's traffic claims about the suspect: the observer's own
 /// ground-truth counters plus each other member's resolved report, where
@@ -97,6 +99,18 @@ pub struct DdPolice {
     /// when its exactness preconditions do not hold. The differential
     /// harness's mutation check flips this to prove divergence is caught.
     force_fast_path: bool,
+    /// Worker-pool width from [`Defense::set_parallelism`]. Never serialized:
+    /// a snapshot written at any width must restore identically at any other.
+    threads: usize,
+    /// Test-only sabotage switch: merge worker partitions in *reverse* order
+    /// instead of canonical ascending order. An unordered reduction is the
+    /// classic parallel-determinism bug; the differential suite flips this to
+    /// prove it actually detects one. No-op at `threads <= 1`.
+    unordered_reduction: bool,
+    /// Per-worker [`suspect_cache`](Self::suspect_cache) equivalents, kept
+    /// only so their allocations survive across ticks. Like the serial cache
+    /// they are per-tick memos: never serialized, cleared on restore.
+    worker_caches: Vec<HashMap<u32, SuspectTickCache>>,
 }
 
 /// See [`DdPolice::suspect_cache`].
@@ -133,6 +147,9 @@ impl DdPolice {
             suspect_cache: vec![SuspectTickCache::default(); n],
             trace: None,
             force_fast_path: false,
+            threads: 1,
+            unordered_reduction: false,
+            worker_caches: Vec::new(),
         }
     }
 
@@ -170,6 +187,17 @@ impl DdPolice {
     #[doc(hidden)]
     pub fn set_force_fast_path(&mut self, on: bool) {
         self.force_fast_path = on;
+    }
+
+    /// Sabotage the parallel reduction: merge worker partitions in reverse
+    /// order. This plants exactly the nondeterminism bug the serial-vs-
+    /// parallel differential suite exists to catch (who pays a suspect's
+    /// `k(k-1)` exchange charge, cut/reconnect ordering, snapshot-age
+    /// quantile feed order) — the suite's mutation check flips it and
+    /// asserts divergence is detected. Never set this outside tests.
+    #[doc(hidden)]
+    pub fn set_unordered_reduction(&mut self, on: bool) {
+        self.unordered_reduction = on;
     }
 
     fn record_trace(&mut self, tick: Tick, observer: NodeId, suspect: NodeId, g: f64, s: f64) {
@@ -276,6 +304,250 @@ impl DdPolice {
         );
         (g, s, retry_msgs)
     }
+
+    /// The sharded fast-path tick: partition the observers by degree weight,
+    /// judge each partition on its own worker over the frozen tick view,
+    /// then reduce the partition outcomes in canonical (ascending-observer)
+    /// order. Contiguous ascending partitions make concatenation identical
+    /// to the serial observer loop, so every byte of engine state — verdict
+    /// entries, cut/reconnect ordering, control-message totals, the
+    /// snapshot-age quantile feed — lands exactly as a `threads == 1` run
+    /// would leave it.
+    ///
+    /// Workers never touch the cross-suspect shared state. Anything keyed by
+    /// *suspect* rather than observer (`exchanged_stamp`, the `k(k-1)`
+    /// exchange charge, the order-sensitive metric feeds) is recorded as a
+    /// [`Deferred`] event in serial order and replayed here on the caller's
+    /// thread during the reduction.
+    fn parallel_fast_tick(&mut self, obs: &TickObservation<'_>, actions: &mut Actions) {
+        let frozen = obs.frozen();
+        let part = Partition::by_degree(obs.overlay.graph(), self.threads);
+        if self.worker_caches.len() < part.parts() {
+            self.worker_caches.resize_with(part.parts(), HashMap::new);
+        }
+        let cfg = &self.cfg;
+        let exchange = &self.exchange;
+        let tracing = self.trace.is_some();
+        let shards = self.verdicts.shards(part.boundaries());
+        let mut results: Vec<PartitionOutcome> = Vec::with_capacity(part.parts());
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(part.parts());
+            for ((p, shard), cache) in shards.into_iter().enumerate().zip(&mut self.worker_caches) {
+                let range = part.range(p);
+                handles.push(scope.spawn(move || {
+                    judge_partition(range, shard, cache, frozen, exchange, cfg, tracing)
+                }));
+            }
+            for h in handles {
+                results.push(h.join().expect("judgment worker panicked"));
+            }
+        });
+        if self.unordered_reduction {
+            // Sabotage (see `set_unordered_reduction`): a reversed merge is
+            // what a racy unordered reduction would produce.
+            results.reverse();
+        }
+        for out in results {
+            for d in out.deferred {
+                match d {
+                    Deferred::Missing { suspect } => {
+                        // Own-counters-only judgment: stamps without paying
+                        // (the group is {observer}, no messages).
+                        self.exchanged_stamp[suspect as usize] = obs.tick;
+                    }
+                    Deferred::Shared { suspect, age, k, fresh, refused } => {
+                        obs.note_snapshot_age(age);
+                        if self.exchanged_stamp[suspect as usize] != obs.tick {
+                            self.exchanged_stamp[suspect as usize] = obs.tick;
+                            actions.control_msgs += k * k.saturating_sub(1);
+                        }
+                        obs.note_report_outcomes(ReportOutcome::Fresh, fresh);
+                        obs.note_report_outcomes(ReportOutcome::Refused, refused);
+                    }
+                }
+            }
+            actions.cuts.extend(out.actions.cuts);
+            actions.reconnects.extend(out.actions.reconnects);
+            actions.transitions.extend(out.actions.transitions);
+            actions.control_msgs += out.actions.control_msgs;
+            if let Some(t) = self.trace.as_mut() {
+                t.extend(out.trace);
+            }
+        }
+    }
+}
+
+/// A fast-path side effect on suspect-keyed shared state, recorded by a
+/// worker in its partition's serial order and replayed on the reducing
+/// thread. The replay point is the only place `exchanged_stamp` and the
+/// order-sensitive engine metrics are touched during a parallel tick, so
+/// "first observer pays the suspect's `k(k-1)` charge" resolves exactly as
+/// the serial loop would.
+enum Deferred {
+    /// A missing-snapshot judgment past its grace streak stamped the suspect.
+    Missing { suspect: u32 },
+    /// A shared-snapshot judgment: feed the snapshot-age quantile, charge
+    /// `k(k-1)` if this is the suspect's first exchange this tick, and add
+    /// the bulk report-outcome tallies.
+    Shared { suspect: u32, age: Tick, k: u64, fresh: u64, refused: u64 },
+}
+
+/// Everything one worker produced: partition-local actions and traces (in
+/// that partition's serial order) plus the deferred shared-state events.
+struct PartitionOutcome {
+    actions: Actions,
+    trace: Vec<JudgmentTrace>,
+    deferred: Vec<Deferred>,
+}
+
+/// Judge one contiguous observer range on a worker thread. Mirrors the fast
+/// path of the serial loop in [`DdPolice::on_tick`] statement for statement;
+/// the only divergences are mechanical: verdict access goes through the
+/// partition's [`VerdictShard`], the suspect cache is worker-local (same
+/// values — entries are pure functions of `(suspect, announcement tick)` on
+/// the frozen tick), and suspect-keyed effects become [`Deferred`] events.
+fn judge_partition(
+    range: Range<usize>,
+    mut shard: VerdictShard<'_>,
+    cache: &mut HashMap<u32, SuspectTickCache>,
+    obs: FrozenTick<'_>,
+    exchange: &ExchangeState,
+    cfg: &DdPoliceConfig,
+    tracing: bool,
+) -> PartitionOutcome {
+    let mut out =
+        PartitionOutcome { actions: Actions::default(), trace: Vec::new(), deferred: Vec::new() };
+    let record = |out: &mut PartitionOutcome, observer, suspect, g, s| {
+        if tracing {
+            out.trace.push(JudgmentTrace { tick: obs.tick, observer, suspect, g, s });
+        }
+    };
+    for i in range {
+        if !obs.runs_defense[i] {
+            continue;
+        }
+        let observer = NodeId::from_index(i);
+        if cfg.suspect_ttl_ticks != u32::MAX {
+            shard.expire_stale(observer, obs.tick, cfg.suspect_ttl_ticks, obs.online);
+        }
+        if cfg.readmission.enabled {
+            shard.expire_probations(observer, obs.tick, &mut out.actions);
+            let before = out.actions.reconnects.len();
+            shard.fire_probes(observer, obs.tick, cfg.readmission, &mut out.actions);
+            out.actions.control_msgs += (out.actions.reconnects.len() - before) as u64;
+        }
+        let neigh = obs.overlay.neighbors(observer);
+        for (slot, &half) in neigh.iter().enumerate() {
+            let suspect = half.peer;
+            let q_ji = obs.overlay.accepted_via(suspect, half.ridx as usize);
+            if q_ji <= cfg.warning_threshold_qpm {
+                shard.below_warning(observer, suspect);
+                continue;
+            }
+            let own = TrafficReport {
+                sent_to_suspect: obs.overlay.accepted_via(observer, slot),
+                received_from_suspect: q_ji,
+            };
+            let Some(snap) = exchange.snapshot(observer, suspect) else {
+                let streak = shard.note_list_missing(observer, suspect);
+                if streak < cfg.missing_list_grace {
+                    continue;
+                }
+                out.deferred.push(Deferred::Missing { suspect: suspect.0 });
+                let g = general_indicator(
+                    own.received_from_suspect as f64,
+                    own.sent_to_suspect as f64,
+                    1,
+                    cfg.q_qpm,
+                );
+                let s = single_indicator(q_ji as f64, 0.0, cfg.q_qpm);
+                record(&mut out, observer, suspect, g, s);
+                if shard.judged(
+                    observer,
+                    suspect,
+                    is_bad(g, s, cfg.cut_threshold),
+                    obs.tick,
+                    cfg.hysteresis,
+                    cfg.readmission,
+                    &mut out.actions,
+                ) {
+                    out.actions.cut(observer, suspect);
+                }
+                continue;
+            };
+            let age = obs.tick.saturating_sub(snap.taken_at);
+            shard.note_list_ok(observer, suspect);
+            let entry = cache.entry(suspect.0).or_default();
+            if entry.stamp != obs.tick || entry.taken_at != snap.taken_at {
+                entry.stamp = obs.tick;
+                entry.taken_at = snap.taken_at;
+                verified_members_into(
+                    suspect,
+                    &snap.members,
+                    &obs,
+                    cfg.radius,
+                    cfg.verify_lists,
+                    &mut entry.members,
+                );
+                entry.answers.clear();
+                entry.sum_out = 0.0;
+                entry.sum_in = 0.0;
+                entry.n_answered = 0;
+                entry.n_refused = 0;
+                for &m in &entry.members {
+                    let answer = obs.request_report(m, suspect);
+                    match answer {
+                        Some(r) => {
+                            entry.n_answered += 1;
+                            entry.sum_out += r.received_from_suspect as f64;
+                            entry.sum_in += r.sent_to_suspect as f64;
+                        }
+                        None => entry.n_refused += 1,
+                    }
+                    entry.answers.push(answer);
+                }
+            }
+            let own_slot = entry.members.iter().position(|&m| m == observer);
+            let in_group = own_slot.is_some();
+            let k = entry.members.len() + usize::from(!in_group);
+            let mut sum_out = own.received_from_suspect as f64 + entry.sum_out;
+            let mut sum_in = own.sent_to_suspect as f64 + entry.sum_in;
+            let mut fresh = entry.n_answered as u64;
+            let mut refused = entry.n_refused as u64;
+            if let Some(own_idx) = own_slot {
+                match entry.answers[own_idx] {
+                    Some(r) => {
+                        fresh -= 1;
+                        sum_out -= r.received_from_suspect as f64;
+                        sum_in -= r.sent_to_suspect as f64;
+                    }
+                    None => refused -= 1,
+                }
+            }
+            out.deferred.push(Deferred::Shared {
+                suspect: suspect.0,
+                age,
+                k: k as u64,
+                fresh,
+                refused,
+            });
+            let g = general_indicator(sum_out, sum_in, k, cfg.q_qpm);
+            let s = single_indicator(q_ji as f64, sum_in - own.sent_to_suspect as f64, cfg.q_qpm);
+            record(&mut out, observer, suspect, g, s);
+            if shard.judged(
+                observer,
+                suspect,
+                is_bad(g, s, cfg.cut_threshold),
+                obs.tick,
+                cfg.hysteresis,
+                cfg.readmission,
+                &mut out.actions,
+            ) {
+                out.actions.cut(observer, suspect);
+            }
+        }
+    }
+    out
 }
 
 impl Defense for DdPolice {
@@ -284,7 +556,8 @@ impl Defense for DdPolice {
     }
 
     fn on_tick(&mut self, obs: &TickObservation<'_>, actions: &mut Actions) {
-        actions.control_msgs += self.exchange.on_tick(self.cfg.exchange, obs);
+        actions.control_msgs +=
+            self.exchange.on_tick_with_threads(self.cfg.exchange, obs, self.threads);
 
         let n = obs.overlay.node_count();
         if self.exchanged_stamp.len() < n {
@@ -306,6 +579,15 @@ impl Defense for DdPolice {
             || (self.cfg.aggregation == AggregationPolicy::Sum
                 && !self.cfg.clamp_reports_to_link
                 && obs.faults.is_none_or(|f| f.config().is_inert()));
+        // The slow path stays serial at any width: its per-observer fault
+        // dice and retry loops are inherently order-coupled.
+        self.verdicts.ensure_slots(n);
+        if fast && self.threads > 1 && n > 1 && self.verdicts.slot_count() == n {
+            self.parallel_fast_tick(obs, actions);
+            self.report_memo = memo;
+            self.suspect_cache = cache;
+            return;
+        }
         for i in 0..n {
             if !obs.runs_defense[i] {
                 continue;
@@ -388,7 +670,7 @@ impl Defense for DdPolice {
                         verified_members_into(
                             suspect,
                             &snap.members,
-                            obs,
+                            &obs.frozen(),
                             self.cfg.radius,
                             self.cfg.verify_lists,
                             &mut entry.members,
@@ -515,6 +797,10 @@ impl Defense for DdPolice {
         self.suspect_cache = cache;
     }
 
+    fn set_parallelism(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
     fn on_peer_reset(&mut self, node: NodeId) {
         self.exchange.reset_peer(node);
         self.verdicts.reset_observer(node);
@@ -602,6 +888,9 @@ impl Defense for DdPolice {
         let n = self.exchange.len().max(self.exchanged_stamp.len());
         self.report_memo = HashMap::new();
         self.suspect_cache = vec![SuspectTickCache::default(); n];
+        // Per-tick memos from the pre-restore timeline would carry stamps
+        // that can collide with the resumed tick counter: drop them.
+        self.worker_caches.clear();
         Ok(())
     }
 }
@@ -821,6 +1110,64 @@ mod tests {
         assert_eq!(a.series, b.series);
         assert_eq!(a.summary, b.summary);
         assert_eq!(a.cut_log, b.cut_log);
+    }
+
+    #[test]
+    fn parallel_fast_path_is_tick_for_tick_identical_to_serial() {
+        // Full lifecycle config (hysteresis + readmission + TTL default) so
+        // probes, probations, and cuts all cross the reduction. Compare the
+        // per-tick state hash, the drained judgment traces, and the final
+        // results at several worker widths against the serial run.
+        let serial = {
+            let mut sim = lifecycle_sim(200, 42);
+            sim.defense_mut().set_tracing(true);
+            sim.enable_hash_trace();
+            let mut traces = Vec::new();
+            for _ in 0..12 {
+                sim.step();
+                traces.push(sim.defense_mut().take_trace());
+            }
+            (sim.hash_trace().to_vec(), traces, sim.finish())
+        };
+        for threads in [2usize, 3, 8] {
+            let mut sim = lifecycle_sim(200, 42);
+            sim.defense_mut().set_tracing(true);
+            sim.enable_hash_trace();
+            sim.set_threads(threads);
+            let mut traces = Vec::new();
+            for _ in 0..12 {
+                sim.step();
+                traces.push(sim.defense_mut().take_trace());
+            }
+            assert_eq!(serial.0, sim.hash_trace(), "state hash diverged at threads={threads}");
+            assert_eq!(serial.1, traces, "judgment trace diverged at threads={threads}");
+            let res = sim.finish();
+            assert_eq!(serial.2.series, res.series, "series diverged at threads={threads}");
+            assert_eq!(serial.2.summary, res.summary);
+            assert_eq!(serial.2.cut_log, res.cut_log);
+        }
+    }
+
+    #[test]
+    fn unordered_reduction_sabotage_diverges_from_serial() {
+        // The mutation lever must plant a detectable bug: with the reduction
+        // reversed, at least one tick's state hash must differ from serial.
+        let serial = {
+            let mut sim = lifecycle_sim(200, 42);
+            sim.enable_hash_trace();
+            for _ in 0..12 {
+                sim.step();
+            }
+            sim.hash_trace().to_vec()
+        };
+        let mut sim = lifecycle_sim(200, 42);
+        sim.enable_hash_trace();
+        sim.set_threads(4);
+        sim.defense_mut().set_unordered_reduction(true);
+        for _ in 0..12 {
+            sim.step();
+        }
+        assert_ne!(serial, sim.hash_trace(), "reversed reduction must be observable");
     }
 
     #[test]

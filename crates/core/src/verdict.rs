@@ -305,91 +305,31 @@ impl VerdictMachine {
         readmission: ReadmissionPolicy,
         actions: &mut Actions,
     ) {
-        if !readmission.enabled {
-            return;
-        }
-        // Deterministic probe order regardless of HashMap iteration.
-        let mut due: Vec<u32> = self.entries[observer.index()]
-            .iter()
-            .filter_map(|(&s, e)| match e.state {
-                SuspectState::Quarantined { until, .. } if tick >= until => Some(s),
-                _ => None,
-            })
-            .collect();
-        due.sort_unstable();
-        for s in due {
-            let entry = self.entries[observer.index()].get_mut(&s).expect("just listed");
-            let SuspectState::Quarantined { backoff, .. } = entry.state else { unreachable!() };
-            entry.state = SuspectState::Probation {
-                until: tick.saturating_add(readmission.probation_ticks),
-                backoff,
-            };
-            let suspect = NodeId(s);
-            actions.reconnect(observer, suspect);
-            actions.transition(VerdictTransition {
-                tick,
-                observer: observer.0,
-                suspect: s,
-                from: PeerVerdict::Quarantined,
-                to: PeerVerdict::Probation,
-            });
-        }
+        fire_probes_in(&mut self.entries[observer.index()], observer, tick, readmission, actions)
     }
 
     /// Expire probations that ended at or before `tick`: the suspect is
     /// fully readmitted and its suspicion state dropped.
     pub fn expire_probations(&mut self, observer: NodeId, tick: Tick, actions: &mut Actions) {
-        let mut done: Vec<u32> = self.entries[observer.index()]
-            .iter()
-            .filter_map(|(&s, e)| match e.state {
-                SuspectState::Probation { until, .. } if tick >= until => Some(s),
-                _ => None,
-            })
-            .collect();
-        done.sort_unstable();
-        for s in done {
-            self.entries[observer.index()].remove(&s);
-            actions.transition(VerdictTransition {
-                tick,
-                observer: observer.0,
-                suspect: s,
-                from: PeerVerdict::Probation,
-                to: PeerVerdict::Readmitted,
-            });
-        }
+        expire_probations_in(&mut self.entries[observer.index()], observer, tick, actions)
     }
 
     /// The suspect dropped below the warning threshold from `observer`'s
     /// position: a Watching chain is broken (entry dropped); quarantine and
     /// probation are unaffected (they are clocked, not traffic-driven).
     pub fn below_warning(&mut self, observer: NodeId, suspect: NodeId) {
-        let map = &mut self.entries[observer.index()];
-        // Hot path: this runs once per (observer, neighbor) per tick and
-        // almost every observer tracks no suspects — skip the key hash.
-        if map.is_empty() {
-            return;
-        }
-        if let Some(e) = map.get(&suspect.0) {
-            if matches!(e.state, SuspectState::Watching { .. }) {
-                map.remove(&suspect.0);
-            }
-        }
+        below_warning_in(&mut self.entries[observer.index()], suspect)
     }
 
     /// Record a missing neighbor-list snapshot for an over-warning suspect
     /// and return the updated consecutive-miss streak.
     pub fn note_list_missing(&mut self, observer: NodeId, suspect: NodeId) -> u8 {
-        let entry =
-            self.entries[observer.index()].entry(suspect.0).or_insert_with(SuspectEntry::fresh);
-        entry.list_streak = entry.list_streak.saturating_add(1);
-        entry.list_streak
+        note_list_missing_in(&mut self.entries[observer.index()], suspect)
     }
 
     /// A usable snapshot arrived: the miss streak resets.
     pub fn note_list_ok(&mut self, observer: NodeId, suspect: NodeId) {
-        if let Some(e) = self.entries[observer.index()].get_mut(&suspect.0) {
-            e.list_streak = 0;
-        }
+        note_list_ok_in(&mut self.entries[observer.index()], suspect)
     }
 
     /// Feed one judged window (`over_ct` = indicator exceeded `CT`) into the
@@ -409,83 +349,16 @@ impl VerdictMachine {
         readmission: ReadmissionPolicy,
         actions: &mut Actions,
     ) -> bool {
-        let map = &mut self.entries[observer.index()];
-        let entry = map.entry(suspect.0).or_insert_with(SuspectEntry::fresh);
-        let (cut, from, next_backoff) = match entry.state {
-            SuspectState::Watching { history } => {
-                let (required, window) = hysteresis.effective();
-                let mask = ((1u16 << window) - 1) as u8;
-                let new_history = ((history << 1) | u8::from(over_ct)) & mask;
-                let confirmed = new_history.count_ones() >= required;
-                if confirmed {
-                    (true, ledger_state(SuspectState::Watching { history }), None)
-                } else {
-                    entry.state = SuspectState::Watching { history: new_history };
-                    if new_history != 0 && history == 0 {
-                        actions.transition(VerdictTransition {
-                            tick,
-                            observer: observer.0,
-                            suspect: suspect.0,
-                            from: PeerVerdict::Normal,
-                            to: PeerVerdict::Suspicious,
-                        });
-                    }
-                    if new_history == 0 && entry.list_streak == 0 {
-                        // Nothing worth remembering: keep the footprint of
-                        // the pre-PR protocol (no entry at all).
-                        map.remove(&suspect.0);
-                    }
-                    (false, PeerVerdict::Normal, None)
-                }
-            }
-            SuspectState::Probation { backoff, .. } => {
-                if over_ct {
-                    // Zero tolerance: one bad window on probation re-cuts,
-                    // with a doubled backoff.
-                    (
-                        true,
-                        PeerVerdict::Probation,
-                        Some(backoff.saturating_mul(2).min(readmission.max_backoff_ticks)),
-                    )
-                } else {
-                    (false, PeerVerdict::Probation, None)
-                }
-            }
-            // A quarantined suspect has no live edge to judge; a racing
-            // same-tick judgment is ignored.
-            SuspectState::Quarantined { .. } => (false, PeerVerdict::Quarantined, None),
-        };
-        if !cut {
-            return false;
-        }
-        actions.transition(VerdictTransition {
+        judged_in(
+            &mut self.entries[observer.index()],
+            observer,
+            suspect,
+            over_ct,
             tick,
-            observer: observer.0,
-            suspect: suspect.0,
-            from,
-            to: PeerVerdict::Cut,
-        });
-        actions.transition(VerdictTransition {
-            tick,
-            observer: observer.0,
-            suspect: suspect.0,
-            from: PeerVerdict::Cut,
-            to: PeerVerdict::Quarantined,
-        });
-        if readmission.enabled {
-            let backoff = next_backoff.unwrap_or(readmission.base_backoff_ticks).max(1);
-            let entry =
-                self.entries[observer.index()].entry(suspect.0).or_insert_with(SuspectEntry::fresh);
-            // Saturating: near the end of a u32 tick space the probe simply
-            // never fires (a wrapped deadline would fire immediately).
-            entry.state =
-                SuspectState::Quarantined { until: tick.saturating_add(backoff), backoff };
-            entry.list_streak = 0;
-        } else {
-            // Permanent cut (the paper): nothing left to track.
-            self.entries[observer.index()].remove(&suspect.0);
-        }
-        true
+            hysteresis,
+            readmission,
+            actions,
+        )
     }
 
     /// An overlay edge between `u` and `v` vanished (cut or churn): drop
@@ -528,6 +401,12 @@ impl VerdictMachine {
         }
     }
 
+    /// Number of observer slots currently allocated — the value
+    /// [`shards`](Self::shards) requires the final bound to equal.
+    pub fn slot_count(&self) -> usize {
+        self.entries.len()
+    }
+
     /// Churn hardening: age out entries whose suspect can no longer be
     /// judged. A suspect that is offline (departed or crashed — `online` is
     /// the engine's ground truth for "the address stopped responding") is
@@ -544,25 +423,26 @@ impl VerdictMachine {
         ttl: Tick,
         online: &[bool],
     ) -> usize {
-        let map = &mut self.entries[observer.index()];
-        if map.is_empty() {
-            return 0;
+        expire_stale_in(&mut self.entries[observer.index()], tick, ttl, online)
+    }
+
+    /// Split the machine into disjoint per-partition [`VerdictShard`]s along
+    /// `bounds` (the partitioner's `boundaries()` layout: ascending, starting
+    /// at 0 and ending at the observer count). Each shard owns the suspicion
+    /// state of one contiguous observer range, so worker threads can judge
+    /// their partitions concurrently while the borrow checker proves no two
+    /// ever touch the same observer's entries.
+    pub fn shards<'a>(&'a mut self, bounds: &[usize]) -> Vec<VerdictShard<'a>> {
+        assert_eq!(bounds.first(), Some(&0), "bounds must start at 0");
+        assert_eq!(bounds.last(), Some(&self.entries.len()), "bounds must end at observer count");
+        let mut shards = Vec::with_capacity(bounds.len().saturating_sub(1));
+        let mut rest: &mut [HashMap<u32, SuspectEntry>] = &mut self.entries;
+        for w in bounds.windows(2) {
+            let (head, tail) = rest.split_at_mut(w[1] - w[0]);
+            shards.push(VerdictShard { base: w[0], entries: head });
+            rest = tail;
         }
-        let before = map.len();
-        map.retain(|&s, e| {
-            let gone = !online.get(s as usize).copied().unwrap_or(false);
-            match e.state {
-                SuspectState::Watching { .. } => !gone,
-                SuspectState::Quarantined { until, .. } | SuspectState::Probation { until, .. } => {
-                    if gone {
-                        tick < until
-                    } else {
-                        tick <= until.saturating_add(ttl)
-                    }
-                }
-            }
-        });
-        before - map.len()
+        shards
     }
 
     /// Whether `observer` holds a live quarantine or probation verdict about
@@ -634,6 +514,295 @@ impl VerdictMachine {
         out.sort_unstable_by_key(|&(s, _)| s);
         out
     }
+}
+
+/// A disjoint slice of a [`VerdictMachine`]: the suspicion state of one
+/// contiguous observer range `base..base + entries.len()`, carved out by
+/// [`VerdictMachine::shards`]. Exposes exactly the per-observer operations
+/// the judgment fast path needs; each delegates to the same free function
+/// the whole-machine method uses, so a sharded run makes bit-identical
+/// per-observer decisions to a serial one.
+pub struct VerdictShard<'a> {
+    base: usize,
+    entries: &'a mut [HashMap<u32, SuspectEntry>],
+}
+
+impl VerdictShard<'_> {
+    fn map_mut(&mut self, observer: NodeId) -> &mut HashMap<u32, SuspectEntry> {
+        &mut self.entries[observer.index() - self.base]
+    }
+
+    /// [`VerdictMachine::fire_probes`] for an observer in this shard.
+    pub fn fire_probes(
+        &mut self,
+        observer: NodeId,
+        tick: Tick,
+        readmission: ReadmissionPolicy,
+        actions: &mut Actions,
+    ) {
+        fire_probes_in(self.map_mut(observer), observer, tick, readmission, actions)
+    }
+
+    /// [`VerdictMachine::expire_probations`] for an observer in this shard.
+    pub fn expire_probations(&mut self, observer: NodeId, tick: Tick, actions: &mut Actions) {
+        expire_probations_in(self.map_mut(observer), observer, tick, actions)
+    }
+
+    /// [`VerdictMachine::below_warning`] for an observer in this shard.
+    pub fn below_warning(&mut self, observer: NodeId, suspect: NodeId) {
+        below_warning_in(self.map_mut(observer), suspect)
+    }
+
+    /// [`VerdictMachine::note_list_missing`] for an observer in this shard.
+    pub fn note_list_missing(&mut self, observer: NodeId, suspect: NodeId) -> u8 {
+        note_list_missing_in(self.map_mut(observer), suspect)
+    }
+
+    /// [`VerdictMachine::note_list_ok`] for an observer in this shard.
+    pub fn note_list_ok(&mut self, observer: NodeId, suspect: NodeId) {
+        note_list_ok_in(self.map_mut(observer), suspect)
+    }
+
+    /// [`VerdictMachine::judged`] for an observer in this shard.
+    #[allow(clippy::too_many_arguments)]
+    pub fn judged(
+        &mut self,
+        observer: NodeId,
+        suspect: NodeId,
+        over_ct: bool,
+        tick: Tick,
+        hysteresis: Hysteresis,
+        readmission: ReadmissionPolicy,
+        actions: &mut Actions,
+    ) -> bool {
+        judged_in(
+            self.map_mut(observer),
+            observer,
+            suspect,
+            over_ct,
+            tick,
+            hysteresis,
+            readmission,
+            actions,
+        )
+    }
+
+    /// [`VerdictMachine::expire_stale`] for an observer in this shard.
+    pub fn expire_stale(
+        &mut self,
+        observer: NodeId,
+        tick: Tick,
+        ttl: Tick,
+        online: &[bool],
+    ) -> usize {
+        expire_stale_in(self.map_mut(observer), tick, ttl, online)
+    }
+}
+
+// The per-observer state-machine bodies. Every mutation path above — serial
+// machine or parallel shard — funnels through these, so there is exactly one
+// implementation of each decision to keep bit-identical.
+
+fn fire_probes_in(
+    map: &mut HashMap<u32, SuspectEntry>,
+    observer: NodeId,
+    tick: Tick,
+    readmission: ReadmissionPolicy,
+    actions: &mut Actions,
+) {
+    if !readmission.enabled {
+        return;
+    }
+    // Deterministic probe order regardless of HashMap iteration.
+    let mut due: Vec<u32> = map
+        .iter()
+        .filter_map(|(&s, e)| match e.state {
+            SuspectState::Quarantined { until, .. } if tick >= until => Some(s),
+            _ => None,
+        })
+        .collect();
+    due.sort_unstable();
+    for s in due {
+        let entry = map.get_mut(&s).expect("just listed");
+        let SuspectState::Quarantined { backoff, .. } = entry.state else { unreachable!() };
+        entry.state = SuspectState::Probation {
+            until: tick.saturating_add(readmission.probation_ticks),
+            backoff,
+        };
+        let suspect = NodeId(s);
+        actions.reconnect(observer, suspect);
+        actions.transition(VerdictTransition {
+            tick,
+            observer: observer.0,
+            suspect: s,
+            from: PeerVerdict::Quarantined,
+            to: PeerVerdict::Probation,
+        });
+    }
+}
+
+fn expire_probations_in(
+    map: &mut HashMap<u32, SuspectEntry>,
+    observer: NodeId,
+    tick: Tick,
+    actions: &mut Actions,
+) {
+    let mut done: Vec<u32> = map
+        .iter()
+        .filter_map(|(&s, e)| match e.state {
+            SuspectState::Probation { until, .. } if tick >= until => Some(s),
+            _ => None,
+        })
+        .collect();
+    done.sort_unstable();
+    for s in done {
+        map.remove(&s);
+        actions.transition(VerdictTransition {
+            tick,
+            observer: observer.0,
+            suspect: s,
+            from: PeerVerdict::Probation,
+            to: PeerVerdict::Readmitted,
+        });
+    }
+}
+
+fn below_warning_in(map: &mut HashMap<u32, SuspectEntry>, suspect: NodeId) {
+    // Hot path: this runs once per (observer, neighbor) per tick and
+    // almost every observer tracks no suspects — skip the key hash.
+    if map.is_empty() {
+        return;
+    }
+    if let Some(e) = map.get(&suspect.0) {
+        if matches!(e.state, SuspectState::Watching { .. }) {
+            map.remove(&suspect.0);
+        }
+    }
+}
+
+fn note_list_missing_in(map: &mut HashMap<u32, SuspectEntry>, suspect: NodeId) -> u8 {
+    let entry = map.entry(suspect.0).or_insert_with(SuspectEntry::fresh);
+    entry.list_streak = entry.list_streak.saturating_add(1);
+    entry.list_streak
+}
+
+fn note_list_ok_in(map: &mut HashMap<u32, SuspectEntry>, suspect: NodeId) {
+    if let Some(e) = map.get_mut(&suspect.0) {
+        e.list_streak = 0;
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn judged_in(
+    map: &mut HashMap<u32, SuspectEntry>,
+    observer: NodeId,
+    suspect: NodeId,
+    over_ct: bool,
+    tick: Tick,
+    hysteresis: Hysteresis,
+    readmission: ReadmissionPolicy,
+    actions: &mut Actions,
+) -> bool {
+    let entry = map.entry(suspect.0).or_insert_with(SuspectEntry::fresh);
+    let (cut, from, next_backoff) = match entry.state {
+        SuspectState::Watching { history } => {
+            let (required, window) = hysteresis.effective();
+            let mask = ((1u16 << window) - 1) as u8;
+            let new_history = ((history << 1) | u8::from(over_ct)) & mask;
+            let confirmed = new_history.count_ones() >= required;
+            if confirmed {
+                (true, ledger_state(SuspectState::Watching { history }), None)
+            } else {
+                entry.state = SuspectState::Watching { history: new_history };
+                if new_history != 0 && history == 0 {
+                    actions.transition(VerdictTransition {
+                        tick,
+                        observer: observer.0,
+                        suspect: suspect.0,
+                        from: PeerVerdict::Normal,
+                        to: PeerVerdict::Suspicious,
+                    });
+                }
+                if new_history == 0 && entry.list_streak == 0 {
+                    // Nothing worth remembering: keep the footprint of
+                    // the pre-PR protocol (no entry at all).
+                    map.remove(&suspect.0);
+                }
+                (false, PeerVerdict::Normal, None)
+            }
+        }
+        SuspectState::Probation { backoff, .. } => {
+            if over_ct {
+                // Zero tolerance: one bad window on probation re-cuts,
+                // with a doubled backoff.
+                (
+                    true,
+                    PeerVerdict::Probation,
+                    Some(backoff.saturating_mul(2).min(readmission.max_backoff_ticks)),
+                )
+            } else {
+                (false, PeerVerdict::Probation, None)
+            }
+        }
+        // A quarantined suspect has no live edge to judge; a racing
+        // same-tick judgment is ignored.
+        SuspectState::Quarantined { .. } => (false, PeerVerdict::Quarantined, None),
+    };
+    if !cut {
+        return false;
+    }
+    actions.transition(VerdictTransition {
+        tick,
+        observer: observer.0,
+        suspect: suspect.0,
+        from,
+        to: PeerVerdict::Cut,
+    });
+    actions.transition(VerdictTransition {
+        tick,
+        observer: observer.0,
+        suspect: suspect.0,
+        from: PeerVerdict::Cut,
+        to: PeerVerdict::Quarantined,
+    });
+    if readmission.enabled {
+        let backoff = next_backoff.unwrap_or(readmission.base_backoff_ticks).max(1);
+        let entry = map.entry(suspect.0).or_insert_with(SuspectEntry::fresh);
+        // Saturating: near the end of a u32 tick space the probe simply
+        // never fires (a wrapped deadline would fire immediately).
+        entry.state = SuspectState::Quarantined { until: tick.saturating_add(backoff), backoff };
+        entry.list_streak = 0;
+    } else {
+        // Permanent cut (the paper): nothing left to track.
+        map.remove(&suspect.0);
+    }
+    true
+}
+
+fn expire_stale_in(
+    map: &mut HashMap<u32, SuspectEntry>,
+    tick: Tick,
+    ttl: Tick,
+    online: &[bool],
+) -> usize {
+    if map.is_empty() {
+        return 0;
+    }
+    let before = map.len();
+    map.retain(|&s, e| {
+        let gone = !online.get(s as usize).copied().unwrap_or(false);
+        match e.state {
+            SuspectState::Watching { .. } => !gone,
+            SuspectState::Quarantined { until, .. } | SuspectState::Probation { until, .. } => {
+                if gone {
+                    tick < until
+                } else {
+                    tick <= until.saturating_add(ttl)
+                }
+            }
+        }
+    });
+    before - map.len()
 }
 
 #[cfg(test)]
@@ -955,6 +1124,73 @@ mod tests {
         let mut actions = Actions::default();
         assert!(m.judged(NodeId(4), NodeId(0), true, 1, Hysteresis::default(), r, &mut actions));
         assert_eq!(m.entries_about(NodeId(0)), 1);
+    }
+
+    #[test]
+    fn shards_partition_the_machine_and_match_serial_decisions() {
+        let h = Hysteresis::default();
+        let r = ReadmissionPolicy { enabled: true, ..ReadmissionPolicy::default() };
+
+        // Serial reference: two observers in different partitions, all of an
+        // observer's operations grouped together in ascending observer order
+        // (the shape of the per-observer judgment loop).
+        let mut serial = VerdictMachine::new(6);
+        let mut sa = Actions::default();
+        assert!(serial.judged(NodeId(1), NodeId(4), true, 1, h, r, &mut sa));
+        serial.fire_probes(NodeId(1), 5, r, &mut sa);
+        assert!(!serial.judged(
+            NodeId(5),
+            NodeId(0),
+            true,
+            1,
+            Hysteresis { required: 2, window: 2 },
+            r,
+            &mut sa
+        ));
+
+        // Sharded: the same operations through disjoint shard views.
+        let mut sharded = VerdictMachine::new(6);
+        {
+            let mut shards = sharded.shards(&[0, 3, 6]);
+            let (lo, hi) = {
+                let (a, b) = shards.split_at_mut(1);
+                (&mut a[0], &mut b[0])
+            };
+            let mut a0 = Actions::default();
+            let mut a1 = Actions::default();
+            assert!(lo.judged(NodeId(1), NodeId(4), true, 1, h, r, &mut a0));
+            assert!(!hi.judged(
+                NodeId(5),
+                NodeId(0),
+                true,
+                1,
+                Hysteresis { required: 2, window: 2 },
+                r,
+                &mut a1
+            ));
+            lo.fire_probes(NodeId(1), 5, r, &mut a0);
+            // Canonical merge order = partition order.
+            let mut merged = Actions::default();
+            merged.cuts.extend(a0.cuts.iter().chain(a1.cuts.iter()));
+            merged.reconnects.extend(a0.reconnects.iter().chain(a1.reconnects.iter()));
+            merged.transitions.extend(a0.transitions.iter().chain(a1.transitions.iter()).cloned());
+            assert_eq!(merged.reconnects, sa.reconnects);
+            assert_eq!(merged.transitions, sa.transitions);
+        }
+        for obs in 0..6 {
+            assert_eq!(
+                sharded.entries_of(NodeId(obs)),
+                serial.entries_of(NodeId(obs)),
+                "observer {obs} state diverged between shard and serial paths"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bounds must end at observer count")]
+    fn shards_reject_mismatched_bounds() {
+        let mut m = VerdictMachine::new(4);
+        let _ = m.shards(&[0, 2]);
     }
 
     #[test]

@@ -2,15 +2,18 @@
 //! engine against the naive paper transcription in `ddp-oracle`, feature by
 //! feature.
 //!
-//! Each test pins one subsystem's scenario shape and asserts full-state
-//! lockstep equivalence (judgment traces within 1 ulp, verdict entries,
-//! exchange views, overlay edges, cut/verdict ledgers, output series) after
-//! every tick. The final tests are the harness's own mutation check: forcing
-//! the engine down its fast path in a configuration the gate would refuse
-//! must produce a divergence, and the shrinker must reduce it to a small
-//! replayable spec.
+//! The scenario shapes live in [`ddp_oracle::scenario_matrix`] — one spec
+//! per engine subsystem — and every harness (this oracle lockstep, the
+//! serial-vs-parallel suite, the snapshot-restore sweep) consumes the same
+//! list, so a scenario added there is covered by all of them. Each matrix
+//! entry asserts full-state lockstep equivalence (judgment traces within
+//! 1 ulp, verdict entries, exchange views, overlay edges, cut/verdict
+//! ledgers, output series) after every tick. The final tests are the
+//! harness's own mutation check: forcing the engine down its fast path in a
+//! configuration the gate would refuse must produce a divergence, and the
+//! shrinker must reduce it to a small replayable spec.
 
-use ddp_oracle::{run_lockstep, shrink, ScenarioSpec};
+use ddp_oracle::{run_lockstep, scenario_matrix, shrink, ScenarioSpec};
 
 /// Assert a scenario runs clean, with a readable divergence on failure.
 fn assert_clean(label: &str, spec: ScenarioSpec) {
@@ -23,189 +26,30 @@ fn assert_clean(label: &str, spec: ScenarioSpec) {
 }
 
 #[test]
-fn default_scenario_with_flooders() {
-    assert_clean("default", ScenarioSpec { agents: 4, ..ScenarioSpec::default() });
-}
-
-#[test]
-fn no_attack_at_all() {
-    assert_clean("quiet overlay", ScenarioSpec { agents: 0, ..ScenarioSpec::default() });
-}
-
-#[test]
-fn cheating_reporters() {
-    for cheat in 1..=3u8 {
-        assert_clean(
-            "cheating reporters",
-            ScenarioSpec { agents: 4, cheat, ..ScenarioSpec::default() },
-        );
+fn full_matrix_runs_clean() {
+    let matrix = scenario_matrix();
+    assert!(matrix.len() >= 20, "matrix shrank to {} scenarios", matrix.len());
+    for (label, spec) in matrix {
+        assert_clean(label, spec);
     }
 }
 
 #[test]
-fn lying_list_announcers() {
-    for lists in 1..=3u8 {
-        assert_clean(
-            "lying announcers",
-            ScenarioSpec { agents: 4, lists, pad_extra: 5, ..ScenarioSpec::default() },
-        );
-    }
-}
-
-#[test]
-fn lossy_and_delayed_control_plane() {
-    assert_clean(
-        "faulty transport",
-        ScenarioSpec {
-            agents: 4,
-            loss: 0.2,
-            delay_prob: 0.2,
-            delay_ticks: 2,
-            ticks: 12,
-            ..ScenarioSpec::default()
-        },
-    );
-}
-
-#[test]
-fn crash_restarting_peers() {
-    assert_clean(
-        "crash restarts",
-        ScenarioSpec { agents: 3, crash_prob: 0.05, ticks: 12, ..ScenarioSpec::default() },
-    );
-}
-
-#[test]
-fn shield_collusion() {
-    assert_clean(
-        "shield coalition",
-        ScenarioSpec { agents: 4, collusion: 1, ..ScenarioSpec::default() },
-    );
-}
-
-#[test]
-fn frame_collusion() {
-    assert_clean(
-        "framing coalition",
-        ScenarioSpec { collusion: 2, frame_fraction: 0.8, ..ScenarioSpec::default() },
-    );
-}
-
-#[test]
-fn legacy_churn() {
-    assert_clean(
-        "legacy churn",
-        ScenarioSpec { agents: 4, churn: true, ticks: 14, ..ScenarioSpec::default() },
-    );
-}
-
-#[test]
-fn session_model_membership() {
-    assert_clean(
-        "session model",
-        ScenarioSpec { agents: 4, session_mean: 6.0, ticks: 14, ..ScenarioSpec::default() },
-    );
-}
-
-#[test]
-fn whitewashing_attackers() {
-    assert_clean(
-        "whitewashing",
-        ScenarioSpec {
-            agents: 4,
-            whitewash_dwell: 2,
-            whitewash_quiet: 1,
-            ticks: 14,
-            ..ScenarioSpec::default()
-        },
-    );
-}
-
-#[test]
-fn robust_aggregation_policies() {
-    for (aggregation, trim) in [(1u8, 0.0), (2, 0.2), (2, 0.45)] {
-        assert_clean(
-            "robust aggregation",
-            ScenarioSpec { agents: 4, cheat: 1, aggregation, trim, ..ScenarioSpec::default() },
-        );
-    }
-}
-
-#[test]
-fn hysteresis_windows() {
-    assert_clean(
-        "hysteresis",
-        ScenarioSpec { agents: 4, hys_window: 3, hys_required: 2, ..ScenarioSpec::default() },
-    );
-}
-
-#[test]
-fn readmission_lifecycle() {
-    assert_clean(
-        "readmission",
-        ScenarioSpec { agents: 4, readmission: true, ticks: 16, ..ScenarioSpec::default() },
-    );
-}
-
-#[test]
-fn suspect_ttl_sweep() {
-    assert_clean(
-        "ttl sweep",
-        ScenarioSpec {
-            agents: 4,
-            suspect_ttl: 3,
-            session_mean: 6.0,
-            ticks: 14,
-            ..ScenarioSpec::default()
-        },
-    );
-}
-
-#[test]
-fn event_driven_exchange() {
-    assert_clean(
-        "event-driven exchange",
-        ScenarioSpec { agents: 4, exchange_minutes: 0, churn: true, ..ScenarioSpec::default() },
-    );
-}
-
-#[test]
-fn radius_two_groups() {
-    assert_clean("radius 2", ScenarioSpec { agents: 4, radius: 2, ..ScenarioSpec::default() });
-}
-
-#[test]
-fn clamped_reports_take_the_slow_path() {
-    assert_clean(
-        "clamp on (slow path)",
-        ScenarioSpec { agents: 4, cheat: 1, clamp_reports: true, ..ScenarioSpec::default() },
-    );
-}
-
-#[test]
-fn kitchen_sink_interaction() {
-    assert_clean(
-        "kitchen sink",
-        ScenarioSpec {
-            agents: 5,
-            cheat: 1,
-            lists: 3,
-            pad_extra: 3,
-            loss: 0.15,
-            delay_prob: 0.15,
-            crash_prob: 0.03,
-            churn: true,
-            session_mean: 8.0,
-            readmission: true,
-            suspect_ttl: 5,
-            hys_window: 2,
-            hys_required: 2,
-            aggregation: 2,
-            trim: 0.25,
-            ticks: 16,
-            ..ScenarioSpec::default()
-        },
-    );
+fn matrix_covers_both_judgment_paths() {
+    // The matrix must keep exercising the fast path (plain Sum, no clamp,
+    // inert faults) and the slow path (clamping / robust aggregation /
+    // fault dice), or the lockstep sweep silently loses a subsystem.
+    let matrix = scenario_matrix();
+    let fast = matrix
+        .iter()
+        .filter(|(_, s)| s.aggregation == 0 && !s.clamp_reports && s.loss == 0.0)
+        .count();
+    let slow = matrix
+        .iter()
+        .filter(|(_, s)| s.aggregation != 0 || s.clamp_reports || s.loss > 0.0)
+        .count();
+    assert!(fast >= 5, "only {fast} fast-path scenarios");
+    assert!(slow >= 5, "only {slow} slow-path scenarios");
 }
 
 #[test]

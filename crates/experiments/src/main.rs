@@ -3,6 +3,7 @@
 //! ```text
 //! ddp-experiments <command> [--peers N] [--ticks N] [--seed N] [--agents N]
 //!                           [--replicates N] [--csv DIR] [--paper-scale]
+//!                           [--threads N]
 //!
 //! commands:
 //!   table1      Neighbor_Traffic wire layout (Table 1)
@@ -175,6 +176,8 @@ options:
   --csv DIR        also write each table as DIR/<name>.csv
   --paper-scale    shorthand for --peers 20000 (the paper's §3.5 setting)
   --smoke          (scale/churn/fuzz/testbed) reduced grid that just validates the pipeline
+  --threads N      tick-engine worker count (default 1; results are
+                   byte-identical at every width, only wall clock changes)
 
 testbed runs the sim-vs-wire cross-validation: the same topology and attack
 through the in-memory simulator, a mesh of real ddp-servent processes over
@@ -221,9 +224,15 @@ fn parse_options(args: &[String]) -> Result<ExpOptions, String> {
             }
             "--checkpoint-dir" => opts.checkpoint_dir = Some(PathBuf::from(take(&mut i)?)),
             "--resume" => opts.resume = true,
+            "--threads" => {
+                opts.threads = take(&mut i)?.parse().map_err(|e| format!("--threads: {e}"))?
+            }
             other => return Err(format!("unknown option `{other}`")),
         }
         i += 1;
+    }
+    if opts.threads == 0 {
+        return Err("--threads must be at least 1".into());
     }
     if opts.agents * 2 > opts.peers {
         return Err(format!(

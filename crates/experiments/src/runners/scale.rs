@@ -31,6 +31,8 @@ pub struct ScaleCell {
     pub agents: usize,
     /// Ticks in the timed step loop.
     pub ticks: usize,
+    /// Worker-pool width the engine ran with (1 = serial).
+    pub threads: usize,
     /// Wall-clock of the step loop, seconds.
     pub elapsed_secs: f64,
     /// Step-loop throughput.
@@ -57,6 +59,7 @@ impl ScaleCell {
             .f64("attacker_fraction", self.attacker_fraction)
             .u64("agents", self.agents as u64)
             .u64("ticks", self.ticks as u64)
+            .u64("threads", self.threads as u64)
             .f64("elapsed_secs", self.elapsed_secs)
             .f64("ticks_per_sec", self.ticks_per_sec)
             .f64("queries_per_sec", self.queries_per_sec)
@@ -70,11 +73,12 @@ impl ScaleCell {
 }
 
 /// Every key a cell object must carry, in emission order (the schema).
-pub const SCALE_CELL_KEYS: [&str; 12] = [
+pub const SCALE_CELL_KEYS: [&str; 13] = [
     "peers",
     "attacker_fraction",
     "agents",
     "ticks",
+    "threads",
     "elapsed_secs",
     "ticks_per_sec",
     "queries_per_sec",
@@ -86,7 +90,7 @@ pub const SCALE_CELL_KEYS: [&str; 12] = [
 ];
 
 /// Schema identifier embedded in the emitted JSON.
-pub const SCALE_SCHEMA: &str = "ddp-bench-scale/v1";
+pub const SCALE_SCHEMA: &str = "ddp-bench-scale/v2";
 
 /// Measure one cell: build a DD-POLICE-defended simulation, time the step
 /// loop, and collect throughput + allocation numbers.
@@ -94,6 +98,7 @@ pub fn measure_cell(
     peers: usize,
     attacker_fraction: f64,
     ticks: usize,
+    threads: usize,
     seed: u64,
     alloc: Option<&'static CountingAlloc>,
 ) -> ScaleCell {
@@ -107,6 +112,7 @@ pub fn measure_cell(
     };
     let police = DdPolice::new(DdPoliceConfig::default(), peers);
     let mut sim = Simulation::new(cfg, police, seed);
+    sim.set_threads(threads);
     if agents > 0 {
         let mut rng = StdRng::seed_from_u64(seed ^ 0xdd05_ee1f);
         AttackPlan::new(agents).apply(&mut sim, &mut rng);
@@ -127,6 +133,7 @@ pub fn measure_cell(
         attacker_fraction,
         agents,
         ticks,
+        threads,
         elapsed_secs: elapsed,
         ticks_per_sec: ticks as f64 / safe_elapsed,
         queries_per_sec: query_hops_total as f64 / safe_elapsed,
@@ -138,21 +145,25 @@ pub fn measure_cell(
     }
 }
 
-/// The sweep grid: `(peers, attacker_fraction, ticks)`. Tick counts shrink
-/// with overlay size so the full sweep stays minutes, not hours; throughput
-/// is per-tick steady state, so few ticks suffice at large n.
-pub fn scale_grid(smoke: bool) -> Vec<(usize, f64, usize)> {
+/// The sweep grid: `(peers, attacker_fraction, ticks, threads)`. Tick counts
+/// shrink with overlay size so the full sweep stays minutes, not hours;
+/// throughput is per-tick steady state, so few ticks suffice at large n.
+/// The 100k and 1M cells sweep worker widths 1/2/4/8 — the thread-scaling
+/// trajectory the parallel tick engine is pinned on. The smoke grid runs a
+/// single small cell at `threads` (the CLI `--threads` value), so CI can
+/// exercise the parallel path end to end cheaply.
+pub fn scale_grid(smoke: bool, threads: usize) -> Vec<(usize, f64, usize, usize)> {
     if smoke {
-        return vec![(300, 0.05, 2)];
+        return vec![(300, 0.05, 2, threads)];
     }
-    vec![
-        (2_000, 0.0, 10),
-        (2_000, 0.01, 10),
-        (2_000, 0.05, 10),
-        (8_000, 0.05, 5),
-        (10_000, 0.05, 4),
-        (100_000, 0.05, 2),
-    ]
+    let mut grid = vec![(2_000, 0.05, 10, 1), (8_000, 0.05, 5, 1), (10_000, 0.05, 4, 1)];
+    for w in [1usize, 2, 4, 8] {
+        grid.push((100_000, 0.05, 2, w));
+    }
+    for w in [1usize, 2, 4, 8] {
+        grid.push((1_000_000, 0.05, 1, w));
+    }
+    grid
 }
 
 /// Render the sweep results as the committed `BENCH_scale.json` document.
@@ -200,21 +211,34 @@ pub fn validate_scale_json(doc: &str) -> Result<(), String> {
 /// return the human-readable table.
 pub fn scale(opts: &ExpOptions, alloc: Option<&'static CountingAlloc>) -> Table {
     let smoke = opts.smoke;
-    let grid = scale_grid(smoke);
+    let grid = scale_grid(smoke, opts.threads);
     let mut cells = Vec::with_capacity(grid.len());
     let mut table = Table::new(
         if smoke { "scale_smoke" } else { "scale" },
         "Scale sweep: step-loop throughput (DD-POLICE defaults)",
-        &["peers", "attack%", "agents", "ticks", "ticks/sec", "queries/sec", "peak_heap_MiB"],
+        &[
+            "peers",
+            "attack%",
+            "agents",
+            "ticks",
+            "threads",
+            "ticks/sec",
+            "queries/sec",
+            "peak_heap_MiB",
+        ],
     );
-    for (peers, frac, ticks) in grid {
-        eprintln!("[scale] measuring peers={peers} attackers={:.0}% ticks={ticks}", frac * 100.0);
-        let cell = measure_cell(peers, frac, ticks, opts.seed, alloc);
+    for (peers, frac, ticks, threads) in grid {
+        eprintln!(
+            "[scale] measuring peers={peers} attackers={:.0}% ticks={ticks} threads={threads}",
+            frac * 100.0
+        );
+        let cell = measure_cell(peers, frac, ticks, threads, opts.seed, alloc);
         table.push_row(vec![
             cell.peers.to_string(),
             format!("{:.0}%", cell.attacker_fraction * 100.0),
             cell.agents.to_string(),
             cell.ticks.to_string(),
+            cell.threads.to_string(),
             f(cell.ticks_per_sec, 3),
             f(cell.queries_per_sec, 0),
             f(cell.peak_alloc_bytes as f64 / (1024.0 * 1024.0), 1),
@@ -246,6 +270,7 @@ mod tests {
             attacker_fraction: 0.05,
             agents: peers / 20,
             ticks: 4,
+            threads: 1,
             elapsed_secs: 0.5,
             ticks_per_sec: 8.0,
             queries_per_sec: 1000.0,
@@ -267,19 +292,32 @@ mod tests {
     fn validation_rejects_drift() {
         let doc = scale_json(&[fake_cell(2000)], 42);
         assert!(validate_scale_json(&doc.replace("ticks_per_sec", "tps")).is_err());
-        assert!(validate_scale_json(&doc.replace("ddp-bench-scale/v1", "v2")).is_err());
+        assert!(validate_scale_json(&doc.replace("ddp-bench-scale/v2", "v1")).is_err());
         assert!(validate_scale_json("{\"schema\":\"ddp-bench-scale/v1\",\"cells\":[]}").is_err());
         validate_scale_json(&doc).unwrap();
     }
 
     #[test]
     fn smoke_cell_measures_end_to_end() {
-        let cell = measure_cell(300, 0.05, 2, 42, None);
+        let cell = measure_cell(300, 0.05, 2, 1, 42, None);
         assert_eq!(cell.peers, 300);
         assert_eq!(cell.agents, 15);
         assert_eq!(cell.ticks, 2);
+        assert_eq!(cell.threads, 1);
         assert!(cell.ticks_per_sec > 0.0);
         assert!(cell.query_hops_total > 0, "floods must move traffic");
         assert!(cell.success_rate_mean > 0.0);
+    }
+
+    #[test]
+    fn parallel_smoke_cell_matches_serial_results() {
+        // The bench path itself must honor byte-identity: same seed, same
+        // cell, different widths — identical simulation outcomes.
+        let serial = measure_cell(300, 0.05, 2, 1, 42, None);
+        let parallel = measure_cell(300, 0.05, 2, 4, 42, None);
+        assert_eq!(parallel.threads, 4);
+        assert_eq!(serial.query_hops_total, parallel.query_hops_total);
+        assert_eq!(serial.success_rate_mean.to_bits(), parallel.success_rate_mean.to_bits());
+        assert_eq!(serial.attackers_cut, parallel.attackers_cut);
     }
 }

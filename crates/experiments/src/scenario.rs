@@ -384,6 +384,9 @@ pub struct ExpOptions {
     pub checkpoint_dir: Option<PathBuf>,
     /// Resume interrupted runs from their checkpoints when present.
     pub resume: bool,
+    /// Worker-pool width for the tick engine (1 = serial). The engine is
+    /// byte-deterministic across widths, so this only changes wall clock.
+    pub threads: usize,
 }
 
 impl Default for ExpOptions {
@@ -399,6 +402,7 @@ impl Default for ExpOptions {
             checkpoint_every: 0,
             checkpoint_dir: None,
             resume: false,
+            threads: 1,
         }
     }
 }

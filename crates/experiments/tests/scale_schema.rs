@@ -22,6 +22,7 @@ fn fixed_cells() -> Vec<ScaleCell> {
             attacker_fraction: 0.05,
             agents: 100,
             ticks: 10,
+            threads: 1,
             elapsed_secs: 1.25,
             ticks_per_sec: 8.0,
             queries_per_sec: 250000.0,
@@ -36,6 +37,7 @@ fn fixed_cells() -> Vec<ScaleCell> {
             attacker_fraction: 0.01,
             agents: 1000,
             ticks: 2,
+            threads: 4,
             elapsed_secs: 40.5,
             ticks_per_sec: 0.04938271,
             queries_per_sec: 1500000.25,

@@ -18,6 +18,7 @@
 pub mod alloc;
 pub mod conn;
 pub mod damage;
+pub mod determinism;
 pub mod errors;
 pub mod histogram;
 pub mod jsonio;
@@ -34,6 +35,7 @@ pub mod verdict;
 pub use alloc::CountingAlloc;
 pub use conn::ConnCounters;
 pub use damage::damage_rate;
+pub use determinism::{HashSeries, ParallelStats};
 pub use errors::DetectionErrors;
 pub use histogram::Histogram;
 pub use jsonio::{json_array, json_escape, json_f64, JsonObj};

@@ -89,6 +89,77 @@ pub fn run_lockstep(spec: &ScenarioSpec) -> Result<LockstepStats, Divergence> {
     Ok(stats)
 }
 
+/// Run `spec` on two copies of the optimized engine — one serial, one
+/// sharded over `threads` worker threads — and compare them tick for tick:
+/// the per-tick state hash (FNV-1a over the complete snapshot payload, so
+/// every serialized byte of overlay, workload, defense, metrics, and RNG
+/// state is covered), the drained judgment traces (bit-exact, not 1-ulp:
+/// same engine on both sides), and the final run results.
+///
+/// `sabotage_reduction` flips the parallel twin's unordered-reduction lever
+/// (see `DdPolice::set_unordered_reduction`): the mutation check proving
+/// this suite detects a real reduction-order race. No-op at `threads <= 1`.
+pub fn run_parallel_lockstep(
+    spec: &ScenarioSpec,
+    threads: usize,
+    sabotage_reduction: bool,
+) -> Result<LockstepStats, Divergence> {
+    let build = || {
+        let mut sim = spec.instantiate(DdPolice::new(spec.police_config(), spec.peers));
+        sim.defense_mut().set_tracing(true);
+        sim.defense_mut().set_force_fast_path(spec.force_fast_path);
+        sim.enable_hash_trace();
+        sim
+    };
+    let mut serial = build();
+    let mut parallel = build();
+    parallel.set_threads(threads);
+    parallel.defense_mut().set_unordered_reduction(sabotage_reduction);
+
+    let mut stats = LockstepStats::default();
+    for _ in 0..spec.ticks {
+        serial.step();
+        parallel.step();
+        stats.ticks += 1;
+        let tick = serial.tick();
+        let diverged = |what: String| Divergence { tick, what };
+        let (hs, hp) = (serial.state_hash(), parallel.state_hash());
+        if hs != hp {
+            return Err(diverged(format!(
+                "state hash differs at {threads} threads: serial {hs:#018x} vs parallel {hp:#018x}"
+            )));
+        }
+        let serial_trace = serial.defense_mut().take_trace();
+        let parallel_trace = parallel.defense_mut().take_trace();
+        if serial_trace != parallel_trace {
+            return Err(diverged(format!(
+                "judgment traces differ at {threads} threads: serial {} vs parallel {} entries",
+                serial_trace.len(),
+                parallel_trace.len()
+            )));
+        }
+        stats.judgments += serial_trace.len();
+    }
+    if serial.hash_trace() != parallel.hash_trace() {
+        return Err(Divergence {
+            tick: serial.tick(),
+            what: "recorded hash series differ despite per-tick equality".into(),
+        });
+    }
+    stats.cuts = serial.cut_log().len();
+    let (a, b) = (serial.finish(), parallel.finish());
+    if a.summary != b.summary || a.series != b.series || a.cut_log != b.cut_log {
+        return Err(Divergence {
+            tick: spec.ticks,
+            what: format!(
+                "final results differ at {threads} threads: serial {:?} vs parallel {:?}",
+                a.summary, b.summary
+            ),
+        });
+    }
+    Ok(stats)
+}
+
 /// Like [`run_lockstep`], but the engine twin is torn down mid-run: at the
 /// start of tick `snapshot_tick + 1` it is serialized, a **fresh** engine is
 /// built from the spec and restored from those bytes, and the lockstep

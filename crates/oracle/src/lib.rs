@@ -24,7 +24,9 @@ pub mod model;
 pub mod shrink;
 pub mod spec;
 
-pub use harness::{run_lockstep, run_lockstep_with_restore, Divergence, LockstepStats};
+pub use harness::{
+    run_lockstep, run_lockstep_with_restore, run_parallel_lockstep, Divergence, LockstepStats,
+};
 pub use model::OracleDdPolice;
 pub use shrink::{shrink, ShrunkRepro};
-pub use spec::ScenarioSpec;
+pub use spec::{scenario_matrix, ScenarioSpec};

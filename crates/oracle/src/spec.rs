@@ -445,6 +445,88 @@ fn fmt_f64(v: f64) -> String {
     format!("{v:?}")
 }
 
+/// The named scenario matrix: one spec per engine subsystem, the same shapes
+/// the engine-vs-oracle differential suite pins. Every differential harness
+/// (oracle lockstep, serial-vs-parallel, snapshot-restore) sweeps this list
+/// so a new subsystem added here is automatically covered by all of them.
+pub fn scenario_matrix() -> Vec<(&'static str, ScenarioSpec)> {
+    let base = ScenarioSpec::default;
+    let mut m: Vec<(&'static str, ScenarioSpec)> = vec![
+        ("default flooders", ScenarioSpec { agents: 4, ..base() }),
+        ("quiet overlay", ScenarioSpec { agents: 0, ..base() }),
+        (
+            "faulty transport",
+            ScenarioSpec {
+                agents: 4,
+                loss: 0.2,
+                delay_prob: 0.2,
+                delay_ticks: 2,
+                ticks: 12,
+                ..base()
+            },
+        ),
+        ("crash restarts", ScenarioSpec { agents: 3, crash_prob: 0.05, ticks: 12, ..base() }),
+        ("shield coalition", ScenarioSpec { agents: 4, collusion: 1, ..base() }),
+        ("framing coalition", ScenarioSpec { collusion: 2, frame_fraction: 0.8, ..base() }),
+        ("legacy churn", ScenarioSpec { agents: 4, churn: true, ticks: 14, ..base() }),
+        ("session model", ScenarioSpec { agents: 4, session_mean: 6.0, ticks: 14, ..base() }),
+        (
+            "whitewashing",
+            ScenarioSpec { agents: 4, whitewash_dwell: 2, whitewash_quiet: 1, ticks: 14, ..base() },
+        ),
+        ("hysteresis", ScenarioSpec { agents: 4, hys_window: 3, hys_required: 2, ..base() }),
+        ("readmission", ScenarioSpec { agents: 4, readmission: true, ticks: 16, ..base() }),
+        (
+            "ttl sweep",
+            ScenarioSpec { agents: 4, suspect_ttl: 3, session_mean: 6.0, ticks: 14, ..base() },
+        ),
+        (
+            "event-driven exchange",
+            ScenarioSpec { agents: 4, exchange_minutes: 0, churn: true, ..base() },
+        ),
+        ("radius 2", ScenarioSpec { agents: 4, radius: 2, ..base() }),
+        (
+            "clamp on (slow path)",
+            ScenarioSpec { agents: 4, cheat: 1, clamp_reports: true, ..base() },
+        ),
+        (
+            "kitchen sink",
+            ScenarioSpec {
+                agents: 5,
+                cheat: 1,
+                lists: 3,
+                pad_extra: 3,
+                loss: 0.15,
+                delay_prob: 0.15,
+                crash_prob: 0.03,
+                churn: true,
+                session_mean: 8.0,
+                readmission: true,
+                suspect_ttl: 5,
+                hys_window: 2,
+                hys_required: 2,
+                aggregation: 2,
+                trim: 0.25,
+                ticks: 16,
+                ..base()
+            },
+        ),
+    ];
+    for cheat in 1..=3u8 {
+        m.push(("cheating reporters", ScenarioSpec { agents: 4, cheat, ..base() }));
+    }
+    for lists in 1..=3u8 {
+        m.push(("lying announcers", ScenarioSpec { agents: 4, lists, pad_extra: 5, ..base() }));
+    }
+    for (aggregation, trim) in [(1u8, 0.0), (2, 0.2), (2, 0.45)] {
+        m.push((
+            "robust aggregation",
+            ScenarioSpec { agents: 4, cheat: 1, aggregation, trim, ..base() },
+        ));
+    }
+    m
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -55,21 +55,29 @@ pub struct TickObservation<'a> {
     pub faults: Option<&'a FaultPlane>,
 }
 
-/// Outcome of one transport-mediated `Neighbor_Traffic` round trip.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum ReportDelivery {
-    /// The report arrived this tick.
-    Fresh(TrafficReport),
-    /// The reporter refused (offline, disconnected, or deliberately silent).
-    /// The paper's assume-zero rule applies; retrying cannot help.
-    Refused,
-    /// The transport lost the request or the reply (or delayed the reply —
-    /// it may surface later via [`TickObservation::stale_report`]). A retry
-    /// with a higher attempt number may get through.
-    Faulted,
+/// The [`Sync`] slice of a [`TickObservation`]: everything about the frozen
+/// tick *except* the fault plane (whose interior mutability pins it to one
+/// thread). Every answer here is a pure function of the tick's frozen
+/// counters, so worker threads of the parallel tick engine may consult it
+/// concurrently and must get byte-identical answers to the serial path —
+/// the `TickObservation` methods of the same name are thin delegates.
+#[derive(Clone, Copy)]
+pub struct FrozenTick<'a> {
+    /// The tick that just completed.
+    pub tick: Tick,
+    /// The overlay with this tick's per-directed-edge counters.
+    pub overlay: &'a Overlay,
+    /// Per-node online flags.
+    pub online: &'a [bool],
+    /// Per-node "runs the detection protocol" flags (attackers do not).
+    pub runs_defense: &'a [bool],
+    /// Per-node report behavior (honest for good peers).
+    pub report_behavior: &'a [ReportBehavior],
+    /// Per-node neighbor-list exchange behavior (truthful for good peers).
+    pub list_behavior: &'a [ListBehavior],
 }
 
-impl TickObservation<'_> {
+impl<'a> FrozenTick<'a> {
     /// Ask `reporter` for a `Neighbor_Traffic` report about `suspect`
     /// (§3.3). Returns `None` when the reporter refuses ("if a peer has not
     /// received a Neighbor_Traffic message ... within a predefined time
@@ -188,6 +196,55 @@ impl TickObservation<'_> {
             sent_to_suspect: self.overlay.accepted_between(observer, neighbor),
             received_from_suspect: self.overlay.accepted_between(neighbor, observer),
         }
+    }
+}
+
+/// Outcome of one transport-mediated `Neighbor_Traffic` round trip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReportDelivery {
+    /// The report arrived this tick.
+    Fresh(TrafficReport),
+    /// The reporter refused (offline, disconnected, or deliberately silent).
+    /// The paper's assume-zero rule applies; retrying cannot help.
+    Refused,
+    /// The transport lost the request or the reply (or delayed the reply —
+    /// it may surface later via [`TickObservation::stale_report`]). A retry
+    /// with a higher attempt number may get through.
+    Faulted,
+}
+
+impl<'a> TickObservation<'a> {
+    /// The fault-free, [`Sync`] slice of this observation, shareable across
+    /// the parallel tick engine's workers.
+    pub fn frozen(&self) -> FrozenTick<'a> {
+        FrozenTick {
+            tick: self.tick,
+            overlay: self.overlay,
+            online: self.online,
+            runs_defense: self.runs_defense,
+            report_behavior: self.report_behavior,
+            list_behavior: self.list_behavior,
+        }
+    }
+
+    /// [`FrozenTick::request_report`], on the full observation.
+    pub fn request_report(&self, reporter: NodeId, suspect: NodeId) -> Option<TrafficReport> {
+        self.frozen().request_report(reporter, suspect)
+    }
+
+    /// [`FrozenTick::announced_list`], on the full observation.
+    pub fn announced_list(&self, announcer: NodeId) -> Option<Vec<NodeId>> {
+        self.frozen().announced_list(announcer)
+    }
+
+    /// [`FrozenTick::confirm_membership`], on the full observation.
+    pub fn confirm_membership(&self, member: NodeId, suspect: NodeId) -> bool {
+        self.frozen().confirm_membership(member, suspect)
+    }
+
+    /// [`FrozenTick::own_counters`], on the full observation.
+    pub fn own_counters(&self, observer: NodeId, neighbor: NodeId) -> TrafficReport {
+        self.frozen().own_counters(observer, neighbor)
     }
 
     /// [`request_report`](Self::request_report) routed through the fault
@@ -365,6 +422,12 @@ pub trait Defense {
     /// Inspect the finished tick and request actions.
     fn on_tick(&mut self, obs: &TickObservation<'_>, actions: &mut Actions);
 
+    /// The engine's worker-pool width changed. A defense that shards its
+    /// per-observer work may honor it; the contract is that any `threads`
+    /// value must produce byte-identical observable behavior (actions,
+    /// snapshot payload, traces) to `threads == 1`. The default ignores it.
+    fn set_parallelism(&mut self, _threads: usize) {}
+
     /// A slot left and rejoined as a brand-new peer: drop remembered state.
     fn on_peer_reset(&mut self, _node: NodeId) {}
 
@@ -431,6 +494,9 @@ impl<D: Defense + ?Sized> Defense for Box<D> {
     }
     fn on_tick(&mut self, obs: &TickObservation<'_>, actions: &mut Actions) {
         (**self).on_tick(obs, actions)
+    }
+    fn set_parallelism(&mut self, threads: usize) {
+        (**self).set_parallelism(threads)
     }
     fn on_peer_reset(&mut self, node: NodeId) {
         (**self).on_peer_reset(node)
@@ -623,6 +689,28 @@ mod tests {
             ReportDelivery::Refused
         );
         assert!(ob.transmit_list(NodeId(0), NodeId(1), &[NodeId(5)]).is_none());
+    }
+
+    #[test]
+    fn frozen_view_is_sync_and_answers_like_the_observation() {
+        fn assert_sync<T: Sync>() {}
+        assert_sync::<FrozenTick<'static>>();
+
+        let (o, online, runs) = setup();
+        let behavior =
+            vec![ReportBehavior::Inflate(2.0), ReportBehavior::Honest, ReportBehavior::Honest];
+        let ob = obs(&o, &online, &runs, &behavior);
+        let fr = ob.frozen();
+        assert_eq!(
+            fr.request_report(NodeId(0), NodeId(1)),
+            ob.request_report(NodeId(0), NodeId(1))
+        );
+        assert_eq!(fr.announced_list(NodeId(1)), ob.announced_list(NodeId(1)));
+        assert_eq!(
+            fr.confirm_membership(NodeId(2), NodeId(1)),
+            ob.confirm_membership(NodeId(2), NodeId(1))
+        );
+        assert_eq!(fr.own_counters(NodeId(1), NodeId(0)), ob.own_counters(NodeId(1), NodeId(0)));
     }
 
     #[test]

@@ -10,11 +10,11 @@ use crate::session::{sample_poisson, SessionStats, WhitewashConfig, WhitewashRec
 use crate::Tick;
 use ddp_metrics::summary::{RunSeries, RunSummary};
 use ddp_metrics::{
-    DetectionErrors, P2Quantile, ResponseStats, SuccessStats, TrafficAccumulator, VerdictLedger,
-    VerdictTransition,
+    DetectionErrors, HashSeries, P2Quantile, ParallelStats, ResponseStats, SuccessStats,
+    TrafficAccumulator, VerdictLedger, VerdictTransition,
 };
 use ddp_snapshot::{Dec, Enc, SnapshotError, Snapshottable};
-use ddp_topology::{DynamicGraph, Half, NodeId};
+use ddp_topology::{DynamicGraph, Half, NodeId, Partition};
 use ddp_workload::ContentCatalog;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -128,6 +128,16 @@ pub struct Simulation<D: Defense> {
     wrongful_durations: Vec<u32>,
     /// Streaming 95th-percentile response time over the whole run.
     response_p95: P2Quantile,
+
+    // Parallel tick engine. None of this enters `save_payload` — a snapshot
+    // written at any worker count must restore identically at any other.
+    /// Worker-pool width; 1 means fully serial (the default).
+    threads: usize,
+    /// Per-tick state-hash trace, recorded only when enabled (differential
+    /// suites turn it on; production runs skip the per-tick serialization).
+    hash_trace: Option<HashSeries>,
+    /// What the worker pool did this run (observability only).
+    parallel_stats: ParallelStats,
 }
 
 /// Draw one good peer's processing capacity (mean x uniform spread).
@@ -211,7 +221,52 @@ impl<D: Defense> Simulation<D> {
             whitewash: None,
             whitewash_pending: Vec::new(),
             whitewash_log: Vec::new(),
+            threads: 1,
+            hash_trace: None,
+            parallel_stats: ParallelStats { threads: 1, ..ParallelStats::default() },
         }
+    }
+
+    /// Set the worker-pool width for the parallel tick engine. `1` (the
+    /// default) runs every phase inline on the caller's thread. Any value is
+    /// observably equivalent: the engine's state trajectory, snapshots, and
+    /// results are byte-identical across thread counts — that contract is
+    /// pinned by the serial-vs-parallel differential suite.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+        self.parallel_stats.threads = self.threads;
+        self.defense.set_parallelism(self.threads);
+    }
+
+    /// The configured worker-pool width.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// FNV-1a digest of the complete snapshot payload — every byte of state
+    /// that survives a tick boundary, in the exact encoding
+    /// [`save_snapshot`](Self::save_snapshot) writes. Two runs whose hashes
+    /// match tick-for-tick are in byte-identical states.
+    pub fn state_hash(&self) -> u64 {
+        ddp_snapshot::fnv1a64(&self.save_payload())
+    }
+
+    /// Record [`state_hash`](Self::state_hash) at the end of every
+    /// subsequent tick. Costs one full state serialization per tick, so it
+    /// is opt-in for differential testing rather than always-on.
+    pub fn enable_hash_trace(&mut self) {
+        self.hash_trace.get_or_insert_with(HashSeries::new);
+    }
+
+    /// The per-tick hashes recorded since [`enable_hash_trace`]
+    /// (Self::enable_hash_trace), empty when tracing is off.
+    pub fn hash_trace(&self) -> &[u64] {
+        self.hash_trace.as_ref().map_or(&[], |t| t.as_slice())
+    }
+
+    /// Worker-pool accounting for this run (never part of engine state).
+    pub fn parallel_stats(&self) -> ParallelStats {
+        self.parallel_stats
     }
 
     /// Turn `node` into a DDoS agent with the configured rate.
@@ -335,6 +390,12 @@ impl<D: Defense> Simulation<D> {
         self.series.traffic.push(traffic.total() as f64);
         self.series.control_traffic.push(traffic.control_msgs as f64);
         self.series.drop_rate.push(traffic.drop_rate());
+        if self.hash_trace.is_some() {
+            let h = self.state_hash();
+            if let Some(trace) = &mut self.hash_trace {
+                trace.record(h);
+            }
+        }
     }
 
     /// Run `ticks` minutes and summarize.
@@ -363,9 +424,13 @@ impl<D: Defense> Simulation<D> {
                 }
             }
         }
-        // Censor wrongful-cut intervals still open at run end.
+        // Censor wrongful-cut intervals still open at run end. Drain in
+        // sorted key order: HashMap iteration order differs between equal
+        // maps, and the duration list's order feeds f64 summary sums.
         let final_tick = self.tick;
-        for (_, start) in self.wrongful_open.drain() {
+        let mut open: Vec<((NodeId, NodeId), Tick)> = self.wrongful_open.drain().collect();
+        open.sort_unstable_by_key(|&((a, b), _)| (a.0, b.0));
+        for (_, start) in open {
             self.wrongful_durations.push(final_tick.saturating_sub(start));
         }
         let mut summary =
@@ -469,16 +534,16 @@ impl<D: Defense> Simulation<D> {
     /// `node` left the overlay: intervals involving it no longer measure a
     /// wrongful severance (the peer is gone either way).
     fn close_wrongful_for(&mut self, node: NodeId) {
-        let tick = self.tick;
-        let durations = &mut self.wrongful_durations;
-        self.wrongful_open.retain(|&(a, b), &mut start| {
-            if a == node || b == node {
-                durations.push(tick.saturating_sub(start));
-                false
-            } else {
-                true
-            }
-        });
+        // Close in sorted key order, not HashMap iteration order: the
+        // duration list is serialized into snapshots verbatim, so its push
+        // order must be a pure function of simulation state.
+        let mut closing: Vec<(NodeId, NodeId)> =
+            self.wrongful_open.keys().filter(|&&(a, b)| a == node || b == node).copied().collect();
+        closing.sort_unstable_by_key(|&(a, b)| (a.0, b.0));
+        for key in closing {
+            let start = self.wrongful_open.remove(&key).expect("just listed");
+            self.wrongful_durations.push(self.tick.saturating_sub(start));
+        }
     }
 
     fn depart(&mut self, node: NodeId) {
@@ -904,11 +969,28 @@ impl<D: Defense> Simulation<D> {
         self.emissions = emissions;
     }
 
+    /// Per-node traffic accounting: fold this tick's processed-query counts
+    /// into utilization. Sharded across the worker pool — each partition
+    /// writes a disjoint chunk of `prev_util`, so the result is positionally
+    /// identical to the serial sweep at any thread count.
     fn update_utilization(&mut self) {
-        for i in 0..self.nodes.len() {
-            let cap = self.capacity[i].max(1);
-            self.prev_util[i] = (self.node_used[i] as f32 / cap as f32).min(1.0);
-        }
+        let n = self.nodes.len();
+        let part = Partition::even(n, self.threads);
+        let shards = if self.threads > 1 && n > 1 { part.parts() } else { 0 };
+        self.parallel_stats.record_tick(shards);
+        let (node_used, capacity) = (&self.node_used, &self.capacity);
+        crate::pool::run_chunked(
+            self.threads,
+            &mut self.prev_util,
+            part.boundaries(),
+            |start, chunk| {
+                for (k, u) in chunk.iter_mut().enumerate() {
+                    let i = start + k;
+                    let cap = capacity[i].max(1);
+                    *u = (node_used[i] as f32 / cap as f32).min(1.0);
+                }
+            },
+        );
     }
 
     fn run_defense(&mut self, traffic: &mut TrafficAccumulator) {

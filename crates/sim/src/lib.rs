@@ -40,10 +40,13 @@ pub mod faults;
 pub mod flood;
 pub mod node;
 pub mod overlay;
+pub mod pool;
 pub mod session;
 
 pub use config::{ForwardingPolicy, SimConfig};
-pub use defense::{Actions, Defense, NoDefense, ReportDelivery, TickObservation, TrafficReport};
+pub use defense::{
+    Actions, Defense, FrozenTick, NoDefense, ReportDelivery, TickObservation, TrafficReport,
+};
 pub use engine::{CutRecord, RunResult, Simulation};
 pub use faults::{FaultConfig, FaultPlane, ReportOutcome};
 pub use flood::{FloodEngine, FloodOutcome};

@@ -22,12 +22,14 @@
 pub mod dynamic;
 pub mod generate;
 pub mod graph;
+pub mod partition;
 pub mod segvec;
 pub mod stats;
 
 pub use dynamic::{DynamicGraph, Half};
 pub use generate::{TopologyConfig, TopologyModel};
 pub use graph::Graph;
+pub use partition::{cross_partition_edges, Partition};
 pub use segvec::SegVec;
 
 /// Identifier of a peer (node) in the overlay.

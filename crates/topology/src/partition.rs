@@ -1,0 +1,210 @@
+//! Contiguous node partitions for the deterministic parallel tick engine.
+//!
+//! The simulator shards per-peer work (traffic accounting, list exchange,
+//! the shared-judgment fast path) across a worker pool. Determinism rests on
+//! one structural property: every partition is a **contiguous ascending
+//! range** of node indices, so concatenating per-partition results in
+//! partition order reproduces the serial ascending-id iteration exactly —
+//! no sorting, no tie-breaking, no dependence on which worker ran first.
+//!
+//! Ranges are balanced by per-node weight (degree + 1 for adjacency-shaped
+//! work): each boundary advances until its partition holds roughly
+//! `total_weight / parts`, which keeps hub-heavy prefixes of a preferential-
+//! attachment overlay from serializing the whole tick on worker 0.
+
+use crate::dynamic::DynamicGraph;
+use crate::NodeId;
+use std::ops::Range;
+
+/// A partition of node slots `0..n` into at most `parts` contiguous ranges.
+///
+/// Invariants (pinned by the proptests in `tests/proptest_partition.rs`):
+/// ranges are disjoint, sorted, cover `0..n` exactly, and every range except
+/// possibly trailing empty ones is non-empty.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    /// Range boundaries: partition `p` is `bounds[p]..bounds[p + 1]`.
+    bounds: Vec<usize>,
+}
+
+impl Partition {
+    /// Split `0..n` into up to `parts` ranges of near-equal length.
+    pub fn even(n: usize, parts: usize) -> Self {
+        Partition::balanced_by(n, parts, |_| 1)
+    }
+
+    /// Split `0..n` into up to `parts` ranges balanced by `weight(i)`.
+    /// Weights shape the split only; a zero-weight node still occupies a
+    /// slot in exactly one range.
+    pub fn balanced_by(n: usize, parts: usize, weight: impl Fn(usize) -> u64) -> Self {
+        let parts = parts.max(1);
+        let total: u64 = (0..n).map(&weight).sum();
+        let mut bounds = Vec::with_capacity(parts + 1);
+        bounds.push(0);
+        let mut acc = 0u64;
+        let mut next = 0usize;
+        for p in 0..parts.saturating_sub(1) {
+            // Target cumulative weight at the end of partition p. Integer
+            // rounding is deterministic; the last partition absorbs slack.
+            let target = total * (p as u64 + 1) / parts as u64;
+            while next < n && acc < target {
+                acc += weight(next);
+                next += 1;
+            }
+            bounds.push(next);
+        }
+        bounds.push(n);
+        Partition { bounds }
+    }
+
+    /// Split the graph's node slots balanced by `degree + 1` — the cost
+    /// shape of per-observer adjacency scans (the +1 keeps isolated slots
+    /// from collapsing into one range).
+    pub fn by_degree(graph: &DynamicGraph, parts: usize) -> Self {
+        Partition::balanced_by(graph.node_count(), parts, |i| {
+            graph.degree(NodeId::from_index(i)) as u64 + 1
+        })
+    }
+
+    /// Number of ranges (some may be empty when `parts > n`).
+    pub fn parts(&self) -> usize {
+        self.bounds.len() - 1
+    }
+
+    /// Total number of slots covered.
+    pub fn len(&self) -> usize {
+        *self.bounds.last().unwrap()
+    }
+
+    /// Whether the partition covers zero slots.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The slot range of partition `p`.
+    pub fn range(&self, p: usize) -> Range<usize> {
+        self.bounds[p]..self.bounds[p + 1]
+    }
+
+    /// All ranges in order.
+    pub fn ranges(&self) -> impl Iterator<Item = Range<usize>> + '_ {
+        (0..self.parts()).map(|p| self.range(p))
+    }
+
+    /// The interior boundaries plus both ends — the exact split points for
+    /// `split_at_mut`-style sharding of a length-`n` slice.
+    pub fn boundaries(&self) -> &[usize] {
+        &self.bounds
+    }
+
+    /// Which partition slot `i` belongs to.
+    pub fn part_of(&self, i: usize) -> usize {
+        debug_assert!(i < self.len());
+        // partition_point returns the count of bounds <= i; bounds[0] = 0 is
+        // always <= i, so subtracting 1 lands on the owning range even when
+        // empty ranges share a boundary.
+        self.bounds.partition_point(|&b| b <= i) - 1
+    }
+}
+
+/// Per-partition lists of cross-partition directed half-edges: entry `p`
+/// holds every `(u, v)` with `u` in partition `p` and `v` elsewhere, in
+/// ascending `(u, slot)` order. Symmetric by construction — `(u, v)` in
+/// `p(u)`'s list has its twin `(v, u)` in `p(v)`'s — which the proptests
+/// pin, because the merge step of the parallel tick relies on every
+/// cross-partition judgment being visible from both sides.
+pub fn cross_partition_edges(graph: &DynamicGraph, part: &Partition) -> Vec<Vec<(NodeId, NodeId)>> {
+    let mut out = vec![Vec::new(); part.parts()];
+    for (p, range) in part.ranges().enumerate() {
+        for u_idx in range {
+            let u = NodeId::from_index(u_idx);
+            for h in graph.neighbors(u) {
+                if part.part_of(h.peer.index()) != p {
+                    out[p].push((u, h.peer));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_split_covers_exactly() {
+        let p = Partition::even(10, 3);
+        let ranges: Vec<_> = p.ranges().collect();
+        assert_eq!(ranges.len(), 3);
+        assert_eq!(ranges.iter().map(|r| r.len()).sum::<usize>(), 10);
+        assert_eq!(p.range(0).start, 0);
+        assert_eq!(p.range(2).end, 10);
+    }
+
+    #[test]
+    fn more_parts_than_slots_leaves_empty_tails() {
+        let p = Partition::even(2, 5);
+        assert_eq!(p.parts(), 5);
+        let covered: usize = p.ranges().map(|r| r.len()).sum();
+        assert_eq!(covered, 2);
+        for i in 0..2 {
+            let owner = p.part_of(i);
+            assert!(p.range(owner).contains(&i));
+        }
+    }
+
+    #[test]
+    fn zero_slots_is_all_empty() {
+        let p = Partition::even(0, 4);
+        assert_eq!(p.len(), 0);
+        assert!(p.is_empty());
+        assert!(p.ranges().all(|r| r.is_empty()));
+    }
+
+    #[test]
+    fn part_of_matches_ranges() {
+        let p = Partition::balanced_by(100, 7, |i| (i % 13) as u64);
+        for i in 0..100 {
+            assert!(p.range(p.part_of(i)).contains(&i), "slot {i}");
+        }
+    }
+
+    #[test]
+    fn degree_balancing_splits_hub_heavy_prefix() {
+        // Node 0 is a hub with weight dwarfing the rest; degree balancing
+        // must give partition 0 little beyond the hub itself.
+        let mut g = DynamicGraph::new(100);
+        for v in 1..60u32 {
+            g.add_edge(NodeId(0), NodeId(v));
+        }
+        let even = Partition::even(100, 4);
+        let deg = Partition::by_degree(&g, 4);
+        assert_eq!(even.range(0).len(), 25);
+        assert!(
+            deg.range(0).len() < even.range(0).len(),
+            "hub partition must shrink: {:?}",
+            deg.boundaries()
+        );
+        assert_eq!(deg.ranges().map(|r| r.len()).sum::<usize>(), 100);
+    }
+
+    #[test]
+    fn cross_edges_are_symmetric_and_only_cross() {
+        let mut g = DynamicGraph::new(8);
+        for (u, v) in [(0u32, 1), (1, 5), (2, 6), (3, 4), (6, 7)] {
+            g.add_edge(NodeId(u), NodeId(v));
+        }
+        let p = Partition::even(8, 2); // {0..4}, {4..8}
+        let cross = cross_partition_edges(&g, &p);
+        let all: Vec<(NodeId, NodeId)> = cross.iter().flatten().copied().collect();
+        for &(u, v) in &all {
+            assert_ne!(p.part_of(u.index()), p.part_of(v.index()));
+            assert!(all.contains(&(v, u)), "missing twin of ({u}, {v})");
+        }
+        // (0,1) and (3,4)/(1,5)/(2,6): only edges spanning the boundary.
+        assert!(all.contains(&(NodeId(1), NodeId(5))));
+        assert!(!all.contains(&(NodeId(0), NodeId(1))));
+        assert!(!all.contains(&(NodeId(6), NodeId(7))));
+    }
+}

@@ -1,0 +1,157 @@
+//! Property-based tests for the parallel tick engine's partitioner.
+//!
+//! The deterministic merge step of the parallel tick leans on three
+//! structural guarantees: every peer slot lands in exactly one partition,
+//! the cross-partition edge lists are symmetric (a judgment spanning the
+//! boundary is visible from both sides), and repartitioning after churn
+//! (AddNode growth, slot recycling, edge churn) still covers the new slot
+//! set exactly — a dropped or duplicated slot would silently skip or
+//! double-run a peer's defense step.
+
+use ddp_topology::{cross_partition_edges, DynamicGraph, NodeId, Partition};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+#[derive(Debug, Clone)]
+enum Op {
+    AddEdge(u32, u32),
+    RemoveEdge(u32, u32),
+    /// Churn departure path: drop every edge at a slot so it can be
+    /// recycled by a joiner.
+    Isolate(u32),
+    /// Churn growth path: append a fresh isolated slot.
+    AddNode,
+}
+
+fn op_strategy(n: u32) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0..2 * n, 0..2 * n).prop_map(|(u, v)| Op::AddEdge(u, v)),
+        2 => (0..2 * n, 0..2 * n).prop_map(|(u, v)| Op::RemoveEdge(u, v)),
+        1 => (0..2 * n).prop_map(Op::Isolate),
+        2 => Just(Op::AddNode),
+    ]
+}
+
+fn apply(g: &mut DynamicGraph, op: &Op) {
+    let n = g.node_count() as u32;
+    let clamp = |x: u32| NodeId(x % n);
+    match *op {
+        Op::AddEdge(u, v) => {
+            g.add_edge(clamp(u), clamp(v));
+        }
+        Op::RemoveEdge(u, v) => {
+            g.remove_edge(clamp(u), clamp(v));
+        }
+        Op::Isolate(u) => {
+            g.isolate(clamp(u));
+        }
+        Op::AddNode => {
+            g.add_node();
+        }
+    }
+}
+
+/// Every slot in exactly one partition: ranges are disjoint, in order, and
+/// their union is `0..n`.
+fn assert_exact_cover(p: &Partition, n: usize) {
+    assert_eq!(p.len(), n);
+    let mut seen = 0usize;
+    let mut prev_end = 0usize;
+    for r in p.ranges() {
+        assert_eq!(r.start, prev_end, "ranges must tile without gaps or overlap");
+        prev_end = r.end;
+        seen += r.len();
+    }
+    assert_eq!(prev_end, n);
+    assert_eq!(seen, n);
+    for i in 0..n {
+        let owner = p.part_of(i);
+        assert!(p.range(owner).contains(&i), "part_of({i}) disagrees with ranges");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Exactly-one-partition and part_of/range agreement over random graphs
+    /// and partition counts, for both the even and degree-balanced splits.
+    #[test]
+    fn every_slot_lands_in_exactly_one_partition(
+        n in 1usize..40,
+        parts in 1usize..10,
+        ops in proptest::collection::vec(op_strategy(24), 0..60),
+    ) {
+        let mut g = DynamicGraph::new(n);
+        for op in &ops {
+            apply(&mut g, op);
+        }
+        assert_exact_cover(&Partition::even(g.node_count(), parts), g.node_count());
+        assert_exact_cover(&Partition::by_degree(&g, parts), g.node_count());
+    }
+
+    /// Cross-partition edge lists are symmetric: `(u, v)` in `p(u)`'s list
+    /// iff `(v, u)` in `p(v)`'s, every listed edge actually crosses, and no
+    /// crossing edge is missed.
+    #[test]
+    fn cross_partition_edges_are_symmetric_and_complete(
+        n in 2usize..32,
+        parts in 1usize..8,
+        ops in proptest::collection::vec(op_strategy(24), 0..80),
+    ) {
+        let mut g = DynamicGraph::new(n);
+        for op in &ops {
+            apply(&mut g, op);
+        }
+        let p = Partition::by_degree(&g, parts);
+        let cross = cross_partition_edges(&g, &p);
+        prop_assert_eq!(cross.len(), p.parts());
+
+        let mut listed: HashSet<(u32, u32)> = HashSet::new();
+        for (part, list) in cross.iter().enumerate() {
+            for &(u, v) in list {
+                prop_assert_eq!(p.part_of(u.index()), part, "edge listed under wrong partition");
+                prop_assert_ne!(
+                    p.part_of(u.index()), p.part_of(v.index()),
+                    "listed edge does not cross"
+                );
+                prop_assert!(listed.insert((u.0, v.0)), "duplicate cross edge ({}, {})", u, v);
+            }
+        }
+        // Symmetry + completeness against ground truth.
+        for (u, v) in g.edges() {
+            let crosses = p.part_of(u.index()) != p.part_of(v.index());
+            prop_assert_eq!(listed.contains(&(u.0, v.0)), crosses);
+            prop_assert_eq!(listed.contains(&(v.0, u.0)), crosses);
+        }
+        for &(u, v) in &listed {
+            prop_assert!(listed.contains(&(v, u)), "missing twin of ({u}, {v})");
+        }
+    }
+
+    /// Churn then repartition: growth via AddNode and slot recycling via
+    /// Isolate never drop or duplicate a slot in the fresh partition, at
+    /// every intermediate graph size.
+    #[test]
+    fn repartitioning_after_churn_never_drops_or_duplicates_slots(
+        n in 1usize..24,
+        parts in 1usize..6,
+        ops in proptest::collection::vec(op_strategy(16), 1..100),
+    ) {
+        let mut g = DynamicGraph::new(n);
+        for op in &ops {
+            apply(&mut g, op);
+            // Repartition after every mutation, as the engine does per tick.
+            let p = Partition::by_degree(&g, parts);
+            assert_exact_cover(&p, g.node_count());
+            // Weight changes move boundaries but never the cover.
+            let mut owners = vec![usize::MAX; g.node_count()];
+            for (part, r) in p.ranges().enumerate() {
+                for i in r {
+                    prop_assert_eq!(owners[i], usize::MAX, "slot {} covered twice", i);
+                    owners[i] = part;
+                }
+            }
+            prop_assert!(owners.iter().all(|&o| o != usize::MAX), "slot dropped");
+        }
+    }
+}

@@ -125,6 +125,71 @@ proptest! {
 }
 
 #[test]
+fn snapshot_crosses_worker_counts_bit_exact() {
+    // Worker count is an execution detail, never state: a snapshot written
+    // mid-run under the parallel engine must be byte-identical to one
+    // written serially, and must resume bit-exact at *any other* width.
+    let spec = ScenarioSpec {
+        peers: 100,
+        agents: 5,
+        readmission: true,
+        hys_window: 2,
+        hys_required: 2,
+        ticks: 12,
+        ..ScenarioSpec::default()
+    };
+    let snapshot_tick = 5;
+
+    // Serial reference: per-tick hashes plus the uninterrupted outcome.
+    let mut reference = build(&spec);
+    reference.enable_hash_trace();
+    while reference.tick() < spec.ticks {
+        reference.step();
+    }
+    let reference_hashes = reference.hash_trace().to_vec();
+    let reference = reference.finish();
+
+    // Writers at both widths produce the same bytes.
+    let write_at = |threads: usize| {
+        let mut sim = build(&spec);
+        sim.set_threads(threads);
+        while sim.tick() < snapshot_tick {
+            sim.step();
+        }
+        sim.save_snapshot().unwrap()
+    };
+    let serial_bytes = write_at(1);
+    let parallel_bytes = write_at(4);
+    assert_eq!(
+        serial_bytes, parallel_bytes,
+        "snapshot bytes must not depend on the writer's worker count"
+    );
+
+    // Resume the parallel-written snapshot at several different widths;
+    // every continuation must match the serial reference tick for tick.
+    for resume_threads in [1usize, 2, 8] {
+        let mut resumed = build(&spec);
+        resumed.restore_snapshot(&parallel_bytes).unwrap();
+        resumed.set_threads(resume_threads);
+        let mut hashes = Vec::new();
+        while resumed.tick() < spec.ticks {
+            resumed.step();
+            hashes.push(resumed.state_hash());
+        }
+        assert_eq!(
+            &reference_hashes[snapshot_tick as usize..],
+            &hashes[..],
+            "post-resume hash trail diverged at {resume_threads} threads"
+        );
+        let outcome = resumed.finish();
+        assert_eq!(outcome.summary, reference.summary);
+        assert_eq!(outcome.series, reference.series);
+        assert_eq!(outcome.cut_log, reference.cut_log);
+        assert_eq!(outcome.verdict_log, reference.verdict_log);
+    }
+}
+
+#[test]
 fn truncated_snapshot_is_a_typed_error() {
     let (spec, path) = written_snapshot("truncated");
     let bytes = std::fs::read(&path).unwrap();

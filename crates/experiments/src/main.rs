@@ -17,6 +17,7 @@
 //!   scale       throughput sweep over overlay size × attacker fraction
 //!   churn       session-model churn × whitewashing attackers (extension)
 //!   fuzz        differential fuzz: engine vs naive reference oracle
+//!   soak        crash-recovery chaos soak on the wire mesh
 //!   cheating    report-cheating strategies (§3.4)
 //!   resilience  lossy/delayed control plane sweep (extension)
 //!   collusion   coordinated report-cheating coalitions sweep (extension)
@@ -95,6 +96,13 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         },
+        "soak" => match runners::soak(&opts) {
+            Ok(t) => emit(&t, &opts),
+            Err(e) => {
+                eprintln!("soak: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
         "cheating" => emit(&runners::cheating(&opts), &opts),
         "resilience" => emit(&runners::resilience(&opts), &opts),
         "collusion" => {
@@ -153,7 +161,7 @@ usage: ddp-experiments <command> [options]
 commands:
   table1 fig2 fig5 fig6 fig9 fig10 fig11 consequences
   fig12 fig13 fig14 ct exchange cheating resilience collusion structured
-  scale churn fuzz ablations testbed all
+  scale churn fuzz ablations testbed soak all
 
 scale sweeps overlay size × attacker fraction, reporting ticks/sec,
 queries/sec, and a peak-heap proxy, and writes BENCH_scale.json.
@@ -175,7 +183,7 @@ options:
   --replicates N   averaged seeds per configuration (default 1)
   --csv DIR        also write each table as DIR/<name>.csv
   --paper-scale    shorthand for --peers 20000 (the paper's §3.5 setting)
-  --smoke          (scale/churn/fuzz/testbed) reduced grid that just validates the pipeline
+  --smoke          (scale/churn/fuzz/testbed/soak) reduced grid that just validates the pipeline
   --threads N      tick-engine worker count (default 1; results are
                    byte-identical at every width, only wall clock changes)
 
@@ -184,6 +192,14 @@ through the in-memory simulator, a mesh of real ddp-servent processes over
 loopback TCP, and the same mesh with a SIGKILL'd servent and a socket
 severed mid-frame. Needs the ddp-servent binary (same profile, or set
 DDP_SERVENT_BIN). --smoke shrinks it to 10 servents x 3 minutes.
+
+soak runs the crash-recovery continuity proof: a chaos-free wire mesh for
+the baseline first-cut time, then the same mesh with checkpointing under a
+seeded chaos schedule — the servent that cut the attacker is SIGKILL'd
+after the cut and restarted from its checkpoint (it must still have the
+attacker cut: no readmission-from-amnesia), and a bit-flipped checkpoint
+must degrade to a logged cold start. Needs the ddp-servent binary, like
+testbed.
 
 checkpointing (currently honored by ct/fig12/fig13/fig14):
   --checkpoint-every N   snapshot full engine state every N ticks (default 0 = off)

@@ -8,6 +8,7 @@ mod fuzz;
 mod policy;
 mod resilience;
 mod scale;
+mod soak;
 mod static_figs;
 mod structured;
 mod sweep;
@@ -32,6 +33,7 @@ pub use scale::{
     measure_cell, scale, scale_grid, scale_json, validate_scale_json, ScaleCell, SCALE_CELL_KEYS,
     SCALE_SCHEMA,
 };
+pub use soak::soak;
 pub use static_figs::{fig2, fig5, fig6, table1};
 pub use structured::structured;
 pub use sweep::{agent_sweep, consequences, fig10, fig11, fig9, SweepRow};

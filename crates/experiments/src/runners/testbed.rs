@@ -184,6 +184,7 @@ pub fn testbed(opts: &ExpOptions) -> Result<Table, String> {
         seed: opts.seed,
         query_rate_qpm: QUERY_RATE_QPM,
         out_dir: out_base.join("wire"),
+        checkpoint_every: None,
     };
 
     // Undisturbed wire mesh.

@@ -42,6 +42,13 @@ pub struct ConnCounters {
     pub frames_dropped: u64,
     /// Frames addressed to a peer with no known transport address.
     pub frames_unroutable: u64,
+    /// Checkpoints the runtime wrote to disk (temp+fsync+rename).
+    pub checkpoints_written: u64,
+    /// Checkpoint writes that failed (disk full, permissions); the run
+    /// continues — a failed checkpoint costs recovery freshness, not uptime.
+    pub checkpoint_failures: u64,
+    /// Successful resume-from-checkpoint cold-boot recoveries.
+    pub resumes: u64,
 }
 
 impl ConnCounters {
@@ -61,12 +68,15 @@ impl ConnCounters {
             bytes_received: self.bytes_received + other.bytes_received,
             frames_dropped: self.frames_dropped + other.frames_dropped,
             frames_unroutable: self.frames_unroutable + other.frames_unroutable,
+            checkpoints_written: self.checkpoints_written + other.checkpoints_written,
+            checkpoint_failures: self.checkpoint_failures + other.checkpoint_failures,
+            resumes: self.resumes + other.resumes,
         }
     }
 
     /// `(name, value)` pairs in a stable order — the serialization the
     /// testbed's summary files and tables use.
-    pub fn fields(&self) -> [(&'static str, u64); 14] {
+    pub fn fields(&self) -> [(&'static str, u64); 17] {
         [
             ("dials_ok", self.dials_ok),
             ("dials_failed", self.dials_failed),
@@ -81,6 +91,9 @@ impl ConnCounters {
             ("bytes_received", self.bytes_received),
             ("frames_dropped", self.frames_dropped),
             ("frames_unroutable", self.frames_unroutable),
+            ("checkpoints_written", self.checkpoints_written),
+            ("checkpoint_failures", self.checkpoint_failures),
+            ("resumes", self.resumes),
             ("conn_end", 0),
         ]
     }
@@ -103,6 +116,9 @@ impl ConnCounters {
             "bytes_received" => self.bytes_received = value,
             "frames_dropped" => self.frames_dropped = value,
             "frames_unroutable" => self.frames_unroutable = value,
+            "checkpoints_written" => self.checkpoints_written = value,
+            "checkpoint_failures" => self.checkpoint_failures = value,
+            "resumes" => self.resumes = value,
             "conn_end" => {}
             _ => return false,
         }

@@ -76,6 +76,32 @@ impl SeenTable {
         self.entries.retain(|_, e| now.saturating_sub(e.seen_at) <= horizon);
     }
 
+    /// The expiry horizon this table was built with.
+    pub fn horizon(&self) -> u64 {
+        self.horizon
+    }
+
+    /// Checkpoint view: every live entry as `(guid, from, seen_at)`, sorted
+    /// by GUID so the serialization is deterministic regardless of HashMap
+    /// iteration order.
+    pub fn snapshot_entries(&self) -> Vec<(Guid, u32, u64)> {
+        let mut v: Vec<(Guid, u32, u64)> =
+            self.entries.iter().map(|(&g, e)| (g, e.from, e.seen_at)).collect();
+        v.sort_unstable_by_key(|&(g, ..)| g);
+        v
+    }
+
+    /// Rebuild a table from a checkpoint produced by
+    /// [`SeenTable::snapshot_entries`]. Later duplicates of the same GUID are
+    /// ignored, matching [`SeenTable::offer`] semantics.
+    pub fn from_entries(horizon: u64, entries: impl IntoIterator<Item = (Guid, u32, u64)>) -> Self {
+        let mut t = SeenTable::new(horizon);
+        for (guid, from, seen_at) in entries {
+            t.entries.entry(guid).or_insert(SeenEntry { from, seen_at });
+        }
+        t
+    }
+
     /// Number of live entries.
     pub fn len(&self) -> usize {
         self.entries.len()

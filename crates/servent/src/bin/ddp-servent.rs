@@ -15,7 +15,7 @@
 //! temp+rename); a SIGKILL'd process leaves no summary, which is exactly
 //! the signal the collector uses to tell crash from hang.
 
-use ddp_servent::wire::{WireConfig, WireServent, WireSummary};
+use ddp_servent::wire::{config_fingerprint, CheckpointSpec, WireConfig, WireServent, WireSummary};
 use ddp_servent::{Servent, ServentConfig, ServentRole};
 use ddp_topology::NodeId;
 use rand::rngs::StdRng;
@@ -28,7 +28,15 @@ const USAGE: &str = "\
 ddp-servent --id N --listen ADDR --peers id=addr[,id=addr...] --neighbors id[,id...]
             [--role good|agent] [--rate-qpm N] [--respond-reports]
             [--minutes N] [--tick-ms N] [--seed N] [--query-rate-qpm F]
-            [--catalog-size N] [--items-per-peer N] [--out FILE]";
+            [--catalog-size N] [--items-per-peer N] [--out FILE]
+            [--resume-dir DIR] [--checkpoint-every N]
+
+Crash recovery: --resume-dir names a directory of DDPSNAP1 checkpoints
+(s<id>.snap). On start the servent resumes from its checkpoint when one
+exists and matches this configuration; a corrupt, truncated, or foreign
+checkpoint is logged and the servent cold-starts instead. Checkpoints are
+written every --checkpoint-every protocol seconds (default 30 when
+--resume-dir is given).";
 
 struct Args {
     id: u32,
@@ -43,6 +51,8 @@ struct Args {
     catalog_size: usize,
     items_per_peer: usize,
     out: Option<String>,
+    resume_dir: Option<String>,
+    checkpoint_every: u64,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -60,6 +70,8 @@ fn parse_args() -> Result<Args, String> {
     let mut catalog_size: usize = 50;
     let mut items_per_peer: usize = 8;
     let mut out: Option<String> = None;
+    let mut resume_dir: Option<String> = None;
+    let mut checkpoint_every: u64 = 30;
 
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -115,6 +127,11 @@ fn parse_args() -> Result<Args, String> {
                     value(&mut i, flag)?.parse().map_err(|e| format!("--items-per-peer: {e}"))?
             }
             "--out" => out = Some(value(&mut i, flag)?),
+            "--resume-dir" => resume_dir = Some(value(&mut i, flag)?),
+            "--checkpoint-every" => {
+                checkpoint_every =
+                    value(&mut i, flag)?.parse().map_err(|e| format!("--checkpoint-every: {e}"))?
+            }
             other => return Err(format!("unknown flag `{other}`")),
         }
         i += 1;
@@ -139,7 +156,20 @@ fn parse_args() -> Result<Args, String> {
         catalog_size,
         items_per_peer,
         out,
+        resume_dir,
+        checkpoint_every,
     })
+}
+
+/// Canonical role string for the checkpoint config fingerprint — every knob
+/// that changes the role's behavior participates.
+fn role_fingerprint_name(role: ServentRole) -> String {
+    match role {
+        ServentRole::Good => "good".into(),
+        ServentRole::FloodingAgent { rate_qpm, respond_reports } => {
+            format!("agent:{rate_qpm}:{}", u8::from(respond_reports))
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -187,6 +217,39 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let mut resume_error = String::new();
+    if let Some(dir) = &args.resume_dir {
+        let context = config_fingerprint(
+            args.id,
+            &role_fingerprint_name(args.role),
+            args.minutes,
+            args.seed,
+            args.query_rate_qpm,
+            args.catalog_size,
+            args.items_per_peer,
+            &args.neighbors,
+        );
+        wire.set_checkpointing(CheckpointSpec {
+            dir: std::path::PathBuf::from(dir),
+            every_ticks: args.checkpoint_every,
+            context,
+        });
+        match wire.try_resume() {
+            Ok(Some(tick)) => eprintln!(
+                "ddp-servent: servent {} resumed at tick {tick} (generation {})",
+                args.id,
+                wire.generation()
+            ),
+            Ok(None) => eprintln!("ddp-servent: servent {}: no checkpoint, cold start", args.id),
+            Err(e) => {
+                resume_error = e.kind().to_string();
+                eprintln!(
+                    "ddp-servent: servent {}: checkpoint rejected ({e}); cold start",
+                    args.id
+                );
+            }
+        }
+    }
     let report = wire.run(args.minutes);
 
     let s = &wire.servent;
@@ -203,6 +266,8 @@ fn main() -> ExitCode {
         cuts: s.cut_log.iter().map(|&(t, p)| (t, p.0)).collect(),
         verdicts: s.verdict_log.iter().map(|&(t, p, g, si, b)| (t, p.0, g, si, b)).collect(),
         neighbors_final: s.neighbors().iter().map(|p| p.0).collect(),
+        generation: report.generation,
+        resume_error,
     };
     if let Some(path) = &args.out {
         if let Err(e) = summary.write_file(std::path::Path::new(path)) {

@@ -589,3 +589,341 @@ impl Servent {
         self.links.get(&peer.0).map(|l| (l.out_prev, l.in_prev))
     }
 }
+
+// ---------------------------------------------------------------------------
+// Checkpointing: the defense-relevant mutable state, nothing else.
+//
+// Identity and configuration (id, addr, role, cfg) are deliberately NOT
+// serialized — a resumed servent rebuilds them from its command line, and the
+// snapshot container's context fingerprint rejects a checkpoint written under
+// a different configuration. What *is* persisted is everything an attacker
+// would love to see reset: per-neighbor In/Out counters and receipts, the
+// duplicate-suppression table, open investigations and their reports, the
+// cut/verdict logs, and the report-suppression clocks.
+// ---------------------------------------------------------------------------
+
+use ddp_snapshot::{Dec, Enc, SnapshotError};
+
+/// Bumped whenever the layout below changes; a mismatch is a typed error so
+/// an old checkpoint degrades to a cold start instead of misparsing.
+const SERVENT_STATE_VERSION: u8 = 1;
+
+fn enc_guid(enc: &mut Enc, g: &Guid) {
+    for &b in g.as_bytes() {
+        enc.u8(b);
+    }
+}
+
+fn dec_guid(dec: &mut Dec) -> Result<Guid, SnapshotError> {
+    let mut bytes = [0u8; 16];
+    for b in bytes.iter_mut() {
+        *b = dec.u8()?;
+    }
+    Ok(Guid(bytes))
+}
+
+/// Serialize a `HashMap` deterministically: sorted by key so identical state
+/// always produces identical bytes (the snapshot suite hashes payloads).
+fn sorted<K: Ord + Copy, V: Clone>(map: &HashMap<K, V>) -> Vec<(K, V)> {
+    let mut v: Vec<(K, V)> = map.iter().map(|(&k, val)| (k, val.clone())).collect();
+    v.sort_unstable_by_key(|&(k, _)| k);
+    v
+}
+
+impl Servent {
+    /// Append this servent's mutable defense state to `enc`.
+    pub fn save_state(&self, enc: &mut Enc) {
+        enc.u8(SERVENT_STATE_VERSION);
+        enc.usize(self.links.len());
+        for (&peer, l) in &self.links {
+            enc.u32(peer);
+            enc.u32(l.out_cur);
+            enc.u32(l.in_cur);
+            enc.u32(l.out_prev);
+            enc.u32(l.in_prev);
+            enc.u32(l.receipt_prev);
+            match &l.announced {
+                None => enc.bool(false),
+                Some(list) => {
+                    enc.bool(true);
+                    enc.usize(list.len());
+                    for n in list {
+                        enc.u32(n.0);
+                    }
+                }
+            }
+        }
+        enc.u64(self.seen.horizon());
+        let seen = self.seen.snapshot_entries();
+        enc.usize(seen.len());
+        for (guid, from, seen_at) in &seen {
+            enc_guid(enc, guid);
+            enc.u32(*from);
+            enc.u64(*seen_at);
+        }
+        enc.u64(self.guid_seq);
+        let issued = {
+            let mut v: Vec<(Guid, u64)> = self.issued.iter().map(|(&g, &t)| (g, t)).collect();
+            v.sort_unstable_by_key(|&(g, _)| g);
+            v
+        };
+        enc.usize(issued.len());
+        for (guid, at) in &issued {
+            enc_guid(enc, guid);
+            enc.u64(*at);
+        }
+        enc.usize(self.hits.len());
+        for &(at, latency) in &self.hits {
+            enc.u64(at);
+            enc.u64(latency);
+        }
+        enc.usize(self.investigations.len());
+        for (&suspect, inv) in &self.investigations {
+            enc.u32(suspect);
+            enc.u64(inv.deadline);
+            enc.usize(inv.members.len());
+            for m in &inv.members {
+                enc.u32(m.0);
+            }
+            let reports = sorted(&inv.reports);
+            enc.usize(reports.len());
+            for (member, (m_to_j, j_to_m)) in &reports {
+                enc.u32(*member);
+                enc.u32(*m_to_j);
+                enc.u32(*j_to_m);
+            }
+        }
+        let last_nt = sorted(&self.last_nt);
+        enc.usize(last_nt.len());
+        for (suspect, at) in &last_nt {
+            enc.u32(*suspect);
+            enc.u64(*at);
+        }
+        enc.usize(self.cut_log.len());
+        for &(at, peer) in &self.cut_log {
+            enc.u64(at);
+            enc.u32(peer.0);
+        }
+        let strikes = sorted(&self.missing_list_strikes);
+        enc.usize(strikes.len());
+        for (suspect, n) in &strikes {
+            enc.u32(*suspect);
+            enc.u8(*n);
+        }
+        enc.usize(self.verdict_log.len());
+        for &(at, suspect, g, s, cut) in &self.verdict_log {
+            enc.u64(at);
+            enc.u32(suspect.0);
+            enc.f64(g);
+            enc.f64(s);
+            enc.bool(cut);
+        }
+        enc.usize(self.pending_nt.len());
+        for (due, suspect, members) in &self.pending_nt {
+            enc.u64(*due);
+            enc.u32(suspect.0);
+            enc.usize(members.len());
+            for m in members {
+                enc.u32(m.0);
+            }
+        }
+        let seen_members = sorted(&self.member_last_seen);
+        enc.usize(seen_members.len());
+        for (member, at) in &seen_members {
+            enc.u32(*member);
+            enc.u64(*at);
+        }
+    }
+
+    /// Replace this servent's mutable defense state with one written by
+    /// [`Servent::save_state`]. Identity/config fields are untouched. On any
+    /// decode error the servent is left unchanged (everything is staged in
+    /// locals before the final assignment).
+    pub fn restore_state(&mut self, dec: &mut Dec) -> Result<(), SnapshotError> {
+        let version = dec.u8()?;
+        if version != SERVENT_STATE_VERSION {
+            return Err(SnapshotError::Unsupported { what: "servent state version" });
+        }
+        let mut links = BTreeMap::new();
+        for _ in 0..dec.len("links")? {
+            let peer = dec.u32()?;
+            let mut l = LinkState {
+                out_cur: dec.u32()?,
+                in_cur: dec.u32()?,
+                out_prev: dec.u32()?,
+                in_prev: dec.u32()?,
+                receipt_prev: dec.u32()?,
+                announced: None,
+            };
+            if dec.bool()? {
+                let mut list = Vec::new();
+                for _ in 0..dec.len("announced list")? {
+                    list.push(NodeId(dec.u32()?));
+                }
+                l.announced = Some(list);
+            }
+            links.insert(peer, l);
+        }
+        let horizon = dec.u64()?;
+        let mut seen_entries = Vec::new();
+        for _ in 0..dec.len("seen table")? {
+            let guid = dec_guid(dec)?;
+            let from = dec.u32()?;
+            let seen_at = dec.u64()?;
+            seen_entries.push((guid, from, seen_at));
+        }
+        let guid_seq = dec.u64()?;
+        let mut issued = HashMap::new();
+        for _ in 0..dec.len("issued queries")? {
+            let guid = dec_guid(dec)?;
+            let at = dec.u64()?;
+            issued.insert(guid, at);
+        }
+        let mut hits = Vec::new();
+        for _ in 0..dec.len("hits")? {
+            let at = dec.u64()?;
+            let latency = dec.u64()?;
+            hits.push((at, latency));
+        }
+        let mut investigations = BTreeMap::new();
+        for _ in 0..dec.len("investigations")? {
+            let suspect = dec.u32()?;
+            let deadline = dec.u64()?;
+            let mut members = Vec::new();
+            for _ in 0..dec.len("investigation members")? {
+                members.push(NodeId(dec.u32()?));
+            }
+            let mut reports = HashMap::new();
+            for _ in 0..dec.len("investigation reports")? {
+                let member = dec.u32()?;
+                let m_to_j = dec.u32()?;
+                let j_to_m = dec.u32()?;
+                reports.insert(member, (m_to_j, j_to_m));
+            }
+            investigations.insert(suspect, Investigation { deadline, members, reports });
+        }
+        let mut last_nt = HashMap::new();
+        for _ in 0..dec.len("nt suppression clocks")? {
+            let suspect = dec.u32()?;
+            let at = dec.u64()?;
+            last_nt.insert(suspect, at);
+        }
+        let mut cut_log = Vec::new();
+        for _ in 0..dec.len("cut log")? {
+            let at = dec.u64()?;
+            let peer = dec.u32()?;
+            cut_log.push((at, NodeId(peer)));
+        }
+        let mut missing_list_strikes = HashMap::new();
+        for _ in 0..dec.len("missing-list strikes")? {
+            let suspect = dec.u32()?;
+            let n = dec.u8()?;
+            missing_list_strikes.insert(suspect, n);
+        }
+        let mut verdict_log = Vec::new();
+        for _ in 0..dec.len("verdict log")? {
+            let at = dec.u64()?;
+            let suspect = dec.u32()?;
+            let g = dec.f64()?;
+            let s = dec.f64()?;
+            let cut = dec.bool()?;
+            verdict_log.push((at, NodeId(suspect), g, s, cut));
+        }
+        let mut pending_nt = Vec::new();
+        for _ in 0..dec.len("pending nt broadcasts")? {
+            let due = dec.u64()?;
+            let suspect = dec.u32()?;
+            let mut members = Vec::new();
+            for _ in 0..dec.len("pending nt members")? {
+                members.push(NodeId(dec.u32()?));
+            }
+            pending_nt.push((due, NodeId(suspect), members));
+        }
+        let mut member_last_seen = HashMap::new();
+        for _ in 0..dec.len("member liveness")? {
+            let member = dec.u32()?;
+            let at = dec.u64()?;
+            member_last_seen.insert(member, at);
+        }
+        self.links = links;
+        self.seen = SeenTable::from_entries(horizon, seen_entries);
+        self.guid_seq = guid_seq;
+        self.issued = issued;
+        self.hits = hits;
+        self.investigations = investigations;
+        self.last_nt = last_nt;
+        self.cut_log = cut_log;
+        self.missing_list_strikes = missing_list_strikes;
+        self.verdict_log = verdict_log;
+        self.pending_nt = pending_nt;
+        self.member_last_seen = member_last_seen;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod state_tests {
+    use super::*;
+
+    fn busy_servent() -> Servent {
+        let mut s = Servent::new(NodeId(3), ServentRole::Good, ServentConfig::default());
+        let mut out = Outbox::new();
+        for p in [1u32, 2, 7] {
+            s.connect(NodeId(p));
+        }
+        s.issue_query("alpha", 5, &mut out);
+        s.handle_frame(
+            NodeId(1),
+            encode_message(&Message::new(
+                Guid::derived(1, 1),
+                3,
+                Payload::Query(Query { min_speed: 0, criteria: "beta".into() }),
+            )),
+            6,
+            &mut out,
+        );
+        s.on_minute(60, 1, &mut out);
+        s.on_second(61, &mut out);
+        s.cut_log.push((61, NodeId(9)));
+        s.verdict_log.push((61, NodeId(9), 12.0, 3.0, true));
+        s
+    }
+
+    fn state_bytes(s: &Servent) -> Vec<u8> {
+        let mut enc = Enc::new();
+        s.save_state(&mut enc);
+        enc.into_bytes()
+    }
+
+    #[test]
+    fn state_roundtrip_is_bit_identical() {
+        let original = busy_servent();
+        let bytes = state_bytes(&original);
+        let mut restored = Servent::new(NodeId(3), ServentRole::Good, ServentConfig::default());
+        let mut dec = Dec::new(&bytes);
+        restored.restore_state(&mut dec).expect("valid state restores");
+        dec.finish().expect("payload fully consumed");
+        assert_eq!(bytes, state_bytes(&restored), "save→load→save is bit-identical");
+        assert_eq!(original.neighbors(), restored.neighbors());
+        assert_eq!(original.cut_log, restored.cut_log);
+    }
+
+    #[test]
+    fn truncated_state_is_typed_error_not_panic() {
+        let bytes = state_bytes(&busy_servent());
+        for cut in [0, 1, bytes.len() / 2, bytes.len() - 1] {
+            let mut s = Servent::new(NodeId(3), ServentRole::Good, ServentConfig::default());
+            let mut dec = Dec::new(&bytes[..cut]);
+            assert!(s.restore_state(&mut dec).is_err(), "truncation at {cut} must error");
+        }
+    }
+
+    #[test]
+    fn future_state_version_is_unsupported() {
+        let mut bytes = state_bytes(&busy_servent());
+        bytes[0] = SERVENT_STATE_VERSION + 1;
+        let mut s = Servent::new(NodeId(3), ServentRole::Good, ServentConfig::default());
+        let mut dec = Dec::new(&bytes);
+        assert!(matches!(s.restore_state(&mut dec), Err(SnapshotError::Unsupported { .. })));
+    }
+}

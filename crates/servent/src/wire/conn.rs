@@ -158,6 +158,9 @@ pub struct WireStats {
     pub bytes_received: AtomicU64,
     pub frames_dropped: AtomicU64,
     pub frames_unroutable: AtomicU64,
+    pub checkpoints_written: AtomicU64,
+    pub checkpoint_failures: AtomicU64,
+    pub resumes: AtomicU64,
 }
 
 impl WireStats {
@@ -177,6 +180,9 @@ impl WireStats {
             bytes_received: self.bytes_received.load(Ordering::Relaxed),
             frames_dropped: self.frames_dropped.load(Ordering::Relaxed),
             frames_unroutable: self.frames_unroutable.load(Ordering::Relaxed),
+            checkpoints_written: self.checkpoints_written.load(Ordering::Relaxed),
+            checkpoint_failures: self.checkpoint_failures.load(Ordering::Relaxed),
+            resumes: self.resumes.load(Ordering::Relaxed),
         }
     }
 }

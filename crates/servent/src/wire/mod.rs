@@ -10,18 +10,22 @@
 //!   jitter;
 //! * [`conn`] — handshake, bounded drop-oldest send queues, per-connection
 //!   reader/writer threads;
+//! * [`checkpoint`] — periodic crash-recovery snapshots of the defense
+//!   state, and resume-on-start;
 //! * [`runtime`] — the supervised core loop ([`WireServent`]);
 //! * [`summary`] — the per-process result file the testbed collects.
 //!
 //! [`Servent`]: crate::servent::Servent
 
 pub mod backoff;
+pub mod checkpoint;
 pub mod conn;
 pub mod framing;
 pub mod runtime;
 pub mod summary;
 
 pub use backoff::Backoff;
+pub use checkpoint::{config_fingerprint, snap_path, CheckpointSpec};
 pub use conn::{CloseReason, HandshakeError, SendQueue, WireStats};
 pub use framing::{FrameBuffer, MAX_FRAME_LEN};
 pub use runtime::{WireConfig, WireRunReport, WireServent};

@@ -18,10 +18,12 @@
 //! meaning.
 
 use super::backoff::Backoff;
+use super::checkpoint::{self, CheckpointSpec};
 use super::conn::{self, CloseReason, ConnEvent, HandshakeError, SendQueue, WireStats};
 use crate::servent::{Outbox, Servent, ServentRole};
 use bytes::Bytes;
 use ddp_metrics::ConnCounters;
+use ddp_snapshot::SnapshotError;
 use ddp_topology::NodeId;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -96,6 +98,9 @@ pub struct WireRunReport {
     pub issued: u64,
     /// Connection-lifecycle counters.
     pub conn: ConnCounters,
+    /// Restart generation: 0 for a cold start, previous generation + 1
+    /// after a successful resume-from-checkpoint.
+    pub generation: u32,
 }
 
 /// One live transport connection.
@@ -167,6 +172,12 @@ pub struct WireServent {
     issued: u64,
     /// Joined at shutdown: threads of replaced/closed connections.
     graveyard: Vec<JoinHandle<()>>,
+    /// Periodic crash-recovery checkpointing (None = disabled).
+    checkpoint: Option<CheckpointSpec>,
+    /// Restart generation (0 = cold start; bumped by a successful resume).
+    generation: u32,
+    /// First tick [`run`](Self::run) executes (nonzero after a resume).
+    start_tick: u64,
 }
 
 impl WireServent {
@@ -211,7 +222,90 @@ impl WireServent {
             query_rate_qpm,
             issued: 0,
             graveyard: Vec::new(),
+            checkpoint: None,
+            generation: 0,
+            start_tick: 0,
         })
+    }
+
+    /// Enable periodic checkpointing under `spec` (call before
+    /// [`run`](Self::run)).
+    pub fn set_checkpointing(&mut self, spec: CheckpointSpec) {
+        self.checkpoint = Some(spec);
+    }
+
+    /// Restart generation: 0 until a successful [`try_resume`](Self::try_resume).
+    pub fn generation(&self) -> u32 {
+        self.generation
+    }
+
+    /// Attempt to resume from the checkpoint configured via
+    /// [`set_checkpointing`](Self::set_checkpointing).
+    ///
+    /// Returns `Ok(None)` when no checkpoint file exists (a plain cold
+    /// start), `Ok(Some(next_tick))` after restoring state, and a typed
+    /// [`SnapshotError`] for anything invalid — truncated or bit-flipped
+    /// container, foreign config fingerprint, undecodable payload. The
+    /// caller logs the error and proceeds with a cold start; this method
+    /// never panics on hostile input and leaves the runtime cold-start-clean
+    /// on failure.
+    pub fn try_resume(&mut self) -> Result<Option<u64>, SnapshotError> {
+        let Some(spec) = self.checkpoint.clone() else { return Ok(None) };
+        let path = checkpoint::snap_path(&spec.dir, self.my_id);
+        if !path.exists() {
+            return Ok(None);
+        }
+        let (found, payload) = ddp_snapshot::read_snapshot(&path)?;
+        if found != spec.context {
+            return Err(SnapshotError::ContextMismatch { expected: spec.context, found });
+        }
+        let run = checkpoint::decode_payload(&payload, &mut self.servent)?;
+        self.start_tick = run.next_tick;
+        self.generation = run.generation + 1;
+        self.issued = run.issued;
+        self.rng = StdRng::from_state(run.rng);
+        for peer in run.abandoned {
+            self.sups.entry(peer).or_insert_with(|| Sup::new(false)).abandoned = true;
+        }
+        // The restored protocol clock is ahead of every transport timestamp;
+        // give surviving supervision a full death horizon from here instead
+        // of judging peers against pre-crash zeros.
+        for sup in self.sups.values_mut() {
+            if !sup.abandoned {
+                sup.last_link_tick = self.start_tick;
+            }
+        }
+        self.stats.resumes.fetch_add(1, Ordering::Relaxed);
+        Ok(Some(self.start_tick))
+    }
+
+    /// Write one checkpoint: protocol clock, RNG stream, issuance tally,
+    /// abandoned-peer set, and the full servent defense state. Failures are
+    /// counted, not fatal — a missed checkpoint costs recovery freshness,
+    /// not uptime.
+    fn write_checkpoint(&mut self, tick: u64) {
+        let Some(spec) = &self.checkpoint else { return };
+        let mut abandoned: Vec<u32> =
+            self.sups.iter().filter(|(_, s)| s.abandoned).map(|(&p, _)| p).collect();
+        abandoned.sort_unstable();
+        let payload = checkpoint::encode_payload(
+            tick,
+            self.generation,
+            self.issued,
+            self.rng.state(),
+            &abandoned,
+            &self.servent,
+        );
+        let path = checkpoint::snap_path(&spec.dir, self.my_id);
+        match ddp_snapshot::write_snapshot(&path, spec.context, &payload) {
+            Ok(()) => {
+                self.stats.checkpoints_written.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(e) => {
+                self.stats.checkpoint_failures.fetch_add(1, Ordering::Relaxed);
+                eprintln!("servent {}: checkpoint write failed: {e}", self.my_id);
+            }
+        }
     }
 
     /// Whether this side owns (re)dialing the link to `peer`: overlay links
@@ -235,12 +329,13 @@ impl WireServent {
         // exist from t=0 too.
         self.sweep_dials(tx.clone());
         let grace_end = Instant::now() + Duration::from_millis(self.cfg.connect_grace_ms);
-        self.pump_events_until(&rx, &tx, grace_end, 0);
+        let start_tick = self.start_tick;
+        self.pump_events_until(&rx, &tx, grace_end, start_tick);
 
         let start = Instant::now();
-        for t in 0..=total_secs {
+        for t in start_tick..=total_secs {
             self.do_tick(t, &tx);
-            let deadline = start + Duration::from_millis((t + 1) * self.cfg.tick_ms);
+            let deadline = start + Duration::from_millis((t + 1 - start_tick) * self.cfg.tick_ms);
             self.pump_events_until(&rx, &tx, deadline, t);
         }
 
@@ -282,6 +377,7 @@ impl WireServent {
             protocol_secs: total_secs,
             issued: self.issued,
             conn: self.stats.counters(),
+            generation: self.generation,
         }
     }
 
@@ -618,6 +714,12 @@ impl WireServent {
             self.flush(out, tx, t);
         }
         self.supervise(t, tx);
+        let due = self.checkpoint.as_ref().is_some_and(|s| {
+            s.every_ticks > 0 && t > self.start_tick && t.is_multiple_of(s.every_ticks)
+        });
+        if due {
+            self.write_checkpoint(t);
+        }
     }
 
     /// Periodic supervision: idle closes, peer-death, due redials.

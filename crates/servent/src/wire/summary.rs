@@ -31,6 +31,14 @@ pub struct WireSummary {
     pub verdicts: Vec<(u64, u32, f64, f64, bool)>,
     /// Overlay neighbors at the end of the run.
     pub neighbors_final: Vec<u32>,
+    /// Restart generation: 0 = cold start, incremented on every successful
+    /// resume-from-checkpoint. Carried on the `end` sentinel line so the
+    /// testbed collector can chain summaries from successive incarnations.
+    pub generation: u32,
+    /// Why a requested resume degraded to a cold start: the
+    /// `SnapshotError` variant name (`"ChecksumMismatch"`, `"Truncated"`,
+    /// ...), or empty when the resume succeeded / was never requested.
+    pub resume_error: String,
 }
 
 /// Typed, path-naming I/O error for summary files.
@@ -64,6 +72,10 @@ impl std::error::Error for WireIoError {
     }
 }
 
+fn parse_generation(raw: &str) -> Result<u32, String> {
+    raw.parse::<u32>().map_err(|e| format!("end sentinel generation: bad integer `{raw}`: {e}"))
+}
+
 impl WireSummary {
     /// Serialize to the text format.
     pub fn to_text(&self) -> String {
@@ -86,7 +98,12 @@ impl WireSummary {
         }
         let neigh: Vec<String> = self.neighbors_final.iter().map(u32::to_string).collect();
         s.push_str(&format!("neighbors_final\t{}\n", neigh.join(",")));
-        s.push_str("end\n");
+        if !self.resume_error.is_empty() {
+            s.push_str(&format!("resume_error\t{}\n", self.resume_error));
+        }
+        // The generation rides on the sentinel itself: a truncated file can
+        // neither claim completion nor misattribute its incarnation.
+        s.push_str(&format!("end\t{}\n", self.generation));
         s
     }
 
@@ -115,7 +132,12 @@ impl WireSummary {
                 saw_magic = true;
                 continue;
             }
-            if line == "end" {
+            if line == "end" || line.starts_with("end\t") {
+                // Bare `end` (pre-generation writers) parses as generation 0.
+                if let Some(rest) = line.strip_prefix("end\t") {
+                    out.generation =
+                        parse_generation(rest).map_err(|reason| perr(lineno, reason))?;
+                }
                 saw_end = true;
                 break;
             }
@@ -181,6 +203,7 @@ impl WireSummary {
                         }
                     }
                 }
+                "resume_error" => out.resume_error = one("resume_error")?.to_string(),
                 _ => {
                     // Counter fields route through ConnCounters; unknown keys
                     // are skipped for forward compatibility.
@@ -200,10 +223,17 @@ impl WireSummary {
     }
 
     /// Write atomically (temp file + rename) so the collector never reads a
-    /// half-written summary.
+    /// half-written summary. Creates the parent directory if needed — the
+    /// failure is a typed [`WireIoError`], mirroring how `write_snapshot`
+    /// reports its staging errors.
     pub fn write_file(&self, path: &Path) -> Result<(), WireIoError> {
         fn io(op: &'static str, p: &Path, e: std::io::Error) -> WireIoError {
             WireIoError::Io { op, path: p.to_path_buf(), source: e }
+        }
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent).map_err(|e| io("create_dir", parent, e))?;
+            }
         }
         let tmp = path.with_extension("tmp");
         {
@@ -246,6 +276,8 @@ mod tests {
             cuts: vec![(110, 9)],
             verdicts: vec![(110, 9, 25.5, 24.25, true), (170, 9, 0.5, 0.25, false)],
             neighbors_final: vec![1, 2, 7],
+            generation: 2,
+            resume_error: String::new(),
         }
     }
 
@@ -271,7 +303,7 @@ mod tests {
     fn truncated_summary_is_rejected_with_the_path_named() {
         let s = sample();
         let text = s.to_text();
-        let cut = &text[..text.len() - 5]; // chop the `end` sentinel
+        let cut = &text[..text.rfind("end\t").unwrap()]; // chop the `end` sentinel
         let err = WireSummary::from_reader(cut.as_bytes(), Path::new("victim.summary"))
             .expect_err("truncation must fail");
         let msg = err.to_string();
@@ -280,16 +312,59 @@ mod tests {
     }
 
     #[test]
+    fn generation_rides_the_end_sentinel() {
+        let s = sample();
+        let text = s.to_text();
+        assert!(text.ends_with("end\t2\n"), "sentinel carries the generation: {text}");
+        let back =
+            WireSummary::from_reader(text.as_bytes(), Path::new("<memory>")).expect("parses");
+        assert_eq!(back.generation, 2);
+        // Pre-generation writers emitted a bare `end`: still generation 0.
+        let legacy = text.replace("end\t2", "end");
+        let back =
+            WireSummary::from_reader(legacy.as_bytes(), Path::new("<memory>")).expect("parses");
+        assert_eq!(back.generation, 0);
+    }
+
+    #[test]
+    fn resume_error_roundtrips_and_defaults_empty() {
+        let mut s = sample();
+        s.resume_error = "ChecksumMismatch".into();
+        let back = WireSummary::from_reader(s.to_text().as_bytes(), Path::new("<memory>"))
+            .expect("parses");
+        assert_eq!(back.resume_error, "ChecksumMismatch");
+        assert!(!sample().to_text().contains("resume_error"), "empty field is omitted");
+    }
+
+    #[test]
     fn file_roundtrip_via_temp_rename() {
-        let dir = std::env::temp_dir().join("ddp-wire-summary-test");
-        std::fs::create_dir_all(&dir).unwrap();
+        // The parent directory does not exist: write_file creates it through
+        // its typed error path (no raw unwrap anywhere in the helper).
+        let dir = std::env::temp_dir()
+            .join(format!("ddp-wire-summary-test-{}", std::process::id()))
+            .join("nested");
         let path = dir.join("s4.summary");
         let s = sample();
-        s.write_file(&path).expect("write");
+        s.write_file(&path).expect("write creates the parent directory");
         let back = WireSummary::read_file(&path).expect("read");
         assert_eq!(s, back);
         assert!(!path.with_extension("tmp").exists(), "temp file renamed away");
-        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir_all(dir.parent().unwrap());
+    }
+
+    #[test]
+    fn unwritable_parent_is_a_typed_create_dir_error() {
+        // A path whose parent cannot be created (a file stands in the way)
+        // must surface as WireIoError::Io{op:"create_dir"} — never a panic.
+        let base = std::env::temp_dir().join(format!("ddp-wire-flat-{}", std::process::id()));
+        std::fs::write(&base, b"not a directory").unwrap();
+        let path = base.join("sub").join("s1.summary");
+        let err = sample().write_file(&path).expect_err("must fail");
+        match &err {
+            WireIoError::Io { op, .. } => assert_eq!(*op, "create_dir", "got {err}"),
+            other => panic!("expected Io error, got {other}"),
+        }
+        let _ = std::fs::remove_file(&base);
     }
 
     #[test]

@@ -1,20 +1,24 @@
 //! Connection-lifecycle edge cases for the supervised wire runtime:
-//! handshake deadlines, backoff capping, half-open peers, and
-//! drain-on-shutdown. Everything here runs over real loopback sockets and
-//! finishes in a few seconds — no ignored tests.
+//! handshake deadlines, backoff capping, half-open peers,
+//! drain-on-shutdown, and checkpoint-resume failure modes. Everything here
+//! runs over real loopback sockets and finishes in a few seconds — no
+//! ignored tests.
 
 use bytes::Bytes;
 use ddp_protocol::{decode_message, Guid, Message, NeighborTraffic, Payload};
 use ddp_servent::wire::backoff::Backoff;
+use ddp_servent::wire::checkpoint::encode_payload;
 use ddp_servent::wire::conn::{dial, spawn_writer, ConnEvent, SendQueue, WireStats};
-use ddp_servent::wire::{HandshakeError, WireConfig, WireServent};
+use ddp_servent::wire::{snap_path, CheckpointSpec, HandshakeError, WireConfig, WireServent};
 use ddp_servent::{Servent, ServentConfig, ServentRole};
+use ddp_snapshot::{write_snapshot, SnapshotError};
 use ddp_topology::NodeId;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
 use std::io::Read;
 use std::net::{TcpListener, TcpStream};
+use std::path::Path;
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
@@ -209,4 +213,110 @@ fn finish_flushes_queued_neighbor_traffic_before_close() {
         }
         other => panic!("expected Closed, got {other:?}"),
     }
+}
+
+// --- checkpoint-resume failure modes -------------------------------------
+//
+// A damaged or foreign checkpoint must degrade to a *logged cold start*
+// with the right `SnapshotError` variant — never a panic, and the run
+// still completes end to end.
+
+/// A standalone servent (no peers) with checkpointing pointed at `dir`.
+fn loner_with_checkpointing(dir: &Path, context: u64) -> WireServent {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let servent = Servent::new(NodeId(1), ServentRole::Good, ServentConfig::default());
+    let cfg = WireConfig {
+        tick_ms: 5,
+        connect_grace_ms: 20,
+        drain_timeout_ms: 50,
+        ..WireConfig::default()
+    };
+    let mut ws =
+        WireServent::new(servent, listener, HashMap::new(), &[], cfg, vec!["item".into()], 0.0, 7)
+            .unwrap();
+    ws.set_checkpointing(CheckpointSpec { dir: dir.to_path_buf(), every_ticks: 10, context });
+    ws
+}
+
+/// Write a well-formed checkpoint for servent 1 at tick 42 under `context`.
+fn plant_checkpoint(dir: &Path, context: u64) {
+    std::fs::create_dir_all(dir).unwrap();
+    let donor = Servent::new(NodeId(1), ServentRole::Good, ServentConfig::default());
+    let payload = encode_payload(42, 0, 5, [1, 2, 3, 4], &[], &donor);
+    write_snapshot(&snap_path(dir, 1), context, &payload).unwrap();
+}
+
+fn scratch_dir(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("ddp-lifecycle-{}-{name}", std::process::id()))
+}
+
+#[test]
+fn valid_checkpoint_resumes_and_the_run_completes() {
+    let dir = scratch_dir("valid");
+    plant_checkpoint(&dir, 0xC0FFEE);
+    let mut ws = loner_with_checkpointing(&dir, 0xC0FFEE);
+    let resumed = ws.try_resume().expect("well-formed checkpoint must resume");
+    assert_eq!(resumed, Some(43), "resume restarts at the tick after the checkpoint");
+    assert_eq!(ws.generation(), 1);
+    let report = ws.run(0);
+    assert_eq!(report.generation, 1);
+    assert_eq!(report.conn.resumes, 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn truncated_checkpoint_is_a_typed_cold_start() {
+    let dir = scratch_dir("truncated");
+    plant_checkpoint(&dir, 7);
+    let path = snap_path(&dir, 1);
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+
+    let mut ws = loner_with_checkpointing(&dir, 7);
+    let err = ws.try_resume().expect_err("a truncated checkpoint must be rejected");
+    assert_eq!(err.kind(), "Truncated", "got {err:?}");
+    // The rejection is a cold start, not a crash: the run still completes.
+    assert_eq!(ws.generation(), 0);
+    let report = ws.run(0);
+    assert_eq!(report.generation, 0);
+    assert_eq!(report.conn.resumes, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn flipped_bit_is_a_checksum_mismatch_cold_start() {
+    let dir = scratch_dir("bitflip");
+    plant_checkpoint(&dir, 7);
+    let path = snap_path(&dir, 1);
+    let mut bytes = std::fs::read(&path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    std::fs::write(&path, &bytes).unwrap();
+
+    let mut ws = loner_with_checkpointing(&dir, 7);
+    let err = ws.try_resume().expect_err("a bit-flipped checkpoint must be rejected");
+    assert_eq!(err.kind(), "ChecksumMismatch", "got {err:?}");
+    assert_eq!(ws.generation(), 0);
+    let report = ws.run(0);
+    assert_eq!(report.generation, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn foreign_config_checkpoint_is_a_context_mismatch_cold_start() {
+    let dir = scratch_dir("foreign");
+    plant_checkpoint(&dir, 111);
+    let mut ws = loner_with_checkpointing(&dir, 222);
+    let err = ws.try_resume().expect_err("a foreign-config checkpoint must be rejected");
+    match err {
+        SnapshotError::ContextMismatch { expected, found } => {
+            assert_eq!(expected, 222);
+            assert_eq!(found, 111);
+        }
+        other => panic!("expected ContextMismatch, got {other:?}"),
+    }
+    assert_eq!(ws.generation(), 0);
+    let report = ws.run(0);
+    assert_eq!(report.generation, 0);
+    let _ = std::fs::remove_dir_all(&dir);
 }

@@ -100,6 +100,24 @@ pub enum SnapshotError {
     },
 }
 
+impl SnapshotError {
+    /// Stable variant name — the string surfaced in wire summaries and logs
+    /// when a resume degrades to a cold start, so collectors can classify
+    /// recovery failures without parsing the full message.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SnapshotError::Io { .. } => "Io",
+            SnapshotError::Truncated { .. } => "Truncated",
+            SnapshotError::BadMagic { .. } => "BadMagic",
+            SnapshotError::BadVersion { .. } => "BadVersion",
+            SnapshotError::ChecksumMismatch { .. } => "ChecksumMismatch",
+            SnapshotError::ContextMismatch { .. } => "ContextMismatch",
+            SnapshotError::Corrupt { .. } => "Corrupt",
+            SnapshotError::Unsupported { .. } => "Unsupported",
+        }
+    }
+}
+
 impl fmt::Display for SnapshotError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

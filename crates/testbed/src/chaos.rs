@@ -1,0 +1,254 @@
+//! Deterministic chaos scheduling for the wire mesh.
+//!
+//! A [`ChaosSchedule`] is a seeded, pre-computed list of fault-injection
+//! events — SIGKILL, supervised restart, socket sever, stall — spread over a
+//! wall-clock budget. Generating the schedule up front (instead of rolling
+//! dice mid-run) keeps a chaos soak reproducible: the same seed and
+//! [`ChaosPlan`] always yield the same event sequence, so a failing soak can
+//! be re-run byte-for-byte.
+//!
+//! Invariants the generator maintains:
+//!
+//! * every [`Kill`](ChaosEvent::Kill) is followed by a
+//!   [`Restart`](ChaosEvent::Restart) of the same servent before that
+//!   servent is killed again — the supervisor never restarts a live process
+//!   or double-kills a corpse;
+//! * every [`Sever`](ChaosEvent::Sever) / [`Stall`](ChaosEvent::Stall) is
+//!   paired with a later [`Heal`](ChaosEvent::Heal) /
+//!   [`Unstall`](ChaosEvent::Unstall) of the same edge, so disturbed links
+//!   always recover within the budget;
+//! * all events land strictly inside the budget, leaving the tail of the run
+//!   undisturbed for the mesh to converge.
+
+use crate::wire::WireMesh;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::{Duration, Instant};
+
+/// One fault-injection action against a [`WireMesh`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosEvent {
+    /// SIGKILL a servent process (no goodbye, no summary).
+    Kill { id: u32 },
+    /// Relaunch the killed servent on its original port; with checkpointing
+    /// it resumes the defense state the dead incarnation persisted.
+    Restart { id: u32 },
+    /// Cut the live sockets on a proxied edge, optionally mid-frame.
+    Sever { edge: (u32, u32), mid_frame: bool },
+    /// Restore forwarding on a severed edge.
+    Heal { edge: (u32, u32) },
+    /// Freeze traffic on a proxied edge.
+    Stall { edge: (u32, u32) },
+    /// Unfreeze a stalled edge.
+    Unstall { edge: (u32, u32) },
+}
+
+/// What the generator may disturb, and how hard.
+#[derive(Debug, Clone)]
+pub struct ChaosPlan {
+    /// Servents eligible for SIGKILL + restart cycles.
+    pub kill_targets: Vec<u32>,
+    /// Proxied edges eligible for sever/stall disturbances.
+    pub proxied_edges: Vec<(u32, u32)>,
+    /// Wall-clock window the events are scheduled within.
+    pub budget: Duration,
+    /// How many kill → restart cycles to schedule (skipped when
+    /// `kill_targets` is empty).
+    pub kill_cycles: usize,
+    /// How many sever-or-stall disturbances to schedule (skipped when
+    /// `proxied_edges` is empty).
+    pub disturbances: usize,
+}
+
+/// A seeded, time-ordered fault-injection script.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaosSchedule {
+    /// Events and their wall-clock offsets from the start of the run,
+    /// sorted ascending.
+    pub events: Vec<(Duration, ChaosEvent)>,
+}
+
+impl ChaosSchedule {
+    /// Roll a deterministic schedule: the same `seed` and `plan` always
+    /// produce the same events at the same offsets.
+    pub fn generate(seed: u64, plan: &ChaosPlan) -> ChaosSchedule {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let budget_ms = plan.budget.as_millis() as u64;
+        let mut events: Vec<(Duration, ChaosEvent)> = Vec::new();
+
+        // Kill cycles: partition the middle of the budget into one slot per
+        // cycle so a servent is always restarted before its next kill, and
+        // the final restart still leaves tail time to converge.
+        if !plan.kill_targets.is_empty() && plan.kill_cycles > 0 {
+            let window_start = budget_ms / 10;
+            let window = budget_ms * 8 / 10;
+            let slot = window / plan.kill_cycles as u64;
+            for cycle in 0..plan.kill_cycles {
+                let id = plan.kill_targets[rng.gen_range(0..plan.kill_targets.len())];
+                let slot_start = window_start + cycle as u64 * slot;
+                let kill_at = slot_start + rng.gen_range(0..slot.max(4) * 2 / 5);
+                let downtime = slot / 5 + rng.gen_range(0..slot.max(4) * 2 / 5);
+                events.push((Duration::from_millis(kill_at), ChaosEvent::Kill { id }));
+                events
+                    .push((Duration::from_millis(kill_at + downtime), ChaosEvent::Restart { id }));
+            }
+        }
+
+        // Edge disturbances: each sever/stall recovers within the budget.
+        if !plan.proxied_edges.is_empty() && plan.disturbances > 0 {
+            for _ in 0..plan.disturbances {
+                let edge = plan.proxied_edges[rng.gen_range(0..plan.proxied_edges.len())];
+                let at = budget_ms / 20 + rng.gen_range(0..(budget_ms * 3 / 4).max(1));
+                let recover = at + budget_ms / 20 + rng.gen_range(0..(budget_ms * 3 / 20).max(1));
+                let (hit, fix) = if rng.gen_bool(0.5) {
+                    let mid_frame = rng.gen_bool(0.5);
+                    (ChaosEvent::Sever { edge, mid_frame }, ChaosEvent::Heal { edge })
+                } else {
+                    (ChaosEvent::Stall { edge }, ChaosEvent::Unstall { edge })
+                };
+                events.push((Duration::from_millis(at), hit));
+                events.push((Duration::from_millis(recover.min(budget_ms)), fix));
+            }
+        }
+
+        // Stable sort: a kill and its restart keep their relative order even
+        // if the offsets collide.
+        events.sort_by_key(|&(at, _)| at);
+        ChaosSchedule { events }
+    }
+
+    /// Play the schedule against a live mesh, sleeping between events.
+    ///
+    /// Returns a human-readable log line per event (offset, action,
+    /// outcome). Injection errors are logged, not fatal — a restart that
+    /// races a graceful exit is a soak observation, not a driver bug.
+    pub fn run(&self, mesh: &mut WireMesh) -> Vec<String> {
+        let started = Instant::now();
+        let mut log = Vec::with_capacity(self.events.len());
+        for &(at, ev) in &self.events {
+            let elapsed = started.elapsed();
+            if at > elapsed {
+                std::thread::sleep(at - elapsed);
+            }
+            let outcome = match ev {
+                ChaosEvent::Kill { id } => match mesh.kill(id) {
+                    Ok(()) => format!("kill s{id}: ok"),
+                    Err(e) => format!("kill s{id}: {e}"),
+                },
+                ChaosEvent::Restart { id } => match mesh.restart(id) {
+                    Ok(launch) => format!("restart s{id}: ok (incarnation {launch})"),
+                    Err(e) => format!("restart s{id}: {e}"),
+                },
+                ChaosEvent::Sever { edge, mid_frame } => match mesh.sever(edge, mid_frame) {
+                    Ok(()) => format!("sever {edge:?} (mid_frame={mid_frame}): ok"),
+                    Err(e) => format!("sever {edge:?}: {e}"),
+                },
+                ChaosEvent::Heal { edge } => match mesh.heal(edge) {
+                    Ok(()) => format!("heal {edge:?}: ok"),
+                    Err(e) => format!("heal {edge:?}: {e}"),
+                },
+                ChaosEvent::Stall { edge } => match mesh.stall(edge) {
+                    Ok(()) => format!("stall {edge:?}: ok"),
+                    Err(e) => format!("stall {edge:?}: {e}"),
+                },
+                ChaosEvent::Unstall { edge } => match mesh.resume(edge) {
+                    Ok(()) => format!("unstall {edge:?}: ok"),
+                    Err(e) => format!("unstall {edge:?}: {e}"),
+                },
+            };
+            log.push(format!("{:>7}ms {outcome}", at.as_millis()));
+        }
+        log
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan() -> ChaosPlan {
+        ChaosPlan {
+            kill_targets: vec![3, 7, 9],
+            proxied_edges: vec![(1, 5), (2, 6)],
+            budget: Duration::from_secs(10),
+            kill_cycles: 3,
+            disturbances: 4,
+        }
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let p = plan();
+        assert_eq!(ChaosSchedule::generate(42, &p), ChaosSchedule::generate(42, &p));
+        assert_ne!(ChaosSchedule::generate(42, &p), ChaosSchedule::generate(43, &p));
+    }
+
+    #[test]
+    fn kills_and_restarts_alternate_per_servent() {
+        let s = ChaosSchedule::generate(7, &plan());
+        let mut down: std::collections::HashSet<u32> = std::collections::HashSet::new();
+        for (_, ev) in &s.events {
+            match *ev {
+                ChaosEvent::Kill { id } => {
+                    assert!(down.insert(id), "servent {id} killed while already down");
+                }
+                ChaosEvent::Restart { id } => {
+                    assert!(down.remove(&id), "servent {id} restarted while alive");
+                }
+                _ => {}
+            }
+        }
+        assert!(down.is_empty(), "servents left dead at the end: {down:?}");
+    }
+
+    #[test]
+    fn disturbances_recover_and_stay_in_budget() {
+        let p = plan();
+        let s = ChaosSchedule::generate(11, &p);
+        let mut open: Vec<(u32, u32)> = Vec::new();
+        for &(at, ev) in &s.events {
+            assert!(at <= p.budget, "event at {at:?} beyond budget {:?}", p.budget);
+            match ev {
+                ChaosEvent::Sever { edge, .. } | ChaosEvent::Stall { edge } => open.push(edge),
+                ChaosEvent::Heal { edge } | ChaosEvent::Unstall { edge } => {
+                    let i = open
+                        .iter()
+                        .position(|&e| e == edge)
+                        .expect("recovery without a matching disturbance");
+                    open.remove(i);
+                }
+                _ => {}
+            }
+        }
+        assert!(open.is_empty(), "edges left disturbed: {open:?}");
+        assert_eq!(
+            s.events.iter().filter(|(_, e)| matches!(e, ChaosEvent::Kill { .. })).count(),
+            3
+        );
+        assert_eq!(
+            s.events
+                .iter()
+                .filter(|(_, e)| matches!(e, ChaosEvent::Sever { .. } | ChaosEvent::Stall { .. }))
+                .count(),
+            4
+        );
+    }
+
+    #[test]
+    fn events_are_time_sorted() {
+        let s = ChaosSchedule::generate(5, &plan());
+        assert!(s.events.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+
+    #[test]
+    fn empty_targets_yield_an_empty_schedule() {
+        let p = ChaosPlan {
+            kill_targets: vec![],
+            proxied_edges: vec![],
+            budget: Duration::from_secs(5),
+            kill_cycles: 3,
+            disturbances: 3,
+        };
+        assert!(ChaosSchedule::generate(1, &p).events.is_empty());
+    }
+}

@@ -27,12 +27,14 @@
 //! cross-validation.
 
 pub mod chain;
+pub mod chaos;
 pub mod collector;
 pub mod logfile;
 pub mod proxy;
 pub mod wire;
 
 pub use chain::{ChainExperiment, ChainPoint, PeerCapacityModel};
+pub use chaos::{ChaosEvent, ChaosPlan, ChaosSchedule};
 pub use collector::TraceCollector;
 pub use logfile::{parse_log, read_log_file, write_log, write_log_file, LogError, ReplayAgent};
 pub use proxy::ChaosProxy;

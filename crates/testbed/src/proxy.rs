@@ -10,10 +10,16 @@
 //! * [`resume`](ChaosProxy::resume) — forward again;
 //! * [`sever`](ChaosProxy::sever) — cut the live relayed connections, with
 //!   `mid_frame` optionally leaking half of the in-flight chunk first so the
-//!   victim's reassembly buffer is left holding a torn frame.
+//!   victim's reassembly buffer is left holding a torn frame;
+//! * [`heal`](ChaosProxy::heal) — after the downstream process restarted
+//!   (possibly on a new port), point the relay at the new backend and cut
+//!   any connection still glued to the dead one.
 //!
 //! A severed proxy keeps accepting **new** connections, so supervised
-//! reconnect (capped backoff) heals the edge through the same address.
+//! reconnect (capped backoff) heals the edge through the same address. The
+//! backend address is re-read on every accept, so a supervisor that
+//! relaunches the downstream servent only has to call `heal` — dialers keep
+//! using the proxy's stable address throughout.
 
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
@@ -54,6 +60,10 @@ pub struct ChaosProxy {
     control: Arc<Control>,
     shutdown: Arc<AtomicBool>,
     accept_thread: Option<std::thread::JoinHandle<()>>,
+    /// Backend the relay dials for each accepted connection; shared with the
+    /// accept thread so [`heal`](Self::heal) can retarget a restarted
+    /// downstream without tearing the proxy down.
+    target: Arc<Mutex<SocketAddr>>,
     /// Bytes relayed in each direction (telemetry).
     pub bytes_relayed: Arc<AtomicU64>,
 }
@@ -68,18 +78,23 @@ impl ChaosProxy {
         let control = Arc::new(Control::default());
         let shutdown = Arc::new(AtomicBool::new(false));
         let bytes_relayed = Arc::new(AtomicU64::new(0));
+        let target = Arc::new(Mutex::new(target));
         let accept_thread = {
             let control = control.clone();
             let shutdown = shutdown.clone();
             let bytes_relayed = bytes_relayed.clone();
+            let target = target.clone();
             std::thread::spawn(move || loop {
                 if shutdown.load(Ordering::Relaxed) {
                     return;
                 }
                 match listener.accept() {
                     Ok((client, _)) => {
+                        // Re-read the backend on every accept: a healed proxy
+                        // dials the restarted process, not the dead socket.
+                        let backend = *target.lock().expect("proxy target lock");
                         let Ok(upstream) =
-                            TcpStream::connect_timeout(&target, Duration::from_millis(1_000))
+                            TcpStream::connect_timeout(&backend, Duration::from_millis(1_000))
                         else {
                             let _ = client.shutdown(Shutdown::Both);
                             continue;
@@ -114,6 +129,7 @@ impl ChaosProxy {
             control,
             shutdown,
             accept_thread: Some(accept_thread),
+            target,
             bytes_relayed,
         })
     }
@@ -145,6 +161,26 @@ impl ChaosProxy {
         cell.epoch += 1;
         cell.sever_mid_frame = mid_frame;
         cell.mode = Mode::Forward; // un-stall so relays notice the epoch bump
+        self.control.cv.notify_all();
+    }
+
+    /// The backend the proxy currently relays to.
+    pub fn target(&self) -> SocketAddr {
+        *self.target.lock().expect("proxy target lock")
+    }
+
+    /// Recover from a downstream restart: retarget the relay (when the
+    /// restarted process listens on a new address), cut every connection
+    /// still glued to the dead backend, and forward again. New connections
+    /// dial the fresh backend; dialers never see the address change.
+    pub fn heal(&self, new_target: Option<SocketAddr>) {
+        if let Some(addr) = new_target {
+            *self.target.lock().expect("proxy target lock") = addr;
+        }
+        let mut cell = self.control.mode.lock().expect("proxy lock");
+        cell.epoch += 1; // relays to the dead backend cut themselves
+        cell.sever_mid_frame = false;
+        cell.mode = Mode::Forward;
         self.control.cv.notify_all();
     }
 }
@@ -305,6 +341,38 @@ mod tests {
         c2.write_all(b"again").unwrap();
         let n = c2.read(&mut buf).unwrap();
         assert_eq!(&buf[..n], b"again");
+    }
+
+    #[test]
+    fn heal_after_backend_restart_relays_to_the_new_socket() {
+        // Backend "process": an echo server we kill (drop its listener) and
+        // later "restart" on a NEW port — exactly what a supervisor-restarted
+        // servent looks like from the proxy's side.
+        let (old_target, _h1) = echo_server();
+        let proxy = ChaosProxy::start(old_target).unwrap();
+
+        let mut c1 = TcpStream::connect(proxy.addr()).unwrap();
+        c1.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+        c1.write_all(b"before-crash").unwrap();
+        let mut buf = [0u8; 32];
+        let n = c1.read(&mut buf).unwrap();
+        assert_eq!(&buf[..n], b"before-crash");
+
+        // SIGKILL the backend (sockets die, port is gone) and sever the edge.
+        proxy.sever(false);
+        // Restart the backend on a fresh port, then heal the proxy onto it.
+        let (new_target, _h2) = echo_server();
+        assert_ne!(old_target, new_target, "restart lands on a new port");
+        proxy.heal(Some(new_target));
+        assert_eq!(proxy.target(), new_target);
+
+        // A fresh dial through the *unchanged* proxy address reaches the
+        // restarted backend.
+        let mut c2 = TcpStream::connect(proxy.addr()).unwrap();
+        c2.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        c2.write_all(b"after-restart").unwrap();
+        let n = c2.read(&mut buf).unwrap();
+        assert_eq!(&buf[..n], b"after-restart");
     }
 
     #[test]

@@ -1,15 +1,23 @@
-//! Multi-process chaos driver: a mesh of real `ddp-servent` processes over
-//! loopback TCP.
+//! Multi-process chaos driver and supervisor: a mesh of real `ddp-servent`
+//! processes over loopback TCP.
 //!
 //! The driver launches one OS process per servent, optionally routes chosen
 //! edges through [`ChaosProxy`] relays, and injects faults mid-run:
 //! [`kill`](WireMesh::kill) (SIGKILL — the process vanishes without a
 //! goodbye), [`sever`](WireMesh::sever) (cut sockets, optionally mid-frame),
-//! [`stall`](WireMesh::stall)/[`resume`](WireMesh::resume). At the end,
-//! [`collect`](WireMesh::collect) reaps every child under a wall-clock
-//! deadline (a hang is a reported failure, never a stuck driver) and parses
-//! the per-servent [`WireSummary`] files for cross-validation against the
-//! in-memory simulator.
+//! [`stall`](WireMesh::stall)/[`resume`](WireMesh::resume). When the mesh
+//! was launched with checkpointing ([`MeshSpec::checkpoint_every`]), the
+//! driver is also a supervisor: [`restart`](WireMesh::restart) relaunches a
+//! killed servent on its original port with its checkpoint directory, so the
+//! new incarnation resumes the defense state the old one persisted.
+//!
+//! Successive incarnations of a servent write distinct summary files
+//! (`s3.summary`, `s3.g1.summary`, ...), and [`collect`](WireMesh::collect)
+//! chains them in [`MeshReport::incarnations`] instead of letting a restart
+//! clobber its predecessor's result. At the end, `collect` reaps every child
+//! under a wall-clock deadline (a hang is a reported failure, never a stuck
+//! driver) and parses the per-servent [`WireSummary`] files for
+//! cross-validation against the in-memory simulator.
 
 use crate::proxy::ChaosProxy;
 use ddp_servent::wire::WireSummary;
@@ -42,14 +50,26 @@ pub struct MeshSpec {
     pub query_rate_qpm: f64,
     /// Directory for summary and stderr files (created if missing).
     pub out_dir: PathBuf,
+    /// Crash recovery: when `Some(n)`, every servent checkpoints its defense
+    /// state into `out_dir/ckpt` every `n` protocol seconds, and a
+    /// [`restart`](WireMesh::restart)ed servent resumes from its checkpoint
+    /// rather than cold-starting with amnesia.
+    pub checkpoint_every: Option<u64>,
 }
 
 /// What came back from a finished mesh.
 #[derive(Debug)]
 pub struct MeshReport {
-    /// Parsed summaries of servents that exited gracefully.
+    /// Parsed summary of each servent's *latest* incarnation that exited
+    /// gracefully (keyed by servent id).
     pub summaries: BTreeMap<u32, WireSummary>,
-    /// Servents with no readable summary (crashed or was killed).
+    /// Every readable summary per servent, in launch order. A servent that
+    /// was SIGKILL'd and restarted contributes the summaries of whichever
+    /// incarnations completed; the restored `cuts`/`verdicts` inside a
+    /// resumed incarnation chain the history across the crash.
+    pub incarnations: BTreeMap<u32, Vec<WireSummary>>,
+    /// Servents with no readable summary from any incarnation (crashed or
+    /// killed, never restarted to completion).
     pub missing: Vec<u32>,
     /// Servents the driver SIGKILL'd on purpose.
     pub killed: Vec<u32>,
@@ -60,22 +80,29 @@ pub struct MeshReport {
 }
 
 impl MeshReport {
-    /// Earliest protocol second at which any surviving servent cut `suspect`.
+    /// Earliest protocol second at which any incarnation of any servent cut
+    /// `suspect`.
     pub fn first_cut_of(&self, suspect: u32) -> Option<u64> {
-        self.summaries
+        self.incarnations
             .values()
+            .flatten()
             .flat_map(|s| s.cuts.iter())
             .filter(|&&(_, who)| who == suspect)
             .map(|&(t, _)| t)
             .min()
     }
 
-    /// How many servents cut `suspect`.
+    /// How many servents cut `suspect` (counting each servent once, however
+    /// many incarnations it ran).
     pub fn cuts_of(&self, suspect: u32) -> usize {
-        self.summaries.values().filter(|s| s.cuts.iter().any(|&(_, who)| who == suspect)).count()
+        self.incarnations
+            .iter()
+            .filter(|(_, incs)| incs.iter().any(|s| s.cuts.iter().any(|&(_, who)| who == suspect)))
+            .count()
     }
 
-    /// Whether no surviving servent still lists `suspect` as a neighbor.
+    /// Whether no surviving servent still lists `suspect` as a neighbor
+    /// (judged on each servent's latest incarnation).
     pub fn isolated(&self, suspect: u32) -> bool {
         self.summaries
             .values()
@@ -83,14 +110,17 @@ impl MeshReport {
             .all(|s| !s.neighbors_final.contains(&suspect))
     }
 
-    /// Aggregate connection counters across surviving servents.
+    /// Aggregate connection counters across surviving servents (latest
+    /// incarnations only — transport counters reset across a restart).
     pub fn total_conn(&self) -> ddp_metrics::ConnCounters {
         self.summaries
             .values()
             .fold(ddp_metrics::ConnCounters::default(), |acc, s| acc.merge(&s.conn))
     }
 
-    /// Total queries issued / resolved across surviving good servents.
+    /// Total queries issued / resolved across surviving good servents
+    /// (latest incarnations; `issued` is restored by resume, so this does
+    /// not double-count across a restart).
     pub fn totals(&self) -> (u64, u64) {
         self.summaries.values().fold((0, 0), |(i, r), s| (i + s.issued, r + s.resolved))
     }
@@ -132,6 +162,8 @@ pub fn locate_servent_bin() -> std::io::Result<PathBuf> {
 
 struct ChildProc {
     id: u32,
+    /// Incarnation index: 0 for the original launch, +1 per restart.
+    launch: u32,
     child: Child,
     summary_path: PathBuf,
 }
@@ -139,20 +171,32 @@ struct ChildProc {
 /// A launched mesh of servent processes.
 pub struct WireMesh {
     spec: MeshSpec,
+    bin: PathBuf,
+    addrs: HashMap<u32, SocketAddr>,
+    neighbors: HashMap<u32, Vec<u32>>,
     children: Vec<ChildProc>,
     proxies: HashMap<(u32, u32), ChaosProxy>,
     killed: Vec<u32>,
     started: Instant,
+    /// Reap deadline; extended by [`restart`](WireMesh::restart) so a late
+    /// relaunch gets time to finish its remaining ticks.
+    deadline: Instant,
 }
 
 impl WireMesh {
     /// Allocate ports, start proxies, and spawn every servent process.
     pub fn launch(spec: MeshSpec) -> std::io::Result<WireMesh> {
         std::fs::create_dir_all(&spec.out_dir)?;
+        if spec.checkpoint_every.is_some() {
+            std::fs::create_dir_all(spec.out_dir.join("ckpt"))?;
+        }
         let bin = locate_servent_bin()?;
 
         // Reserve one loopback port per node: bind them all concurrently
         // (guaranteeing distinctness), then release just before spawning.
+        // A restarted servent re-binds its original port — std sets
+        // SO_REUSEADDR on Unix, so lingering TIME_WAIT pairs from the dead
+        // incarnation don't block the rebind.
         let mut holders: Vec<(u32, TcpListener)> = Vec::with_capacity(spec.nodes.len());
         let mut addrs: HashMap<u32, SocketAddr> = HashMap::new();
         for node in &spec.nodes {
@@ -184,65 +228,98 @@ impl WireMesh {
 
         drop(holders); // release the reserved ports for the children
 
-        let mut children = Vec::with_capacity(spec.nodes.len());
-        for node in &spec.nodes {
-            let my_addr = addrs[&node.id];
-            // Per-node address book; proxied edges rewrite the dialer's view.
-            let mut book: Vec<String> = Vec::new();
-            for (&pid, &paddr) in &addrs {
-                let effective = proxies.get(&(node.id, pid)).map(|p| p.addr()).unwrap_or(paddr);
-                book.push(format!("{pid}={effective}"));
-            }
-            book.sort();
-            let neigh: Vec<String> = neighbors
-                .get(&node.id)
-                .map(|ns| ns.iter().map(u32::to_string).collect())
-                .unwrap_or_default();
-            let summary_path = spec.out_dir.join(format!("s{}.summary", node.id));
-            let stderr_path = spec.out_dir.join(format!("s{}.stderr", node.id));
-            let mut cmd = Command::new(&bin);
-            cmd.arg("--id")
-                .arg(node.id.to_string())
-                .arg("--listen")
-                .arg(my_addr.to_string())
-                .arg("--peers")
-                .arg(book.join(","))
-                .arg("--neighbors")
-                .arg(neigh.join(","))
-                .arg("--minutes")
-                .arg(spec.minutes.to_string())
-                .arg("--tick-ms")
-                .arg(spec.tick_ms.to_string())
-                .arg("--seed")
-                .arg(spec.seed.to_string())
-                .arg("--query-rate-qpm")
-                .arg(spec.query_rate_qpm.to_string())
-                .arg("--out")
-                .arg(&summary_path);
-            match node.role {
-                ServentRole::Good => {
-                    cmd.arg("--role").arg("good");
-                }
-                ServentRole::FloodingAgent { rate_qpm, respond_reports } => {
-                    cmd.arg("--role").arg("agent").arg("--rate-qpm").arg(rate_qpm.to_string());
-                    if respond_reports {
-                        cmd.arg("--respond-reports");
-                    }
-                }
-            }
-            cmd.stdin(Stdio::null())
-                .stdout(Stdio::null())
-                .stderr(std::fs::File::create(&stderr_path)?);
-            let child = cmd.spawn()?;
-            children.push(ChildProc { id: node.id, child, summary_path });
+        let ids: Vec<u32> = spec.nodes.iter().map(|n| n.id).collect();
+        let started = Instant::now();
+        let mut mesh = WireMesh {
+            spec,
+            bin,
+            addrs,
+            neighbors,
+            children: Vec::new(),
+            proxies,
+            killed: Vec::new(),
+            started,
+            deadline: started, // placeholder until the spec is owned
+        };
+        mesh.deadline = started + mesh.wall_budget();
+        for id in ids {
+            let child = mesh.spawn_node(id, 0)?;
+            mesh.children.push(child);
         }
-
-        Ok(WireMesh { spec, children, proxies, killed: Vec::new(), started: Instant::now() })
+        Ok(mesh)
     }
 
-    /// SIGKILL a servent process mid-run (no goodbye, no summary).
+    /// Spawn one incarnation of servent `id`. Incarnation 0 writes
+    /// `s<id>.summary`; restarts write `s<id>.g<launch>.summary` so earlier
+    /// results are never clobbered.
+    fn spawn_node(&self, id: u32, launch: u32) -> std::io::Result<ChildProc> {
+        let node = self.spec.nodes.iter().find(|n| n.id == id).ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::NotFound,
+                format!("no servent with id {id} in the mesh"),
+            )
+        })?;
+        let my_addr = self.addrs[&id];
+        // Per-node address book; proxied edges rewrite the dialer's view.
+        let mut book: Vec<String> = Vec::new();
+        for (&pid, &paddr) in &self.addrs {
+            let effective = self.proxies.get(&(id, pid)).map(|p| p.addr()).unwrap_or(paddr);
+            book.push(format!("{pid}={effective}"));
+        }
+        book.sort();
+        let neigh: Vec<String> = self
+            .neighbors
+            .get(&id)
+            .map(|ns| ns.iter().map(u32::to_string).collect())
+            .unwrap_or_default();
+        let suffix = if launch == 0 { String::new() } else { format!(".g{launch}") };
+        let summary_path = self.spec.out_dir.join(format!("s{id}{suffix}.summary"));
+        let stderr_path = self.spec.out_dir.join(format!("s{id}{suffix}.stderr"));
+        let mut cmd = Command::new(&self.bin);
+        cmd.arg("--id")
+            .arg(id.to_string())
+            .arg("--listen")
+            .arg(my_addr.to_string())
+            .arg("--peers")
+            .arg(book.join(","))
+            .arg("--neighbors")
+            .arg(neigh.join(","))
+            .arg("--minutes")
+            .arg(self.spec.minutes.to_string())
+            .arg("--tick-ms")
+            .arg(self.spec.tick_ms.to_string())
+            .arg("--seed")
+            .arg(self.spec.seed.to_string())
+            .arg("--query-rate-qpm")
+            .arg(self.spec.query_rate_qpm.to_string())
+            .arg("--out")
+            .arg(&summary_path);
+        if let Some(every) = self.spec.checkpoint_every {
+            cmd.arg("--resume-dir")
+                .arg(self.spec.out_dir.join("ckpt"))
+                .arg("--checkpoint-every")
+                .arg(every.to_string());
+        }
+        match node.role {
+            ServentRole::Good => {
+                cmd.arg("--role").arg("good");
+            }
+            ServentRole::FloodingAgent { rate_qpm, respond_reports } => {
+                cmd.arg("--role").arg("agent").arg("--rate-qpm").arg(rate_qpm.to_string());
+                if respond_reports {
+                    cmd.arg("--respond-reports");
+                }
+            }
+        }
+        cmd.stdin(Stdio::null()).stdout(Stdio::null()).stderr(std::fs::File::create(&stderr_path)?);
+        let child = cmd.spawn()?;
+        Ok(ChildProc { id, launch, child, summary_path })
+    }
+
+    /// SIGKILL a servent process mid-run (no goodbye, no summary). With
+    /// multiple incarnations, kills the latest one.
     pub fn kill(&mut self, id: u32) -> std::io::Result<()> {
-        for c in &mut self.children {
+        for c in self.children.iter_mut().rev() {
             if c.id == id {
                 c.child.kill()?;
                 self.killed.push(id);
@@ -253,6 +330,54 @@ impl WireMesh {
             std::io::ErrorKind::NotFound,
             format!("no servent with id {id} in the mesh"),
         ))
+    }
+
+    /// Relaunch a dead servent on its original port as a new incarnation.
+    ///
+    /// The previous incarnation must already be dead (normally via
+    /// [`kill`](WireMesh::kill)); it is reaped here so the listening port is
+    /// free before the replacement binds it. When the mesh runs with
+    /// [`checkpoint_every`](MeshSpec::checkpoint_every), the new incarnation
+    /// gets the same `--resume-dir` and picks up the defense state its
+    /// predecessor checkpointed. Proxies relaying to the restarted servent
+    /// are healed so severed/stalled edges carry traffic again.
+    ///
+    /// Returns the new incarnation index (1 for the first restart).
+    pub fn restart(&mut self, id: u32) -> std::io::Result<u32> {
+        let prev =
+            self.children.iter_mut().filter(|c| c.id == id).max_by_key(|c| c.launch).ok_or_else(
+                || {
+                    std::io::Error::new(
+                        std::io::ErrorKind::NotFound,
+                        format!("no servent with id {id} in the mesh"),
+                    )
+                },
+            )?;
+        if matches!(prev.child.try_wait(), Ok(None)) {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("servent {id} is still running; kill it before restarting"),
+            ));
+        }
+        // Fully reap so the kernel has released the listening socket.
+        let _ = prev.child.wait();
+        let launch = prev.launch + 1;
+        let child = self.spawn_node(id, launch)?;
+        self.children.push(child);
+        // Heal proxies on edges incident to the restarted servent: drop any
+        // relays still pinned to the dead incarnation and resume forwarding
+        // (the port — and thus the proxy target — is unchanged).
+        for (&(dialer, acceptor), proxy) in &self.proxies {
+            if dialer == id || acceptor == id {
+                proxy.heal(None);
+            }
+        }
+        // A late restart replays up to a full run after the original budget.
+        let extended = Instant::now() + self.wall_budget();
+        if extended > self.deadline {
+            self.deadline = extended;
+        }
+        Ok(launch)
     }
 
     fn proxy_for(&self, edge: (u32, u32)) -> std::io::Result<&ChaosProxy> {
@@ -283,6 +408,13 @@ impl WireMesh {
         Ok(())
     }
 
+    /// Restore forwarding on a proxied edge after a sever (cuts stale
+    /// relays; fresh dials reach the backend again).
+    pub fn heal(&self, edge: (u32, u32)) -> std::io::Result<()> {
+        self.proxy_for(edge)?.heal(None);
+        Ok(())
+    }
+
     /// Wall-clock budget for a graceful run: connect grace + every tick +
     /// drain, plus generous slack for process startup and scheduling.
     pub fn wall_budget(&self) -> Duration {
@@ -290,11 +422,11 @@ impl WireMesh {
         Duration::from_millis(ticks + 10_000)
     }
 
-    /// Reap every child under the wall-clock budget. Children still running
-    /// at the deadline are killed and reported as hung — the driver itself
-    /// never deadlocks on a stuck servent.
+    /// Reap every child under the wall-clock deadline. Children still
+    /// running at the deadline are killed and reported as hung — the driver
+    /// itself never deadlocks on a stuck servent.
     pub fn collect(mut self) -> MeshReport {
-        let deadline = self.started + self.wall_budget();
+        let deadline = self.deadline;
         let mut hung = Vec::new();
         loop {
             let mut all_done = true;
@@ -325,18 +457,25 @@ impl WireMesh {
             let _ = c.child.wait();
         }
 
+        // Chain incarnations: children are in launch order per id, so each
+        // id's summaries accumulate oldest-first; `summaries` keeps the
+        // latest readable one.
+        let mut incarnations: BTreeMap<u32, Vec<WireSummary>> = BTreeMap::new();
         let mut summaries = BTreeMap::new();
-        let mut missing = Vec::new();
+        let mut got_summary: BTreeMap<u32, bool> = BTreeMap::new();
         for c in &self.children {
-            match WireSummary::read_file(&c.summary_path) {
-                Ok(s) => {
-                    summaries.insert(c.id, s);
-                }
-                Err(_) => missing.push(c.id),
+            let got = got_summary.entry(c.id).or_insert(false);
+            if let Ok(s) = WireSummary::read_file(&c.summary_path) {
+                summaries.insert(c.id, s.clone());
+                incarnations.entry(c.id).or_default().push(s);
+                *got = true;
             }
         }
+        let missing: Vec<u32> =
+            got_summary.iter().filter(|&(_, &got)| !got).map(|(&id, _)| id).collect();
         MeshReport {
             summaries,
+            incarnations,
             missing,
             killed: self.killed.clone(),
             hung,

@@ -68,6 +68,7 @@ fn chaos_mesh_survives_sigkill_and_severed_socket() {
         seed: 42,
         query_rate_qpm: 2.0,
         out_dir: out_dir.clone(),
+        checkpoint_every: None,
     };
 
     let mut mesh = WireMesh::launch(spec).expect("launch mesh");

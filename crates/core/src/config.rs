@@ -2,6 +2,7 @@
 
 use crate::exchange::ExchangePolicy;
 use crate::verdict::{AggregationPolicy, Hysteresis, ReadmissionPolicy};
+pub use ddp_sketch::{MonitorBackend, SketchParams};
 
 /// All protocol parameters, defaulted to the values §3.7 settles on.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -79,6 +80,15 @@ pub struct DdPoliceConfig {
     /// — the paper's static-membership behavior, byte-identical to before
     /// the field existed.
     pub suspect_ttl_ticks: u32,
+    /// Which traffic-monitor backend judgments read their per-neighbor
+    /// query counts from. [`MonitorBackend::Exact`] (the default) reads the
+    /// overlay's exact counters, tick-for-tick identical to before the
+    /// field existed; [`MonitorBackend::Sketch`] reads count-min estimates
+    /// (overestimate-only, so detection errs toward *investigating*, never
+    /// toward missing a flooder). Note this field feeds the snapshot config
+    /// digest through `Debug`, so checkpoints refuse to resume under a
+    /// different backend.
+    pub monitor: MonitorBackend,
 }
 
 impl Default for DdPoliceConfig {
@@ -98,6 +108,7 @@ impl Default for DdPoliceConfig {
             aggregation: AggregationPolicy::default(),
             readmission: ReadmissionPolicy::default(),
             suspect_ttl_ticks: u32::MAX,
+            monitor: MonitorBackend::Exact,
         }
     }
 }

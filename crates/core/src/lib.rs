@@ -32,9 +32,9 @@ pub mod police;
 pub mod verdict;
 
 pub use baselines::NaiveRateLimit;
-pub use config::DdPoliceConfig;
+pub use config::{DdPoliceConfig, MonitorBackend, SketchParams};
 pub use exchange::ExchangePolicy;
-pub use police::{group_traffic_sums, DdPolice, JudgmentTrace};
+pub use police::{group_traffic_sums, DdPolice, JudgmentTrace, SketchStats};
 pub use verdict::{
     aggregate_group_traffic, AggregationPolicy, Hysteresis, ReadmissionPolicy, SuspectEntry,
     SuspectState, VerdictMachine, VerdictShard,

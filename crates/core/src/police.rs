@@ -25,9 +25,79 @@ use ddp_sim::{
     Actions, Defense, FrozenTick, ReportDelivery, ReportOutcome, Tick, TickObservation,
     TrafficReport,
 };
+use ddp_sketch::{MonitorBackend, SketchMonitor};
 use ddp_topology::{NodeId, Partition};
 use std::collections::HashMap;
 use std::ops::Range;
+
+/// Read-only view of the active traffic monitor, the source every judgment
+/// reads its per-neighbor query counts from. `Exact` reads the overlay's
+/// frozen counters — the code path that existed before backends were
+/// pluggable, byte-for-byte. `Sketch` reads the count-min estimates ingested
+/// at the top of the tick. `Copy` so every judgment worker can carry it over
+/// the frozen tick (the sketch is only ever read during judgment).
+#[derive(Clone, Copy)]
+enum Mon<'a> {
+    Exact,
+    Sketch(&'a SketchMonitor),
+}
+
+impl Mon<'_> {
+    /// The tick's accepted-query count on `src → dst`, where `slot` is
+    /// `src`'s adjacency slot for `dst` (the exact backend's O(1)
+    /// reciprocal-index read).
+    #[inline]
+    fn flow(&self, obs: &FrozenTick<'_>, src: NodeId, slot: usize, dst: NodeId) -> u32 {
+        match self {
+            Mon::Exact => obs.overlay.accepted_via(src, slot),
+            Mon::Sketch(m) => m.estimate(src.0, dst.0),
+        }
+    }
+
+    /// What `reporter` would answer a `Neighbor_Traffic` request about
+    /// `suspect`: the monitor's counters, shaped by the reporter's fixed
+    /// cheating behavior. Observer-independent either way, so the shared
+    /// fast path's preconditions are unchanged by the backend choice.
+    #[inline]
+    fn answer(
+        &self,
+        obs: &FrozenTick<'_>,
+        reporter: NodeId,
+        suspect: NodeId,
+    ) -> Option<TrafficReport> {
+        match self {
+            Mon::Exact => obs.request_report(reporter, suspect),
+            Mon::Sketch(m) => obs.shape_report(
+                reporter,
+                suspect,
+                TrafficReport {
+                    sent_to_suspect: m.estimate(reporter.0, suspect.0),
+                    received_from_suspect: m.estimate(suspect.0, reporter.0),
+                },
+            ),
+        }
+    }
+}
+
+/// Realized-error diagnostics of the sketch backend, refreshed during each
+/// tick's ingest. `max_excess_*` compares every live edge's estimate against
+/// the exact counter — the quantity the detection-parity suite derives its
+/// borderline tolerance from (the error-bound proptests bound it by εN).
+/// All zeros under the exact backend.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SketchStats {
+    /// Queries ingested last tick (the εN bound's `N`).
+    pub items_last_tick: u64,
+    /// Worst realized overestimate across live edges, last tick.
+    pub max_excess_last_tick: u32,
+    /// Worst realized overestimate across the whole run.
+    pub max_excess_run: u32,
+    /// Largest `N` seen in any tick of the run.
+    pub max_items_run: u64,
+    /// Largest overlay degree seen during ingest (bounds a Buddy Group's
+    /// `k`, which scales how estimate excess propagates into indicators).
+    pub max_degree_run: u32,
+}
 
 /// Sum a Buddy Group's traffic claims about the suspect: the observer's own
 /// ground-truth counters plus each other member's resolved report, where
@@ -111,6 +181,15 @@ pub struct DdPolice {
     /// only so their allocations survive across ticks. Like the serial cache
     /// they are per-tick memos: never serialized, cleared on restore.
     worker_caches: Vec<HashMap<u32, SuspectTickCache>>,
+    /// The sketch monitor when `cfg.monitor` selects the sketch backend
+    /// (`None` under the exact default — the exact path allocates nothing).
+    /// Ingest runs serially at the top of `on_tick`; judgments — serial or
+    /// parallel — only read it. Cross-tick state (the heavy-hitter table and
+    /// its buckets) is serialized after the existing payload fields.
+    monitor: Option<SketchMonitor>,
+    /// See [`SketchStats`]. Diagnostics only: never serialized, never read
+    /// by judgments, so it cannot influence detection behavior.
+    sketch_stats: SketchStats,
 }
 
 /// See [`DdPolice::suspect_cache`].
@@ -138,6 +217,10 @@ struct SuspectTickCache {
 impl DdPolice {
     /// DD-POLICE over `n` peer slots.
     pub fn new(cfg: DdPoliceConfig, n: usize) -> Self {
+        let monitor = match cfg.monitor {
+            MonitorBackend::Exact => None,
+            MonitorBackend::Sketch(params) => Some(SketchMonitor::new(params)),
+        };
         DdPolice {
             cfg,
             exchange: ExchangeState::new(n),
@@ -150,6 +233,8 @@ impl DdPolice {
             threads: 1,
             unordered_reduction: false,
             worker_caches: Vec::new(),
+            monitor,
+            sketch_stats: SketchStats::default(),
         }
     }
 
@@ -204,6 +289,73 @@ impl DdPolice {
         if let Some(t) = self.trace.as_mut() {
             t.push(JudgmentTrace { tick, observer, suspect, g, s });
         }
+    }
+
+    /// The sketch monitor, when the sketch backend is active (tests,
+    /// diagnostics, and the experiments sweep's memory accounting).
+    pub fn sketch_monitor(&self) -> Option<&SketchMonitor> {
+        self.monitor.as_ref()
+    }
+
+    /// Realized-error diagnostics of the sketch backend (zeros under exact).
+    pub fn sketch_stats(&self) -> SketchStats {
+        self.sketch_stats
+    }
+
+    /// Sabotage the sketch into *undercounting* by `bias`, violating the
+    /// overestimate-only invariant the detection analysis rests on. The
+    /// parity suite's teeth check flips this and asserts the missed cut is
+    /// caught. No-op under the exact backend. Never set outside tests.
+    #[doc(hidden)]
+    pub fn set_sketch_underestimate(&mut self, bias: u32) {
+        if let Some(m) = self.monitor.as_mut() {
+            m.set_underestimate(bias);
+        }
+    }
+
+    /// Sketch-backend ingest: replay the tick's frozen accepted-query
+    /// counters into a fresh count-min window, offer each sender's aggregate
+    /// to the top-k table (filling its leaky bucket, drained by the warning
+    /// budget), then run a verify pass recording the realized worst
+    /// overestimate. Runs serially on the caller's thread *before* any
+    /// judgment worker spawns: judgments only ever read the monitor, so the
+    /// parallel fast path needs no sketch merging or deferral at all — the
+    /// sketch analogue of the `Deferred` replay rule for suspect-shared
+    /// state is "mutate before the fork, freeze across it".
+    fn sketch_ingest(&mut self, obs: &TickObservation<'_>) {
+        let Some(mon) = self.monitor.as_mut() else { return };
+        mon.begin_tick(self.cfg.warning_threshold_qpm as u64);
+        let n = obs.overlay.node_count();
+        let mut max_degree = self.sketch_stats.max_degree_run;
+        for i in 0..n {
+            let u = NodeId::from_index(i);
+            let neigh = obs.overlay.neighbors(u);
+            max_degree = max_degree.max(neigh.len() as u32);
+            let mut total = 0u64;
+            for (slot, &half) in neigh.iter().enumerate() {
+                let c = obs.overlay.accepted_via(u, slot);
+                if c > 0 {
+                    mon.record_flow(u.0, half.peer.0, c);
+                    total += c as u64;
+                }
+            }
+            mon.note_sender_total(u.0, total);
+        }
+        let mut max_excess = 0u32;
+        for i in 0..n {
+            let u = NodeId::from_index(i);
+            for (slot, &half) in obs.overlay.neighbors(u).iter().enumerate() {
+                let c = obs.overlay.accepted_via(u, slot);
+                max_excess = max_excess.max(mon.estimate(u.0, half.peer.0).saturating_sub(c));
+            }
+        }
+        self.sketch_stats = SketchStats {
+            items_last_tick: mon.items_this_tick(),
+            max_excess_last_tick: max_excess,
+            max_excess_run: self.sketch_stats.max_excess_run.max(max_excess),
+            max_items_run: self.sketch_stats.max_items_run.max(mon.items_this_tick()),
+            max_degree_run: max_degree,
+        };
     }
 
     /// `(verdict entries, exchanged snapshots)` currently held — the two
@@ -262,6 +414,7 @@ impl DdPolice {
     /// Judge one suspect from one observer's position. Returns the pair of
     /// indicators actually computed (for diagnostics/tests) and the control
     /// messages spent on transport retries.
+    #[allow(clippy::too_many_arguments)] // one per input plane; bundling would just rename the problem
     fn judge(
         &self,
         observer: NodeId,
@@ -269,6 +422,7 @@ impl DdPolice {
         own: TrafficReport,
         q_suspect_to_observer: u32,
         obs: &TickObservation<'_>,
+        mon: Mon<'_>,
         memo: &mut HashMap<(u32, u32), Option<TrafficReport>>,
     ) -> (f64, f64, u64) {
         let suspect = group.suspect;
@@ -278,8 +432,9 @@ impl DdPolice {
             if m == observer {
                 continue; // own counters are summed directly, no message
             }
-            let answer =
-                *memo.entry((m.0, suspect.0)).or_insert_with(|| obs.request_report(m, suspect));
+            let answer = *memo
+                .entry((m.0, suspect.0))
+                .or_insert_with(|| mon.answer(&obs.frozen(), m, suspect));
             let report = self
                 .resolve_report(observer, m, suspect, answer, obs, &mut retry_msgs)
                 .map(|mut r| {
@@ -319,7 +474,12 @@ impl DdPolice {
     /// exchange charge, the order-sensitive metric feeds) is recorded as a
     /// [`Deferred`] event in serial order and replayed here on the caller's
     /// thread during the reduction.
-    fn parallel_fast_tick(&mut self, obs: &TickObservation<'_>, actions: &mut Actions) {
+    fn parallel_fast_tick(
+        &mut self,
+        obs: &TickObservation<'_>,
+        mon: Mon<'_>,
+        actions: &mut Actions,
+    ) {
         let frozen = obs.frozen();
         let part = Partition::by_degree(obs.overlay.graph(), self.threads);
         if self.worker_caches.len() < part.parts() {
@@ -335,7 +495,7 @@ impl DdPolice {
             for ((p, shard), cache) in shards.into_iter().enumerate().zip(&mut self.worker_caches) {
                 let range = part.range(p);
                 handles.push(scope.spawn(move || {
-                    judge_partition(range, shard, cache, frozen, exchange, cfg, tracing)
+                    judge_partition(range, shard, cache, frozen, exchange, cfg, tracing, mon)
                 }));
             }
             for h in handles {
@@ -406,6 +566,9 @@ struct PartitionOutcome {
 /// partition's [`VerdictShard`], the suspect cache is worker-local (same
 /// values — entries are pure functions of `(suspect, announcement tick)` on
 /// the frozen tick), and suspect-keyed effects become [`Deferred`] events.
+/// The monitor view is read-only and tick-frozen, so sketch reads need no
+/// shard-locality treatment: every worker sees the identical sketch.
+#[allow(clippy::too_many_arguments)]
 fn judge_partition(
     range: Range<usize>,
     mut shard: VerdictShard<'_>,
@@ -414,6 +577,7 @@ fn judge_partition(
     exchange: &ExchangeState,
     cfg: &DdPoliceConfig,
     tracing: bool,
+    mon: Mon<'_>,
 ) -> PartitionOutcome {
     let mut out =
         PartitionOutcome { actions: Actions::default(), trace: Vec::new(), deferred: Vec::new() };
@@ -439,13 +603,13 @@ fn judge_partition(
         let neigh = obs.overlay.neighbors(observer);
         for (slot, &half) in neigh.iter().enumerate() {
             let suspect = half.peer;
-            let q_ji = obs.overlay.accepted_via(suspect, half.ridx as usize);
+            let q_ji = mon.flow(&obs, suspect, half.ridx as usize, observer);
             if q_ji <= cfg.warning_threshold_qpm {
                 shard.below_warning(observer, suspect);
                 continue;
             }
             let own = TrafficReport {
-                sent_to_suspect: obs.overlay.accepted_via(observer, slot),
+                sent_to_suspect: mon.flow(&obs, observer, slot, suspect),
                 received_from_suspect: q_ji,
             };
             let Some(snap) = exchange.snapshot(observer, suspect) else {
@@ -495,7 +659,7 @@ fn judge_partition(
                 entry.n_answered = 0;
                 entry.n_refused = 0;
                 for &m in &entry.members {
-                    let answer = obs.request_report(m, suspect);
+                    let answer = mon.answer(&obs, m, suspect);
                     match answer {
                         Some(r) => {
                             entry.n_answered += 1;
@@ -555,9 +719,29 @@ impl Defense for DdPolice {
         "dd-police"
     }
 
+    fn monitor_backend(&self) -> Option<String> {
+        // `None` under the exact default keeps summaries byte-identical to
+        // pre-backend runs (the frozen differential digests depend on it).
+        match self.cfg.monitor {
+            MonitorBackend::Exact => None,
+            MonitorBackend::Sketch(_) => Some(self.cfg.monitor.label()),
+        }
+    }
+
     fn on_tick(&mut self, obs: &TickObservation<'_>, actions: &mut Actions) {
         actions.control_msgs +=
             self.exchange.on_tick_with_threads(self.cfg.exchange, obs, self.threads);
+
+        // Sketch backend: replay the frozen counters into this tick's window
+        // before any judgment (serial or parallel) reads an estimate.
+        self.sketch_ingest(obs);
+        // Taken out so the judgment loops can hold a read view of it while
+        // mutating the rest of `self`; restored at every return point.
+        let monitor = self.monitor.take();
+        let mon = match &monitor {
+            Some(m) => Mon::Sketch(m),
+            None => Mon::Exact,
+        };
 
         let n = obs.overlay.node_count();
         if self.exchanged_stamp.len() < n {
@@ -583,9 +767,10 @@ impl Defense for DdPolice {
         // dice and retry loops are inherently order-coupled.
         self.verdicts.ensure_slots(n);
         if fast && self.threads > 1 && n > 1 && self.verdicts.slot_count() == n {
-            self.parallel_fast_tick(obs, actions);
+            self.parallel_fast_tick(obs, mon, actions);
             self.report_memo = memo;
             self.suspect_cache = cache;
+            self.monitor = monitor;
             return;
         }
         for i in 0..n {
@@ -619,8 +804,9 @@ impl Defense for DdPolice {
             for (slot, &half) in neigh.iter().enumerate() {
                 let suspect = half.peer;
                 // In_query(suspect) read through the reciprocal index
-                // (receiver-side, duplicate-filtered).
-                let q_ji = obs.overlay.accepted_via(suspect, half.ridx as usize);
+                // (receiver-side, duplicate-filtered) — or the sketch
+                // estimate of the same directed edge.
+                let q_ji = mon.flow(&obs.frozen(), suspect, half.ridx as usize, observer);
                 if q_ji <= self.cfg.warning_threshold_qpm {
                     self.verdicts.below_warning(observer, suspect);
                     continue;
@@ -629,7 +815,7 @@ impl Defense for DdPolice {
                     // Own counters via the slots already in hand (identical
                     // to `obs.own_counters`, minus its two adjacency scans).
                     let own = TrafficReport {
-                        sent_to_suspect: obs.overlay.accepted_via(observer, slot),
+                        sent_to_suspect: mon.flow(&obs.frozen(), observer, slot, suspect),
                         received_from_suspect: q_ji,
                     };
                     let Some(snap) = self.exchange.snapshot(observer, suspect) else {
@@ -681,7 +867,7 @@ impl Defense for DdPolice {
                         entry.n_answered = 0;
                         entry.n_refused = 0;
                         for &m in &entry.members {
-                            let answer = obs.request_report(m, suspect);
+                            let answer = mon.answer(&obs.frozen(), m, suspect);
                             match answer {
                                 Some(r) => {
                                     entry.n_answered += 1;
@@ -773,10 +959,11 @@ impl Defense for DdPolice {
                 // Own counters via the slots already in hand (identical to
                 // `obs.own_counters`, minus its two adjacency scans).
                 let own = TrafficReport {
-                    sent_to_suspect: obs.overlay.accepted_via(observer, slot),
+                    sent_to_suspect: mon.flow(&obs.frozen(), observer, slot, suspect),
                     received_from_suspect: q_ji,
                 };
-                let (g, s, retry_msgs) = self.judge(observer, &group, own, q_ji, obs, &mut memo);
+                let (g, s, retry_msgs) =
+                    self.judge(observer, &group, own, q_ji, obs, mon, &mut memo);
                 actions.control_msgs += retry_msgs;
                 self.record_trace(obs.tick, observer, suspect, g, s);
                 let over_ct = is_bad(g, s, self.cfg.cut_threshold);
@@ -795,6 +982,7 @@ impl Defense for DdPolice {
         }
         self.report_memo = memo;
         self.suspect_cache = cache;
+        self.monitor = monitor;
     }
 
     fn set_parallelism(&mut self, threads: usize) {
@@ -804,17 +992,26 @@ impl Defense for DdPolice {
     fn on_peer_reset(&mut self, node: NodeId) {
         self.exchange.reset_peer(node);
         self.verdicts.reset_observer(node);
+        // A crashed-and-restarted peer's counters restarted from zero: its
+        // heavy-hitter history (and sustained-rate bucket) must too.
+        if let Some(m) = self.monitor.as_mut() {
+            m.forget_sender(node.0);
+        }
     }
 
     fn on_peer_departed(&mut self, node: NodeId) {
         // The identity is gone for good (leave/crash, not a defensive cut):
         // both what the slot knew and what everyone knew *about* it must die
         // before the slot is recycled, or the next occupant inherits a
-        // stranger's snapshots, grace streaks, and quarantine clocks.
+        // stranger's snapshots, grace streaks, and quarantine clocks — or,
+        // under the sketch backend, a stranger's heavy-hitter count.
         self.exchange.reset_peer(node);
         self.exchange.forget_about(node);
         self.verdicts.reset_observer(node);
         self.verdicts.forget_suspect(node);
+        if let Some(m) = self.monitor.as_mut() {
+            m.forget_sender(node.0);
+        }
     }
 
     fn on_nodes_grown(&mut self, n: usize) {
@@ -864,10 +1061,16 @@ impl Defense for DdPolice {
         enc.put(&self.exchanged_stamp);
         enc.bool(self.force_fast_path);
         enc.bool(self.trace.is_some());
+        // The config digest above pins `cfg.monitor`, so writer and reader
+        // agree on whether this section exists and on its exact geometry.
+        if let Some(m) = &self.monitor {
+            ddp_snapshot::Snapshottable::save(m, enc);
+        }
         // Deliberately absent: `report_memo` and `suspect_cache` are per-tick
         // memos rebuilt from scratch at the top of `on_tick` (stamp != tick),
-        // and `trace` contents are drained each tick by the harness — at a
-        // tick boundary both are empty/stale by construction.
+        // `trace` contents are drained each tick by the harness — at a tick
+        // boundary both are empty/stale by construction — and `sketch_stats`
+        // is diagnostics that never feeds back into detection.
     }
 
     fn restore_state(
@@ -885,6 +1088,9 @@ impl Defense for DdPolice {
         self.force_fast_path = dec.bool()?;
         let tracing = dec.bool()?;
         self.trace = if tracing { Some(Vec::new()) } else { None };
+        if let Some(m) = self.monitor.as_mut() {
+            m.restore_into(dec)?;
+        }
         let n = self.exchange.len().max(self.exchanged_stamp.len());
         self.report_memo = HashMap::new();
         self.suspect_cache = vec![SuspectTickCache::default(); n];

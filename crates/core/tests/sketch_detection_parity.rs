@@ -1,0 +1,198 @@
+//! Detection-parity differential suite: the sketch monitor backend against
+//! the exact per-neighbor counters over the shared oracle scenario matrix.
+//!
+//! Count-min estimates are overestimate-only (proven by the `ddp-sketch`
+//! error-bound suite), so a sketch-backed DD-POLICE can only be *more*
+//! suspicious than the exact one — never hide traffic. A cut/no-cut
+//! disagreement therefore needs a judgment whose indicator sat close enough
+//! to `CT` that the bounded estimate excess could flip it. "Close enough" is
+//! not a tuned fudge factor: each of the ≤ `2k−1` counter terms feeding an
+//! indicator is off by at most the run's realized worst excess `E`, so
+//! `|Δg| ≤ ((k + (k−1)·k) · E)/(k·q) = k·E/q` and likewise `|Δs| ≤ k·E/q`.
+//! A scenario with a disagreement but *no* judgment within that band of
+//! `CT` (in either run, for any suspect) is a parity violation.
+//!
+//! The mutant check plants the `set_underestimate` sabotage — violating the
+//! overestimate-only invariant this tolerance derivation rests on — and
+//! requires the resulting missed attacker cut to be reported as a violation,
+//! not absorbed as borderline.
+
+use ddp_oracle::{scenario_matrix, ScenarioSpec};
+use ddp_police::{
+    DdPolice, DdPoliceConfig, JudgmentTrace, MonitorBackend, SketchParams, SketchStats,
+};
+use std::collections::BTreeSet;
+
+/// Generous geometry for ≤ 80-peer matrix scenarios: at width 2^12 the
+/// realized excess is usually zero and the borderline band collapses.
+const WIDTH_LOG2: u8 = 12;
+const DEPTH: u8 = 4;
+
+fn sketch_backend(spec: &ScenarioSpec) -> MonitorBackend {
+    MonitorBackend::Sketch(SketchParams {
+        width_log2: WIDTH_LOG2,
+        depth: DEPTH,
+        salt: SketchParams::default().salt ^ spec.seed,
+        ..SketchParams::default()
+    })
+}
+
+struct BackendRun {
+    cuts: BTreeSet<u32>,
+    traces: Vec<JudgmentTrace>,
+    stats: SketchStats,
+}
+
+fn run_backend(spec: &ScenarioSpec, monitor: MonitorBackend, underestimate: u32) -> BackendRun {
+    let cfg = DdPoliceConfig { monitor, ..spec.police_config() };
+    let mut sim = spec.instantiate(DdPolice::new(cfg, spec.peers));
+    sim.defense_mut().set_tracing(true);
+    if underestimate > 0 {
+        sim.defense_mut().set_sketch_underestimate(underestimate);
+    }
+    let mut traces = Vec::new();
+    for _ in 0..spec.ticks {
+        sim.step();
+        traces.extend(sim.defense_mut().take_trace());
+    }
+    let stats = sim.defense().sketch_stats();
+    let result = sim.finish();
+    let cuts = result.cut_log.iter().map(|r| r.suspect.0).collect();
+    BackendRun { cuts, traces, stats }
+}
+
+/// The proven indicator-shift bound for this run: `k · E / q`, with `k` the
+/// largest Buddy-Group size the ingest saw and `E` the realized worst
+/// per-edge overestimate.
+fn borderline_tolerance(cfg: &DdPoliceConfig, stats: &SketchStats) -> f64 {
+    stats.max_degree_run.max(1) as f64 * stats.max_excess_run as f64 / cfg.q_qpm as f64
+}
+
+enum Parity {
+    Agree,
+    Borderline(String),
+    Violation(String),
+}
+
+/// Run both backends on `spec` and classify the outcome. `underestimate`
+/// plants the sabotage bias in the sketch twin (0 = honest).
+fn check_parity(spec: &ScenarioSpec, underestimate: u32) -> Parity {
+    let exact = run_backend(spec, MonitorBackend::Exact, 0);
+    let sketch = run_backend(spec, sketch_backend(spec), underestimate);
+    if exact.cuts == sketch.cuts {
+        return Parity::Agree;
+    }
+    let disagreeing: BTreeSet<u32> =
+        exact.cuts.symmetric_difference(&sketch.cuts).copied().collect();
+    let cfg = spec.police_config();
+    let tol = borderline_tolerance(&cfg, &sketch.stats);
+    let ct = cfg.cut_threshold;
+    let in_band = |t: &JudgmentTrace| (t.g - ct).abs() <= tol || (t.s - ct).abs() <= tol;
+
+    // A suspect the exact run never judged reached the warning threshold
+    // only through estimate excess — the warning gate's margin is not
+    // observable from traces, so such a disagreement is borderline by
+    // construction (and can only add scrutiny, never remove it).
+    let exact_judged: BTreeSet<u32> = exact.traces.iter().map(|t| t.suspect.0).collect();
+    let unjudged_disagreement = disagreeing.iter().any(|s| !exact_judged.contains(s));
+    if unjudged_disagreement
+        || exact.traces.iter().any(in_band)
+        || sketch.traces.iter().any(in_band)
+    {
+        return Parity::Borderline(format!(
+            "cut sets differ on {disagreeing:?} with a judgment within {tol:.3} of CT={ct}"
+        ));
+    }
+    Parity::Violation(format!(
+        "cut sets differ on {disagreeing:?} (exact {:?} vs sketch {:?}) with no judgment within \
+         {tol:.3} of CT={ct} in either run — outside the proven excess bound",
+        exact.cuts, sketch.cuts
+    ))
+}
+
+#[test]
+fn matrix_verdicts_agree_outside_the_borderline_band() {
+    let matrix = scenario_matrix();
+    let mut agreed = 0usize;
+    let mut violations = Vec::new();
+    for (label, spec) in &matrix {
+        match check_parity(spec, 0) {
+            Parity::Agree => agreed += 1,
+            Parity::Borderline(_) => {}
+            Parity::Violation(why) => {
+                violations.push(format!("{label}: {why}\nspec:\n{}", spec.to_json()))
+            }
+        }
+    }
+    assert!(violations.is_empty(), "detection parity broken:\n{}", violations.join("\n\n"));
+    // Teeth against over-classification: if most of the matrix were
+    // "borderline" the agreement requirement would be vacuous.
+    assert!(
+        agreed * 2 >= matrix.len(),
+        "only {agreed}/{} scenarios agreed outright — the borderline band absorbs too much",
+        matrix.len()
+    );
+}
+
+#[test]
+fn seeded_random_specs_hold_parity() {
+    for fuzz_seed in 0..15 {
+        let spec = ScenarioSpec::random(fuzz_seed);
+        if let Parity::Violation(why) = check_parity(&spec, 0) {
+            panic!("fuzz seed {fuzz_seed}: {why}\nspec:\n{}", spec.to_json());
+        }
+    }
+}
+
+/// A matrix scenario where the exact backend cuts at least one peer and the
+/// honest sketch agrees exactly — the cleanest host for the mutant.
+fn cutting_spec() -> (&'static str, ScenarioSpec) {
+    for (label, spec) in scenario_matrix() {
+        let exact = run_backend(&spec, MonitorBackend::Exact, 0);
+        if exact.cuts.is_empty() {
+            continue;
+        }
+        if matches!(check_parity(&spec, 0), Parity::Agree) {
+            return (label, spec);
+        }
+    }
+    panic!("no matrix scenario cuts with exact agreement — the mutant check has no host");
+}
+
+#[test]
+fn underestimating_sketch_mutant_is_reported_as_violation() {
+    let (label, spec) = cutting_spec();
+    // Bias every estimate to zero: all traffic reads as below-warning, the
+    // sketch twin cuts nobody, and none of its judgments can land in the
+    // borderline band (it makes none). The checker must call that a
+    // violation — the overestimate-only premise is gone.
+    match check_parity(&spec, u32::MAX) {
+        Parity::Violation(_) => {}
+        Parity::Agree => panic!(
+            "{label}: an all-zero-estimate sketch still matched exact cuts — \
+             the parity checker compares nothing"
+        ),
+        Parity::Borderline(why) => panic!(
+            "{label}: the underestimating mutant was absorbed as borderline ({why}) — \
+             the tolerance has no teeth"
+        ),
+    }
+}
+
+#[test]
+fn milder_underestimate_bias_is_still_caught_somewhere() {
+    // A subtler mutant: undercount by a fixed small bias rather than
+    // flattening everything. Across the matrix's cutting scenarios at least
+    // one verdict must flip into a reported violation.
+    let mut hosts = 0usize;
+    for (_, spec) in scenario_matrix() {
+        if !matches!(check_parity(&spec, 0), Parity::Agree) {
+            continue;
+        }
+        hosts += 1;
+        if matches!(check_parity(&spec, 600), Parity::Violation(_)) {
+            return;
+        }
+    }
+    panic!("bias 600 flipped no verdict across {hosts} agreeing scenarios — sabotage inert");
+}

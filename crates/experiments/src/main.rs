@@ -86,6 +86,7 @@ fn main() -> ExitCode {
         }
         "exchange" => emit(&runners::exchange(&opts), &opts),
         "scale" => emit(&runners::scale(&opts, Some(&ALLOC)), &opts),
+        "sketch" => emit(&runners::sketch(&opts), &opts),
         "churn" => emit(&runners::churn(&opts), &opts),
         "fuzz" => emit(&runners::fuzz(&opts), &opts),
         "structured" => emit(&runners::structured(&opts), &opts),
@@ -161,10 +162,16 @@ usage: ddp-experiments <command> [options]
 commands:
   table1 fig2 fig5 fig6 fig9 fig10 fig11 consequences
   fig12 fig13 fig14 ct exchange cheating resilience collusion structured
-  scale churn fuzz ablations testbed soak all
+  scale sketch churn fuzz ablations testbed soak all
 
 scale sweeps overlay size × attacker fraction, reporting ticks/sec,
 queries/sec, and a peak-heap proxy, and writes BENCH_scale.json.
+
+sketch runs every cell twice — exact counters vs the count-min/space-saving
+monitor, same seed — and reports monitor-state memory ratio, missed attacker
+cuts, and spurious good-peer cuts, writing BENCH_sketch.json. --smoke runs
+the small cell plus the 100k-peer memory-acceptance cell (which must hit
+>=4x memory at zero missed cuts, or the run fails).
 
 fuzz runs seeded random scenarios through the engine/oracle differential
 harness; on divergence it shrinks the scenario, writes a replayable JSON

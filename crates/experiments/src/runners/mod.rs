@@ -8,6 +8,7 @@ mod fuzz;
 mod policy;
 mod resilience;
 mod scale;
+mod sketch;
 mod soak;
 mod static_figs;
 mod structured;
@@ -32,6 +33,10 @@ pub use resilience::{detection_latency, resilience, resilience_grid, ResilienceC
 pub use scale::{
     measure_cell, scale, scale_grid, scale_json, validate_scale_json, ScaleCell, SCALE_CELL_KEYS,
     SCALE_SCHEMA,
+};
+pub use sketch::{
+    measure_sketch_cell, sketch, sketch_grid, sketch_json, validate_sketch_json, SketchCell,
+    SKETCH_CELL_KEYS, SKETCH_SCHEMA,
 };
 pub use soak::soak;
 pub use static_figs::{fig2, fig5, fig6, table1};

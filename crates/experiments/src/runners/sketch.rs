@@ -1,0 +1,535 @@
+//! `sketch` — paired exact-vs-sketch sweep over sketch geometry × overlay
+//! size × attacker rate.
+//!
+//! Every cell runs the *same* seeded simulation twice: once under the exact
+//! per-neighbor counters and once under the count-min/space-saving monitor,
+//! then compares monitor-state memory and cut outcomes. The quantity the
+//! sweep pins is the memory/accuracy trade: how many bytes the sketch saves
+//! at a given overlay size, and what that costs in missed attacker cuts
+//! (none, by the overestimate-only construction) and spurious good-peer
+//! cuts (the realized-overestimate tax). Emits `BENCH_sketch.json`.
+
+use crate::output::{f, Table};
+use crate::scenario::ExpOptions;
+use ddp_attack::AttackPlan;
+use ddp_metrics::{json_array, JsonObj};
+use ddp_police::{DdPolice, DdPoliceConfig, MonitorBackend, SketchParams, SketchStats};
+use ddp_sim::{RunResult, SimConfig, Simulation};
+use ddp_sketch::exact_state_bytes;
+use ddp_topology::{NodeId, TopologyConfig, TopologyModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeSet;
+use std::time::Instant;
+
+/// One measured grid cell: a paired exact/sketch run at one configuration.
+#[derive(Debug, Clone)]
+pub struct SketchCell {
+    /// Overlay size.
+    pub peers: usize,
+    /// Flooding-agent count.
+    pub agents: usize,
+    /// Attacker generation capability, queries/minute.
+    pub attacker_rate_qpm: u32,
+    /// Ticks (protocol minutes) both runs execute.
+    pub ticks: usize,
+    /// Flood TTL both runs use (4 at bench scale; 2 at ≥50k peers, where a
+    /// TTL-4 flood saturates the overlay — see `flood_ttl`).
+    pub ttl: u8,
+    /// Count-min width exponent (width = 2^width_log2 columns per row).
+    pub width_log2: u8,
+    /// Count-min depth (rows).
+    pub depth: u8,
+    /// Space-saving heavy-hitter table capacity.
+    pub topk: u16,
+    /// Backend label of the sketch run (e.g. `sketch(w=2^12,d=4,k=64)`).
+    pub monitor_backend: String,
+    /// Monitor-state bytes the exact backend pays (2 u32 per directed
+    /// half-edge of the final overlay).
+    pub exact_state_bytes: u64,
+    /// Monitor-state bytes the sketch backend pays (CMS arena + HH table).
+    pub sketch_state_bytes: u64,
+    /// exact / sketch — how many times smaller the sketch state is.
+    pub memory_ratio: f64,
+    /// Wall-clock of the sketch run's step loop, seconds.
+    pub elapsed_secs: f64,
+    /// Sketch-run step-loop throughput.
+    pub ticks_per_sec: f64,
+    /// Distinct attackers cut by the exact run.
+    pub attackers_cut_exact: u64,
+    /// Distinct attackers cut by the sketch run.
+    pub attackers_cut_sketch: u64,
+    /// Attackers the exact run cut that the sketch run did not — the
+    /// accuracy headline; overestimate-only sketches keep this at zero.
+    pub missed_cuts: u64,
+    /// Good peers the sketch run cut that the exact run did not — the
+    /// false-positive tax of the overestimates.
+    pub extra_good_cuts: u64,
+    /// Largest per-tick ingest `N` seen by the sketch run.
+    pub items_max: u64,
+    /// Worst realized estimate excess over the whole sketch run.
+    pub max_excess: u64,
+    /// The a-priori εN bound at the largest tick (ε = e / width).
+    pub epsilon_n: f64,
+}
+
+impl SketchCell {
+    fn to_json(&self) -> String {
+        JsonObj::new()
+            .u64("peers", self.peers as u64)
+            .u64("agents", self.agents as u64)
+            .u64("attacker_rate_qpm", self.attacker_rate_qpm as u64)
+            .u64("ticks", self.ticks as u64)
+            .u64("ttl", self.ttl as u64)
+            .u64("width_log2", self.width_log2 as u64)
+            .u64("depth", self.depth as u64)
+            .u64("topk", self.topk as u64)
+            .str("monitor_backend", &self.monitor_backend)
+            .u64("exact_state_bytes", self.exact_state_bytes)
+            .u64("sketch_state_bytes", self.sketch_state_bytes)
+            .f64("memory_ratio", self.memory_ratio)
+            .f64("elapsed_secs", self.elapsed_secs)
+            .f64("ticks_per_sec", self.ticks_per_sec)
+            .u64("attackers_cut_exact", self.attackers_cut_exact)
+            .u64("attackers_cut_sketch", self.attackers_cut_sketch)
+            .u64("missed_cuts", self.missed_cuts)
+            .u64("extra_good_cuts", self.extra_good_cuts)
+            .u64("items_max", self.items_max)
+            .u64("max_excess", self.max_excess)
+            .f64("epsilon_n", self.epsilon_n)
+            .finish()
+    }
+}
+
+/// Every key a cell object must carry, in emission order (the schema).
+pub const SKETCH_CELL_KEYS: [&str; 21] = [
+    "peers",
+    "agents",
+    "attacker_rate_qpm",
+    "ticks",
+    "ttl",
+    "width_log2",
+    "depth",
+    "topk",
+    "monitor_backend",
+    "exact_state_bytes",
+    "sketch_state_bytes",
+    "memory_ratio",
+    "elapsed_secs",
+    "ticks_per_sec",
+    "attackers_cut_exact",
+    "attackers_cut_sketch",
+    "missed_cuts",
+    "extra_good_cuts",
+    "items_max",
+    "max_excess",
+    "epsilon_n",
+];
+
+/// Schema identifier embedded in the emitted JSON.
+pub const SKETCH_SCHEMA: &str = "ddp-bench-sketch/v1";
+
+/// Cut outcome of one run, split by ground truth.
+struct CutSets {
+    attackers: BTreeSet<u32>,
+    good: BTreeSet<u32>,
+}
+
+fn cut_sets(result: &RunResult) -> CutSets {
+    let mut attackers = BTreeSet::new();
+    let mut good = BTreeSet::new();
+    for rec in &result.cut_log {
+        if rec.suspect_was_attacker {
+            attackers.insert(rec.suspect.0);
+        } else {
+            good.insert(rec.suspect.0);
+        }
+    }
+    CutSets { attackers, good }
+}
+
+/// Outcome of a single run under one backend.
+struct RunOutcome {
+    result: RunResult,
+    exact_bytes: u64,
+    sketch_bytes: u64,
+    stats: SketchStats,
+    epsilon_n: f64,
+    elapsed_secs: f64,
+}
+
+/// Flood TTL for a cell: the default 4 at bench scale, 2 at ≥50k peers.
+/// At 100k peers a TTL-4 flood multiplies every query into thousands of
+/// hops, and the count-min window's per-edge collision excess scales with
+/// that total; the paper's own scaling argument (§2.3) caps flood reach on
+/// large overlays, and TTL 2 keeps the monitored stream within the regime
+/// where a ≤¼-memory sketch preserves every exact cut.
+pub fn flood_ttl(peers: usize) -> u8 {
+    if peers >= 50_000 {
+        2
+    } else {
+        4
+    }
+}
+
+/// Build, attack, and step one simulation under `monitor`; the same
+/// `(seed, peers, agents)` triple yields the identical topology, attack
+/// plan, and workload under both backends, so cut-set differences are
+/// attributable to the monitor alone.
+fn run_once(
+    peers: usize,
+    agents: usize,
+    attacker_rate_qpm: u32,
+    ticks: usize,
+    monitor: MonitorBackend,
+    seed: u64,
+) -> RunOutcome {
+    let cfg = SimConfig {
+        topology: TopologyConfig { n: peers, model: TopologyModel::BarabasiAlbert { m: 3 } },
+        attacker_rate_qpm,
+        ttl: flood_ttl(peers),
+        ..SimConfig::default()
+    };
+    let police_cfg = DdPoliceConfig { monitor, ..DdPoliceConfig::default() };
+    let police = DdPolice::new(police_cfg, peers);
+    let mut sim = Simulation::new(cfg, police, seed);
+    if agents > 0 {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xdd05_ee1f);
+        AttackPlan::new(agents).apply(&mut sim, &mut rng);
+    }
+    let start = Instant::now();
+    for _ in 0..ticks {
+        sim.step();
+    }
+    let elapsed_secs = start.elapsed().as_secs_f64();
+    let half_edges: usize =
+        (0..sim.overlay().node_count()).map(|u| sim.overlay().degree(NodeId(u as u32))).sum();
+    let exact_bytes = exact_state_bytes(half_edges) as u64;
+    let (sketch_bytes, stats, epsilon_n) = match sim.defense().sketch_monitor() {
+        Some(m) => {
+            let stats = sim.defense().sketch_stats();
+            // ε = e / width, at the heaviest tick's N.
+            let eps = if m.items_this_tick() > 0 { m.epsilon_n() } else { 0.0 };
+            let eps_at_max = if stats.max_items_run > 0 && m.items_this_tick() > 0 {
+                eps * stats.max_items_run as f64 / m.items_this_tick() as f64
+            } else {
+                eps
+            };
+            (m.state_bytes() as u64, stats, eps_at_max)
+        }
+        None => (0, SketchStats::default(), 0.0),
+    };
+    let result = sim.finish();
+    RunOutcome { result, exact_bytes, sketch_bytes, stats, epsilon_n, elapsed_secs }
+}
+
+/// Measure one cell: the exact run, the sketch run, and their comparison.
+#[allow(clippy::too_many_arguments)]
+pub fn measure_sketch_cell(
+    peers: usize,
+    agents: usize,
+    attacker_rate_qpm: u32,
+    ticks: usize,
+    width_log2: u8,
+    depth: u8,
+    topk: u16,
+    seed: u64,
+) -> SketchCell {
+    let params =
+        SketchParams { width_log2, depth, topk, salt: SketchParams::default().salt ^ seed };
+    let backend = MonitorBackend::Sketch(params);
+    let exact = run_once(peers, agents, attacker_rate_qpm, ticks, MonitorBackend::Exact, seed);
+    let sketch = run_once(peers, agents, attacker_rate_qpm, ticks, backend, seed);
+    let exact_cuts = cut_sets(&exact.result);
+    let sketch_cuts = cut_sets(&sketch.result);
+    let missed_cuts = exact_cuts.attackers.difference(&sketch_cuts.attackers).count() as u64;
+    let extra_good_cuts = sketch_cuts.good.difference(&exact_cuts.good).count() as u64;
+    let safe_elapsed = sketch.elapsed_secs.max(1e-9);
+    SketchCell {
+        peers,
+        agents,
+        attacker_rate_qpm,
+        ticks,
+        ttl: flood_ttl(peers),
+        width_log2,
+        depth,
+        topk,
+        monitor_backend: backend.label(),
+        exact_state_bytes: sketch.exact_bytes.max(exact.exact_bytes),
+        sketch_state_bytes: sketch.sketch_bytes,
+        memory_ratio: sketch.exact_bytes as f64 / (sketch.sketch_bytes as f64).max(1.0),
+        elapsed_secs: sketch.elapsed_secs,
+        ticks_per_sec: ticks as f64 / safe_elapsed,
+        attackers_cut_exact: exact_cuts.attackers.len() as u64,
+        attackers_cut_sketch: sketch_cuts.attackers.len() as u64,
+        missed_cuts,
+        extra_good_cuts,
+        items_max: sketch.stats.max_items_run,
+        max_excess: sketch.stats.max_excess_run as u64,
+        epsilon_n: sketch.epsilon_n,
+    }
+}
+
+/// The sweep grid: `(peers, agents, attacker_rate_qpm, ticks, width_log2,
+/// depth, topk)`. The smoke grid is two cells: a small overlay that detects
+/// and cuts within the run (exercising the comparison end to end), and the
+/// 100k-peer cell the memory-ratio acceptance is pinned on. The full grid
+/// adds a geometry sweep (width × depth at fixed workload, isolating the
+/// accuracy knob), a population sweep, and an attacker-rate sweep.
+pub fn sketch_grid(smoke: bool) -> Vec<(usize, usize, u32, usize, u8, u8, u16)> {
+    // The 100k cell runs the paper's §2.3 attacker capability (20,000
+    // queries/minute): at overlay scale the count-min window holds every
+    // forwarded hop, so per-edge collision excess is of the order of a good
+    // edge's forwarding load — the attacker signal must sit well above it,
+    // which is exactly the regime the paper's threat model describes. A
+    // wide, shallow geometry (2^16 × 2) keeps that excess small at 9× less
+    // memory than the exact arena.
+    let smoke_cells = vec![(800, 8, 1_500, 8, 12, 4, 64), (100_000, 100, 20_000, 4, 16, 4, 512)];
+    if smoke {
+        return smoke_cells;
+    }
+    let mut grid = Vec::new();
+    // Geometry sweep: accuracy as a function of width × depth.
+    for w in [10u8, 12, 16] {
+        for d in [2u8, 4] {
+            grid.push((2_000, 20, 1_500, 8, w, d, 64));
+        }
+    }
+    // Population sweep at the default geometry.
+    grid.push((500, 5, 1_500, 8, 12, 4, 64));
+    grid.push((10_000, 100, 20_000, 4, 13, 4, 128));
+    // Attacker-rate sweep: detection parity across the threshold range.
+    for rate in [800u32, 3_000, 20_000] {
+        grid.push((2_000, 20, rate, 8, 12, 4, 64));
+    }
+    grid.extend(smoke_cells);
+    grid
+}
+
+/// Render the sweep results as the committed `BENCH_sketch.json` document.
+pub fn sketch_json(cells: &[SketchCell], seed: u64) -> String {
+    JsonObj::new()
+        .str("schema", SKETCH_SCHEMA)
+        .str("generated_by", "ddp-experiments sketch")
+        .u64("seed", seed)
+        .raw("cells", &json_array(cells.iter().map(|c| c.to_json())))
+        .finish()
+}
+
+/// Structural validation of a `BENCH_sketch.json` document: schema tag,
+/// balanced nesting, and every cell carrying every schema key. Cut accuracy
+/// is deliberately NOT validated here: the geometry sweep includes
+/// under-provisioned widths precisely to chart where detection degrades;
+/// the zero-missed-cuts acceptance applies to the ≥100k cells and is
+/// enforced by the runner before the document is written.
+pub fn validate_sketch_json(doc: &str) -> Result<(), String> {
+    let doc = doc.trim();
+    if !doc.starts_with(&format!("{{\"schema\":\"{SKETCH_SCHEMA}\"")) {
+        return Err(format!("document does not start with the {SKETCH_SCHEMA} schema tag"));
+    }
+    if doc.matches('{').count() != doc.matches('}').count()
+        || doc.matches('[').count() != doc.matches(']').count()
+    {
+        return Err("unbalanced braces/brackets".into());
+    }
+    let Some(cells_at) = doc.find("\"cells\":[") else {
+        return Err("missing cells array".into());
+    };
+    let cells = &doc[cells_at + "\"cells\":[".len()..];
+    let n_cells = cells.matches("{\"peers\":").count();
+    if n_cells == 0 {
+        return Err("cells array contains no cell objects".into());
+    }
+    for key in SKETCH_CELL_KEYS {
+        let quoted = format!("\"{key}\":");
+        let found = cells.matches(quoted.as_str()).count();
+        if found != n_cells {
+            return Err(format!("key {key} present in {found}/{n_cells} cells"));
+        }
+    }
+    Ok(())
+}
+
+/// Run the sweep, write `BENCH_sketch.json` into the current directory, and
+/// return the human-readable table. Exits non-zero when the emitted document
+/// fails its own schema or when the smoke acceptance (≥4× memory saving at
+/// the largest cell with zero missed cuts) does not hold.
+pub fn sketch(opts: &ExpOptions) -> Table {
+    let smoke = opts.smoke;
+    let grid = sketch_grid(smoke);
+    let mut cells = Vec::with_capacity(grid.len());
+    let mut table = Table::new(
+        if smoke { "sketch_smoke" } else { "sketch" },
+        "Sketch sweep: monitor memory vs cut accuracy (exact-paired runs)",
+        &[
+            "peers",
+            "agents",
+            "rate_qpm",
+            "w",
+            "d",
+            "k",
+            "mem_ratio",
+            "cut_exact",
+            "cut_sketch",
+            "missed",
+            "extra_good",
+            "max_excess",
+        ],
+    );
+    for (peers, agents, rate, ticks, w, d, k) in grid {
+        eprintln!(
+            "[sketch] measuring peers={peers} agents={agents} rate={rate} w=2^{w} d={d} k={k}"
+        );
+        let cell = measure_sketch_cell(peers, agents, rate, ticks, w, d, k, opts.seed);
+        table.push_row(vec![
+            cell.peers.to_string(),
+            cell.agents.to_string(),
+            cell.attacker_rate_qpm.to_string(),
+            format!("2^{}", cell.width_log2),
+            cell.depth.to_string(),
+            cell.topk.to_string(),
+            f(cell.memory_ratio, 1),
+            cell.attackers_cut_exact.to_string(),
+            cell.attackers_cut_sketch.to_string(),
+            cell.missed_cuts.to_string(),
+            cell.extra_good_cuts.to_string(),
+            cell.max_excess.to_string(),
+        ]);
+        cells.push(cell);
+    }
+    // The acceptance gate the smoke run is pinned on: at the largest overlay,
+    // the sketch must be at least 4× smaller than exact and miss no cuts.
+    if let Some(big) = cells.iter().rfind(|c| c.peers >= 100_000) {
+        if big.memory_ratio < 4.0 || big.missed_cuts != 0 {
+            eprintln!(
+                "[sketch] FATAL: acceptance failed at peers={}: memory_ratio={:.1} (need ≥4), \
+                 missed_cuts={} (need 0); cut_exact={} cut_sketch={} extra_good={} \
+                 max_excess={} items_max={}",
+                big.peers,
+                big.memory_ratio,
+                big.missed_cuts,
+                big.attackers_cut_exact,
+                big.attackers_cut_sketch,
+                big.extra_good_cuts,
+                big.max_excess,
+                big.items_max
+            );
+            std::process::exit(2);
+        }
+    }
+    let doc = sketch_json(&cells, opts.seed);
+    if let Err(e) = validate_sketch_json(&doc) {
+        // A document that fails its own schema must never be committed; the
+        // CI smoke run relies on this exit to catch emission drift.
+        eprintln!("[sketch] FATAL: emitted JSON failed validation: {e}");
+        std::process::exit(2);
+    }
+    let path = "BENCH_sketch.json";
+    match std::fs::write(path, format!("{doc}\n")) {
+        Ok(()) => println!("[sketch] wrote {path}"),
+        Err(e) => eprintln!("[sketch] failed to write {path}: {e}"),
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake_cell(peers: usize) -> SketchCell {
+        SketchCell {
+            peers,
+            agents: peers / 100,
+            attacker_rate_qpm: 1_500,
+            ticks: 8,
+            ttl: 4,
+            width_log2: 12,
+            depth: 4,
+            topk: 64,
+            monitor_backend: "sketch(w=2^12,d=4,k=64)".into(),
+            exact_state_bytes: 1 << 20,
+            sketch_state_bytes: 1 << 16,
+            memory_ratio: 16.0,
+            elapsed_secs: 0.5,
+            ticks_per_sec: 16.0,
+            attackers_cut_exact: 7,
+            attackers_cut_sketch: 7,
+            missed_cuts: 0,
+            extra_good_cuts: 1,
+            items_max: 100_000,
+            max_excess: 3,
+            epsilon_n: 66.4,
+        }
+    }
+
+    #[test]
+    fn emitted_json_validates() {
+        let doc = sketch_json(&[fake_cell(800), fake_cell(2_000)], 42);
+        validate_sketch_json(&doc).unwrap();
+    }
+
+    #[test]
+    fn validation_rejects_drift() {
+        let doc = sketch_json(&[fake_cell(800)], 42);
+        assert!(validate_sketch_json(&doc.replace("memory_ratio", "ratio")).is_err());
+        assert!(validate_sketch_json(&doc.replace("ddp-bench-sketch/v1", "v0")).is_err());
+        assert!(validate_sketch_json("{\"schema\":\"ddp-bench-sketch/v1\",\"cells\":[]}").is_err());
+        validate_sketch_json(&doc).unwrap();
+    }
+
+    #[test]
+    #[ignore = "manual diagnostics for the 100k acceptance cell"]
+    fn debug_100k_missed_cuts() {
+        use ddp_police::MonitorBackend;
+        let exact = super::run_once(100_000, 100, 20_000, 4, MonitorBackend::Exact, 42);
+        let params = ddp_police::SketchParams {
+            width_log2: 16,
+            depth: 4,
+            topk: 512,
+            salt: ddp_police::SketchParams::default().salt ^ 42,
+        };
+        let sk = super::run_once(100_000, 100, 20_000, 4, MonitorBackend::Sketch(params), 42);
+        let e = super::cut_sets(&exact.result);
+        let s = super::cut_sets(&sk.result);
+        for &a in e.attackers.difference(&s.attackers) {
+            let sv: Vec<String> = sk
+                .result
+                .verdict_log
+                .iter()
+                .filter(|v| v.suspect == a)
+                .map(|v| format!("t{} obs{} {:?}->{:?}", v.tick, v.observer, v.from, v.to))
+                .collect();
+            let ev: Vec<String> = exact
+                .result
+                .verdict_log
+                .iter()
+                .filter(|v| v.suspect == a)
+                .map(|v| format!("t{} obs{} {:?}->{:?}", v.tick, v.observer, v.from, v.to))
+                .collect();
+            eprintln!("missed attacker {a}:\n  sketch: {sv:?}\n  exact:  {ev:?}");
+        }
+        eprintln!("exact cut {} sketch cut {}", e.attackers.len(), s.attackers.len());
+    }
+
+    #[test]
+    fn smoke_cell_pairs_end_to_end() {
+        let cell = measure_sketch_cell(400, 4, 1_500, 6, 12, 4, 64, 42);
+        assert_eq!(cell.peers, 400);
+        assert!(cell.exact_state_bytes > 0, "overlay must have edges");
+        assert!(cell.sketch_state_bytes > 0, "sketch run must report its state");
+        assert!(cell.items_max > 0, "sketch must have ingested traffic");
+        assert_eq!(cell.missed_cuts, 0, "overestimate-only sketch never misses a cut");
+    }
+
+    #[test]
+    fn paired_runs_share_ground_truth() {
+        // Same seed through both backends: the attacker population (and so
+        // the maximum cuttable set) is identical, which is what makes the
+        // missed/extra comparison meaningful.
+        let a = measure_sketch_cell(400, 4, 1_500, 4, 12, 4, 64, 7);
+        let b = measure_sketch_cell(400, 4, 1_500, 4, 12, 4, 64, 7);
+        assert_eq!(a.attackers_cut_exact, b.attackers_cut_exact, "runs are deterministic");
+        assert_eq!(a.attackers_cut_sketch, b.attackers_cut_sketch);
+        assert_eq!(a.sketch_state_bytes, b.sketch_state_bytes);
+    }
+}

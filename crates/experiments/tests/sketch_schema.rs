@@ -1,0 +1,105 @@
+//! Golden-fixture pin for the `BENCH_sketch.json` schema.
+//!
+//! `runners::sketch_json` is the only writer of the sketch bench artifact;
+//! this test pins its exact byte layout on fixed fake cells so the schema
+//! cannot drift silently between PRs (the memory/accuracy trajectory is
+//! diffed across commits). Regenerate after an intentional change with:
+//!
+//! ```text
+//! DDP_BLESS=1 cargo test -p ddp-experiments --test sketch_schema
+//! ```
+
+use ddp_experiments::runners::{sketch_json, validate_sketch_json, SketchCell};
+
+fn fixture_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/bench_sketch.golden.json")
+}
+
+fn fixed_cells() -> Vec<SketchCell> {
+    vec![
+        SketchCell {
+            peers: 2000,
+            agents: 20,
+            attacker_rate_qpm: 1500,
+            ticks: 8,
+            ttl: 4,
+            width_log2: 12,
+            depth: 4,
+            topk: 64,
+            monitor_backend: "sketch".into(),
+            exact_state_bytes: 96_000,
+            sketch_state_bytes: 67_584,
+            memory_ratio: 1.420455,
+            elapsed_secs: 2.5,
+            ticks_per_sec: 3.2,
+            attackers_cut_exact: 20,
+            attackers_cut_sketch: 19,
+            missed_cuts: 1,
+            extra_good_cuts: 148,
+            items_max: 1_250_000,
+            max_excess: 1015,
+            epsilon_n: 830.2,
+        },
+        SketchCell {
+            peers: 100_000,
+            agents: 100,
+            attacker_rate_qpm: 20_000,
+            ticks: 4,
+            ttl: 2,
+            width_log2: 16,
+            depth: 4,
+            topk: 512,
+            monitor_backend: "sketch".into(),
+            exact_state_bytes: 4_800_000,
+            sketch_state_bytes: 1_065_000,
+            memory_ratio: 4.507042,
+            elapsed_secs: 120.0,
+            ticks_per_sec: 0.033333,
+            attackers_cut_exact: 100,
+            attackers_cut_sketch: 100,
+            missed_cuts: 0,
+            extra_good_cuts: 74,
+            items_max: 9_000_000,
+            max_excess: 1185,
+            epsilon_n: 373.4,
+        },
+    ]
+}
+
+#[test]
+fn bench_sketch_json_matches_golden_fixture() {
+    let rendered = sketch_json(&fixed_cells(), 42);
+    let path = fixture_path();
+    if std::env::var_os("DDP_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, format!("{rendered}\n")).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing fixture {} ({e}); run with DDP_BLESS=1", path.display())
+    });
+    assert_eq!(
+        rendered,
+        golden.trim_end(),
+        "sketch_json drifted from the committed BENCH_sketch.json schema fixture"
+    );
+}
+
+#[test]
+fn golden_fixture_passes_structural_validation() {
+    // The same validator the `sketch --smoke` CI job uses must accept the
+    // fixture, so validator and writer can't drift apart either.
+    let rendered = sketch_json(&fixed_cells(), 42);
+    validate_sketch_json(&rendered).unwrap();
+}
+
+#[test]
+fn committed_bench_artifact_is_schema_valid() {
+    // The repo-root BENCH_sketch.json (committed measurement output) must
+    // always parse against the current schema.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_sketch.json");
+    if let Ok(doc) = std::fs::read_to_string(&root) {
+        validate_sketch_json(&doc)
+            .unwrap_or_else(|e| panic!("committed BENCH_sketch.json invalid: {e}"));
+    }
+}

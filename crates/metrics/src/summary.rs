@@ -5,7 +5,12 @@ use crate::{DetectionErrors, ResilienceSummary, TimeSeries, VerdictSummary};
 use serde::{Deserialize, Serialize};
 
 /// Aggregated results of one simulation run.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+///
+/// `Debug` is hand-written (not derived) so the default `monitor_backend:
+/// None` renders *nothing*: the frozen differential digests hash
+/// `format!("{result:?}")`, and exact-backend runs must keep producing the
+/// exact bytes they produced before the field existed.
+#[derive(Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct RunSummary {
     /// Mean `S(t)` over the run (fraction, 0..=1).
     pub success_rate_mean: f64,
@@ -36,8 +41,37 @@ pub struct RunSummary {
     /// Verdict-lifecycle accounting (all zeros for defenses that never
     /// transition anyone; populated by the engine's verdict ledger).
     pub verdicts: VerdictSummary,
+    /// Traffic-monitor backend label (e.g. `"sketch(w=2^16,d=4,k=512)"`),
+    /// stamped by the engine from the defense so BENCH rows and summaries
+    /// are attributable per backend. `None` means the exact default and is
+    /// omitted from both `Debug` and JSON renderings — byte-compatible with
+    /// summaries written before the field existed.
+    pub monitor_backend: Option<String>,
     /// Ticks simulated.
     pub ticks: usize,
+}
+
+impl std::fmt::Debug for RunSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut d = f.debug_struct("RunSummary");
+        d.field("success_rate_mean", &self.success_rate_mean)
+            .field("success_rate_stable", &self.success_rate_stable)
+            .field("response_time_mean_secs", &self.response_time_mean_secs)
+            .field("response_p95_secs", &self.response_p95_secs)
+            .field("traffic_per_tick", &self.traffic_per_tick)
+            .field("control_per_tick", &self.control_per_tick)
+            .field("drop_rate_mean", &self.drop_rate_mean)
+            .field("errors", &self.errors)
+            .field("attackers_cut", &self.attackers_cut)
+            .field("attackers_never_cut", &self.attackers_never_cut)
+            .field("good_peers_cut", &self.good_peers_cut)
+            .field("resilience", &self.resilience)
+            .field("verdicts", &self.verdicts);
+        if let Some(backend) = &self.monitor_backend {
+            d.field("monitor_backend", backend);
+        }
+        d.field("ticks", &self.ticks).finish()
+    }
 }
 
 impl RunSummary {
@@ -77,7 +111,7 @@ impl RunSummary {
             .f64("wrongful_cut_ticks_mean", v.wrongful_cut_ticks_mean)
             .f64("readmission_latency_mean_ticks", v.readmission_latency_mean_ticks)
             .finish();
-        JsonObj::new()
+        let mut obj = JsonObj::new()
             .str("schema", "ddp-run-summary/v1")
             .f64("success_rate_mean", self.success_rate_mean)
             .f64("success_rate_stable", self.success_rate_stable)
@@ -91,9 +125,13 @@ impl RunSummary {
             .u64("attackers_never_cut", self.attackers_never_cut)
             .u64("good_peers_cut", self.good_peers_cut)
             .raw("resilience", &resilience)
-            .raw("verdicts", &verdicts)
-            .u64("ticks", self.ticks as u64)
-            .finish()
+            .raw("verdicts", &verdicts);
+        // Omitted (not null) for the exact default: the v1 schema bytes are
+        // pinned by a golden fixture and must stay reproducible.
+        if let Some(backend) = &self.monitor_backend {
+            obj = obj.str("monitor_backend", backend);
+        }
+        obj.u64("ticks", self.ticks as u64).finish()
     }
 }
 
@@ -152,6 +190,7 @@ impl RunSeries {
             good_peers_cut,
             resilience: ResilienceSummary::default(),
             verdicts: VerdictSummary::default(),
+            monitor_backend: None,
             ticks,
         }
     }

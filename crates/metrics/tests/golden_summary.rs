@@ -58,6 +58,7 @@ fn populated_summary() -> RunSummary {
             wrongful_cut_ticks_mean: 3.0,
             readmission_latency_mean_ticks: 4.5,
         },
+        monitor_backend: None,
         ticks: 30,
     }
 }
@@ -114,4 +115,27 @@ fn run_summary_json_is_parseable_shape() {
     // Default summary must serialize too (all-zero path, NaN-free).
     let d = RunSummary::default().to_json();
     assert!(d.contains("\"ticks\":0"));
+}
+
+#[test]
+fn monitor_backend_is_omitted_when_none_and_attributable_when_some() {
+    // None (the exact default) renders byte-identically to pre-field
+    // summaries — neither JSON nor Debug may mention it, or the frozen
+    // differential digests and this file's golden fixture would shift.
+    let none = populated_summary();
+    assert!(!none.to_json().contains("monitor_backend"));
+    assert!(!format!("{none:?}").contains("monitor_backend"));
+
+    let mut tagged = populated_summary();
+    tagged.monitor_backend = Some("sketch(w=2^16,d=4,k=512)".into());
+    let json = tagged.to_json();
+    assert!(
+        json.contains("\"monitor_backend\":\"sketch(w=2^16,d=4,k=512)\""),
+        "sketch rows must be attributable: {json}"
+    );
+    // Field order contract: after verdicts, before ticks.
+    let pos = json.find("\"monitor_backend\":").unwrap();
+    assert!(pos > json.find("\"verdicts\":").unwrap());
+    assert!(pos < json.find("\"ticks\":").unwrap());
+    assert!(format!("{tagged:?}").contains("monitor_backend: \"sketch(w=2^16,d=4,k=512)\""));
 }

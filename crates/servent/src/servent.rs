@@ -2,12 +2,13 @@
 
 use bytes::Bytes;
 use ddp_police::indicator::{general_indicator, is_bad, single_indicator};
-use ddp_police::DdPoliceConfig;
+use ddp_police::{DdPoliceConfig, MonitorBackend};
 use ddp_protocol::routing::Offer;
 use ddp_protocol::{
     decode_message, encode_message, Bye, Guid, Message, NeighborList, NeighborTraffic, Payload,
     PeerAddr, Pong, Query, QueryHit, QueryHitResult, Receipt, SeenTable,
 };
+use ddp_sketch::SketchMonitor;
 use ddp_topology::NodeId;
 use std::collections::{BTreeMap, HashMap};
 
@@ -108,11 +109,23 @@ pub struct Servent {
     /// periodically to make sure that other members are online"): last time
     /// we heard anything from each known member.
     member_last_seen: HashMap<u32, u64>,
+    /// Sketch traffic monitor when `cfg.police.monitor` selects the sketch
+    /// backend; `None` under the exact default (per-link counters, exactly
+    /// the pre-backend behavior). When active, the live-minute counting goes
+    /// through the count-min window instead of `out_cur`/`in_cur`, and the
+    /// minute rollover materializes `out_prev`/`in_prev` from estimates —
+    /// every downstream consumer (receipts, suspicion scan, reports) then
+    /// reads estimates without knowing the backend changed.
+    monitor: Option<SketchMonitor>,
 }
 
 impl Servent {
     /// New servent with the given role and config.
     pub fn new(id: NodeId, role: ServentRole, cfg: ServentConfig) -> Self {
+        let monitor = match cfg.police.monitor {
+            MonitorBackend::Exact => None,
+            MonitorBackend::Sketch(params) => Some(SketchMonitor::new(params)),
+        };
         Servent {
             id,
             addr: PeerAddr::from_node_index(id.0),
@@ -130,6 +143,15 @@ impl Servent {
             verdict_log: Vec::new(),
             pending_nt: Vec::new(),
             member_last_seen: HashMap::new(),
+            monitor,
+        }
+    }
+
+    /// The active monitor-backend label (`""` for exact) — run attribution.
+    pub fn monitor_backend(&self) -> String {
+        match self.cfg.police.monitor {
+            MonitorBackend::Exact => String::new(),
+            backend => backend.label(),
         }
     }
 
@@ -158,6 +180,10 @@ impl Servent {
         self.links.remove(&peer.0);
         self.investigations.remove(&peer.0);
         self.missing_list_strikes.remove(&peer.0);
+        // The heavy-hitter slot (and its bucket) dies with the link.
+        if let Some(m) = self.monitor.as_mut() {
+            m.forget_sender(peer.0);
+        }
     }
 
     /// Send the current neighbor list to every neighbor, immediately.
@@ -196,7 +222,10 @@ impl Servent {
 
     fn send_query_to(&mut self, to: NodeId, msg: &Message, out: &mut Outbox) {
         if let Some(link) = self.links.get_mut(&to.0) {
-            link.out_cur += 1;
+            match self.monitor.as_mut() {
+                Some(m) => m.record_flow(self.id.0, to.0, 1),
+                None => link.out_cur += 1,
+            }
             out.push((to, encode_message(msg)));
         }
     }
@@ -254,11 +283,31 @@ impl Servent {
 
     /// Minute boundary: finalize counters, run the DD-POLICE steps.
     pub fn on_minute(&mut self, now: u64, minute: u64, out: &mut Outbox) {
-        for link in self.links.values_mut() {
-            link.out_prev = link.out_cur;
-            link.in_prev = link.in_cur;
-            link.out_cur = 0;
-            link.in_cur = 0;
+        match self.monitor.as_mut() {
+            None => {
+                for link in self.links.values_mut() {
+                    link.out_prev = link.out_cur;
+                    link.in_prev = link.in_cur;
+                    link.out_cur = 0;
+                    link.in_cur = 0;
+                }
+            }
+            Some(m) => {
+                // Materialize the closing minute from the sketch window
+                // (overestimate-only: a flooder cannot hide in an estimate
+                // that never reads low), feed each sender's aggregate to the
+                // heavy-hitter table, then open the next window — which also
+                // drains the sustained-rate buckets by the warning budget.
+                let me = self.id.0;
+                for (&peer, link) in self.links.iter_mut() {
+                    link.out_prev = m.estimate(me, peer);
+                    link.in_prev = m.estimate(peer, me);
+                    link.out_cur = 0;
+                    link.in_cur = 0;
+                    m.note_sender_total(peer, link.in_prev as u64);
+                }
+                m.begin_tick(self.cfg.police.warning_threshold_qpm as u64);
+            }
         }
         let polices = matches!(self.role, ServentRole::Good);
         let announces = match self.role {
@@ -510,8 +559,13 @@ impl Servent {
         if self.seen.offer(msg.header.guid, from.0, now) == Offer::Duplicate {
             return; // duplicates are dropped *and excluded from In_query*
         }
-        if let Some(link) = self.links.get_mut(&from.0) {
-            link.in_cur += 1;
+        match self.monitor.as_mut() {
+            Some(m) => m.record_flow(from.0, self.id.0, 1),
+            None => {
+                if let Some(link) = self.links.get_mut(&from.0) {
+                    link.in_cur += 1;
+                }
+            }
         }
         // Local lookup: answer with a QueryHit routed back to `from`.
         if self.cfg.library.iter().any(|item| item == &q.criteria) {
@@ -733,6 +787,12 @@ impl Servent {
             enc.u32(*member);
             enc.u64(*at);
         }
+        // Present iff the config selects the sketch backend — and the wire
+        // checkpoint's config fingerprint covers the backend label, so a
+        // reader always agrees with the writer about this section existing.
+        if let Some(m) = &self.monitor {
+            ddp_snapshot::Snapshottable::save(m, enc);
+        }
     }
 
     /// Replace this servent's mutable defense state with one written by
@@ -845,6 +905,16 @@ impl Servent {
             let at = dec.u64()?;
             member_last_seen.insert(member, at);
         }
+        // Staged like everything above: restore into a fresh monitor so a
+        // decode error leaves `self` untouched.
+        let monitor = match &self.monitor {
+            None => None,
+            Some(live) => {
+                let mut fresh = SketchMonitor::new(live.params());
+                fresh.restore_into(dec)?;
+                Some(fresh)
+            }
+        };
         self.links = links;
         self.seen = SeenTable::from_entries(horizon, seen_entries);
         self.guid_seq = guid_seq;
@@ -857,6 +927,7 @@ impl Servent {
         self.verdict_log = verdict_log;
         self.pending_nt = pending_nt;
         self.member_last_seen = member_last_seen;
+        self.monitor = monitor;
         Ok(())
     }
 }

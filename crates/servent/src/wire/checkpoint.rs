@@ -56,13 +56,20 @@ pub fn config_fingerprint(
     catalog_size: usize,
     items_per_peer: usize,
     overlay: &[u32],
+    monitor: &str,
 ) -> u64 {
     let mut neighbors: Vec<u32> = overlay.to_vec();
     neighbors.sort_unstable();
+    // The monitor label participates only when non-default, so exact-mode
+    // fingerprints stay identical to checkpoints written before backends
+    // existed (a sketch-mode resume of an exact checkpoint — whose payload
+    // lacks the sketch section — is refused here, not at decode).
+    let monitor_tag =
+        if monitor.is_empty() { String::new() } else { format!(" monitor={monitor}") };
     let canon = format!(
         "ddp-wire-ckpt v1 id={id} role={role} minutes={minutes} seed={seed} \
          qpm={query_rate_qpm} catalog={catalog_size} items={items_per_peer} \
-         overlay={neighbors:?}"
+         overlay={neighbors:?}{monitor_tag}"
     );
     fnv1a64(canon.as_bytes())
 }
@@ -170,12 +177,18 @@ mod tests {
 
     #[test]
     fn fingerprint_is_sensitive_to_config_not_neighbor_order() {
-        let base = config_fingerprint(3, "good", 4, 42, 2.0, 64, 3, &[1, 2, 9]);
-        let shuffled = config_fingerprint(3, "good", 4, 42, 2.0, 64, 3, &[9, 1, 2]);
+        let base = config_fingerprint(3, "good", 4, 42, 2.0, 64, 3, &[1, 2, 9], "");
+        let shuffled = config_fingerprint(3, "good", 4, 42, 2.0, 64, 3, &[9, 1, 2], "");
         assert_eq!(base, shuffled, "overlay order is canonicalized");
-        assert_ne!(base, config_fingerprint(4, "good", 4, 42, 2.0, 64, 3, &[1, 2, 9]));
-        assert_ne!(base, config_fingerprint(3, "flood:1500:1", 4, 42, 2.0, 64, 3, &[1, 2, 9]));
-        assert_ne!(base, config_fingerprint(3, "good", 4, 43, 2.0, 64, 3, &[1, 2, 9]));
+        assert_ne!(base, config_fingerprint(4, "good", 4, 42, 2.0, 64, 3, &[1, 2, 9], ""));
+        assert_ne!(base, config_fingerprint(3, "flood:1500:1", 4, 42, 2.0, 64, 3, &[1, 2, 9], ""));
+        assert_ne!(base, config_fingerprint(3, "good", 4, 43, 2.0, 64, 3, &[1, 2, 9], ""));
+        // A different monitor backend means a different payload layout: the
+        // fingerprint must refuse the cross-resume.
+        assert_ne!(
+            base,
+            config_fingerprint(3, "good", 4, 42, 2.0, 64, 3, &[1, 2, 9], "sketch(w=2^12,d=4,k=64)")
+        );
     }
 
     #[test]

@@ -91,8 +91,29 @@ impl<'a> FrozenTick<'a> {
         if !self.online[reporter.index()] || !self.overlay.contains_edge(reporter, suspect) {
             return None;
         }
-        let true_sent = self.overlay.accepted_between(reporter, suspect);
-        let true_recv = self.overlay.accepted_between(suspect, reporter);
+        let base = TrafficReport {
+            sent_to_suspect: self.overlay.accepted_between(reporter, suspect),
+            received_from_suspect: self.overlay.accepted_between(suspect, reporter),
+        };
+        self.shape_report(reporter, suspect, base)
+    }
+
+    /// Apply `reporter`'s fixed report behavior to `base` counters: the
+    /// cheating/collusion layer of [`request_report`](Self::request_report),
+    /// split out so approximate `TrafficMonitor` backends can substitute
+    /// sketch estimates for the exact counters while attackers keep lying
+    /// about whatever numbers the monitor would have shown them.
+    pub fn shape_report(
+        &self,
+        reporter: NodeId,
+        suspect: NodeId,
+        base: TrafficReport,
+    ) -> Option<TrafficReport> {
+        if !self.online[reporter.index()] || !self.overlay.contains_edge(reporter, suspect) {
+            return None;
+        }
+        let true_sent = base.sent_to_suspect;
+        let true_recv = base.received_from_suspect;
         match self.report_behavior[reporter.index()] {
             ReportBehavior::Honest => {
                 Some(TrafficReport { sent_to_suspect: true_sent, received_from_suspect: true_recv })
@@ -230,6 +251,16 @@ impl<'a> TickObservation<'a> {
     /// [`FrozenTick::request_report`], on the full observation.
     pub fn request_report(&self, reporter: NodeId, suspect: NodeId) -> Option<TrafficReport> {
         self.frozen().request_report(reporter, suspect)
+    }
+
+    /// [`FrozenTick::shape_report`], on the full observation.
+    pub fn shape_report(
+        &self,
+        reporter: NodeId,
+        suspect: NodeId,
+        base: TrafficReport,
+    ) -> Option<TrafficReport> {
+        self.frozen().shape_report(reporter, suspect, base)
     }
 
     /// [`FrozenTick::announced_list`], on the full observation.
@@ -462,6 +493,14 @@ pub trait Defense {
         false
     }
 
+    /// Which traffic-monitor backend the defense reads its per-neighbor
+    /// query counts from, as a stable label for run summaries and BENCH
+    /// rows — `None` for defenses without pluggable monitoring (rendered as
+    /// the exact default). The engine stamps it on `RunSummary`.
+    fn monitor_backend(&self) -> Option<String> {
+        None
+    }
+
     /// Whether this defense implements [`save_state`](Self::save_state) /
     /// [`restore_state`](Self::restore_state). The engine refuses to write a
     /// snapshot around a defense that cannot come back — a half-checkpointed
@@ -515,6 +554,9 @@ impl<D: Defense + ?Sized> Defense for Box<D> {
     }
     fn forbids_link(&self, u: NodeId, v: NodeId) -> bool {
         (**self).forbids_link(u, v)
+    }
+    fn monitor_backend(&self) -> Option<String> {
+        (**self).monitor_backend()
     }
     fn snapshot_support(&self) -> bool {
         (**self).snapshot_support()

@@ -436,6 +436,7 @@ impl<D: Defense> Simulation<D> {
         let mut summary =
             self.series.summarize(self.errors, self.attackers_cut, self.good_peers_cut);
         summary.attackers_never_cut = never_cut;
+        summary.monitor_backend = self.defense.monitor_backend();
         summary.response_p95_secs = self.response_p95.estimate();
         summary.resilience = self.fault_plane.stats();
         summary.verdicts = self.verdict_ledger.summarize(&self.wrongful_durations);

@@ -1,0 +1,766 @@
+//! `ddp-sketch` — approximate traffic monitoring for DD-POLICE.
+//!
+//! The paper's exact defense keeps one `[sent, accepted]` counter pair per
+//! directed half-edge: O(E) memory and an O(E) per-minute reset. This crate
+//! provides the ALBUS-style probabilistic alternative (PAPERS.md, arXiv
+//! 2306.14328) behind the pluggable `TrafficMonitor` backend selection:
+//!
+//! * [`CountMinSketch`] — per-neighbor query counts keyed by directed edge,
+//!   with *conservative update*. Estimates never undercount (`estimate ≥
+//!   true`), and the classic bound caps the excess at `εN` per query with
+//!   `ε = e / width` at confidence `1 − e^-depth` over the tick's `N`
+//!   ingested queries. Overestimation is the safe direction for flood
+//!   detection: a too-high `In_query` reading triggers an investigation the
+//!   Buddy Group then settles, while an undercount could hide an attacker.
+//! * [`SpaceSaving`] — the top-k heavy-hitter table over *senders*; any peer
+//!   whose aggregate output exceeds `N / capacity` is guaranteed present.
+//! * [`LeakyBucket`] — per-heavy-hitter sustained-rate state: filled by each
+//!   tick's volume, drained by the 500 q/min warning budget, so a sender
+//!   only reads as a *sustained* warner after its burst outlives one minute.
+//!
+//! Everything is deterministic from [`SketchParams`] (hash salts derive from
+//! `salt`, which callers seed from the run seed) and [`Snapshottable`], so
+//! checkpoint/resume and the parallel tick engine's per-tick state hash stay
+//! bit-identical across worker counts.
+
+use ddp_snapshot::{Dec, Enc, SnapshotError, Snapshottable};
+
+/// Geometry and seeding of the sketch backend. `Copy` so it can live inside
+/// `DdPoliceConfig` (whose `Debug` rendering feeds the snapshot config
+/// digest — changing any field refuses foreign checkpoints, as intended).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SketchParams {
+    /// log2 of the count-min width (columns per row). Width 2^16 × depth 4
+    /// × 4-byte counters ≈ 1 MiB — vs ~4.8 MiB of exact per-edge counters
+    /// at 100k peers (BA m=3).
+    pub width_log2: u8,
+    /// Count-min depth (independent rows; failure probability `e^-depth`).
+    pub depth: u8,
+    /// Space-saving capacity: the top-k suspect table size.
+    pub topk: u16,
+    /// Hash-salt seed. Callers pass the run seed so the whole monitor is a
+    /// pure function of it; two runs with equal seeds collide identically.
+    pub salt: u64,
+}
+
+impl Default for SketchParams {
+    fn default() -> Self {
+        SketchParams { width_log2: 12, depth: 4, topk: 64, salt: 0xddb5_eed5_a11b_05ed }
+    }
+}
+
+/// Which traffic-monitor backend the defense reads its per-neighbor query
+/// counts from. `Exact` is the default and is tick-for-tick inert: the
+/// defense reads the overlay's exact counters exactly as it always has.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MonitorBackend {
+    /// The paper's exact per-neighbor `In_query`/`Out_query` counters.
+    #[default]
+    Exact,
+    /// Count-min + space-saving + leaky buckets ([`SketchMonitor`]).
+    Sketch(SketchParams),
+}
+
+impl MonitorBackend {
+    /// Stable human-readable label for summaries and BENCH rows.
+    pub fn label(&self) -> String {
+        match self {
+            MonitorBackend::Exact => "exact".into(),
+            MonitorBackend::Sketch(p) => {
+                format!("sketch(w=2^{},d={},k={})", p.width_log2, p.depth, p.topk)
+            }
+        }
+    }
+
+    /// Parse a CLI flag value: `exact`, `sketch`, or
+    /// `sketch:w=WIDTH_LOG2,d=DEPTH,k=TOPK` (any subset, any order).
+    pub fn parse(s: &str) -> Result<Self, String> {
+        if s == "exact" {
+            return Ok(MonitorBackend::Exact);
+        }
+        let Some(rest) = s.strip_prefix("sketch") else {
+            return Err(format!(
+                "unknown monitor backend `{s}` (want exact|sketch[:w=..,d=..,k=..])"
+            ));
+        };
+        let mut p = SketchParams::default();
+        if rest.is_empty() {
+            return Ok(MonitorBackend::Sketch(p));
+        }
+        let Some(args) = rest.strip_prefix(':') else {
+            return Err(format!("unknown monitor backend `{s}`"));
+        };
+        for kv in args.split(',') {
+            let (k, v) = kv
+                .split_once('=')
+                .ok_or_else(|| format!("monitor backend: want key=value, got `{kv}`"))?;
+            let parse = |what: &str| {
+                v.parse::<u64>().map_err(|e| format!("monitor backend {what}: `{v}`: {e}"))
+            };
+            match k {
+                "w" => {
+                    let w = parse("width_log2")?;
+                    if !(4..=28).contains(&w) {
+                        return Err(format!("monitor backend w={w} out of range 4..=28"));
+                    }
+                    p.width_log2 = w as u8;
+                }
+                "d" => {
+                    let d = parse("depth")?;
+                    if !(1..=8).contains(&d) {
+                        return Err(format!("monitor backend d={d} out of range 1..=8"));
+                    }
+                    p.depth = d as u8;
+                }
+                "k" => {
+                    let t = parse("topk")?;
+                    if !(1..=65_535).contains(&t) {
+                        return Err(format!("monitor backend k={t} out of range 1..=65535"));
+                    }
+                    p.topk = t as u16;
+                }
+                "salt" => p.salt = parse("salt")?,
+                other => return Err(format!("monitor backend: unknown key `{other}`")),
+            }
+        }
+        Ok(MonitorBackend::Sketch(p))
+    }
+}
+
+/// SplitMix64 finalizer — the workspace's standard cheap mixer.
+#[inline]
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The directed-edge key `src → dst` the count-min sketch counts under.
+#[inline]
+pub fn edge_key(src: u32, dst: u32) -> u64 {
+    ((src as u64) << 32) | dst as u64
+}
+
+/// Count-min sketch with conservative update over `u32` counters.
+///
+/// Conservative update only raises each row cell to `estimate + count`, the
+/// least value consistent with the stream — realized overestimates shrink by
+/// an order of magnitude on skewed (flood-dominated) streams while the
+/// overestimate-only invariant is preserved: every row cell still
+/// upper-bounds every key hashed into it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CountMinSketch {
+    width_mask: u32,
+    depth: u8,
+    /// The configured salt (row seeds also fold in the window epoch).
+    salt: u64,
+    /// Monotonic window counter; each window re-keys every row, so two keys
+    /// that collide in one window almost surely part ways in the next.
+    /// Without this, a heavy cell-mate masks the same victim key *every*
+    /// window — a persistent, not transient, estimation error.
+    epoch: u64,
+    /// Per-row hash seeds, derived from `salt` and `epoch`.
+    seeds: Vec<u64>,
+    /// `depth` rows of `width` counters, flattened row-major.
+    cells: Vec<u32>,
+}
+
+impl CountMinSketch {
+    /// A zeroed sketch of `2^width_log2 × depth` cells.
+    pub fn new(width_log2: u8, depth: u8, salt: u64) -> Self {
+        let width = 1usize << width_log2;
+        let depth = depth.max(1);
+        let mut cms = CountMinSketch {
+            width_mask: (width - 1) as u32,
+            depth,
+            salt,
+            epoch: 0,
+            seeds: vec![0; depth as usize],
+            cells: vec![0; width * depth as usize],
+        };
+        cms.reseed();
+        cms
+    }
+
+    fn reseed(&mut self) {
+        for (r, s) in self.seeds.iter_mut().enumerate() {
+            *s = mix64(self.salt ^ mix64(self.epoch).rotate_left(17) ^ mix64(r as u64 + 1));
+        }
+    }
+
+    /// Advance to the next window: re-key every row. Callers clear the
+    /// counters separately ([`clear`](Self::clear)); the split keeps both
+    /// operations individually testable.
+    pub fn advance_window(&mut self) {
+        self.set_window(self.epoch.wrapping_add(1));
+    }
+
+    /// Jump to a specific window epoch (snapshot restore).
+    pub fn set_window(&mut self, epoch: u64) {
+        self.epoch = epoch;
+        self.reseed();
+    }
+
+    /// The current window epoch.
+    pub fn window(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of columns per row.
+    pub fn width(&self) -> usize {
+        self.width_mask as usize + 1
+    }
+
+    /// Number of rows.
+    pub fn depth(&self) -> usize {
+        self.depth as usize
+    }
+
+    #[inline]
+    fn cell_index(&self, row: usize, key: u64) -> usize {
+        let h = mix64(key ^ self.seeds[row]);
+        row * self.width() + (h as u32 & self.width_mask) as usize
+    }
+
+    /// Add `count` occurrences of `key` (conservative update).
+    #[inline]
+    pub fn record(&mut self, key: u64, count: u32) {
+        let target = self.estimate(key).saturating_add(count);
+        for row in 0..self.depth as usize {
+            let i = self.cell_index(row, key);
+            if self.cells[i] < target {
+                self.cells[i] = target;
+            }
+        }
+    }
+
+    /// Point estimate: the minimum over rows, never below the true count.
+    #[inline]
+    pub fn estimate(&self, key: u64) -> u32 {
+        let mut est = u32::MAX;
+        for row in 0..self.depth as usize {
+            est = est.min(self.cells[self.cell_index(row, key)]);
+        }
+        est
+    }
+
+    /// Zero every counter — the per-minute window reset. O(width × depth),
+    /// independent of the overlay's edge count.
+    pub fn clear(&mut self) {
+        self.cells.fill(0);
+    }
+
+    /// Bytes of counter state (the memory the backend actually pays for).
+    pub fn state_bytes(&self) -> usize {
+        self.cells.len() * std::mem::size_of::<u32>()
+    }
+}
+
+/// One space-saving table entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeavyHitter {
+    /// The sender this entry tracks.
+    pub key: u32,
+    /// Upper-bound count (true count ≤ `count`, true count ≥ `count - err`).
+    pub count: u64,
+    /// Overestimation inherited from the entry evicted at takeover.
+    pub err: u64,
+    /// Sustained-rate leaky bucket attached to this sender.
+    pub bucket: LeakyBucket,
+}
+
+/// Metwally's space-saving top-k: any key whose true aggregate exceeds
+/// `N / capacity` is guaranteed a table entry, and `count` never undercounts.
+/// Lookups scan the (small, fixed-capacity) table: with the default k = 64
+/// and one aggregated offer per sender per tick this is far off the hot path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpaceSaving {
+    cap: usize,
+    entries: Vec<HeavyHitter>,
+}
+
+impl SpaceSaving {
+    /// An empty table of `capacity` slots.
+    pub fn new(capacity: usize) -> Self {
+        SpaceSaving { cap: capacity.max(1), entries: Vec::new() }
+    }
+
+    /// Record `count` more output from `key`, filling its leaky bucket. When
+    /// the table is full the minimum-count entry is evicted and its count
+    /// inherited (the space-saving overestimate), bucket reset to the new
+    /// arrival's own volume.
+    pub fn offer(&mut self, key: u32, count: u64) {
+        if let Some(e) = self.entries.iter_mut().find(|e| e.key == key) {
+            e.count += count;
+            e.bucket.fill(count);
+            return;
+        }
+        if self.entries.len() < self.cap {
+            self.entries.push(HeavyHitter {
+                key,
+                count,
+                err: 0,
+                bucket: LeakyBucket::with_level(count),
+            });
+            return;
+        }
+        // Evict the minimum; ties break on the lowest key so the takeover is
+        // deterministic regardless of insertion history.
+        let (mut min_i, mut min) = (0usize, (u64::MAX, u32::MAX));
+        for (i, e) in self.entries.iter().enumerate() {
+            if (e.count, e.key) < min {
+                min = (e.count, e.key);
+                min_i = i;
+            }
+        }
+        let evicted = self.entries[min_i].count;
+        self.entries[min_i] = HeavyHitter {
+            key,
+            count: evicted + count,
+            err: evicted,
+            bucket: LeakyBucket::with_level(count),
+        };
+    }
+
+    /// Drain every entry's bucket by `budget` (called once per tick with the
+    /// warning budget, so only senders sustaining > budget/tick stay over).
+    pub fn drain_buckets(&mut self, budget: u64) {
+        for e in &mut self.entries {
+            e.bucket.drain(budget);
+        }
+    }
+
+    /// Entries sorted by descending count (key ascending on ties).
+    pub fn top(&self) -> Vec<HeavyHitter> {
+        let mut v = self.entries.clone();
+        v.sort_unstable_by(|a, b| b.count.cmp(&a.count).then(a.key.cmp(&b.key)));
+        v
+    }
+
+    /// The upper-bound count for `key`, if tracked.
+    pub fn count_of(&self, key: u32) -> Option<u64> {
+        self.entries.iter().find(|e| e.key == key).map(|e| e.count)
+    }
+
+    /// Senders whose leaky bucket is still over `budget` after the drain —
+    /// i.e. sustained (not one-burst) rate offenders.
+    pub fn sustained_over(&self, budget: u64) -> Vec<u32> {
+        let mut v: Vec<u32> =
+            self.entries.iter().filter(|e| e.bucket.level() > budget).map(|e| e.key).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Drop `key`'s entry, if tracked. For departed/reset peers: the slot's
+    /// next occupant must not inherit a stranger's count or bucket level.
+    pub fn remove(&mut self, key: u32) {
+        self.entries.retain(|e| e.key != key);
+    }
+
+    /// Slots in use.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Bytes of table state at full capacity (what the backend budgets for).
+    pub fn state_bytes(&self) -> usize {
+        self.cap * std::mem::size_of::<HeavyHitter>()
+    }
+}
+
+/// A leaky bucket: `fill` adds volume, `drain` subtracts the per-tick budget
+/// (saturating at empty). A level still positive after the drain means the
+/// source exceeded the budget this window; a level that *stays* positive
+/// across drains means the overrun is sustained, not a single burst.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LeakyBucket {
+    level: u64,
+}
+
+impl LeakyBucket {
+    /// A bucket pre-filled to `level`.
+    pub fn with_level(level: u64) -> Self {
+        LeakyBucket { level }
+    }
+
+    /// Add `amount` to the bucket.
+    pub fn fill(&mut self, amount: u64) {
+        self.level = self.level.saturating_add(amount);
+    }
+
+    /// Remove up to `budget` from the bucket.
+    pub fn drain(&mut self, budget: u64) {
+        self.level = self.level.saturating_sub(budget);
+    }
+
+    /// Current fill level.
+    pub fn level(&self) -> u64 {
+        self.level
+    }
+}
+
+/// The sketch `TrafficMonitor` backend: one pooled count-min arena over
+/// directed-edge keys (the fleet's aggregate sketch capacity — per-peer
+/// isolation would only change *which* keys collide, not the εN bound over
+/// the pooled stream), a space-saving top-k over senders, and that table's
+/// leaky buckets for the sustained-warning signal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SketchMonitor {
+    params: SketchParams,
+    cms: CountMinSketch,
+    hh: SpaceSaving,
+    /// Queries ingested this tick (the `N` of the εN error bound).
+    items_tick: u64,
+    /// Test-only sabotage: subtract this from every estimate, violating the
+    /// overestimate-only invariant. The error-bound proptests and the
+    /// detection-parity suite both plant it to prove they catch a sketch
+    /// that undercounts. Never set outside tests.
+    underestimate_bias: u32,
+}
+
+impl SketchMonitor {
+    /// A fresh monitor with zeroed state.
+    pub fn new(params: SketchParams) -> Self {
+        SketchMonitor {
+            params,
+            cms: CountMinSketch::new(params.width_log2, params.depth, params.salt),
+            hh: SpaceSaving::new(params.topk as usize),
+            items_tick: 0,
+            underestimate_bias: 0,
+        }
+    }
+
+    /// The configured geometry.
+    pub fn params(&self) -> SketchParams {
+        self.params
+    }
+
+    /// Open a new one-minute window: clear the count-min counters, re-key
+    /// the rows for the new window (so any key masked by a heavy cell-mate
+    /// this window almost surely escapes it next window), zero the ingest
+    /// tally, and drain every heavy hitter's bucket by `budget`.
+    pub fn begin_tick(&mut self, budget: u64) {
+        self.cms.clear();
+        self.cms.advance_window();
+        self.items_tick = 0;
+        self.hh.drain_buckets(budget);
+    }
+
+    /// Ingest `count` accepted queries on the directed edge `src → dst`.
+    #[inline]
+    pub fn record_flow(&mut self, src: u32, dst: u32, count: u32) {
+        self.cms.record(edge_key(src, dst), count);
+        self.items_tick += count as u64;
+    }
+
+    /// Ingest `total` as `src`'s aggregate output this tick (one offer per
+    /// sender per tick keeps the top-k scan off the per-edge hot path).
+    #[inline]
+    pub fn note_sender_total(&mut self, src: u32, total: u64) {
+        if total > 0 {
+            self.hh.offer(src, total);
+        }
+    }
+
+    /// Estimated accepted queries on `src → dst` this tick (≥ true count,
+    /// unless sabotaged by [`set_underestimate`](Self::set_underestimate)).
+    #[inline]
+    pub fn estimate(&self, src: u32, dst: u32) -> u32 {
+        self.cms.estimate(edge_key(src, dst)).saturating_sub(self.underestimate_bias)
+    }
+
+    /// Queries ingested this tick (the εN bound's `N`).
+    pub fn items_this_tick(&self) -> u64 {
+        self.items_tick
+    }
+
+    /// The count-min window epoch currently folded into the row hashes.
+    pub fn window(&self) -> u64 {
+        self.cms.window()
+    }
+
+    /// The proven per-query overestimate bound for this geometry over the
+    /// current tick's stream: `εN = e · N / width`, at confidence
+    /// `1 − e^-depth` per query.
+    pub fn epsilon_n(&self) -> f64 {
+        std::f64::consts::E * self.items_tick as f64 / self.cms.width() as f64
+    }
+
+    /// Top-k suspects by claimed output, descending.
+    pub fn top_suspects(&self) -> Vec<HeavyHitter> {
+        self.hh.top()
+    }
+
+    /// Senders whose leaky bucket stayed over `budget` after this tick's
+    /// drain — sustained warning-rate offenders.
+    pub fn sustained_warners(&self, budget: u64) -> Vec<u32> {
+        self.hh.sustained_over(budget)
+    }
+
+    /// Bytes of monitor state: the count-min arena plus the full-capacity
+    /// heavy-hitter table. Compare against [`exact_state_bytes`].
+    pub fn state_bytes(&self) -> usize {
+        self.cms.state_bytes() + self.hh.state_bytes()
+    }
+
+    /// Forget everything attributed to sender `key` in the cross-tick
+    /// heavy-hitter table (its count and bucket). Called when a peer departs
+    /// or resets, before the identity slot is recycled. The count-min window
+    /// needs no treatment: it is cleared wholesale every tick.
+    pub fn forget_sender(&mut self, key: u32) {
+        self.hh.remove(key);
+    }
+
+    /// Sabotage lever: make every estimate undercount by `bias`. See the
+    /// field doc; exists only so the test suites can prove their teeth.
+    #[doc(hidden)]
+    pub fn set_underestimate(&mut self, bias: u32) {
+        self.underestimate_bias = bias;
+    }
+}
+
+/// Bytes the exact backend pays for the same job: one `[sent, accepted]`
+/// `u32` pair per directed half-edge in the overlay arena.
+pub fn exact_state_bytes(directed_half_edges: usize) -> usize {
+    directed_half_edges * 2 * std::mem::size_of::<u32>()
+}
+
+impl Snapshottable for LeakyBucket {
+    fn save(&self, enc: &mut Enc) {
+        enc.u64(self.level);
+    }
+    fn load(dec: &mut Dec<'_>) -> Result<Self, SnapshotError> {
+        Ok(LeakyBucket { level: dec.u64()? })
+    }
+}
+
+impl Snapshottable for HeavyHitter {
+    fn save(&self, enc: &mut Enc) {
+        enc.u32(self.key);
+        enc.u64(self.count);
+        enc.u64(self.err);
+        enc.put(&self.bucket);
+    }
+    fn load(dec: &mut Dec<'_>) -> Result<Self, SnapshotError> {
+        Ok(HeavyHitter { key: dec.u32()?, count: dec.u64()?, err: dec.u64()?, bucket: dec.get()? })
+    }
+}
+
+impl Snapshottable for SketchMonitor {
+    /// Geometry is owned by the config (whose digest the defense already
+    /// embeds), so only the mutable state is serialized — in declaration
+    /// order, so the engine's per-tick state hash covers every bit of it.
+    fn save(&self, enc: &mut Enc) {
+        enc.put(&self.cms.cells);
+        enc.u64(self.cms.epoch);
+        enc.usize(self.hh.entries.len());
+        for e in &self.hh.entries {
+            enc.put(e);
+        }
+        enc.u64(self.items_tick);
+        enc.u32(self.underestimate_bias);
+    }
+    fn load(_dec: &mut Dec<'_>) -> Result<Self, SnapshotError> {
+        Err(SnapshotError::Unsupported {
+            what: "SketchMonitor::load — use restore_into (geometry comes from config)",
+        })
+    }
+}
+
+impl SketchMonitor {
+    /// Restore state saved by [`Snapshottable::save`] into a monitor built
+    /// from the same [`SketchParams`]. A cell-count mismatch means the
+    /// snapshot came from a different geometry and is refused.
+    pub fn restore_into(&mut self, dec: &mut Dec<'_>) -> Result<(), SnapshotError> {
+        let cells: Vec<u32> = dec.get()?;
+        if cells.len() != self.cms.cells.len() {
+            return Err(SnapshotError::ContextMismatch {
+                expected: self.cms.cells.len() as u64,
+                found: cells.len() as u64,
+            });
+        }
+        self.cms.cells = cells;
+        self.cms.set_window(dec.u64()?);
+        let n = dec.len("heavy hitters")?;
+        if n > self.hh.cap {
+            return Err(SnapshotError::ContextMismatch {
+                expected: self.hh.cap as u64,
+                found: n as u64,
+            });
+        }
+        self.hh.entries.clear();
+        for _ in 0..n {
+            self.hh.entries.push(dec.get()?);
+        }
+        self.items_tick = dec.u64()?;
+        self.underestimate_bias = dec.u32()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn estimate_never_undercounts() {
+        let mut cms = CountMinSketch::new(6, 3, 7); // tiny: collisions certain
+        let mut truth = std::collections::HashMap::new();
+        let mut st = 99u64;
+        for _ in 0..2_000 {
+            let key = mix64(st) % 300;
+            st = st.wrapping_add(1);
+            let c = (mix64(st) % 50) as u32 + 1;
+            st = st.wrapping_add(1);
+            cms.record(key, c);
+            *truth.entry(key).or_insert(0u64) += c as u64;
+        }
+        for (&k, &t) in &truth {
+            assert!(
+                cms.estimate(k) as u64 >= t,
+                "undercount: key {k} true {t} est {}",
+                cms.estimate(k)
+            );
+        }
+    }
+
+    #[test]
+    fn clear_zeroes_the_window() {
+        let mut cms = CountMinSketch::new(8, 4, 1);
+        cms.record(42, 1000);
+        assert!(cms.estimate(42) >= 1000);
+        cms.clear();
+        assert_eq!(cms.estimate(42), 0);
+    }
+
+    #[test]
+    fn same_salt_same_cells_different_salt_different_hashing() {
+        let mut a = CountMinSketch::new(8, 4, 5);
+        let mut b = CountMinSketch::new(8, 4, 5);
+        let mut c = CountMinSketch::new(8, 4, 6);
+        for k in 0..500u64 {
+            a.record(k, 3);
+            b.record(k, 3);
+            c.record(k, 3);
+        }
+        assert_eq!(a, b, "same salt must be bit-identical");
+        assert_ne!(a.cells, c.cells, "different salt must hash differently");
+    }
+
+    #[test]
+    fn space_saving_guarantees_heavy_keys() {
+        let mut ss = SpaceSaving::new(8);
+        let mut n = 0u64;
+        // One elephant among many mice.
+        for round in 0..100u32 {
+            ss.offer(7, 50);
+            n += 50;
+            for mouse in 100..120u32 {
+                ss.offer(mouse + (round % 3) * 100, 1);
+                n += 1;
+            }
+        }
+        // true(7) = 5000 > N/cap, so 7 must be present with count ≥ truth.
+        assert!(5000 > n / 8);
+        let c = ss.count_of(7).expect("guaranteed heavy hitter evicted");
+        assert!(c >= 5000, "count {c} undercounts truth 5000");
+    }
+
+    #[test]
+    fn buckets_separate_sustained_from_burst() {
+        let mut ss = SpaceSaving::new(4);
+        // Sender 1 bursts once; sender 2 sustains. Budget 100 per tick.
+        ss.offer(1, 150);
+        ss.offer(2, 150);
+        ss.drain_buckets(100);
+        assert_eq!(ss.sustained_over(100), Vec::<u32>::new(), "one burst drains away");
+        for _ in 0..5 {
+            ss.offer(2, 250);
+            ss.drain_buckets(100);
+        }
+        assert_eq!(ss.sustained_over(100), vec![2], "sustained overrun accumulates");
+    }
+
+    #[test]
+    fn monitor_snapshot_roundtrip_is_bit_identical() {
+        let p = SketchParams { width_log2: 8, depth: 3, topk: 8, salt: 404 };
+        let mut m = SketchMonitor::new(p);
+        m.begin_tick(500);
+        for i in 0..200u32 {
+            m.record_flow(i % 40, (i + 1) % 40, i + 1);
+        }
+        for s in 0..40u32 {
+            m.note_sender_total(s, (s as u64 + 1) * 10);
+        }
+        let mut enc = Enc::new();
+        enc.put(&m);
+        let mut back = SketchMonitor::new(p);
+        let bytes = enc.into_bytes();
+        let mut dec = Dec::new(&bytes);
+        back.restore_into(&mut dec).expect("restore");
+        dec.finish().expect("no trailing bytes");
+        assert_eq!(m, back);
+        // And the restored monitor re-serializes to the same bytes.
+        let mut enc2 = Enc::new();
+        enc2.put(&back);
+        assert_eq!(bytes, enc2.into_bytes());
+    }
+
+    #[test]
+    fn monitor_refuses_foreign_geometry() {
+        let mut m = SketchMonitor::new(SketchParams { width_log2: 8, depth: 3, topk: 8, salt: 1 });
+        m.record_flow(1, 2, 3);
+        let mut enc = Enc::new();
+        enc.put(&m);
+        let bytes = enc.into_bytes();
+        let mut other =
+            SketchMonitor::new(SketchParams { width_log2: 9, depth: 3, topk: 8, salt: 1 });
+        let err = other.restore_into(&mut Dec::new(&bytes)).expect_err("must refuse");
+        assert!(matches!(err, SnapshotError::ContextMismatch { .. }), "got {err:?}");
+    }
+
+    #[test]
+    fn backend_labels_and_parsing_roundtrip() {
+        assert_eq!(MonitorBackend::parse("exact").unwrap(), MonitorBackend::Exact);
+        assert_eq!(
+            MonitorBackend::parse("sketch").unwrap(),
+            MonitorBackend::Sketch(SketchParams::default())
+        );
+        let p = MonitorBackend::parse("sketch:w=16,d=2,k=128").unwrap();
+        match p {
+            MonitorBackend::Sketch(p) => {
+                assert_eq!((p.width_log2, p.depth, p.topk), (16, 2, 128));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(p.label(), "sketch(w=2^16,d=2,k=128)");
+        assert!(MonitorBackend::parse("bogus").is_err());
+        assert!(MonitorBackend::parse("sketch:w=99").is_err());
+        assert!(MonitorBackend::parse("sketch:q=1").is_err());
+    }
+
+    #[test]
+    fn underestimate_sabotage_breaks_the_invariant() {
+        let mut m = SketchMonitor::new(SketchParams::default());
+        m.record_flow(1, 2, 100);
+        assert!(m.estimate(1, 2) >= 100);
+        m.set_underestimate(40);
+        assert!(m.estimate(1, 2) < 100, "sabotage must actually undercount");
+    }
+
+    #[test]
+    fn memory_ratio_at_scale_favors_the_sketch() {
+        // 100k peers, BA m=3: ~300k edges, ~600k directed half-edges.
+        let exact = exact_state_bytes(600_000);
+        let sketch =
+            SketchMonitor::new(SketchParams { width_log2: 16, depth: 4, topk: 512, salt: 0 })
+                .state_bytes();
+        assert!(exact >= 4 * sketch, "exact {exact} must be ≥4× sketch {sketch} at 100k peers");
+    }
+}
